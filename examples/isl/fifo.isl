@@ -1,0 +1,18 @@
+// Circular FIFO with a redundant occupancy counter; the consistency
+// invariant relates the counter to the pointer difference.
+input push;
+input pop;
+reg wr[3] = 0;
+reg rd[3] = 0;
+reg count[4] = 0;
+
+wire full  = count == 8;
+wire empty = count == 0;
+wire do_push = push & !pop & !full;
+wire do_pop  = pop & !push & !empty;
+
+next wr = do_push ? wr + 1 : wr;
+next rd = do_pop ? rd + 1 : rd;
+next count = do_push ? count + 1 : (do_pop ? count - 1 : count);
+
+bad count[2:0] != wr - rd;

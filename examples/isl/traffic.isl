@@ -1,0 +1,17 @@
+// Two-phase traffic light with green-time counter; both directions
+// green at once is the catastrophe the interlock must rule out.
+input emergency;
+reg phase[2] = 0;      -- 0 NS green, 1 all red, 2 EW green, 3 all red
+reg timer[3] = 0;
+reg green_ns = 1;
+reg green_ew = 0;
+
+wire wrap = timer == 5;
+
+next timer = wrap ? 0 : timer + 1;
+next phase = wrap ? phase + 1 : phase;
+next green_ns = (wrap ? phase + 1 : phase) == 0;
+next green_ew = (wrap ? phase + 1 : phase) == 2;
+
+bad green_ns & green_ew;
+justice green_ew;      -- liveness: EW eventually keeps getting green

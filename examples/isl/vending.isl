@@ -1,0 +1,14 @@
+// Vending machine: credit accumulates coin by coin and vends at the
+// exact price; the guarded design can never overshoot.
+input coin;
+input vend_req;
+reg credit[4] = 0;
+
+wire below    = credit < 7;
+wire at_price = credit == 7;
+wire vend     = vend_req & at_price;
+wire accept   = coin & below;
+
+next credit = vend ? 0 : (accept ? credit + 1 : credit);
+
+bad credit == 8;
