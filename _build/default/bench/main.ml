@@ -1,0 +1,207 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table I, Figures 6 and 7), the ablations DESIGN.md calls
+   out, and Bechamel micro-benchmarks of the computational kernels.
+
+   Run `dune exec bench/main.exe -- --help` for the command list; with no
+   command, the full evaluation runs with moderate limits. *)
+
+open Cmdliner
+open Isr_core
+open Isr_model
+open Isr_suite
+
+let out = Format.std_formatter
+
+let limits_of ~time ~bound ~conflicts =
+  { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
+
+let time_arg default =
+  Arg.(value & opt float default & info [ "time" ] ~doc:"Per-run time limit [s].")
+
+let bound_arg = Arg.(value & opt int 120 & info [ "bound" ] ~doc:"BMC bound limit.")
+
+let conflicts_arg =
+  Arg.(value & opt int 2_000_000 & info [ "conflicts" ] ~doc:"Conflict budget per run.")
+
+let mid_only_arg =
+  Arg.(value & flag & info [ "mid-only" ] ~doc:"Skip the industrial-size instances.")
+
+let entries_for mid_only lst =
+  if mid_only then List.filter (fun e -> e.Registry.category = Registry.Mid) lst
+  else lst
+
+(* --- table1 ------------------------------------------------------------- *)
+
+let table1_cmd =
+  let run time bound conflicts mid_only =
+    Isr_exp.Table1.run
+      ~limits:(limits_of ~time ~bound ~conflicts)
+      ~entries:(entries_for mid_only Registry.table1)
+      ~out ()
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+
+(* --- fig6 ----------------------------------------------------------------- *)
+
+let fig6_cmd =
+  let run time bound conflicts mid_only =
+    Isr_exp.Fig6.run
+      ~limits:(limits_of ~time ~bound ~conflicts)
+      ~entries:(entries_for mid_only Registry.fig6)
+      ~out ()
+  in
+  Cmd.v (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (cactus plot data)")
+    Term.(const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+
+(* --- fig7 ------------------------------------------------------------------ *)
+
+let fig7_cmd =
+  let run time bound conflicts mid_only =
+    Isr_exp.Fig7.run
+      ~limits:(limits_of ~time ~bound ~conflicts)
+      ~entries:(entries_for mid_only Registry.fig6)
+      ~out ()
+  in
+  Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Figure 7 (exact-k vs assume-k scatter)")
+    Term.(const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+
+(* --- ablations --------------------------------------------------------------- *)
+
+let ablation_checks_cmd =
+  let run time bound conflicts =
+    Isr_exp.Ablation.checks ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  in
+  Cmd.v
+    (Cmd.info "ablation-checks" ~doc:"A1: bound-k vs exact-k vs assume-k SAT effort")
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+
+let ablation_alpha_cmd =
+  let run time bound conflicts =
+    Isr_exp.Ablation.alpha ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  in
+  Cmd.v (Cmd.info "ablation-alpha" ~doc:"A2: serial fraction sweep for SITPSEQ")
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+
+let ablation_systems_cmd =
+  let run time bound conflicts =
+    Isr_exp.Ablation.systems ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  in
+  Cmd.v
+    (Cmd.info "ablation-systems" ~doc:"A3: labeled interpolation systems in ITPSEQ")
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+
+(* --- bechamel kernels ----------------------------------------------------------- *)
+
+let kernels () =
+  let open Bechamel in
+  let model = Circuits.vending ~price:11 ~buggy:false in
+  (* Pre-solved refutation for the extraction kernel. *)
+  let proof =
+    let u = Bmc.build_instance model ~check:Bmc.Assume ~k:10 in
+    match Isr_sat.Solver.solve (Unroll.solver u) with
+    | Isr_sat.Solver.Unsat -> (u, Isr_sat.Solver.proof (Unroll.solver u))
+    | _ -> assert false
+  in
+  let t_solve =
+    Test.make ~name:"sat-solve bmc(vending11,k=10)"
+      (Staged.stage (fun () ->
+           let u = Bmc.build_instance model ~check:Bmc.Assume ~k:10 in
+           ignore (Isr_sat.Solver.solve (Unroll.solver u))))
+  in
+  let t_unroll =
+    Test.make ~name:"unroll encode k=10"
+      (Staged.stage (fun () ->
+           ignore (Bmc.build_instance model ~check:Bmc.Assume ~k:10)))
+  in
+  let t_itpseq =
+    Test.make ~name:"itpseq extraction (10 cuts)"
+      (Staged.stage (fun () ->
+           let u, p = proof in
+           let info = Isr_itp.Itp.analyze p in
+           for cut = 1 to 10 do
+             ignore
+               (Isr_itp.Itp.interpolant ~info p ~cut ~man:model.Model.man
+                  ~var_map:(Unroll.any_state_map u))
+           done))
+  in
+  let t_bdd =
+    Test.make ~name:"bdd forward reach (vending11)"
+      (Staged.stage (fun () -> ignore (Isr_bdd.Reach.forward model)))
+  in
+  let tests =
+    Test.make_grouped ~name:"kernels" [ t_solve; t_unroll; t_itpseq; t_bdd ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  Format.fprintf out "Bechamel kernels (ns per run, OLS on monotonic clock):@.";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Format.fprintf out "  %-40s %12.0f ns@." name est
+      | _ -> Format.fprintf out "  %-40s (no estimate)@." name)
+    results;
+  Format.pp_print_flush out ()
+
+let extended_cmd =
+  let run time bound conflicts =
+    Isr_exp.Extended.run ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  in
+  Cmd.v
+    (Cmd.info "extended" ~doc:"Beyond the paper: all engines incl. PBA/k-induction/PDR/portfolio")
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+
+let abstraction_cmd =
+  let run time bound conflicts =
+    Isr_exp.Abstraction.run ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  in
+  Cmd.v (Cmd.info "abstraction" ~doc:"Section V: CBA vs PBA on industrial designs")
+    Term.(const run $ time_arg 30.0 $ bound_arg $ conflicts_arg)
+
+let kernels_cmd =
+  Cmd.v (Cmd.info "kernels" ~doc:"Bechamel micro-benchmarks") Term.(const kernels $ const ())
+
+(* --- all (default) ------------------------------------------------------------------ *)
+
+let all time bound conflicts mid_only =
+  let limits = limits_of ~time ~bound ~conflicts in
+  let entries6 = entries_for mid_only Registry.fig6 in
+  let entries1 = entries_for mid_only Registry.table1 in
+  Format.fprintf out "=== Table I ===@.";
+  Isr_exp.Table1.run ~limits ~entries:entries1 ~out ();
+  Format.fprintf out "@.=== Figure 6 ===@.";
+  Isr_exp.Fig6.run ~limits ~entries:entries6 ~out ();
+  Format.fprintf out "@.=== Figure 7 ===@.";
+  Isr_exp.Fig7.run ~limits ~entries:entries6 ~out ();
+  Format.fprintf out "@.=== Ablation A1 (BMC checks) ===@.";
+  Isr_exp.Ablation.checks ~limits ~out ();
+  Format.fprintf out "@.=== Ablation A2 (alpha sweep) ===@.";
+  Isr_exp.Ablation.alpha ~limits ~out ();
+  Format.fprintf out "@.=== Ablation A3 (interpolation systems) ===@.";
+  Isr_exp.Ablation.systems ~limits ~out ();
+  if not mid_only then begin
+    Format.fprintf out "@.=== Abstraction: CBA vs PBA (Section V) ===@.";
+    Isr_exp.Abstraction.run ~limits ~out ()
+  end;
+  Format.fprintf out "@.=== Extended engines (beyond the paper) ===@.";
+  Isr_exp.Extended.run ~limits ~out ();
+  Format.fprintf out "@.=== Kernels ===@.";
+  kernels ()
+
+let all_term = Term.(const all $ time_arg 5.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+
+let () =
+  let info =
+    Cmd.info "isr-bench" ~doc:"Experiment harness for Interpolation Sequences Revisited"
+  in
+  let group =
+    Cmd.group ~default:all_term info
+      [
+        table1_cmd; fig6_cmd; fig7_cmd; ablation_checks_cmd; ablation_alpha_cmd;
+        ablation_systems_cmd; abstraction_cmd; extended_cmd; kernels_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

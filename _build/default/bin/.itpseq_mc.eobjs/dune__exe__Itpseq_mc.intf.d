@@ -1,0 +1,1 @@
+bin/itpseq_mc.mli:

@@ -1,0 +1,1 @@
+bin/suite_dump.ml: Arg Cmd Cmdliner Filename Isr_model Isr_suite List Printf Sys Term

@@ -1,0 +1,307 @@
+(* Command-line model checker: verify an AIGER file or a named benchmark
+   with any of the engines of the paper.
+
+     itpseq_mc verify --engine itpseq counter.aag
+     itpseq_mc verify --engine itpseqcba --name industrialA1 --time 60
+     itpseq_mc bdd --name traffic6
+     itpseq_mc list *)
+
+open Cmdliner
+open Isr_core
+open Isr_model
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let load_model ?(property = 0) file name =
+  match (file, name) with
+  | Some path, None -> (
+    let text =
+      try Ok (In_channel.with_open_bin path In_channel.input_all)
+      with Sys_error msg -> Error msg
+    in
+    let base = Filename.remove_extension (Filename.basename path) in
+    match
+      Result.bind text (fun t ->
+          match Filename.extension path with
+          | ".btor" | ".btor2" -> Isr_btor.Btor2.parse_string ~name:base t
+          | ".isl" -> Isr_isl.Isl.parse_string ~name:base t
+          | _ -> Aiger.parse_string_multi ~name:base t)
+    with
+    | Ok models -> (
+      match List.nth_opt models property with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (Printf.sprintf "%s: property index %d out of range (%d available)" path
+             property (List.length models)))
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | None, Some n -> (
+    match Isr_suite.Registry.find n with
+    | Some entry -> Ok (Isr_suite.Registry.build_validated entry)
+    | None -> Error (Printf.sprintf "no benchmark named %S (see `itpseq_mc list`)" n))
+  | Some _, Some _ -> Error "give either FILE or --name, not both"
+  | None, None -> Error "give an AIGER FILE or --name BENCH"
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"AIGER (aag/aig), BTOR2 (.btor/.btor2) or ISL (.isl) input.")
+
+let name_arg =
+  Arg.(value & opt (some string) None & info [ "name" ] ~doc:"Benchmark name from the registry.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt string "itpseq"
+    & info [ "engine" ] ~doc:"Engine: bmc[-exact|-bound], itp, itpseq[-exact], sitpseq[-exact], itpseqcba[-assume], itpseqpba, kind, portfolio.")
+
+let time_arg = Arg.(value & opt float 60.0 & info [ "time" ] ~doc:"Time limit [s].")
+let bound_arg = Arg.(value & opt int 200 & info [ "bound" ] ~doc:"Bound limit.")
+
+let conflicts_arg =
+  Arg.(value & opt int 5_000_000 & info [ "conflicts" ] ~doc:"Conflict budget.")
+
+let witness_arg =
+  Arg.(value & flag & info [ "witness" ] ~doc:"Print the counterexample trace on FAIL.")
+
+let coi_arg =
+  Arg.(value & flag & info [ "coi" ] ~doc:"Apply cone-of-influence reduction first.")
+
+let property_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "property" ] ~doc:"Which output of a multi-output AIGER file to verify.")
+
+let witness_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "witness-file" ] ~doc:"Write the counterexample in HWMCC witness format.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the result as a JSON object on stdout (for tooling).")
+
+(* Minimal JSON rendering; all of our strings are identifier-like. *)
+let json_of_verdict ~model_name ~engine_name verdict (stats : Verdict.stats) certified =
+  let b = Buffer.create 256 in
+  let field ?(last = false) k v =
+    Buffer.add_string b (Printf.sprintf "  %S: %s%s\n" k v (if last then "" else ","))
+  in
+  Buffer.add_string b "{\n";
+  field "model" (Printf.sprintf "%S" model_name);
+  field "engine" (Printf.sprintf "%S" engine_name);
+  (match verdict with
+  | Verdict.Proved { kfp; jfp; invariant } ->
+    field "verdict" "\"proved\"";
+    field "kfp" (string_of_int kfp);
+    field "jfp" (string_of_int jfp);
+    field "has_certificate" (if invariant <> None then "true" else "false");
+    (match certified with
+    | Some ok -> field "certificate_checked" (if ok then "true" else "false")
+    | None -> ())
+  | Verdict.Falsified { depth; trace } ->
+    field "verdict" "\"falsified\"";
+    field "depth" (string_of_int depth);
+    let frames =
+      Array.to_list trace.Trace.inputs
+      |> List.map (fun fr ->
+             "["
+             ^ String.concat ","
+                 (Array.to_list (Array.map (fun x -> if x then "1" else "0") fr))
+             ^ "]")
+    in
+    field "trace" ("[" ^ String.concat "," frames ^ "]")
+  | Verdict.Unknown r ->
+    field "verdict" "\"unknown\"";
+    field "reason"
+      (match r with
+      | Verdict.Time_limit -> "\"time\""
+      | Verdict.Conflict_limit -> "\"conflicts\""
+      | Verdict.Bound_limit k -> Printf.sprintf "\"bound %d\"" k));
+  field "time_s" (Printf.sprintf "%.4f" stats.Verdict.time);
+  field "sat_calls" (string_of_int stats.Verdict.sat_calls);
+  field "conflicts" (string_of_int stats.Verdict.conflicts);
+  field ~last:true "bound" (string_of_int stats.Verdict.last_bound);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let fraig_arg =
+  Arg.(
+    value & flag
+    & info [ "fraig" ] ~doc:"Apply SAT sweeping (merge equivalent logic) first.")
+
+let compact_arg =
+  Arg.(
+    value & flag
+    & info [ "compact" ]
+        ~doc:"On PASS, compact the invariant through BDD canonicalization first.")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"On PASS, re-check the inductive invariant with independent SAT calls.")
+
+let verify_cmd =
+  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json =
+    setup_logs verbose;
+    match load_model ~property file name with
+    | Error e ->
+      prerr_endline e;
+      2
+    | Ok original -> (
+      match Engine.of_name engine with
+      | Error e ->
+        prerr_endline e;
+        2
+      | Ok eng -> (
+        if not json then Format.printf "model: %a@." Model.pp_stats original;
+        let reduction = if coi then Some (Coi.reduce original) else None in
+        let model =
+          match reduction with
+          | Some r ->
+            if not json then Format.printf "coi:   %a@." Model.pp_stats r.Coi.model;
+            r.Coi.model
+          | None -> original
+        in
+        let model =
+          if fraig then begin
+            let swept = Isr_fraig.Fraig.sweep_model model in
+            if not json then Format.printf "fraig: %a@." Model.pp_stats swept;
+            swept
+          end
+          else model
+        in
+        let limits =
+          { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
+        in
+        let verdict, stats = Engine.run eng ~limits model in
+        (* Lift counterexamples of the reduced model back to the original
+           input space so the replay check below runs on the real design. *)
+        let verdict, model =
+          match (verdict, reduction) with
+          | Verdict.Falsified { depth; trace }, Some r ->
+            (Verdict.Falsified { depth; trace = Coi.lift_trace r trace }, original)
+          | v, _ -> (v, model)
+        in
+        if not json then
+          Format.printf "%s: %a@.stats: %a@." (Engine.name eng) Verdict.pp verdict
+            Verdict.pp_stats stats;
+        if json then begin
+          let certified =
+            match verdict with
+            | Verdict.Proved { invariant = Some inv; _ } when certify ->
+              Some (Certify.check model inv = Ok ())
+            | _ -> None
+          in
+          print_endline
+            (json_of_verdict ~model_name:model.Model.name ~engine_name:(Engine.name eng)
+               verdict stats certified)
+        end;
+        match verdict with
+        | Verdict.Proved { invariant; _ } ->
+          let invariant =
+            match invariant with
+            | Some inv when compact ->
+              let inv' = Isr_bdd.Compact.state_predicate model inv in
+              if not json then
+                Format.printf "compact: invariant %d -> %d AND nodes@."
+                  (Isr_aig.Aig.cone_size model.Model.man inv)
+                  (Isr_aig.Aig.cone_size model.Model.man inv');
+              Some inv'
+            | other -> other
+          in
+          if certify && not json then begin
+            match invariant with
+            | None ->
+              Format.printf "certificate: engine provided none@.";
+              0
+            | Some inv -> (
+              match Certify.check model inv with
+              | Ok () ->
+                Format.printf
+                  "certificate: invariant checked (initiation, consecution, safety)@.";
+                0
+              | Error f ->
+                Format.printf "certificate: INVALID — %a@." Certify.pp_failure f;
+                3)
+          end
+          else 0
+        | Verdict.Falsified { trace; _ } ->
+          if witness then Format.printf "%a@." Trace.pp trace;
+          (match witness_file with
+          | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Aiger.witness_to_string model trace));
+            if not json then Format.printf "witness written to %s@." path
+          | None -> ());
+          if Sim.check_trace model trace then begin
+            if not json then Format.printf "witness: replayed on the concrete model@.";
+            1
+          end
+          else begin
+            Format.printf "witness: REPLAY FAILED (internal error)@.";
+            3
+          end
+        | Verdict.Unknown _ -> 4))
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine")
+    Term.(
+      const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
+      $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
+      $ witness_file_arg $ json_arg)
+
+let bdd_cmd =
+  let run verbose file name nodes =
+    setup_logs verbose;
+    match load_model file name with
+    | Error e ->
+      prerr_endline e;
+      2
+    | Ok model ->
+      let open Isr_bdd in
+      Format.printf "model: %a@." Model.pp_stats model;
+      let report dir (r : Reach.result) =
+        Format.printf "%s: %s, diameter %s, %.3fs, %d nodes@." dir
+          (match r.Reach.verdict with
+          | Reach.Proved -> "proved"
+          | Reach.Falsified d -> Printf.sprintf "falsified at depth %d" d
+          | Reach.Overflow -> "overflow")
+          (match r.Reach.diameter with Some d -> string_of_int d | None -> "-")
+          r.Reach.time r.Reach.peak_nodes
+      in
+      report "forward" (Reach.forward ~max_nodes:nodes model);
+      report "backward" (Reach.backward ~max_nodes:nodes model);
+      0
+  in
+  let nodes_arg =
+    Arg.(value & opt int 4_000_000 & info [ "nodes" ] ~doc:"BDD node budget.")
+  in
+  Cmd.v (Cmd.info "bdd" ~doc:"Exact BDD reachability and diameters")
+    Term.(const run $ verbose_arg $ file_arg $ name_arg $ nodes_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-20s %-10s %a@." e.Isr_suite.Registry.name
+          (match e.Isr_suite.Registry.category with
+          | Isr_suite.Registry.Mid -> "mid"
+          | Isr_suite.Registry.Industrial -> "industrial")
+          Isr_suite.Registry.pp_expected e.Isr_suite.Registry.expected)
+      Isr_suite.Registry.fig6;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmarks") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "itpseq_mc" ~version:"1.0.0"
+      ~doc:"SAT-based unbounded model checking with interpolation sequences"
+  in
+  exit (Cmd.eval' (Cmd.group info [ verify_cmd; bdd_cmd; list_cmd ]))

@@ -1,0 +1,26 @@
+(* Dumps the benchmark suite as ASCII AIGER files, one per registry
+   entry, so the circuits can be fed to external tools. *)
+
+open Cmdliner
+
+let run dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun e ->
+      let model = Isr_suite.Registry.build_validated e in
+      let path = Filename.concat dir (e.Isr_suite.Registry.name ^ ".aag") in
+      Isr_model.Aiger.write_file model path;
+      Printf.printf "wrote %s\n" path)
+    Isr_suite.Registry.fig6;
+  0
+
+let () =
+  let dir =
+    Arg.(value & opt string "suite-aiger" & info [ "out" ] ~doc:"Output directory.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "suite_dump" ~doc:"Dump the benchmark suite as AIGER files")
+      Term.(const run $ dir)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/arbiter_showdown.ml: Bmc Budget Circuits Engine Format Isr_core Isr_suite List Printf Verdict

@@ -1,0 +1,1 @@
+examples/bmc_falsify.ml: Array Bmc Budget Circuits Format Isr_core Isr_model Isr_suite List Model Sim Trace Verdict

@@ -1,0 +1,1 @@
+examples/cegar_demo.ml: Bmc Budget Circuits Engine Format Isr_core Isr_model Isr_suite List Printf Verdict

@@ -1,0 +1,1 @@
+examples/cegar_demo.mli:

@@ -1,0 +1,1 @@
+examples/certified_proof.ml: Aig Bmc Budget Certify Engine Format Isr_aig Isr_core Isr_model Isr_suite List Model Option Printf Registry String Verdict

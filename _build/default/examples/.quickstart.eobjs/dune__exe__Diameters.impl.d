@@ -1,0 +1,1 @@
+examples/diameters.ml: Bmc Budget Engine Format Isr_bdd Isr_core Isr_suite List Printf Registry Verdict

@@ -1,0 +1,1 @@
+examples/liveness_demo.ml: Aig Array Bmc Budget Builder Circuits Engine Format Isr_aig Isr_core Isr_model Isr_suite L2s Model Trace Verdict

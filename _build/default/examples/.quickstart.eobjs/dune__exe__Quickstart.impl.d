@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Bmc Builder Engine Format Isr_aig Isr_core Isr_model Model Trace Verdict

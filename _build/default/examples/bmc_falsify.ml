@@ -1,0 +1,42 @@
+(* Falsification with bounded model checking: hunt the bug in the broken
+   vending machine, compare the three BMC target formulations of the
+   paper's Section III, and replay the counterexample.
+
+   Run with: dune exec examples/bmc_falsify.exe *)
+
+open Isr_core
+open Isr_model
+open Isr_suite
+
+let limits =
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 40 }
+
+let () =
+  let model = Circuits.vending ~price:7 ~buggy:true in
+  Format.printf "model: %a@." Model.pp_stats model;
+  List.iter
+    (fun check ->
+      match Bmc.run ~check ~limits model with
+      | Verdict.Falsified { depth; trace }, stats ->
+        Format.printf "bmc-%-7s FAIL at depth %d  (%a)@." (Bmc.check_name check) depth
+          Verdict.pp_stats stats;
+        assert (Sim.check_trace model trace)
+      | v, _ -> Format.printf "bmc-%-7s %a@." (Bmc.check_name check) Verdict.pp v)
+    [ Bmc.Bound; Bmc.Exact; Bmc.Assume ];
+  (* Show the witness from the assume-k run. *)
+  match Bmc.run ~check:Bmc.Assume ~limits model with
+  | Verdict.Falsified { depth; trace }, _ ->
+    Format.printf "@.witness (inputs are [coin; vend_req] per frame):@.%a@." Trace.pp
+      trace;
+    let states = Sim.run model trace in
+    Format.printf "@.credit per frame:";
+    Array.iteri
+      (fun f st ->
+        if f <= depth then begin
+          let v = ref 0 in
+          Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) st;
+          Format.printf " %d" !v
+        end)
+      states;
+    Format.printf "@.the buggy machine accepts an 8th coin: credit overflows the price@."
+  | _ -> assert false

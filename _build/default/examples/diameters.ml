@@ -1,0 +1,49 @@
+(* Circuit diameters versus engine convergence depths — the discussion of
+   Section IV of the paper.  For a handful of provable designs, compute
+   the exact forward/backward diameters with the BDD engine and compare
+   them to where standard interpolation and interpolation sequences
+   actually converge (kfp, jfp).
+
+   Run with: dune exec examples/diameters.exe *)
+
+open Isr_core
+open Isr_suite
+module Reach = Isr_bdd.Reach
+
+let limits =
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 80 }
+
+let dia = function
+  | { Reach.diameter = Some d; _ } -> string_of_int d
+  | _ -> "-"
+
+let depths engine model =
+  match Engine.run engine ~limits model with
+  | Verdict.Proved { kfp; jfp; _ }, _ -> Printf.sprintf "k=%d j=%d" kfp jfp
+  | Verdict.Falsified { depth; _ }, _ -> Printf.sprintf "cex@%d" depth
+  | Verdict.Unknown _, _ -> "?"
+
+let () =
+  Format.printf "%-16s %5s %5s | %-14s %-14s %-14s@." "design" "d_F" "d_B" "itp"
+    "itpseq" "sitpseq";
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | None -> ()
+      | Some entry ->
+        let model = Registry.build_validated entry in
+        let fwd = Reach.forward ~max_nodes:4_000_000 model in
+        let bwd = Reach.backward ~max_nodes:4_000_000 model in
+        Format.printf "%-16s %5s %5s | %-14s %-14s %-14s@." name (dia fwd) (dia bwd)
+          (depths Engine.Itp model)
+          (depths (Engine.Itpseq Bmc.Assume) model)
+          (depths (Engine.Sitpseq (0.5, Bmc.Assume)) model))
+    [
+      "amba2g3"; "eijkring8"; "vending11"; "traffic6"; "peterson"; "prodcons8";
+      "coherence3"; "reactor2x3"; "guidance4"; "countermod6m50";
+    ];
+  Format.printf
+    "@.Note how over-approximate traversals converge well below d_F, and how@.";
+  Format.printf
+    "standard interpolation's cumulative abstraction reaches fixpoints at@.";
+  Format.printf "smaller bounds k than the sequence-based engines (Section IV-B).@."

@@ -1,0 +1,97 @@
+(* Liveness checking through the liveness-to-safety transformation:
+   "the token keeps circulating" on a token ring, decided by the safety
+   engines of this library, with fair-lasso witnesses decoded and
+   replayed.
+
+   Run with: dune exec examples/liveness_demo.exe *)
+
+open Isr_aig
+open Isr_model
+open Isr_core
+open Isr_suite
+
+let limits =
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 80 }
+
+let () =
+  (* The enable-gated token ring: an adversarial environment may stall
+     the ring forever, so "the token returns to station 0 infinitely
+     often" FAILS — the scheduler simply stops enabling.  The witness is
+     a lasso whose loop holds the enable low. *)
+  let ring = Circuits.token_ring ~stations:4 ~unsafe_at:None in
+  let token0 = Model.latch_lit ring 0 in
+  Format.printf "model: %a@." Model.pp_stats ring;
+  Format.printf "@.property 1: token at station 0 infinitely often (gated ring)@.";
+  let safety, decode = L2s.transform ring ~justice:[ token0 ] in
+  (match Engine.run (Engine.Bmc_only Bmc.Exact) ~limits safety with
+  | Verdict.Falsified { trace; _ }, stats ->
+    let w = decode trace in
+    Format.printf
+      "  FAILS: fair lasso found (%a) — stem %d steps, loop %d steps@."
+      Verdict.pp_stats stats
+      (Array.length w.L2s.stem.Trace.inputs)
+      (Array.length w.L2s.loop.Trace.inputs);
+    Format.printf "  witness replays: %b@."
+      (L2s.check_witness ring ~justice:[ token0 ] w)
+  | v, _ -> Format.printf "  unexpected: %a@." Verdict.pp v);
+  (* Under a fairness assumption — the enable itself fires infinitely
+     often — the stalling adversary is ruled out and the property holds:
+     no lasso can both enable infinitely often and keep the token away
+     from station 0 forever. *)
+  Format.printf
+    "@.property 2: same, assuming the enable fires infinitely often@.";
+  let enable = Model.input_lit ring 0 in
+  let not_token0_anymore =
+    (* Violation lasso: enable fair AND token never at 0... encode by
+       asking for a lasso with [enable] fair and [token0] fair — if the
+       only fair-enable lassos also visit station 0, the modified
+       property "enable fair and never token0" is unsatisfiable.  Check
+       it directly: a lasso with justice = {enable} on the ring with
+       station-0 visits forbidden inside the loop. *)
+    Aig.and_ ring.Model.man enable (Aig.not_ token0)
+  in
+  ignore not_token0_anymore;
+  (* Forbid station-0 visits by making them reset the monitor: simplest
+     faithful encoding — add justice = {enable} on a copy of the ring
+     whose bad... here we ask the equivalent question: does a fair
+     lasso exist where enable fires infinitely often and the token sits
+     at station 0 in no state of the loop?  Build it by monitoring
+     "token0 since snapshot" and requiring it to stay false: that is a
+     safety property of the L2S model itself, so we conjoin the L2S bad
+     with the monitor. *)
+  let safety2, _ = L2s.transform ring ~justice:[ enable ] in
+  (* never_token0: latch that records a station-0 visit since the save.
+     The L2S model appends monitor latches after the ring's; rebuild the
+     conjunction on top of safety2. *)
+  let man2 = safety2.Model.man in
+  let b = Builder.create "ring_fair_no0" in
+  let pis = Array.init safety2.Model.num_inputs (fun _ -> Builder.input b) in
+  let ls =
+    Array.init safety2.Model.num_latches (fun i ->
+        Builder.latch b ~init:safety2.Model.init.(i) ())
+  in
+  let map i =
+    if i < safety2.Model.num_inputs then pis.(i)
+    else ls.(i - safety2.Model.num_inputs)
+  in
+  let copy = Aig.copier ~src:man2 ~dst:(Builder.man b) ~map in
+  Array.iteri (fun i _ -> Builder.set_next b ls.(i) (copy safety2.Model.next.(i))) ls;
+  (* token0 is ring latch 0 = safety2 latch 0; the L2S "saved" flag is
+     the first monitor latch, appended right after the ring's latches.
+     The station-0 monitor mirrors L2S's own seen-latches: it records
+     visits since the snapshot, so the check covers exactly the loop. *)
+  let man' = Builder.man b in
+  let token0' = ls.(0) in
+  let saved' = ls.(ring.Model.num_latches) in
+  let save_in = pis.(safety2.Model.num_inputs - 1) in
+  let triggered = Aig.or_ man' saved' save_in in
+  let seen0 = Builder.latch b () in
+  Builder.set_next b seen0 (Aig.and_ man' triggered (Aig.or_ man' seen0 token0'));
+  let bad = Aig.and_ man' (copy safety2.Model.bad) (Aig.not_ seen0) in
+  let fair_no0 = Builder.finish b ~bad in
+  match Engine.run Engine.Pdr ~limits fair_no0 with
+  | Verdict.Proved { kfp; jfp; _ }, stats ->
+    Format.printf
+      "  HOLDS: no enable-fair lasso avoids station 0 (PDR k=%d j=%d, %a)@." kfp jfp
+      Verdict.pp_stats stats
+  | v, _ -> Format.printf "  unexpected: %a@." Verdict.pp v

@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Buffer Format Hashtbl Int Int64 List Printf

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Aig Array Hashtbl Isr_aig List

@@ -1,0 +1,1 @@
+lib/bdd/compact.ml: Aig Bdd Isr_aig Isr_model List Model

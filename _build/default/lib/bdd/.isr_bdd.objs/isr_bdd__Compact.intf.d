@@ -1,0 +1,1 @@
+lib/bdd/compact.mli: Aig Isr_aig Isr_model Model

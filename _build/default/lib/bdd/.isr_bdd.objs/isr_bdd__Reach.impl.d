@@ -1,0 +1,1 @@
+lib/bdd/reach.ml: Array Bdd Isr_model List Model Sys

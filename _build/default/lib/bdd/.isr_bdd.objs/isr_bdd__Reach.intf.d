@@ -1,0 +1,1 @@
+lib/bdd/reach.mli: Isr_model

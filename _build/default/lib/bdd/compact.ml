@@ -1,0 +1,28 @@
+open Isr_aig
+open Isr_model
+
+let state_predicate ?(max_nodes = 200_000) (model : Model.t) p =
+  let support = Aig.support model.Model.man p in
+  (* Only predicates over latches qualify; anything reading a primary
+     input is returned unchanged. *)
+  if List.exists (fun i -> i < model.Model.num_inputs) support then p
+  else begin
+    let nl = model.Model.num_latches in
+    match
+      let bman = Bdd.create ~max_nodes ~nvars:nl () in
+      let b =
+        Bdd.of_aig bman model.Model.man
+          ~input_var:(fun i -> Bdd.var bman (i - model.Model.num_inputs))
+          p
+      in
+      Bdd.to_aig bman model.Model.man
+        ~var_lit:(fun v -> Model.latch_lit model v)
+        b
+    with
+    | rebuilt ->
+      (* Keep whichever is structurally smaller. *)
+      if Aig.cone_size model.Model.man rebuilt <= Aig.cone_size model.Model.man p then
+        rebuilt
+      else p
+    | exception Bdd.Overflow -> p
+  end

@@ -1,0 +1,18 @@
+(** BDD-based compaction of state predicates.
+
+    Interpolation engines accumulate invariants by conjunction and
+    disjunction of interpolant circuits, so the final certificates carry
+    a lot of structural redundancy.  Round-tripping a predicate through a
+    BDD (over its latch support only) and rebuilding the AIG from the
+    canonical form usually shrinks it by an order of magnitude — see the
+    certified_proof example.
+
+    Compaction is semantic-preserving by construction and bounded: a
+    predicate whose BDD exceeds the node budget is returned unchanged. *)
+
+open Isr_aig
+open Isr_model
+
+val state_predicate : ?max_nodes:int -> Model.t -> Aig.lit -> Aig.lit
+(** [state_predicate model p] rebuilds the circuit [p] (over the model's
+    latch literals) in BDD canonical form.  Default budget: 200k nodes. *)

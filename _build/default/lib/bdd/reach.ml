@@ -1,0 +1,133 @@
+open Isr_model
+
+type verdict = Proved | Falsified of int | Overflow
+
+type result = {
+  verdict : verdict;
+  diameter : int option;
+  time : float;
+  peak_nodes : int;
+}
+
+type space = {
+  man : Bdd.man;
+  nl : int;                    (* latches *)
+  trans : Bdd.t;               (* T(cur, next), PIs quantified *)
+  init : Bdd.t;                (* over current vars *)
+  bad : Bdd.t;                 (* over current vars, PIs quantified *)
+}
+
+let cur i = 2 * i
+let next i = (2 * i) + 1
+
+let build ?(max_nodes = max_int) (model : Model.t) =
+  let nl = model.Model.num_latches in
+  let ni = model.Model.num_inputs in
+  let nvars = (2 * nl) + ni in
+  let man = Bdd.create ~max_nodes ~nvars () in
+  let input_var i =
+    if i < ni then Bdd.var man ((2 * nl) + i) else Bdd.var man (cur (i - ni))
+  in
+  let is_pi v = v >= 2 * nl in
+  (* T = exists PIs. /\_i next_i <-> f_i  — quantify eagerly while
+     conjoining to keep intermediates small. *)
+  let rels =
+    Array.to_list
+      (Array.mapi
+         (fun i f ->
+           let fb = Bdd.of_aig man model.Model.man ~input_var f in
+           Bdd.biff man (Bdd.var man (next i)) fb)
+         model.Model.next)
+  in
+  let conj = List.fold_left (fun acc r -> Bdd.band man acc r) Bdd.btrue rels in
+  let trans = Bdd.exists man is_pi conj in
+  let init =
+    let acc = ref Bdd.btrue in
+    Array.iteri
+      (fun i b ->
+        let v = Bdd.var man (cur i) in
+        let v = if b then v else Bdd.bnot man v in
+        acc := Bdd.band man !acc v)
+      model.Model.init;
+    !acc
+  in
+  let bad =
+    let b = Bdd.of_aig man model.Model.man ~input_var model.Model.bad in
+    Bdd.exists man is_pi b
+  in
+  { man; nl; trans; init; bad }
+
+let image sp s =
+  let is_cur v = v < 2 * sp.nl && v land 1 = 0 in
+  let r = Bdd.and_exists sp.man is_cur s sp.trans in
+  (* Rename next -> current (order preserving: 2i+1 -> 2i). *)
+  Bdd.permute sp.man (fun v -> v - 1) r
+
+let preimage sp s =
+  let is_next v = v < 2 * sp.nl && v land 1 = 1 in
+  let s' = Bdd.permute sp.man (fun v -> v + 1) s in
+  Bdd.and_exists sp.man is_next s' sp.trans
+
+let run ?(max_nodes = max_int) ?(max_steps = max_int) model ~dir =
+  let t0 = Sys.time () in
+  match build ~max_nodes model with
+  | exception Bdd.Overflow ->
+    { verdict = Overflow; diameter = None; time = Sys.time () -. t0; peak_nodes = max_nodes }
+  | sp -> (
+    let man = sp.man in
+    let start, step_fn, target =
+      match dir with
+      | `Forward -> (sp.init, image sp, sp.bad)
+      | `Backward -> (sp.bad, preimage sp, sp.init)
+    in
+    try
+      let rec loop reached frontier_depth =
+        if Bdd.band man reached target <> Bdd.bfalse then
+          (* Shortest hit: with breadth-first accumulation the first
+             intersecting step is the counterexample depth. *)
+          {
+            verdict = Falsified frontier_depth;
+            diameter = None;
+            time = Sys.time () -. t0;
+            peak_nodes = Bdd.num_nodes man;
+          }
+        else if frontier_depth >= max_steps then
+          {
+            verdict = Overflow;
+            diameter = None;
+            time = Sys.time () -. t0;
+            peak_nodes = Bdd.num_nodes man;
+          }
+        else begin
+          let next_set = Bdd.bor man reached (step_fn reached) in
+          if next_set = reached then
+            {
+              verdict = Proved;
+              diameter = Some frontier_depth;
+              time = Sys.time () -. t0;
+              peak_nodes = Bdd.num_nodes man;
+            }
+          else loop next_set (frontier_depth + 1)
+        end
+      in
+      loop start 0
+    with Bdd.Overflow ->
+      {
+        verdict = Overflow;
+        diameter = None;
+        time = Sys.time () -. t0;
+        peak_nodes = Bdd.num_nodes man;
+      })
+
+let forward ?max_nodes ?max_steps model = run ?max_nodes ?max_steps model ~dir:`Forward
+let backward ?max_nodes ?max_steps model = run ?max_nodes ?max_steps model ~dir:`Backward
+
+let forward_diameter ?max_nodes model =
+  match forward ?max_nodes model with
+  | { diameter = Some d; _ } -> Some d
+  | _ -> None
+
+let backward_diameter ?max_nodes model =
+  match backward ?max_nodes model with
+  | { diameter = Some d; _ } -> Some d
+  | _ -> None

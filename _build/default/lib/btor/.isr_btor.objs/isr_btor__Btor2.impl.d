@@ -1,0 +1,1 @@
+lib/btor/btor2.ml: Aig Array Bitvec Buffer Builder Char Filename Hashtbl In_channel Isr_aig Isr_model L2s List Model Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/btor/btor2.mli: Isr_model Model Result

@@ -1,0 +1,560 @@
+open Isr_aig
+open Isr_model
+
+(* ------------------------------------------------------------------ *)
+(* Parsing into a line-level IR                                        *)
+(* ------------------------------------------------------------------ *)
+
+type line =
+  | Sort of int                                  (* bitvec width *)
+  | Input of int                                 (* sort id *)
+  | State of int
+  | Const of int * string * int                  (* sort, digits, radix *)
+  | Special of int * [ `Zero | `One | `Ones ]
+  | Op1 of int * string * int * int * int        (* sort, op, arg, p1, p2 *)
+  | Op2 of int * string * int * int              (* sort, op, a, b *)
+  | Op3 of int * string * int * int * int        (* sort, op, a, b, c *)
+  | Init of int * int * int                      (* sort, state, value *)
+  | Next of int * int * int
+  | Bad of int
+  | Constraint of int
+  | Output of int
+  | Fair of int
+  | Justice of int list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let unary_ops =
+  [ "not"; "inc"; "dec"; "neg"; "redand"; "redor"; "redxor"; "slice"; "uext"; "sext" ]
+
+let binary_ops =
+  [
+    "and"; "nand"; "or"; "nor"; "xor"; "xnor"; "implies"; "iff"; "eq"; "neq"; "ult";
+    "ulte"; "ugt"; "ugte"; "slt"; "slte"; "sgt"; "sgte"; "add"; "sub"; "mul"; "udiv";
+    "urem"; "sll"; "srl"; "sra"; "concat";
+  ]
+
+let parse_lines text =
+  let table = Hashtbl.create 256 in
+  let order = ref [] in
+  let add id line =
+    if Hashtbl.mem table id then fail "node %d redefined" id;
+    Hashtbl.add table id line;
+    order := id :: !order
+  in
+  let handle_line raw =
+    let raw = match String.index_opt raw ';' with Some i -> String.sub raw 0 i | None -> raw in
+    let toks = String.split_on_char ' ' raw |> List.filter (fun s -> s <> "" && s <> "\t") in
+    match toks with
+    | [] -> ()
+    | id :: rest -> (
+      let id = match int_of_string_opt id with Some i -> i | None -> fail "bad id %S" id in
+      let int s = match int_of_string_opt s with Some i -> i | None -> fail "bad number %S" s in
+      match rest with
+      | [ "sort"; "bitvec"; w ] -> add id (Sort (int w))
+      | "sort" :: "array" :: _ -> fail "array sorts are not supported"
+      | [ "input"; s ] -> add id (Input (int s))
+      | "input" :: s :: _ -> add id (Input (int s)) (* symbol name ignored *)
+      | [ "state"; s ] -> add id (State (int s))
+      | "state" :: s :: _ -> add id (State (int s))
+      | [ "const"; s; digits ] -> add id (Const (int s, digits, 2))
+      | [ "constd"; s; digits ] -> add id (Const (int s, digits, 10))
+      | [ "consth"; s; digits ] -> add id (Const (int s, digits, 16))
+      | [ "zero"; s ] -> add id (Special (int s, `Zero))
+      | [ "one"; s ] -> add id (Special (int s, `One))
+      | [ "ones"; s ] -> add id (Special (int s, `Ones))
+      | [ "slice"; s; a; hi; lo ] -> add id (Op1 (int s, "slice", int a, int hi, int lo))
+      | [ "uext"; s; a; w ] -> add id (Op1 (int s, "uext", int a, int w, 0))
+      | [ "sext"; s; a; w ] -> add id (Op1 (int s, "sext", int a, int w, 0))
+      | [ op; s; a ] when List.mem op unary_ops -> add id (Op1 (int s, op, int a, 0, 0))
+      | [ op; s; a; b ] when List.mem op binary_ops -> add id (Op2 (int s, op, int a, int b))
+      | [ "ite"; s; c; t; e ] -> add id (Op3 (int s, "ite", int c, int t, int e))
+      | [ "init"; s; st; v ] -> add id (Init (int s, int st, int v))
+      | [ "next"; s; st; v ] -> add id (Next (int s, int st, int v))
+      | [ "bad"; n ] -> add id (Bad (int n))
+      | "bad" :: n :: _ -> add id (Bad (int n))
+      | [ "constraint"; n ] -> add id (Constraint (int n))
+      | [ "output"; n ] -> add id (Output (int n))
+      | "output" :: n :: _ -> add id (Output (int n))
+      | [ "fair"; n ] -> add id (Fair (int n))
+      | "justice" :: num :: conds when int_of_string_opt num <> None ->
+        let num = int num in
+        let conds = List.filteri (fun i _ -> i < num) conds |> List.map int in
+        if List.length conds <> num then fail "justice %d: wrong condition count" id;
+        add id (Justice conds)
+      | op :: _ -> fail "unsupported operator %S" op
+      | [] -> fail "missing operator after id %d" id)
+  in
+  String.split_on_char '\n' text |> List.iter handle_line;
+  (table, List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-vector circuit helpers (little-endian)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Aliases onto the shared bit-vector layer. *)
+let vnot = Bitvec.lnot
+let vzero = Bitvec.zero
+let vadd = Bitvec.add
+let vsub = Bitvec.sub
+let vneg = Bitvec.neg
+let vmux = Bitvec.mux
+let veq = Bitvec.eq
+let vult = Bitvec.ult
+let vslt = Bitvec.slt
+let vmul = Bitvec.mul
+let vshift = Bitvec.shift
+let vdivmod = Bitvec.divmod
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let const_bits ~width digits radix =
+  let neg = String.length digits > 0 && digits.[0] = '-' in
+  let digits = if neg then String.sub digits 1 (String.length digits - 1) else digits in
+  let bits = Array.make width false in
+  (match radix with
+  | 2 ->
+    let n = String.length digits in
+    if n > width then fail "binary constant wider than its sort";
+    String.iteri
+      (fun i c ->
+        match c with
+        | '0' -> ()
+        | '1' -> bits.(n - 1 - i) <- true
+        | _ -> fail "bad binary digit %C" c)
+      digits
+  | 16 ->
+    let n = String.length digits in
+    if 4 * n > width + 3 then fail "hex constant wider than its sort";
+    String.iteri
+      (fun i c ->
+        let v =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail "bad hex digit %C" c
+        in
+        for k = 0 to 3 do
+          let bit = (4 * (n - 1 - i)) + k in
+          if (v lsr k) land 1 = 1 then
+            if bit < width then bits.(bit) <- true
+            else fail "hex constant wider than its sort"
+        done)
+      digits
+  | 10 ->
+    if width > 62 then fail "decimal constants supported up to width 62";
+    let v =
+      match int_of_string_opt digits with
+      | Some v when v >= 0 -> v
+      | _ -> fail "bad decimal constant %S" digits
+    in
+    if width < 62 && v >= 1 lsl width then fail "decimal constant wider than its sort";
+    for i = 0 to width - 1 do
+      bits.(i) <- (v lsr i) land 1 = 1
+    done
+  | _ -> assert false);
+  if neg then begin
+    (* Two's complement negation of the bit pattern. *)
+    let carry = ref true in
+    for i = 0 to width - 1 do
+      let inv = not bits.(i) in
+      bits.(i) <- (inv <> !carry) && (inv || !carry);
+      (* sum = inv xor carry; carry' = inv && carry *)
+      bits.(i) <- inv <> !carry;
+      carry := inv && !carry
+    done
+  end;
+  bits
+
+let elaborate ?(name = "btor2") (table, order) =
+  let b = Builder.create name in
+  let m = Builder.man b in
+  let width_of sid =
+    match Hashtbl.find_opt table sid with
+    | Some (Sort w) -> w
+    | _ -> fail "node %d is not a bit-vector sort" sid
+  in
+  (* Pass 1: classify states and their init/next lines. *)
+  let state_init = Hashtbl.create 16 in
+  let state_next = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      match Hashtbl.find table id with
+      | Init (_, st, v) ->
+        if Hashtbl.mem state_init st then fail "state %d has two init lines" st;
+        Hashtbl.add state_init st v
+      | Next (_, st, v) ->
+        if Hashtbl.mem state_next st then fail "state %d has two next lines" st;
+        Hashtbl.add state_next st v
+      | _ -> ())
+    order;
+  (* The is-initial latch is created lazily: only models with
+     uninitialized or expression-initialized states pay for it. *)
+  let first = ref None in
+  let get_first () =
+    match !first with
+    | Some l -> l
+    | None ->
+      let l = Builder.latch b ~init:true () in
+      Builder.set_next b l Aig.lit_false;
+      first := Some l;
+      l
+  in
+  (* Vectors by node id; states store their visible (patched) vectors,
+     plus latch vectors to wire next functions at the end. *)
+  let vectors : (int, Aig.lit array) Hashtbl.t = Hashtbl.create 256 in
+  let state_latches : (int, Aig.lit array) Hashtbl.t = Hashtbl.create 16 in
+  let bads = ref [] in
+  let constraints = ref [] in
+  let fairs = ref [] in
+  let justices = ref [] in
+  let vec r =
+    let id = abs r in
+    match Hashtbl.find_opt vectors id with
+    | None -> fail "node %d used before definition" id
+    | Some v -> if r < 0 then vnot m v else v
+  in
+  let bit r =
+    let v = vec r in
+    if Array.length v <> 1 then fail "node %d: expected width 1" (abs r);
+    v.(0)
+  in
+  let define id v = Hashtbl.replace vectors id v in
+  List.iter
+    (fun id ->
+      match Hashtbl.find table id with
+      | Sort _ | Init _ | Next _ | Output _ -> ()
+      | Input s -> define id (Array.init (width_of s) (fun _ -> Builder.input b))
+      | State s ->
+        let w = width_of s in
+        let visible =
+          match Hashtbl.find_opt state_init id with
+          | Some v when (match Hashtbl.find_opt table v with Some (Const _) | Some (Special _) -> true | _ -> false)
+            ->
+            (* Constant initialization: plain latches. *)
+            let bits =
+              match Hashtbl.find table v with
+              | Const (s', digits, radix) -> const_bits ~width:(width_of s') digits radix
+              | Special (s', k) ->
+                let w' = width_of s' in
+                Array.init w' (fun i ->
+                    match k with `Zero -> false | `One -> i = 0 | `Ones -> true)
+              | _ -> assert false
+            in
+            if Array.length bits <> w then fail "init width mismatch on state %d" id;
+            let latches = Array.init w (fun i -> Builder.latch b ~init:bits.(i) ()) in
+            Hashtbl.replace state_latches id latches;
+            latches
+          | Some v ->
+            (* Expression initialization: reads are patched through the
+               is-initial mux (the init expression is evaluated at cycle
+               0, when its own reads are also patched). *)
+            let latches = Array.init w (fun _ -> Builder.latch b ()) in
+            Hashtbl.replace state_latches id latches;
+            let init_vec = vec v in
+            if Array.length init_vec <> w then fail "init width mismatch on state %d" id;
+            vmux m (get_first ()) init_vec latches
+          | None ->
+            (* Uninitialized: free value in the first cycle. *)
+            let latches = Array.init w (fun _ -> Builder.latch b ()) in
+            Hashtbl.replace state_latches id latches;
+            let fresh = Array.init w (fun _ -> Builder.input b) in
+            vmux m (get_first ()) fresh latches
+        in
+        define id visible
+      | Const (s, digits, radix) ->
+        let bits = const_bits ~width:(width_of s) digits radix in
+        define id (Array.map (fun x -> if x then Aig.lit_true else Aig.lit_false) bits)
+      | Special (s, k) ->
+        let w = width_of s in
+        define id
+          (Array.init w (fun i ->
+               match k with
+               | `Zero -> Aig.lit_false
+               | `One -> if i = 0 then Aig.lit_true else Aig.lit_false
+               | `Ones -> Aig.lit_true))
+      | Op1 (s, op, a, p1, p2) -> (
+        let w = width_of s in
+        let va = vec a in
+        let out =
+          match op with
+          | "not" -> vnot m va
+          | "inc" -> vadd m va (Array.init (Array.length va) (fun i -> if i = 0 then Aig.lit_true else Aig.lit_false))
+          | "dec" -> vsub m va (Array.init (Array.length va) (fun i -> if i = 0 then Aig.lit_true else Aig.lit_false))
+          | "neg" -> vneg m va
+          | "redand" -> [| Array.fold_left (Aig.and_ m) Aig.lit_true va |]
+          | "redor" -> [| Array.fold_left (Aig.or_ m) Aig.lit_false va |]
+          | "redxor" -> [| Array.fold_left (Aig.xor_ m) Aig.lit_false va |]
+          | "slice" ->
+            let hi = p1 and lo = p2 in
+            if hi < lo || hi >= Array.length va then fail "bad slice on node %d" id;
+            Array.sub va lo (hi - lo + 1)
+          | "uext" -> Array.append va (vzero p1)
+          | "sext" ->
+            let sign = va.(Array.length va - 1) in
+            Array.append va (Array.make p1 sign)
+          | _ -> fail "unsupported unary %S" op
+        in
+        if Array.length out <> w then fail "width mismatch on node %d (%s)" id op;
+        define id out)
+      | Op2 (s, op, a, bb) -> (
+        let w = width_of s in
+        let va = vec a and vb = vec bb in
+        let bool1 l = [| l |] in
+        let out =
+          match op with
+          | "and" -> Array.mapi (fun i x -> Aig.and_ m x vb.(i)) va
+          | "nand" -> Array.mapi (fun i x -> Aig.not_ (Aig.and_ m x vb.(i))) va
+          | "or" -> Array.mapi (fun i x -> Aig.or_ m x vb.(i)) va
+          | "nor" -> Array.mapi (fun i x -> Aig.not_ (Aig.or_ m x vb.(i))) va
+          | "xor" -> Array.mapi (fun i x -> Aig.xor_ m x vb.(i)) va
+          | "xnor" -> Array.mapi (fun i x -> Aig.iff_ m x vb.(i)) va
+          | "implies" -> bool1 (Aig.implies m va.(0) vb.(0))
+          | "iff" -> bool1 (Aig.iff_ m va.(0) vb.(0))
+          | "eq" -> bool1 (veq m va vb)
+          | "neq" -> bool1 (Aig.not_ (veq m va vb))
+          | "ult" -> bool1 (vult m va vb)
+          | "ulte" -> bool1 (Aig.not_ (vult m vb va))
+          | "ugt" -> bool1 (vult m vb va)
+          | "ugte" -> bool1 (Aig.not_ (vult m va vb))
+          | "slt" -> bool1 (vslt m va vb)
+          | "slte" -> bool1 (Aig.not_ (vslt m vb va))
+          | "sgt" -> bool1 (vslt m vb va)
+          | "sgte" -> bool1 (Aig.not_ (vslt m va vb))
+          | "add" -> vadd m va vb
+          | "sub" -> vsub m va vb
+          | "mul" -> vmul m va vb
+          | "udiv" ->
+            let q, _ = vdivmod m va vb in
+            let bz = veq m vb (vzero (Array.length vb)) in
+            vmux m bz (Array.make (Array.length va) Aig.lit_true) q
+          | "urem" ->
+            let _, r = vdivmod m va vb in
+            let bz = veq m vb (vzero (Array.length vb)) in
+            vmux m bz va r
+          | "sll" -> vshift m ~left:true ~fill:(fun _ -> Aig.lit_false) va vb
+          | "srl" -> vshift m ~left:false ~fill:(fun _ -> Aig.lit_false) va vb
+          | "sra" ->
+            let sign = va.(Array.length va - 1) in
+            vshift m ~left:false ~fill:(fun _ -> sign) va vb
+          | "concat" -> Array.append vb va (* a is the high part *)
+          | _ -> fail "unsupported binary %S" op
+        in
+        if Array.length out <> w then fail "width mismatch on node %d (%s)" id op;
+        define id out)
+      | Op3 (s, "ite", c, t, e) ->
+        let out = vmux m (bit c) (vec t) (vec e) in
+        if Array.length out <> width_of s then fail "width mismatch on ite %d" id;
+        define id out
+      | Op3 (_, op, _, _, _) -> fail "unsupported ternary %S" op
+      | Bad n -> bads := bit n :: !bads
+      | Constraint n -> constraints := bit n :: !constraints
+      | Fair n -> fairs := bit n :: !fairs
+      | Justice conds -> justices := List.map bit conds :: !justices)
+    order;
+  (* Wire the next functions. *)
+  Hashtbl.iter
+    (fun st latches ->
+      match Hashtbl.find_opt state_next st with
+      | None ->
+        (* No next: the state keeps its (possibly patched) value. *)
+        let visible = Hashtbl.find vectors st in
+        Array.iteri (fun i l -> Builder.set_next b l visible.(i)) latches
+      | Some v ->
+        let nv = vec v in
+        if Array.length nv <> Array.length latches then
+          fail "next width mismatch on state %d" st;
+        Array.iteri (fun i l -> Builder.set_next b l nv.(i)) latches)
+    state_latches;
+  (* Constraints: the valid-prefix transformation. *)
+  let constraints_now = List.fold_left (Aig.and_ m) Aig.lit_true !constraints in
+  let guard =
+    if !constraints = [] then Aig.lit_true
+    else begin
+      let valid = Builder.latch b ~init:true () in
+      Builder.set_next b valid (Aig.and_ m valid constraints_now);
+      Aig.and_ m valid constraints_now
+    end
+  in
+  (* Builder.finish only reads the staged netlist, so it can be called
+     once per property, each call producing an independent model. *)
+  let bads = List.rev !bads in
+  let safety_models =
+    List.mapi
+      (fun idx bad ->
+        let model = Builder.finish b ~bad:(Aig.and_ m bad guard) in
+        {
+          model with
+          Model.name =
+            (if List.length bads = 1 then name else Printf.sprintf "%s_b%d" name idx);
+        })
+      bads
+  in
+  (* Justice properties become safety models through the liveness-to-
+     safety transformation; fairness constraints join every justice set.
+     The conditions live in the staged manager, so they are first
+     re-expressed over a finished base model. *)
+  let liveness_models =
+    if !justices = [] then []
+    else begin
+      let base = Builder.finish b ~bad:Aig.lit_false in
+      (* Builder.finish lays out PIs before latches in declaration order,
+         so input index i of [base] corresponds to the i-th declared
+         input; the copier below maps staged signals onto base signals
+         through that correspondence. *)
+      List.mapi
+        (fun idx conds ->
+          let copy =
+            Aig.copier ~src:m ~dst:base.Model.man ~map:(fun i ->
+                (* Staged input index i: count PIs before it to find its
+                   final slot; Builder preserves relative order of PIs
+                   and latches separately, and [Aig.input] of the base
+                   manager follows final numbering (PIs then latches). *)
+                Aig.input base.Model.man i)
+          in
+          ignore copy;
+          (* The staged and final managers use different input
+             numbering; rather than reconstruct the permutation here,
+             re-finish the builder with the justice conditions folded
+             into an auxiliary latch... simplest correct approach:
+             re-express each condition as a [bad] in its own finished
+             model and reuse that model's bad literal. *)
+          let cond_models =
+            List.map (fun c -> Builder.finish b ~bad:(Aig.and_ m c guard)) conds
+          in
+          let fair_models =
+            List.map (fun c -> Builder.finish b ~bad:(Aig.and_ m c guard)) !fairs
+          in
+          let host = List.hd (cond_models @ fair_models) in
+          let justice =
+            List.map (fun (cm : Model.t) ->
+                (* All finished copies are structurally identical, so a
+                   literal of one transfers to [host] through the
+                   identity input mapping. *)
+                Aig.copier ~src:cm.Model.man ~dst:host.Model.man
+                  ~map:(fun i -> Aig.input host.Model.man i)
+                  cm.Model.bad)
+              (cond_models @ fair_models)
+          in
+          let safety, _decode = L2s.transform host ~justice in
+          { safety with Model.name = Printf.sprintf "%s_j%d" name idx })
+        (List.rev !justices)
+    end
+  in
+  match safety_models @ liveness_models with
+  | [] -> [ Builder.finish b ~bad:Aig.lit_false ]
+  | models -> models
+
+let parse_string ?name text =
+  match elaborate ?name (parse_lines text) with
+  | models -> Ok models
+  | exception Parse_error msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text ->
+    parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Writer: bit-level BTOR2 rendering of a model                        *)
+(* ------------------------------------------------------------------ *)
+
+let to_string (model : Model.t) =
+  let man = model.Model.man in
+  let buf = Buffer.create 1024 in
+  let next_id = ref 1 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let sort1 = fresh () in
+  line "%d sort bitvec 1" sort1;
+  let zero = fresh () in
+  line "%d zero %d" zero sort1;
+  let one = fresh () in
+  line "%d one %d" one sort1;
+  (* Inputs and states. *)
+  let input_ids =
+    Array.init model.Model.num_inputs (fun i ->
+        let id = fresh () in
+        line "%d input %d pi%d" id sort1 i;
+        id)
+  in
+  let state_ids =
+    Array.init model.Model.num_latches (fun i ->
+        let id = fresh () in
+        line "%d state %d latch%d" id sort1 i;
+        id)
+  in
+  Array.iteri
+    (fun i sid ->
+      let init_id = fresh () in
+      line "%d init %d %d %d" init_id sort1 sid (if model.Model.init.(i) then one else zero))
+    state_ids;
+  (* AND structure, memoized per node; negation via signed references. *)
+  let memo = Hashtbl.create 256 in
+  let rec node_id node =
+    match Hashtbl.find_opt memo node with
+    | Some id -> id
+    | None ->
+      let l = node lsl 1 in
+      let id =
+        if Aig.is_const man l then zero
+        else if Aig.is_input man l then begin
+          let idx = Aig.input_index man l in
+          if idx < model.Model.num_inputs then input_ids.(idx)
+          else state_ids.(idx - model.Model.num_inputs)
+        end
+        else begin
+          let f0, f1 = Aig.fanins man l in
+          let a = lit_ref f0 and b = lit_ref f1 in
+          let id = fresh () in
+          line "%d and %d %d %d" id sort1 a b;
+          id
+        end
+      in
+      Hashtbl.add memo node id;
+      id
+  and lit_ref l =
+    let id = node_id (Aig.node_of l) in
+    if Aig.is_complemented l then -id else id
+  in
+  Array.iteri
+    (fun i nx ->
+      let v = lit_ref nx in
+      (* next operands must be positive node references in strict BTOR2;
+         wrap negative ones in an explicit not. *)
+      let v =
+        if v >= 0 then v
+        else begin
+          let id = fresh () in
+          line "%d not %d %d" id sort1 (-v);
+          id
+        end
+      in
+      let id = fresh () in
+      line "%d next %d %d %d" id sort1 state_ids.(i) v)
+    model.Model.next;
+  let bad_ref =
+    let v = lit_ref model.Model.bad in
+    if v >= 0 then v
+    else begin
+      let id = fresh () in
+      line "%d not %d %d" id sort1 (-v);
+      id
+    end
+  in
+  let id = fresh () in
+  line "%d bad %d" id bad_ref;
+  Buffer.contents buf
+
+let write_file model path =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string model))

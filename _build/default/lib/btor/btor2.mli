@@ -1,0 +1,48 @@
+(** BTOR2 front-end: parse the word-level model-checking format of
+    Niemetz–Preiner–Wolf–Biere (CAV 2018) and bit-blast it to an AIG
+    {!Isr_model.Model.t}, ready for any of the engines.
+
+    Supported: bit-vector sorts; [input], [state], [init], [next],
+    [bad], [constraint], [output] (ignored), constants ([const],
+    [constd], [consth], [zero], [one], [ones]); the unary operators
+    [not], [inc], [dec], [neg], [redand], [redor], [redxor], [slice],
+    [uext], [sext]; the binary operators [and], [nand], [or], [nor],
+    [xor], [xnor], [implies], [iff], [eq], [neq], [ult], [ulte], [ugt],
+    [ugte], [slt], [slte], [sgt], [sgte], [add], [sub], [mul], [udiv],
+    [urem], [sll], [srl], [sra], [concat]; and [ite].
+
+    Array sorts and the overflow side-condition operators are rejected
+    with a clear error.  [constraint] lines are compiled away with the
+    standard valid-prefix transformation: a fresh latch remembers whether
+    every constraint held so far, and the bad condition only fires while
+    it does.
+
+    [justice] properties (with [fair] conditions folded into every
+    justice set) are reduced to safety through {!Isr_model.L2s}: the
+    returned model for a justice line is falsifiable iff the original
+    system has a fair lasso.  Constraints participate soundly: the
+    valid-prefix latch is part of the snapshotted state, so a lasso can
+    only close while every constraint held throughout.
+
+    States without [init] lines are uninitialized in BTOR2; since
+    {!Isr_model.Model.t} has a deterministic reset, they are modelled by
+    loading a fresh primary input in the first cycle (a one-hot "first"
+    latch drives the mux), which preserves reachability. *)
+
+open Isr_model
+
+val parse_string : ?name:string -> string -> (Model.t list, string) Result.t
+(** One model per [bad] line, followed by one (L2S-transformed) model per
+    [justice] line.  A file without properties yields a single model with
+    constant-false bad. *)
+
+val parse_file : string -> (Model.t list, string) Result.t
+
+val to_string : Model.t -> string
+(** Renders a bit-blasted model back as (bit-level) BTOR2: one 1-bit
+    state per latch, [and]/[not] structure via auxiliary nodes, one
+    [bad] line.  Useful for feeding this library's models to external
+    BTOR2 checkers; [parse_string (to_string m)] round-trips
+    behaviourally. *)
+
+val write_file : Model.t -> string -> unit

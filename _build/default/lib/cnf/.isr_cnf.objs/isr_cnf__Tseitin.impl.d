@@ -1,0 +1,1 @@
+lib/cnf/tseitin.ml: Aig Hashtbl Isr_aig Isr_sat List Lit Solver

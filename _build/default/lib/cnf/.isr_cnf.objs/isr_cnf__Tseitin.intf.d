@@ -1,0 +1,1 @@
+lib/cnf/tseitin.mli: Aig Isr_aig Isr_sat Lit Solver

@@ -1,0 +1,63 @@
+open Isr_sat
+open Isr_aig
+
+type t = {
+  man : Aig.man;
+  solver : Solver.t;
+  tag : int;
+  input_lit : int -> Lit.t;
+  node_lit : (int, Lit.t) Hashtbl.t;  (* AIG node -> SAT literal *)
+  mutable const_false : Lit.t option; (* SAT literal asserted false *)
+}
+
+let create ~man ~solver ~tag ~input_lit =
+  { man; solver; tag; input_lit; node_lit = Hashtbl.create 64; const_false = None }
+
+let tag t = t.tag
+
+let const_false t =
+  match t.const_false with
+  | Some l -> l
+  | None ->
+    let v = Solver.new_var t.solver in
+    let l = Lit.pos v in
+    Solver.add_clause t.solver ~tag:t.tag [ Lit.neg l ];
+    t.const_false <- Some l;
+    l
+
+let rec node_lit t node =
+  match Hashtbl.find_opt t.node_lit node with
+  | Some l -> l
+  | None ->
+    let aig_l = node lsl 1 in
+    let l =
+      if Aig.is_const t.man aig_l then const_false t
+      else if Aig.is_input t.man aig_l then t.input_lit (Aig.input_index t.man aig_l)
+      else begin
+        let f0, f1 = Aig.fanins t.man aig_l in
+        let l0 = lit t f0 and l1 = lit t f1 in
+        let v = Lit.pos (Solver.new_var t.solver) in
+        (* v <-> l0 /\ l1 *)
+        Solver.add_clause t.solver ~tag:t.tag [ Lit.neg v; l0 ];
+        Solver.add_clause t.solver ~tag:t.tag [ Lit.neg v; l1 ];
+        Solver.add_clause t.solver ~tag:t.tag [ v; Lit.neg l0; Lit.neg l1 ];
+        v
+      end
+    in
+    Hashtbl.add t.node_lit node l;
+    l
+
+and lit t l =
+  let base = node_lit t (Aig.node_of l) in
+  if Aig.is_complemented l then Lit.neg base else base
+
+let assert_lit t l =
+  if l = Aig.lit_true then ()
+  else if l = Aig.lit_false then Solver.add_clause t.solver ~tag:t.tag []
+  else Solver.add_clause t.solver ~tag:t.tag [ lit t l ]
+
+let assert_clause t ls =
+  if List.mem Aig.lit_true ls then ()
+  else
+    let ls = List.filter (fun l -> l <> Aig.lit_false) ls in
+    Solver.add_clause t.solver ~tag:t.tag (List.map (lit t) ls)

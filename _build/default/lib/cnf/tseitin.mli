@@ -1,0 +1,32 @@
+(** Tseitin encoding of AIG cones into a SAT solver.
+
+    A context represents one {e instantiation} of a combinational cone:
+    it owns a private node→variable cache, a fixed partition [tag] stamped
+    on every emitted clause, and an [input_lit] callback resolving AIG
+    inputs to SAT literals (typically the time-frame variables of an
+    unrolling).  Distinct contexts never share internal variables, which
+    keeps interpolation partitions disjoint even when two contexts encode
+    overlapping cones. *)
+
+open Isr_sat
+open Isr_aig
+
+type t
+
+val create : man:Aig.man -> solver:Solver.t -> tag:int -> input_lit:(int -> Lit.t) -> t
+(** [input_lit i] must return the SAT literal standing for AIG input [i];
+    it is called at most once per input per context. *)
+
+val lit : t -> Aig.lit -> Lit.t
+(** Encodes the cone of an AIG literal (emitting the defining clauses of
+    every new AND node) and returns the corresponding SAT literal. *)
+
+val assert_lit : t -> Aig.lit -> unit
+(** Encodes the literal and asserts it with a unit clause.  Asserting
+    [Aig.lit_true] is a no-op; asserting [Aig.lit_false] adds the empty
+    clause. *)
+
+val assert_clause : t -> Aig.lit list -> unit
+(** Encodes each literal and adds their disjunction as one clause. *)
+
+val tag : t -> int

@@ -1,0 +1,1 @@
+lib/core/bmc.ml: Budget Isr_model Isr_sat List Model Sim Solver Unroll Verdict

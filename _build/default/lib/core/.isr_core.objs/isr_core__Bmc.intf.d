@@ -1,0 +1,1 @@
+lib/core/bmc.mli: Budget Isr_model Model Unroll Verdict

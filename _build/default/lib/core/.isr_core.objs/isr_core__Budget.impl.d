@@ -1,0 +1,1 @@
+lib/core/budget.ml: Isr_sat Solver Sys Verdict

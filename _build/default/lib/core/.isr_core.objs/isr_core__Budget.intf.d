@@ -1,0 +1,1 @@
+lib/core/budget.mli: Isr_sat Lit Solver Verdict

@@ -1,0 +1,1 @@
+lib/core/cba.ml: Array Isr_aig Isr_model List Model Sim Trace

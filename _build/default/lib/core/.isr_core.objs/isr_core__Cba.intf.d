@@ -1,0 +1,1 @@
+lib/core/cba.mli: Isr_model Model Trace

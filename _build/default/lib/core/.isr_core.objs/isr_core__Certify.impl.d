@@ -1,0 +1,1 @@
+lib/core/certify.ml: Aig Budget Format Isr_aig Isr_model Isr_sat Model Sim Unroll Verdict

@@ -1,0 +1,1 @@
+lib/core/certify.mli: Aig Budget Format Isr_aig Isr_model Model Result Verdict

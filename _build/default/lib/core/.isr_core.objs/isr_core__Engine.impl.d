@@ -1,0 +1,1 @@
+lib/core/engine.ml: Bmc Itp_verif Itpseq_cba_verif Itpseq_pba_verif Itpseq_verif Kind List Pdr Portfolio Printf Seq_family

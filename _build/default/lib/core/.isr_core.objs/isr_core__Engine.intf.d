@@ -1,0 +1,1 @@
+lib/core/engine.mli: Bmc Budget Isr_model Model Result Verdict

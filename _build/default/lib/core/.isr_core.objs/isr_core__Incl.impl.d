@@ -1,0 +1,1 @@
+lib/core/incl.ml: Aig Budget Isr_aig Isr_model Isr_sat Unroll

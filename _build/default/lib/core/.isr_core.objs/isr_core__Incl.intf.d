@@ -1,0 +1,1 @@
+lib/core/incl.mli: Aig Budget Isr_aig Isr_model Model Verdict

@@ -1,0 +1,1 @@
+lib/core/itp_verif.ml: Aig Bmc Budget Incl Isr_aig Isr_itp Isr_model Isr_sat Itp List Logs Model Sim Solver Unroll Verdict

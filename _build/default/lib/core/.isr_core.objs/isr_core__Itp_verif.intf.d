@@ -1,0 +1,1 @@
+lib/core/itp_verif.mli: Budget Isr_itp Isr_model Model Verdict

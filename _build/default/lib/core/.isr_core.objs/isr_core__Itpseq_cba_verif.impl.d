@@ -1,0 +1,1 @@
+lib/core/itpseq_cba_verif.ml: Aig Array Bmc Budget Cba Incl Isr_aig Isr_model Logs Model Seq_family Unroll Verdict

@@ -1,0 +1,1 @@
+lib/core/itpseq_cba_verif.mli: Bmc Budget Isr_model Model Verdict

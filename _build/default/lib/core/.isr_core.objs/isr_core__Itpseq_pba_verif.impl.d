@@ -1,0 +1,1 @@
+lib/core/itpseq_pba_verif.ml: Aig Array Bmc Budget Incl Isr_aig Isr_model Isr_sat List Logs Model Proof Seq_family Sim Solver Unroll Verdict

@@ -1,0 +1,1 @@
+lib/core/itpseq_verif.ml: Aig Array Bmc Budget Incl Isr_aig Isr_model Logs Model Seq_family Sim Unroll Verdict

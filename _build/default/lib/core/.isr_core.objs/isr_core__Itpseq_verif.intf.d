@@ -1,0 +1,1 @@
+lib/core/itpseq_verif.mli: Bmc Budget Isr_itp Isr_model Model Seq_family Verdict

@@ -1,0 +1,1 @@
+lib/core/kind.ml: Bmc Budget Isr_model Isr_sat List Lit Model Sim Solver Unroll Verdict

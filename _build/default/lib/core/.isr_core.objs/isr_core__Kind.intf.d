@@ -1,0 +1,1 @@
+lib/core/kind.mli: Budget Isr_model Model Verdict

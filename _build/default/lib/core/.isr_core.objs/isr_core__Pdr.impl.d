@@ -1,0 +1,1 @@
+lib/core/pdr.ml: Aig Array Bmc Budget Isr_aig Isr_model Isr_sat List Logs Model Set Solver Trace Unroll Verdict

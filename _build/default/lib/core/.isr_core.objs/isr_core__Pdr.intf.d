@@ -1,0 +1,1 @@
+lib/core/pdr.mli: Budget Isr_model Model Verdict

@@ -1,0 +1,1 @@
+lib/core/portfolio.ml: Bmc Budget Float Isr_model Itp_verif Itpseq_cba_verif Kind Pdr Sys Verdict

@@ -1,0 +1,1 @@
+lib/core/portfolio.mli: Budget Isr_model Model Verdict

@@ -1,0 +1,1 @@
+lib/core/seq_family.ml: Aig Array Bmc Budget Isr_aig Isr_itp Isr_model Isr_sat Itp Logs Model Printf Solver Unroll Verdict

@@ -1,0 +1,1 @@
+lib/core/seq_family.mli: Aig Bmc Budget Isr_aig Isr_itp Isr_model Model Unroll Verdict

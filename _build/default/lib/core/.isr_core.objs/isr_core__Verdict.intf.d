@@ -1,0 +1,1 @@
+lib/core/verdict.mli: Format Isr_aig Isr_model Trace

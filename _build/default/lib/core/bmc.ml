@@ -1,0 +1,103 @@
+open Isr_sat
+open Isr_model
+
+type check = Bound | Exact | Assume
+
+let check_name = function Bound -> "bound" | Exact -> "exact" | Assume -> "assume"
+
+let build_instance ?frozen model ~check ~k =
+  let u = Unroll.create model in
+  Unroll.assert_init u ~tag:1;
+  if k = 0 then Unroll.assert_circuit u ~frame:0 ~tag:1 model.Model.bad
+  else begin
+    for f = 0 to k - 1 do
+      Unroll.add_transition ?frozen u ~tag:(f + 1);
+      (* Assumed property at the intermediate frames (assume-k only):
+         p(V^f) belongs to partition A_{f+1} together with T(V^f,V^f+1). *)
+      if check = Assume && f >= 1 then
+        Unroll.assert_circuit u ~frame:f ~tag:(f + 1) (Model.prop model)
+    done;
+    match check with
+    | Exact | Assume -> Unroll.assert_circuit u ~frame:k ~tag:(k + 1) model.Model.bad
+    | Bound ->
+      let bads =
+        List.init k (fun i ->
+            let f = i + 1 in
+            Unroll.encode u ~frame:f ~tag:(f + 1) model.Model.bad)
+      in
+      Unroll.add_clause u ~tag:(k + 1) bads
+  end;
+  u
+
+let check_depth budget stats ?frozen model ~check ~k =
+  stats.Verdict.last_bound <- max stats.Verdict.last_bound k;
+  let u = build_instance ?frozen model ~check ~k in
+  match Budget.solve budget stats (Unroll.solver u) with
+  | Solver.Sat -> `Sat u
+  | Solver.Unsat -> `Unsat u
+  | Solver.Undef -> assert false
+
+(* Incremental deepening in one solver: the frame-k target is guarded by
+   a fresh activation literal assumed during the solve and retired with a
+   unit clause once the depth is exhausted; with assume-k the property is
+   then asserted permanently at frame k (sound, since exact-k was just
+   refuted).  Learned clauses carry over across depths. *)
+let run_incremental ~check ~limits budget stats model =
+  let finish v =
+    stats.Verdict.time <- Budget.elapsed budget;
+    (v, stats)
+  in
+  let u = Unroll.create model in
+  Unroll.assert_init u ~tag:1;
+  let solver = Unroll.solver u in
+  let rec loop k =
+    if k > limits.Budget.bound_limit then
+      finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
+    else begin
+      stats.Verdict.last_bound <- max stats.Verdict.last_bound k;
+      let act = Isr_sat.Lit.pos (Solver.new_var solver) in
+      let bad_k = Unroll.encode u ~frame:k ~tag:(k + 1) model.Model.bad in
+      Solver.add_clause solver ~tag:(k + 1) [ Isr_sat.Lit.neg act; bad_k ];
+      match Budget.solve ~assumptions:[ act ] budget stats solver with
+      | Solver.Sat ->
+        let tr = Unroll.trace u in
+        let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
+        finish (Verdict.Falsified { depth; trace = tr })
+      | Solver.Undef -> assert false
+      | Solver.Unsat ->
+        Solver.add_clause solver [ Isr_sat.Lit.neg act ];
+        if check = Assume then
+          Unroll.assert_circuit u ~frame:k ~tag:(k + 1) (Model.prop model);
+        Unroll.add_transition u ~tag:(k + 1);
+        loop (k + 1)
+    end
+  in
+  loop 0
+
+let run ?(check = Assume) ?(incremental = false) ?(limits = Budget.default_limits) model
+    =
+  let budget = Budget.start limits in
+  let stats = Verdict.mk_stats () in
+  let finish v =
+    stats.Verdict.time <- Budget.elapsed budget;
+    (v, stats)
+  in
+  try
+    if incremental && check <> Bound then run_incremental ~check ~limits budget stats model
+    else begin
+      let rec loop k =
+        if k > limits.Budget.bound_limit then
+          finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
+        else
+          match check_depth budget stats model ~check ~k with
+          | `Sat u ->
+            let tr = Unroll.trace u in
+            let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
+            finish (Verdict.Falsified { depth; trace = tr })
+          | `Unsat _ -> loop (k + 1)
+      in
+      loop 0
+    end
+  with
+  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
+  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)

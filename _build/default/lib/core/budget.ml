@@ -1,0 +1,37 @@
+open Isr_sat
+
+type limits = { time_limit : float; conflict_limit : int; bound_limit : int }
+
+let default_limits = { time_limit = 60.0; conflict_limit = 2_000_000; bound_limit = 200 }
+
+type t = { l : limits; t0 : float; mutable conflicts_left : int }
+
+exception Out_of_time
+exception Out_of_conflicts
+
+let start l = { l; t0 = Sys.time (); conflicts_left = l.conflict_limit }
+let limits b = b.l
+let elapsed b = Sys.time () -. b.t0
+let check_time b = if elapsed b > b.l.time_limit then raise Out_of_time
+
+(* Solve in slices so the deadline is honoured mid-search: the solver is
+   resumable after an exhausted conflict budget. *)
+let slice = 20_000
+
+let solve ?assumptions b stats solver =
+  stats.Verdict.sat_calls <- stats.Verdict.sat_calls + 1;
+  let rec go () =
+    check_time b;
+    if b.conflicts_left <= 0 then raise Out_of_conflicts;
+    let before = Solver.num_conflicts solver in
+    let r = Solver.solve ?assumptions ~conflict_budget:(min slice b.conflicts_left) solver in
+    let used = Solver.num_conflicts solver - before in
+    b.conflicts_left <- b.conflicts_left - used;
+    stats.Verdict.conflicts <- stats.Verdict.conflicts + used;
+    match r with
+    | Solver.Undef -> go ()
+    | r ->
+      check_time b;
+      r
+  in
+  go ()

@@ -1,0 +1,34 @@
+(** Shared resource accounting across the SAT calls of one verification
+    run: a wall-clock/CPU deadline, a global conflict pool, and a bound
+    cap — the counterparts of the paper's 1800 s / 2 GB experimental
+    limits, scaled for a library setting. *)
+
+open Isr_sat
+
+type limits = {
+  time_limit : float;      (** seconds of [Sys.time], [infinity] = none *)
+  conflict_limit : int;    (** total conflicts across all SAT calls *)
+  bound_limit : int;       (** largest BMC bound to attempt *)
+}
+
+val default_limits : limits
+(** 60 s, 2 million conflicts, bound 200. *)
+
+type t
+
+val start : limits -> t
+val limits : t -> limits
+
+exception Out_of_time
+exception Out_of_conflicts
+
+val check_time : t -> unit
+(** @raise Out_of_time when the deadline passed. *)
+
+val solve : ?assumptions:Lit.t list -> t -> Verdict.stats -> Solver.t -> Solver.result
+(** Runs the solver under the remaining conflict budget, charging the
+    conflicts used and one SAT call to [stats].
+    @raise Out_of_conflicts when the pool is exhausted
+    @raise Out_of_time when the deadline passed before the call. *)
+
+val elapsed : t -> float

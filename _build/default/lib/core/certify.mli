@@ -1,0 +1,30 @@
+(** Independent checking of inductive safety certificates.
+
+    Engines that answer [Proved] attach the over-approximate reachable
+    set R at their fixpoint (see {!Verdict.t}); by the arguments of the
+    paper's Sections II and V it is an inductive invariant implying the
+    property.  This module re-establishes that with three fresh SAT
+    queries that share no code path with the fixpoint logic — turning
+    every PASS into a machine-checked result:
+
+    + initiation: S{_0} ⇒ R,
+    + consecution: R ∧ T ⇒ R',
+    + safety: R ⇒ p. *)
+
+open Isr_aig
+open Isr_model
+
+type failure = Not_initial | Not_inductive | Not_safe
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val check :
+  ?limits:Budget.limits -> Model.t -> Aig.lit -> (unit, failure) Result.t
+(** [check model inv] verifies that [inv] (a circuit over the model's
+    latch literals) is an inductive safety certificate. *)
+
+val check_verdict :
+  ?limits:Budget.limits -> Model.t -> Verdict.t -> (unit, string) Result.t
+(** Checks whatever the verdict offers: the invariant of a [Proved], the
+    trace replay of a [Falsified].  [Unknown] and certificate-less proofs
+    pass vacuously with a note. *)

@@ -1,0 +1,63 @@
+
+type t =
+  | Bmc_only of Bmc.check
+  | Itp
+  | Itpseq of Bmc.check
+  | Sitpseq of float * Bmc.check
+  | Itpseq_cba of float * Bmc.check
+  | Itpseq_pba of float * Bmc.check
+  | Kind
+  | Pdr
+  | Portfolio
+
+let name = function
+  | Bmc_only c -> Printf.sprintf "bmc-%s" (Bmc.check_name c)
+  | Itp -> "itp"
+  | Itpseq c -> Printf.sprintf "itpseq-%s" (Bmc.check_name c)
+  | Sitpseq (a, c) -> Printf.sprintf "sitpseq%.2g-%s" a (Bmc.check_name c)
+  | Itpseq_cba (a, c) -> Printf.sprintf "itpseqcba%.2g-%s" a (Bmc.check_name c)
+  | Itpseq_pba (a, c) -> Printf.sprintf "itpseqpba%.2g-%s" a (Bmc.check_name c)
+  | Kind -> "kind"
+  | Pdr -> "pdr"
+  | Portfolio -> "portfolio"
+
+let of_name = function
+  | "bmc" | "bmc-assume" -> Ok (Bmc_only Bmc.Assume)
+  | "bmc-exact" -> Ok (Bmc_only Bmc.Exact)
+  | "bmc-bound" -> Ok (Bmc_only Bmc.Bound)
+  | "itp" -> Ok Itp
+  | "itpseq" | "itpseq-assume" -> Ok (Itpseq Bmc.Assume)
+  | "itpseq-exact" -> Ok (Itpseq Bmc.Exact)
+  | "sitpseq" | "sitpseq-assume" -> Ok (Sitpseq (0.5, Bmc.Assume))
+  | "sitpseq-exact" -> Ok (Sitpseq (0.5, Bmc.Exact))
+  | "itpseqcba" -> Ok (Itpseq_cba (0.5, Bmc.Exact))
+  | "itpseqcba-assume" -> Ok (Itpseq_cba (0.5, Bmc.Assume))
+  | "itpseqpba" -> Ok (Itpseq_pba (0.0, Bmc.Exact))
+  | "kind" -> Ok Kind
+  | "pdr" -> Ok Pdr
+  | "portfolio" -> Ok Portfolio
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown engine %S (expected bmc[-exact|-bound], itp, itpseq[-exact], \
+          sitpseq[-exact], itpseqcba[-assume], itpseqpba, kind, pdr, portfolio)"
+         s)
+
+let all =
+  [ Itp; Itpseq Bmc.Assume; Sitpseq (0.5, Bmc.Assume); Itpseq_cba (0.5, Bmc.Exact) ]
+
+let run engine ?limits model =
+  match engine with
+  | Bmc_only check -> Bmc.run ~check ?limits model
+  | Itp -> Itp_verif.verify ?limits model
+  | Itpseq check -> Itpseq_verif.verify ~mode:Seq_family.Parallel ~check ?limits model
+  | Sitpseq (alpha, check) ->
+    Itpseq_verif.verify ~mode:(Seq_family.Serial alpha) ~check ?limits model
+  | Itpseq_cba (alpha, check) -> Itpseq_cba_verif.verify ~alpha ~check ?limits model
+  | Itpseq_pba (alpha, check) -> Itpseq_pba_verif.verify ~alpha ~check ?limits model
+  | Kind -> Kind.verify ?limits model
+  | Pdr -> Pdr.verify ?limits model
+  | Portfolio -> Portfolio.verify ?limits model
+
+let verify_both ?limits model =
+  List.map (fun e -> (e, fst (run e ?limits model))) all

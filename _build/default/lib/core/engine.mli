@@ -1,0 +1,29 @@
+(** Uniform façade over every verification engine — the "portfolio"
+    interface used by the CLI, the examples and the benchmark harness. *)
+
+open Isr_model
+
+type t =
+  | Bmc_only of Bmc.check          (** falsification only *)
+  | Itp                            (** Figure 1: standard interpolation *)
+  | Itpseq of Bmc.check            (** Figure 2: parallel sequences *)
+  | Sitpseq of float * Bmc.check   (** Figure 4: serial sequences (α) *)
+  | Itpseq_cba of float * Bmc.check  (** Figure 5: serial sequences + CBA *)
+  | Itpseq_pba of float * Bmc.check  (** Section V alternative: PBA *)
+  | Kind                           (** k-induction baseline *)
+  | Pdr                            (** IC3/PDR baseline *)
+  | Portfolio                      (** sequential portfolio of the above *)
+
+val name : t -> string
+val of_name : string -> (t, string) Result.t
+(** Recognizes ["bmc"], ["itp"], ["itpseq"], ["itpseq-exact"],
+    ["sitpseq"], ["itpseqcba"], ["itpseqpba"], ["kind"], ["pdr"], ["portfolio"]
+    and variants; see the CLI help. *)
+
+val all : t list
+(** The four paper engines, in Table I column order. *)
+
+val run : t -> ?limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
+
+val verify_both : ?limits:Budget.limits -> Model.t -> (t * Verdict.t) list
+(** Runs every paper engine; used by cross-checking tests. *)

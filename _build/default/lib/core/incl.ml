@@ -1,0 +1,13 @@
+open Isr_aig
+open Isr_model
+
+let sat_and budget stats model a b =
+  let u = Unroll.create model in
+  Unroll.assert_circuit u ~frame:0 ~tag:1 a;
+  Unroll.assert_circuit u ~frame:0 ~tag:1 b;
+  match Budget.solve budget stats (Unroll.solver u) with
+  | Isr_sat.Solver.Sat -> true
+  | Isr_sat.Solver.Unsat -> false
+  | Isr_sat.Solver.Undef -> assert false
+
+let implies budget stats model a b = not (sat_and budget stats model a (Aig.not_ b))

@@ -1,0 +1,14 @@
+(** SAT-based implication checks between state predicates (circuits over
+    the model's latch literals) — the fixpoint tests [ℐ_j ⇒ R_{j-1}] of
+    the engines. *)
+
+open Isr_aig
+open Isr_model
+
+val implies : Budget.t -> Verdict.stats -> Model.t -> Aig.lit -> Aig.lit -> bool
+(** [implies budget stats model a b] decides [a ⇒ b] over the state
+    space by refuting [a ∧ ¬b]. *)
+
+val sat_and : Budget.t -> Verdict.stats -> Model.t -> Aig.lit -> Aig.lit -> bool
+(** [sat_and budget stats model a b] decides whether [a ∧ b] has a
+    satisfying state. *)

@@ -1,0 +1,88 @@
+open Isr_sat
+open Isr_aig
+open Isr_model
+open Isr_itp
+
+let src = Logs.Src.create "isr.itp" ~doc:"standard interpolation engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Depth-k bound instance with a 2-way partition: A (tag 1) is the
+   start predicate and the first transition; B (tag 2) the remaining
+   transitions and the disjunction of the negated property over frames
+   1..k (Equation 1 of the paper). *)
+let build_bound_instance model ~start ~k =
+  let u = Unroll.create model in
+  (match start with
+  | `Init -> Unroll.assert_init u ~tag:1
+  | `Circuit c -> Unroll.assert_circuit u ~frame:0 ~tag:1 c);
+  Unroll.add_transition u ~tag:1;
+  for _ = 1 to k - 1 do
+    Unroll.add_transition u ~tag:2
+  done;
+  let bads =
+    List.init k (fun i -> Unroll.encode u ~frame:(i + 1) ~tag:2 model.Model.bad)
+  in
+  Unroll.add_clause u ~tag:2 bads;
+  u
+
+let verify ?system ?(limits = Budget.default_limits) model =
+  let budget = Budget.start limits in
+  let stats = Verdict.mk_stats () in
+  let man = model.Model.man in
+  let finish v =
+    stats.Verdict.time <- Budget.elapsed budget;
+    (v, stats)
+  in
+  try
+    (* Depth 0: does a bad state intersect the initial states? *)
+    match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
+    | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
+    | `Unsat _ ->
+      let s0 = Model.init_lit model in
+      let rec outer k =
+        if k > limits.Budget.bound_limit then
+          finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
+        else begin
+          stats.Verdict.last_bound <- k;
+          (* Exact first iteration: A rooted at the real initial states,
+             so a satisfiable answer is a genuine counterexample. *)
+          let u = build_bound_instance model ~start:`Init ~k in
+          match Budget.solve budget stats (Unroll.solver u) with
+          | Solver.Sat ->
+            let tr = Unroll.trace u in
+            let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
+            finish (Verdict.Falsified { depth; trace = tr })
+          | Solver.Undef -> assert false
+          | Solver.Unsat ->
+            let itp_of u =
+              let proof = Solver.proof (Unroll.solver u) in
+              let i =
+                Itp.interpolant ?system proof ~cut:1 ~man
+                  ~var_map:(Unroll.boundary_map u ~frame:1)
+              in
+              stats.Verdict.itp_nodes <- stats.Verdict.itp_nodes + Aig.cone_size man i;
+              i
+            in
+            let rec inner j r cur =
+              (* cur = I_j; r = R_{j-1}. *)
+              if Incl.implies budget stats model cur r then begin
+                Log.debug (fun m -> m "fixpoint at k=%d j=%d" k j);
+                finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
+              end
+              else begin
+                let r = Aig.or_ man r cur in
+                let u = build_bound_instance model ~start:(`Circuit cur) ~k in
+                match Budget.solve budget stats (Unroll.solver u) with
+                | Solver.Sat -> outer (k + 1) (* possibly spurious: deepen *)
+                | Solver.Unsat -> inner (j + 1) r (itp_of u)
+                | Solver.Undef -> assert false
+              end
+            in
+            inner 1 s0 (itp_of u)
+        end
+      in
+      outer 1
+  with
+  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
+  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)

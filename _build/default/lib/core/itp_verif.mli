@@ -1,0 +1,18 @@
+(** Standard interpolation-based unbounded model checking — McMillan's
+    algorithm as reproduced in Figure 1 of the paper.
+
+    The outer loop increases the bound [k]; the B-term is the {e bound-k}
+    formulation (a violation at any frame 1..k), which the paper points
+    out is the strict requirement for this algorithm's correctness.  The
+    inner loop performs the over-approximate forward traversal
+    I{_j+1} = ITP(I{_j} ∧ T, B{^k}) until either a fixpoint
+    (I{_j} ⇒ R{_j-1}, PASS) or a satisfiable instance (restart with a
+    larger bound). *)
+
+open Isr_model
+
+val verify :
+  ?system:Isr_itp.Itp.system ->
+  ?limits:Budget.limits ->
+  Model.t ->
+  Verdict.t * Verdict.stats

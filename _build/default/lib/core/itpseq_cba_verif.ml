@@ -1,0 +1,75 @@
+open Isr_aig
+open Isr_model
+
+let src = Logs.Src.create "isr.itpseqcba" ~doc:"interpolation sequences + CBA"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits) model =
+  if check = Bmc.Bound then
+    invalid_arg "Itpseq_cba_verif.verify: bound-k has no single-frame target";
+  let budget = Budget.start limits in
+  let stats = Verdict.mk_stats () in
+  let man = model.Model.man in
+  let cba = Cba.create model in
+  let finish v =
+    stats.Verdict.time <- Budget.elapsed budget;
+    stats.Verdict.abstract_latches <- Cba.num_frozen cba;
+    (v, stats)
+  in
+  try
+    match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
+    | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
+    | `Unsat _ ->
+      let s0 = Model.init_lit model in
+      let columns : Aig.lit array ref = ref [||] in
+      let rec outer k =
+        if k > limits.Budget.bound_limit then
+          finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
+        else
+          (* Abstract counterexample loop: extend or refine until the
+             abstract instance at this bound is unsatisfiable. *)
+          let rec attempt () =
+            match
+              Seq_family.compute budget stats ~frozen:(Cba.frozen cba) model
+                ~mode:(Seq_family.Serial alpha) ~check ~k
+            with
+            | `Cex u -> (
+              let tr = Unroll.trace u in
+              match Cba.extend cba tr with
+              | Some depth -> finish (Verdict.Falsified { depth; trace = tr })
+              | None ->
+                let n =
+                  Cba.refine cba tr ~abstract_state:(fun ~frame ->
+                      Unroll.state_values u ~frame)
+                in
+                stats.Verdict.refinements <- stats.Verdict.refinements + 1;
+                Log.debug (fun m ->
+                    m "k=%d: refined %d latches (%d still frozen)" k n
+                      (Cba.num_frozen cba));
+                attempt ())
+            | `Family family ->
+              let cols =
+                Array.init k (fun idx ->
+                    if idx < Array.length !columns then
+                      Aig.and_ man !columns.(idx) family.(idx)
+                    else family.(idx))
+              in
+              columns := cols;
+              let rec sweep j r =
+                if j > k then outer (k + 1)
+                else begin
+                  let c = cols.(j - 1) in
+                  if Incl.implies budget stats model c r then
+                    finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
+                  else sweep (j + 1) (Aig.or_ man r c)
+                end
+              in
+              sweep 1 s0
+          in
+          attempt ()
+      in
+      outer 1
+  with
+  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
+  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)

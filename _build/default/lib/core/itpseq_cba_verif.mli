@@ -1,0 +1,24 @@
+(** Interpolation sequences tightly integrated with counterexample-based
+    abstraction — Figure 5 of the paper (ITPSEQCBAVERIF).
+
+    At each bound, abstract counterexamples on the frozen-latch model are
+    either extended to concrete failures (FAIL) or used to refine the
+    abstraction; once the abstract BMC instance is unsatisfiable, a
+    serial interpolation sequence is extracted {e from the abstract
+    model} and fed to the usual column/fixpoint machinery.  Proofs are
+    never restarted after a refinement (Section V): refinements only have
+    to deliver unsatisfiable instances at increasing bounds, and the
+    smaller abstract refutations yield coarser (more abstract)
+    interpolants. *)
+
+open Isr_model
+
+val verify :
+  ?alpha:float ->
+  ?check:Bmc.check ->
+  ?limits:Budget.limits ->
+  Model.t ->
+  Verdict.t * Verdict.stats
+(** Default [alpha = 0.5] (the paper's choice), default check [Exact]
+    (as in Figure 5; [Assume] also supported).
+    @raise Invalid_argument on [check = Bound]. *)

@@ -1,0 +1,26 @@
+(** Interpolation sequences with proof-based abstraction (PBA) — the
+    alternative Section V of the paper mentions and sets aside in favour
+    of CBA ("PBA is closer to standard interpolation, as they both start
+    from SAT refutation proofs").  Implemented here so the CBA-vs-PBA
+    trade-off can actually be measured.
+
+    At each bound the {e concrete} BMC instance is solved; a satisfiable
+    answer is immediately a genuine counterexample.  From the refutation's
+    unsat core, the latches whose transition constraints were actually
+    used are collected (cumulatively across bounds), the instance is
+    re-solved on the abstraction that freezes every other latch —
+    unsatisfiability is guaranteed, because the abstract instance still
+    contains the whole core — and the interpolation-sequence family is
+    extracted from the smaller abstract refutation. *)
+
+open Isr_model
+
+val verify :
+  ?alpha:float ->
+  ?check:Bmc.check ->
+  ?limits:Budget.limits ->
+  Model.t ->
+  Verdict.t * Verdict.stats
+(** Defaults: [alpha = 0.0] (parallel extraction on the abstract model),
+    check [Exact].
+    @raise Invalid_argument on [check = Bound]. *)

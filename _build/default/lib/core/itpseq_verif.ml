@@ -1,0 +1,61 @@
+open Isr_aig
+open Isr_model
+
+let src = Logs.Src.create "isr.itpseq" ~doc:"interpolation sequence engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let verify ?(mode = Seq_family.Parallel) ?(check = Bmc.Assume) ?system
+    ?(limits = Budget.default_limits) model =
+  if check = Bmc.Bound then
+    invalid_arg "Itpseq_verif.verify: bound-k has no single-frame target";
+  let budget = Budget.start limits in
+  let stats = Verdict.mk_stats () in
+  let man = model.Model.man in
+  let finish v =
+    stats.Verdict.time <- Budget.elapsed budget;
+    (v, stats)
+  in
+  try
+    match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
+    | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
+    | `Unsat _ ->
+      let s0 = Model.init_lit model in
+      (* Column conjunctions ℐ_j, 1-based; grows by one per bound. *)
+      let columns : Aig.lit array ref = ref [||] in
+      let rec outer k =
+        if k > limits.Budget.bound_limit then
+          finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
+        else
+          match Seq_family.compute ?system budget stats model ~mode ~check ~k with
+          | `Cex u ->
+            let tr = Unroll.trace u in
+            let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
+            finish (Verdict.Falsified { depth; trace = tr })
+          | `Family family ->
+            (* Update columns: conjoin interior terms, append column k. *)
+            let cols =
+              Array.init k (fun idx ->
+                  if idx < Array.length !columns then
+                    Aig.and_ man !columns.(idx) family.(idx)
+                  else family.(idx))
+            in
+            columns := cols;
+            (* Inclusion sweep: ℐ_j ⇒ R_{j-1} with R_j = R_{j-1} ∨ ℐ_j. *)
+            let rec sweep j r =
+              if j > k then outer (k + 1)
+              else begin
+                let c = cols.(j - 1) in
+                if Incl.implies budget stats model c r then begin
+                  Log.debug (fun m -> m "fixpoint at k=%d j=%d" k j);
+                  finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
+                end
+                else sweep (j + 1) (Aig.or_ man r c)
+              end
+            in
+            sweep 1 s0
+      in
+      outer 1
+  with
+  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
+  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)

@@ -1,0 +1,24 @@
+(** Unbounded model checking with interpolation sequences — Figure 2 of
+    the paper — in both the {e parallel} variant (Vizel–Grumberg style,
+    every I{^k}{_j} from one refutation) and the {e serial} variant of
+    Section IV-C (SITPSEQ, a chain of standard interpolations for the
+    first ⌊α·n⌋ terms).
+
+    The matrix of interpolants is maintained column-wise:
+    ℐ{_j} = ⋀{_i≥j} I{^i}{_j}, and the fixpoint test ℐ{_j} ⇒ R{_j-1}
+    runs after every column update.  The BMC check defaults to
+    {e assume-k}, the formulation Section III recommends; [Exact] is
+    available for the Figure-7 comparison. *)
+
+open Isr_model
+
+val verify :
+  ?mode:Seq_family.mode ->
+  ?check:Bmc.check ->
+  ?system:Isr_itp.Itp.system ->
+  ?limits:Budget.limits ->
+  Model.t ->
+  Verdict.t * Verdict.stats
+(** Default mode [Parallel], default check [Assume].
+    @raise Invalid_argument on [check = Bound] (sequences require a
+    single-frame target). *)

@@ -1,0 +1,72 @@
+open Isr_sat
+open Isr_model
+
+(* Pairwise state-difference clause between two frames: at least one
+   latch differs.  Difference variables d <-> (a xor b) are fresh. *)
+let assert_frames_differ u ~tag f g =
+  let solver = Unroll.solver u in
+  let model = Unroll.model u in
+  let nl = model.Model.num_latches in
+  let diffs =
+    List.init nl (fun i ->
+        let a = Unroll.state_lit u ~frame:f i in
+        let b = Unroll.state_lit u ~frame:g i in
+        let d = Lit.pos (Solver.new_var solver) in
+        (* d -> (a xor b), and (a xor b) -> d. *)
+        Solver.add_clause solver ~tag [ Lit.neg d; a; b ];
+        Solver.add_clause solver ~tag [ Lit.neg d; Lit.neg a; Lit.neg b ];
+        Solver.add_clause solver ~tag [ d; a; Lit.neg b ];
+        Solver.add_clause solver ~tag [ d; Lit.neg a; b ];
+        d)
+  in
+  Solver.add_clause solver ~tag diffs
+
+(* Inductive step at depth k: states s_0..s_{k+1}, p holds on s_0..s_k,
+   bad at s_{k+1}, all states pairwise distinct.  UNSAT proves the
+   property k-inductive (given the base case). *)
+let step_holds budget stats ~unique model ~k =
+  let u = Unroll.create model in
+  for f = 0 to k do
+    Unroll.assert_circuit u ~frame:f ~tag:1 (Model.prop model);
+    Unroll.add_transition u ~tag:1
+  done;
+  Unroll.assert_circuit u ~frame:(k + 1) ~tag:1 model.Model.bad;
+  if unique then
+    for f = 0 to k do
+      for g = f + 1 to k + 1 do
+        assert_frames_differ u ~tag:1 f g
+      done
+    done;
+  match Budget.solve budget stats (Unroll.solver u) with
+  | Solver.Unsat -> true
+  | Solver.Sat -> false
+  | Solver.Undef -> assert false
+
+let verify ?(unique = true) ?(limits = Budget.default_limits) model =
+  let budget = Budget.start limits in
+  let stats = Verdict.mk_stats () in
+  let finish v =
+    stats.Verdict.time <- Budget.elapsed budget;
+    (v, stats)
+  in
+  try
+    let rec loop k =
+      if k > limits.Budget.bound_limit then
+        finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
+      else
+        (* Base case: no counterexample of length exactly k (shorter ones
+           were excluded at previous iterations). *)
+        match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k with
+        | `Sat u ->
+          let tr = Unroll.trace u in
+          let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
+          finish (Verdict.Falsified { depth; trace = tr })
+        | `Unsat _ ->
+          if step_holds budget stats ~unique model ~k then
+            finish (Verdict.Proved { kfp = k; jfp = 0; invariant = None })
+          else loop (k + 1)
+    in
+    loop 0
+  with
+  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
+  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)

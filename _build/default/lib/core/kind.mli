@@ -1,0 +1,20 @@
+(** k-induction with simple-path (uniqueness) constraints.
+
+    Not part of the paper's contribution, but the classic SAT-based UMC
+    companion the paper's portfolio discussion (Section IV) positions
+    interpolation against — included so the engine comparison has a
+    non-interpolant baseline.  At each k the base case is the exact-k BMC
+    check; the inductive step asks for a loop-free path of k+1
+    transitions through property-satisfying states ending in a violation.
+    Simple-path constraints make the method complete. *)
+
+open Isr_model
+
+val verify :
+  ?unique:bool ->
+  ?limits:Budget.limits ->
+  Model.t ->
+  Verdict.t * Verdict.stats
+(** [unique] (default true) adds the pairwise state-difference clauses;
+    without them k-induction may diverge on safe models.  On [Proved],
+    [kfp] is the inductive depth and [jfp] is 0. *)

@@ -1,0 +1,21 @@
+(** IC3 / property-directed reachability.
+
+    Not part of the paper (it predates IC3 by a few months), but the
+    engine that soon displaced interpolation in the portfolios the paper
+    anticipates — included as the strongest baseline, and as the natural
+    client of the solver's incremental/assumption interface.
+
+    Implementation follows the standard recipe: monotone frames of
+    blocked cubes in delta encoding, recursive blocking with a
+    frame-ordered obligation queue, cube generalization from assumption
+    cores (with initial-state exclusion), forward clause propagation, and
+    fixpoint detection when a frame's delta drains.  On PASS the
+    converged frame is returned as a certified inductive invariant; on
+    FAIL the obligation chain reconstructs a concrete input trace. *)
+
+open Isr_model
+
+val verify : ?limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
+(** On [Proved], [kfp] is the outer round and [jfp] the frame at which
+    the fixpoint appeared; the invariant certificate is always present.
+    Counterexamples are shortest (round [k] finds length-[k] traces). *)

@@ -1,0 +1,67 @@
+(* Time shares per member; the tail members inherit whatever is left. *)
+let members =
+  [
+    (0.02, `Randsim);
+    (0.13, `Bmc);
+    (0.15, `Kind);
+    (0.25, `Pdr);
+    (0.20, `Itp);
+    (1.00, `Itpseq_cba);
+  ]
+
+let run_member member ~limits model =
+  match member with
+  | `Randsim -> (
+    (* Bit-parallel random simulation: shallow input-robust bugs fall out
+       before any SAT effort.  A hit only bounds the bug depth — BMC then
+       minimizes it so the portfolio reports shortest counterexamples
+       like every other engine. *)
+    let stats = Verdict.mk_stats () in
+    match Isr_model.Rand_sim.falsify model with
+    | Some trace -> (
+      let cap = Isr_model.Trace.depth trace in
+      match Bmc.run ~check:Bmc.Exact ~limits:{ limits with Budget.bound_limit = cap } model with
+      | (Verdict.Falsified _, _) as r -> r
+      | _ -> (Verdict.Falsified { depth = cap; trace }, stats))
+    | None -> (Verdict.Unknown Verdict.Time_limit, stats))
+  | `Bmc -> Bmc.run ~check:Bmc.Assume ~incremental:true ~limits model
+  | `Kind -> Kind.verify ~limits model
+  | `Pdr -> Pdr.verify ~limits model
+  | `Itp -> Itp_verif.verify ~limits model
+  | `Itpseq_cba -> Itpseq_cba_verif.verify ~limits model
+
+let verify ?(limits = Budget.default_limits) model =
+  let t0 = Sys.time () in
+  let total = Verdict.mk_stats () in
+  let merge (s : Verdict.stats) =
+    total.Verdict.sat_calls <- total.Verdict.sat_calls + s.Verdict.sat_calls;
+    total.Verdict.conflicts <- total.Verdict.conflicts + s.Verdict.conflicts;
+    total.Verdict.itp_nodes <- total.Verdict.itp_nodes + s.Verdict.itp_nodes;
+    total.Verdict.last_bound <- max total.Verdict.last_bound s.Verdict.last_bound;
+    total.Verdict.refinements <- total.Verdict.refinements + s.Verdict.refinements
+  in
+  let rec go = function
+    | [] ->
+      total.Verdict.time <- Sys.time () -. t0;
+      (Verdict.Unknown Verdict.Time_limit, total)
+    | (share, member) :: rest ->
+      let remaining = limits.Budget.time_limit -. (Sys.time () -. t0) in
+      if remaining <= 0.0 then begin
+        total.Verdict.time <- Sys.time () -. t0;
+        (Verdict.Unknown Verdict.Time_limit, total)
+      end
+      else begin
+        let slice =
+          if rest = [] then remaining else Float.min remaining (share *. limits.Budget.time_limit)
+        in
+        let member_limits = { limits with Budget.time_limit = slice } in
+        let verdict, stats = run_member member ~limits:member_limits model in
+        merge stats;
+        match verdict with
+        | Verdict.Proved _ | Verdict.Falsified _ ->
+          total.Verdict.time <- Sys.time () -. t0;
+          (verdict, total)
+        | Verdict.Unknown _ -> go rest
+      end
+  in
+  go members

@@ -1,0 +1,13 @@
+(** A sequential engine portfolio, in the spirit of the paper's remark
+    that ITPSEQ is "an additional engine within a potential portfolio of
+    available MC techniques" (Section IV).
+
+    Members run one after another, each under a share of the total time
+    budget: BMC first (cheap falsification), then k-induction (cheap
+    proofs of inductive properties), then standard interpolation, then
+    ITPSEQCBA.  The first definitive verdict wins; resource shares of
+    members that finish early roll over to the rest. *)
+
+open Isr_model
+
+val verify : ?limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats

@@ -1,0 +1,58 @@
+open Isr_model
+
+type reason = Time_limit | Conflict_limit | Bound_limit of int
+
+type t =
+  | Proved of { kfp : int; jfp : int; invariant : Isr_aig.Aig.lit option }
+  | Falsified of { depth : int; trace : Trace.t }
+  | Unknown of reason
+
+type stats = {
+  mutable sat_calls : int;
+  mutable conflicts : int;
+  mutable itp_nodes : int;
+  mutable last_bound : int;
+  mutable refinements : int;
+  mutable abstract_latches : int;
+  mutable time : float;
+}
+
+let mk_stats () =
+  {
+    sat_calls = 0;
+    conflicts = 0;
+    itp_nodes = 0;
+    last_bound = 0;
+    refinements = 0;
+    abstract_latches = 0;
+    time = 0.0;
+  }
+
+let is_proved = function Proved _ -> true | Falsified _ | Unknown _ -> false
+let is_falsified = function Falsified _ -> true | Proved _ | Unknown _ -> false
+
+let kfp = function
+  | Proved { kfp; _ } -> Some kfp
+  | Falsified { depth; _ } -> Some depth
+  | Unknown _ -> None
+
+let jfp = function
+  | Proved { jfp; _ } -> Some jfp
+  | Falsified _ -> Some 0
+  | Unknown _ -> None
+
+let pp fmt = function
+  | Proved { kfp; jfp; invariant } ->
+    Format.fprintf fmt "PASS (kfp=%d, jfp=%d%s)" kfp jfp
+      (match invariant with Some _ -> ", certified invariant" | None -> "")
+  | Falsified { depth; _ } -> Format.fprintf fmt "FAIL (depth=%d)" depth
+  | Unknown Time_limit -> Format.fprintf fmt "UNKNOWN (time limit)"
+  | Unknown Conflict_limit -> Format.fprintf fmt "UNKNOWN (conflict limit)"
+  | Unknown (Bound_limit k) -> Format.fprintf fmt "UNKNOWN (bound limit %d)" k
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%.3fs, %d SAT calls, %d conflicts, bound %d, %d itp nodes" s.time
+    s.sat_calls s.conflicts s.last_bound s.itp_nodes;
+  if s.refinements > 0 then
+    Format.fprintf fmt ", %d refinements (%d latches still frozen)" s.refinements
+      s.abstract_latches

@@ -1,0 +1,45 @@
+(** Verification outcomes and per-run statistics, shared by every engine.
+
+    The depth measures follow Section IV-B of the paper: [kfp] is the BMC
+    bound at the fixpoint (the outer iteration count) and [jfp] the depth
+    of the over-approximate forward traversal (the inner iteration, or the
+    index of the converging cut).  Falsified runs report [jfp = 0] in the
+    tables, as the paper does. *)
+
+open Isr_model
+
+type reason =
+  | Time_limit
+  | Conflict_limit
+  | Bound_limit of int  (** gave up after this bound *)
+
+type t =
+  | Proved of { kfp : int; jfp : int; invariant : Isr_aig.Aig.lit option }
+      (** [invariant], when present, is an inductive safety certificate
+          over the model's latch literals: it contains the initial
+          states, is closed under the transition relation, and implies
+          the property.  {!Isr_core.Certify} re-checks it with
+          independent SAT calls. *)
+  | Falsified of { depth : int; trace : Trace.t }
+  | Unknown of reason
+
+type stats = {
+  mutable sat_calls : int;
+  mutable conflicts : int;     (** summed over all SAT calls *)
+  mutable itp_nodes : int;     (** AND nodes over all extracted interpolants *)
+  mutable last_bound : int;    (** largest bound attempted *)
+  mutable refinements : int;   (** CBA only *)
+  mutable abstract_latches : int;  (** CBA only: frozen latches at the end *)
+  mutable time : float;
+}
+
+val mk_stats : unit -> stats
+
+val is_proved : t -> bool
+val is_falsified : t -> bool
+
+val kfp : t -> int option
+val jfp : t -> int option
+
+val pp : Format.formatter -> t -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Bmc Budget Engine Format Isr_core Isr_itp Isr_suite Itpseq_verif List Printf Registry Runner String Sys Verdict

@@ -1,0 +1,1 @@
+lib/exp/ablation.mli: Format Isr_core Isr_suite

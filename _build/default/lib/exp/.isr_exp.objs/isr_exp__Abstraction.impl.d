@@ -1,0 +1,1 @@
+lib/exp/abstraction.ml: Bmc Budget Engine Format Isr_core Isr_model Isr_suite List Model Printf Registry Runner Verdict

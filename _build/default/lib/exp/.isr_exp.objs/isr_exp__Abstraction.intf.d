@@ -1,0 +1,1 @@
+lib/exp/abstraction.mli: Format Isr_core Isr_suite

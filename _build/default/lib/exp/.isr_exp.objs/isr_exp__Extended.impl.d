@@ -1,0 +1,1 @@
+lib/exp/extended.ml: Array Bmc Budget Certify Engine Format Isr_core Isr_suite List Registry Runner Verdict

@@ -1,0 +1,1 @@
+lib/exp/extended.mli: Format Isr_core Isr_suite

@@ -1,0 +1,1 @@
+lib/exp/fig6.ml: Bmc Budget Engine Format Hashtbl Isr_core Isr_suite List Registry Verdict

@@ -1,0 +1,1 @@
+lib/exp/fig6.mli: Format Isr_core Isr_suite

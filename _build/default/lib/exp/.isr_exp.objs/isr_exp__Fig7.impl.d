@@ -1,0 +1,1 @@
+lib/exp/fig7.ml: Bmc Budget Engine Format Isr_core Isr_suite List Registry Verdict

@@ -1,0 +1,1 @@
+lib/exp/runner.ml: Engine Isr_core Isr_model Isr_suite List Model Printf Registry Verdict

@@ -1,0 +1,1 @@
+lib/exp/runner.mli: Budget Engine Isr_core Isr_suite Registry Verdict

@@ -1,0 +1,1 @@
+lib/exp/table1.ml: Bmc Budget Engine Format Isr_bdd Isr_core Isr_model Isr_suite List Model Printf Registry Runner String

@@ -1,0 +1,1 @@
+lib/exp/table1.mli: Format Isr_core Isr_suite

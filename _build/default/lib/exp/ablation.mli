@@ -1,0 +1,35 @@
+(** Ablations for the design choices DESIGN.md calls out.
+
+    [checks] quantifies Section III's claim that SAT effort decreases from
+    bound-k to exact-k to assume-k, by solving each formulation at fixed
+    depths on safe instances and reporting conflicts and time.
+
+    [alpha] sweeps the serial fraction α of SITPSEQ between fully
+    parallel (0) and fully serial (1), the trade-off of Section IV-C. *)
+
+val checks :
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  ?depths:int list ->
+  out:Format.formatter ->
+  unit ->
+  unit
+
+val alpha :
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  ?alphas:float list ->
+  out:Format.formatter ->
+  unit ->
+  unit
+
+val systems :
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  out:Format.formatter ->
+  unit ->
+  unit
+(** A3: labeled interpolation systems (McMillan / Pudlák / dual) inside
+    the ITPSEQ engine — interpolant strength versus size and convergence
+    depth.  The paper fixes McMillan's system; this quantifies that
+    choice. *)

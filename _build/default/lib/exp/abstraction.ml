@@ -1,0 +1,32 @@
+open Isr_model
+open Isr_core
+open Isr_suite
+
+let default_entries () =
+  List.filter (fun e -> e.Registry.category = Registry.Industrial) Registry.table1
+
+let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+  let entries = match entries with Some e -> e | None -> default_entries () in
+  Format.fprintf fmt
+    "Abstraction comparison (Section V): SITPSEQ (none) vs ITPSEQCBA vs ITPSEQPBA@.";
+  Format.fprintf fmt "%-16s %6s | %-14s | %-24s | %-24s@." "instance" "#FF"
+    "plain (t)" "CBA (t refs frozen)" "PBA (t rounds frozen)";
+  List.iter
+    (fun entry ->
+      let model = Registry.build_validated entry in
+      let plain =
+        let verdict, stats = Engine.run (Engine.Sitpseq (0.5, Bmc.Exact)) ~limits model in
+        Printf.sprintf "%-14s" (Runner.time_cell verdict stats)
+      in
+      let abstracted engine =
+        let verdict, stats = Engine.run engine ~limits model in
+        Printf.sprintf "%8s %5d %7d"
+          (Runner.time_cell verdict stats)
+          stats.Verdict.refinements stats.Verdict.abstract_latches
+      in
+      Format.fprintf fmt "%-16s %6d | %s | %s | %s@." entry.Registry.name
+        model.Model.num_latches plain
+        (abstracted (Engine.Itpseq_cba (0.5, Bmc.Exact)))
+        (abstracted (Engine.Itpseq_pba (0.0, Bmc.Exact)));
+      Format.pp_print_flush fmt ())
+    entries

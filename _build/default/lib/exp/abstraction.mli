@@ -1,0 +1,12 @@
+(** CBA versus PBA (Section V): the paper argues for counterexample-based
+    abstraction over proof-based abstraction inside the ITPSEQ engine;
+    this experiment measures both on the industrial-shaped benchmarks
+    where abstraction matters, reporting time, refinement counts and the
+    fraction of the design left abstract. *)
+
+val run :
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  out:Format.formatter ->
+  unit ->
+  unit

@@ -1,0 +1,58 @@
+open Isr_core
+open Isr_suite
+
+let engines =
+  [
+    Engine.Itp;
+    Engine.Itpseq Bmc.Assume;
+    Engine.Sitpseq (0.5, Bmc.Assume);
+    Engine.Itpseq_cba (0.5, Bmc.Exact);
+    Engine.Itpseq_pba (0.0, Bmc.Exact);
+    Engine.Kind;
+    Engine.Pdr;
+    Engine.Portfolio;
+  ]
+
+let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+  let entries =
+    match entries with
+    | Some e -> e
+    | None -> List.filter (fun e -> e.Registry.category = Registry.Mid) Registry.table1
+  in
+  Format.fprintf fmt
+    "Extended engine comparison (time[s]/kfp/jfp; * = certified invariant)@.";
+  Format.fprintf fmt "%-16s" "instance";
+  List.iter (fun e -> Format.fprintf fmt " | %-17s" (Engine.name e)) engines;
+  Format.fprintf fmt "@.";
+  let solved = Array.make (List.length engines) 0 in
+  let certified = Array.make (List.length engines) 0 in
+  List.iter
+    (fun entry ->
+      let model = Registry.build_validated entry in
+      Format.fprintf fmt "%-16s" entry.Registry.name;
+      List.iteri
+        (fun i engine ->
+          let verdict, stats = Engine.run engine ~limits model in
+          (match verdict with Verdict.Unknown _ -> () | _ -> solved.(i) <- solved.(i) + 1);
+          let mark =
+            match verdict with
+            | Verdict.Proved { invariant = Some inv; _ } ->
+              if Certify.check model inv = Ok () then begin
+                certified.(i) <- certified.(i) + 1;
+                "*"
+              end
+              else "!"
+            | _ -> ""
+          in
+          Format.fprintf fmt " | %8s %3s %2s%s"
+            (Runner.time_cell verdict stats)
+            (Runner.kfp_cell verdict) (Runner.jfp_cell verdict) mark)
+        engines;
+      Format.fprintf fmt "@.";
+      Format.pp_print_flush fmt ())
+    entries;
+  Format.fprintf fmt "@.solved (of %d):" (List.length entries);
+  List.iteri
+    (fun i e -> Format.fprintf fmt "  %s=%d(%d certified)" (Engine.name e) solved.(i) certified.(i))
+    engines;
+  Format.fprintf fmt "@."

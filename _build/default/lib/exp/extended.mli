@@ -1,0 +1,10 @@
+(** Beyond Table I: every engine of this library — the four from the
+    paper plus PBA, k-induction, IC3/PDR and the portfolio — on the
+    mid-size block, with certificate checking folded in. *)
+
+val run :
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  out:Format.formatter ->
+  unit ->
+  unit

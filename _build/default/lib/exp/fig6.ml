@@ -1,0 +1,67 @@
+open Isr_core
+open Isr_suite
+
+let engines =
+  [
+    Engine.Itp;
+    Engine.Itpseq Bmc.Assume;
+    Engine.Sitpseq (0.5, Bmc.Assume);
+    Engine.Itpseq_cba (0.5, Bmc.Exact);
+  ]
+
+let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+  let entries = match entries with Some e -> e | None -> Registry.fig6 in
+  let n = List.length entries in
+  Format.fprintf fmt
+    "Figure 6 reproduction: sorted run times [s] over %d instances@." n;
+  Format.fprintf fmt
+    "(one column per engine, sorted independently; unsolved instances sit at the time limit %.0fs)@.@."
+    limits.Budget.time_limit;
+  (* Collect per-engine times; unsolved charged the time limit. *)
+  let times = Hashtbl.create 8 in
+  let solved = Hashtbl.create 8 in
+  List.iter
+    (fun engine ->
+      Hashtbl.add times (Engine.name engine) [];
+      Hashtbl.add solved (Engine.name engine) 0)
+    engines;
+  List.iter
+    (fun entry ->
+      let model = Registry.build_validated entry in
+      List.iter
+        (fun engine ->
+          let name = Engine.name engine in
+          let verdict, stats = Engine.run engine ~limits model in
+          let t, ok =
+            match verdict with
+            | Verdict.Unknown _ -> (limits.Budget.time_limit, false)
+            | _ -> (stats.Verdict.time, true)
+          in
+          Hashtbl.replace times name (t :: Hashtbl.find times name);
+          if ok then Hashtbl.replace solved name (Hashtbl.find solved name + 1))
+        engines)
+    entries;
+  let series =
+    List.map
+      (fun engine ->
+        let name = Engine.name engine in
+        (name, List.sort compare (Hashtbl.find times name)))
+      engines
+  in
+  Format.fprintf fmt "%-6s" "rank";
+  List.iter (fun (name, _) -> Format.fprintf fmt " %14s" name) series;
+  Format.fprintf fmt "@.";
+  for i = 0 to n - 1 do
+    Format.fprintf fmt "%-6d" (i + 1);
+    List.iter
+      (fun (_, ts) -> Format.fprintf fmt " %14.3f" (List.nth ts i))
+      series;
+    Format.fprintf fmt "@."
+  done;
+  Format.fprintf fmt "@.solved instances (of %d, within %.0fs):@." n
+    limits.Budget.time_limit;
+  List.iter
+    (fun engine ->
+      let name = Engine.name engine in
+      Format.fprintf fmt "  %-20s %d@." name (Hashtbl.find solved name))
+    engines

@@ -1,0 +1,10 @@
+(** Reproduction of Figure 6: the cactus plot of per-engine CPU times over
+    the 100-instance suite, each engine's times sorted independently so
+    the curves are monotone. *)
+
+val run :
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  out:Format.formatter ->
+  unit ->
+  unit

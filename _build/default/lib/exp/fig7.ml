@@ -1,0 +1,33 @@
+open Isr_core
+open Isr_suite
+
+let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+  let entries = match entries with Some e -> e | None -> Registry.fig6 in
+  Format.fprintf fmt
+    "Figure 7 reproduction: ITPSEQ run time [s], exact-k (x) vs assume-k (y)@.";
+  Format.fprintf fmt "(points below the diagonal favour assume-k)@.@.";
+  Format.fprintf fmt "%-18s %12s %12s %9s@." "instance" "exact" "assume" "ratio";
+  let wins_assume = ref 0 and wins_exact = ref 0 and total = ref 0 in
+  let sum_exact = ref 0.0 and sum_assume = ref 0.0 in
+  List.iter
+    (fun entry ->
+      let model = Registry.build_validated entry in
+      let time engine =
+        let verdict, stats = Engine.run engine ~limits model in
+        match verdict with
+        | Verdict.Unknown _ -> limits.Budget.time_limit
+        | _ -> stats.Verdict.time
+      in
+      let te = time (Engine.Itpseq Bmc.Exact) in
+      let ta = time (Engine.Itpseq Bmc.Assume) in
+      incr total;
+      sum_exact := !sum_exact +. te;
+      sum_assume := !sum_assume +. ta;
+      if ta < te then incr wins_assume else if te < ta then incr wins_exact;
+      let ratio = if te > 0.0 then ta /. te else 1.0 in
+      Format.fprintf fmt "%-18s %12.3f %12.3f %9.2f@." entry.Registry.name te ta ratio;
+      Format.pp_print_flush fmt ())
+    entries;
+  Format.fprintf fmt
+    "@.assume-k faster on %d / %d instances (exact-k on %d); total %.1fs vs %.1fs@."
+    !wins_assume !total !wins_exact !sum_exact !sum_assume

@@ -1,0 +1,9 @@
+(** Reproduction of Figure 7: the scatter comparison of interpolation
+    sequences using exact-k versus assume-k BMC checks. *)
+
+val run :
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  out:Format.formatter ->
+  unit ->
+  unit

@@ -1,0 +1,59 @@
+open Isr_model
+open Isr_core
+open Isr_suite
+
+type engine_result = {
+  engine : Engine.t;
+  verdict : Verdict.t;
+  stats : Verdict.stats;
+}
+
+type row = {
+  entry : Registry.entry;
+  pis : int;
+  ffs : int;
+  results : engine_result list;
+}
+
+let run_entry ?(progress = fun _ -> ()) ~limits ~engines entry =
+  let model = Registry.build_validated entry in
+  let results =
+    List.map
+      (fun engine ->
+        progress (Printf.sprintf "%s / %s" entry.Registry.name (Engine.name engine));
+        let verdict, stats = Engine.run engine ~limits model in
+        { engine; verdict; stats })
+      engines
+  in
+  {
+    entry;
+    pis = model.Model.num_inputs;
+    ffs = model.Model.num_latches;
+    results;
+  }
+
+let run_suite ?progress ~limits ~engines entries =
+  List.map (run_entry ?progress ~limits ~engines) entries
+
+let ok_mark entry verdict =
+  match verdict with
+  | Verdict.Unknown _ -> ""
+  | Verdict.Proved _ -> if Registry.agrees entry `Proved then "" else "!"
+  | Verdict.Falsified { depth; _ } ->
+    if Registry.agrees entry (`Falsified depth) then "" else "!"
+
+let time_cell verdict stats =
+  match verdict with
+  | Verdict.Unknown _ ->
+    Printf.sprintf "ovf(%d)" stats.Verdict.last_bound
+  | _ -> Printf.sprintf "%.2f" stats.Verdict.time
+
+let kfp_cell = function
+  | Verdict.Proved { kfp; _ } -> string_of_int kfp
+  | Verdict.Falsified { depth; _ } -> string_of_int depth
+  | Verdict.Unknown _ -> "-"
+
+let jfp_cell = function
+  | Verdict.Proved { jfp; _ } -> string_of_int jfp
+  | Verdict.Falsified _ -> "0"
+  | Verdict.Unknown _ -> "-"

@@ -1,0 +1,41 @@
+(** Shared machinery for the experiment reproductions: runs engines over
+    registry entries, collecting times, verdicts and depth measures. *)
+
+open Isr_core
+open Isr_suite
+
+type engine_result = {
+  engine : Engine.t;
+  verdict : Verdict.t;
+  stats : Verdict.stats;
+}
+
+type row = {
+  entry : Registry.entry;
+  pis : int;
+  ffs : int;
+  results : engine_result list;
+}
+
+val run_entry :
+  ?progress:(string -> unit) ->
+  limits:Budget.limits ->
+  engines:Engine.t list ->
+  Registry.entry ->
+  row
+
+val run_suite :
+  ?progress:(string -> unit) ->
+  limits:Budget.limits ->
+  engines:Engine.t list ->
+  Registry.entry list ->
+  row list
+
+val ok_mark : Registry.entry -> Verdict.t -> string
+(** ["!"] when the verdict contradicts the ground truth, [""] otherwise. *)
+
+val time_cell : Verdict.t -> Verdict.stats -> string
+(** Table I style: the time, or [ovf(k)] on resource exhaustion. *)
+
+val kfp_cell : Verdict.t -> string
+val jfp_cell : Verdict.t -> string

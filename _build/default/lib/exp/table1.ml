@@ -1,0 +1,64 @@
+open Isr_model
+open Isr_core
+open Isr_suite
+module Reach = Isr_bdd.Reach
+
+let engines =
+  [
+    Engine.Itp;
+    Engine.Itpseq Bmc.Assume;
+    Engine.Sitpseq (0.5, Bmc.Assume);
+    Engine.Itpseq_cba (0.5, Bmc.Exact);
+  ]
+
+let bdd_cells ~bdd_nodes model =
+  let cell (r : Reach.result) =
+    match r.Reach.verdict with
+    | Reach.Overflow -> ("-", "ovf")
+    | Reach.Proved | Reach.Falsified _ ->
+      ( (match r.Reach.diameter with Some d -> string_of_int d | None -> "-"),
+        Printf.sprintf "%.2f" r.Reach.time )
+  in
+  let fwd = Reach.forward ~max_nodes:bdd_nodes ~max_steps:400 model in
+  let bwd = Reach.backward ~max_nodes:bdd_nodes ~max_steps:400 model in
+  (cell fwd, cell bwd)
+
+let run ?(bdd_nodes = 2_000_000) ?(limits = Budget.default_limits) ?entries
+    ~out:fmt () =
+  let entries = match entries with Some e -> e | None -> Registry.table1 in
+  Format.fprintf fmt
+    "Table I reproduction: BDD diameters and engine Time/kfp/jfp@.";
+  Format.fprintf fmt
+    "(ovf(k) = resource limit at bound k; '!' marks a verdict contradicting ground truth)@.@.";
+  Format.fprintf fmt
+    "%-16s %5s %5s | %4s %8s %4s %8s | %-22s | %-22s | %-22s | %-22s@." "Name" "#PI"
+    "#FF" "dF" "TimeF" "dB" "TimeB" "ITP (t/k/j)" "ITPSEQ (t/k/j)" "SITPSEQ (t/k/j)"
+    "ITPSEQCBA (t/k/j)";
+  let rule = String.make 170 '-' in
+  Format.fprintf fmt "%s@." rule;
+  let last_cat = ref Registry.Mid in
+  List.iter
+    (fun entry ->
+      if entry.Registry.category <> !last_cat then begin
+        Format.fprintf fmt "%s@." rule;
+        last_cat := entry.Registry.category
+      end;
+      let model = Registry.build_validated entry in
+      let (df, tf), (db, tb) = bdd_cells ~bdd_nodes model in
+      let cells =
+        List.map
+          (fun engine ->
+            let verdict, stats = Engine.run engine ~limits model in
+            Printf.sprintf "%8s %4s %4s%s"
+              (Runner.time_cell verdict stats)
+              (Runner.kfp_cell verdict) (Runner.jfp_cell verdict)
+              (Runner.ok_mark entry verdict))
+          engines
+      in
+      Format.fprintf fmt "%-16s %5d %5d | %4s %8s %4s %8s | %s@." entry.Registry.name
+        model.Model.num_inputs model.Model.num_latches df tf db tb
+        (String.concat " | " cells);
+      (* Keep output flowing for long runs. *)
+      Format.pp_print_flush fmt ())
+    entries;
+  Format.fprintf fmt "%s@." rule

@@ -1,0 +1,13 @@
+(** Reproduction of Table I: per-benchmark BDD diameters and times, then
+    Time / k{_fp} / j{_fp} for ITP, ITPSEQ, SITPSEQ and ITPSEQCBA. *)
+
+val run :
+  ?bdd_nodes:int ->
+  ?limits:Isr_core.Budget.limits ->
+  ?entries:Isr_suite.Registry.entry list ->
+  out:Format.formatter ->
+  unit ->
+  unit
+(** Prints the table.  [bdd_nodes] bounds the BDD engine (overflowing
+    entries show a dash, like the paper); [entries] defaults to the full
+    Table I registry. *)

@@ -1,0 +1,1 @@
+lib/fraig/fraig.ml: Aig Array Hashtbl Int64 Isr_aig Isr_cnf Isr_model Isr_sat List Lit Model Option Random Solver

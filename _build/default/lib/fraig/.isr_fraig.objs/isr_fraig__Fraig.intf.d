@@ -1,0 +1,1 @@
+lib/fraig/fraig.mli: Aig Isr_aig Isr_model Model

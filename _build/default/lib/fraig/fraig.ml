@@ -1,0 +1,144 @@
+open Isr_sat
+open Isr_aig
+open Isr_model
+module Tseitin = Isr_cnf.Tseitin
+
+(* Miter-based equivalence of two literals over the same inputs. *)
+let equivalent ?(conflict_budget = 10_000) man a b =
+  let solver = Solver.create () in
+  let input_vars = Hashtbl.create 16 in
+  let input_lit i =
+    match Hashtbl.find_opt input_vars i with
+    | Some l -> l
+    | None ->
+      let l = Lit.pos (Solver.new_var solver) in
+      Hashtbl.add input_vars i l;
+      l
+  in
+  let ctx = Tseitin.create ~man ~solver ~tag:1 ~input_lit in
+  let la = Tseitin.lit ctx a and lb = Tseitin.lit ctx b in
+  (* Assert la <> lb. *)
+  Solver.add_clause solver [ la; lb ];
+  Solver.add_clause solver [ Lit.neg la; Lit.neg lb ];
+  match Solver.solve ~conflict_budget solver with
+  | Solver.Unsat -> Some true
+  | Solver.Sat -> Some false
+  | Solver.Undef -> None
+
+(* One simulation signature refresh over the given patterns.  Patterns
+   assign one int64 word per input; node signatures follow. *)
+let signatures man roots ~pattern =
+  let memo = Hashtbl.create 256 in
+  let rec node_sig node =
+    match Hashtbl.find_opt memo node with
+    | Some v -> v
+    | None ->
+      let v =
+        let l = node lsl 1 in
+        if Aig.is_const man l then 0L
+        else if Aig.is_input man l then pattern (Aig.input_index man l)
+        else begin
+          let f0, f1 = Aig.fanins man l in
+          Int64.logand (lit_sig f0) (lit_sig f1)
+        end
+      in
+      Hashtbl.add memo node v;
+      v
+  and lit_sig l =
+    let v = node_sig (Aig.node_of l) in
+    if Aig.is_complemented l then Int64.lognot v else v
+  in
+  List.iter (fun r -> ignore (lit_sig r)) roots;
+  memo
+
+let sweep_model ?(rounds = 8) ?(conflict_budget = 10_000) (m : Model.t) =
+  let man = m.Model.man in
+  let roots = m.Model.bad :: Array.to_list m.Model.next in
+  let ninputs = Aig.num_inputs man in
+  let rand = Random.State.make [| 0xf4a16 |] in
+  (* Accumulated signature per node, refined round by round and by SAT
+     counterexamples.  Using a growing list of (per-input) pattern words
+     hashed together keeps signatures stable across refreshes. *)
+  let patterns : int64 array list ref = ref [] in
+  for _ = 1 to rounds do
+    patterns := Array.init ninputs (fun _ -> Random.State.bits64 rand) :: !patterns
+  done;
+  let combined : (int, int64 list) Hashtbl.t = Hashtbl.create 256 in
+  let recompute () =
+    Hashtbl.reset combined;
+    List.iter
+      (fun pat ->
+        let sigs = signatures man roots ~pattern:(fun i -> pat.(i)) in
+        Hashtbl.iter
+          (fun node v ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt combined node) in
+            Hashtbl.replace combined node (v :: prev))
+          sigs)
+      !patterns
+  in
+  recompute ();
+  (* Rebuild bottom-up in a fresh manager, merging nodes whose signature
+     matches a previously placed representative and whose equivalence a
+     SAT miter confirms.  Signatures are matched up to complement. *)
+  let dst = Aig.create () in
+  let new_inputs = Array.init ninputs (fun _ -> Aig.fresh_input dst) in
+  (* representative buckets: signature -> (old node, new lit) list *)
+  let buckets : (int64 list, (int * Aig.lit) list) Hashtbl.t = Hashtbl.create 256 in
+  let mapping : (int, Aig.lit) Hashtbl.t = Hashtbl.create 256 in
+  let merges = ref 0 in
+  let rec rebuild_node node =
+    match Hashtbl.find_opt mapping node with
+    | Some l -> l
+    | None ->
+      let l0 = node lsl 1 in
+      let nl =
+        if Aig.is_const man l0 then Aig.lit_false
+        else if Aig.is_input man l0 then new_inputs.(Aig.input_index man l0)
+        else begin
+          let f0, f1 = Aig.fanins man l0 in
+          let built = Aig.and_ dst (rebuild_lit f0) (rebuild_lit f1) in
+          match Hashtbl.find_opt combined node with
+          | None -> built
+          | Some signature ->
+            let norm = List.map Int64.lognot signature in
+            let try_bucket key ~compl =
+              match Hashtbl.find_opt buckets key with
+              | None -> None
+              | Some candidates ->
+                List.find_map
+                  (fun (old, repr_new) ->
+                    let target = if compl then Aig.not_ (old lsl 1) else old lsl 1 in
+                    match equivalent ~conflict_budget man l0 target with
+                    | Some true ->
+                      incr merges;
+                      Some (if compl then Aig.not_ repr_new else repr_new)
+                    | _ -> None)
+                  candidates
+            in
+            (match try_bucket signature ~compl:false with
+            | Some repr -> repr
+            | None -> (
+              match try_bucket norm ~compl:true with
+              | Some repr -> repr
+              | None ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt buckets signature) in
+                Hashtbl.replace buckets signature ((node, built) :: prev);
+                built))
+        end
+      in
+      Hashtbl.add mapping node nl;
+      nl
+  and rebuild_lit l =
+    let nl = rebuild_node (Aig.node_of l) in
+    if Aig.is_complemented l then Aig.not_ nl else nl
+  in
+  let next = Array.map rebuild_lit m.Model.next in
+  let bad = rebuild_lit m.Model.bad in
+  ignore !merges;
+  {
+    m with
+    Model.man = dst;
+    next;
+    bad;
+    name = m.Model.name ^ "_fraig";
+  }

@@ -1,0 +1,24 @@
+(** SAT sweeping (fraiging): merge functionally equivalent AIG nodes.
+
+    Candidate equivalences are proposed by 64-bit random simulation and
+    confirmed by SAT miters; counterexamples from failed checks refine
+    the simulation signatures, so every merge is machine-checked.  Used
+    to compact models before verification — structural hashing only
+    catches syntactic duplication, fraiging catches semantic
+    duplication (the padded industrial designs are full of it). *)
+
+open Isr_aig
+open Isr_model
+
+val equivalent :
+  ?conflict_budget:int -> Aig.man -> Aig.lit -> Aig.lit -> bool option
+(** SAT check that two literals of one manager compute the same function
+    of the inputs.  [None] when the budget (default 10k conflicts) runs
+    out. *)
+
+val sweep_model : ?rounds:int -> ?conflict_budget:int -> Model.t -> Model.t
+(** Rebuilds the model with semantically equivalent internal nodes
+    merged ([rounds] 64-pattern simulation rounds seed the classes,
+    default 8).  The result is sequentially identical: same inputs, same
+    latches (same order and initial values), equivalent next-state and
+    bad functions. *)

@@ -1,0 +1,1 @@
+lib/isl/isl.ml: Aig Array Bitvec Builder Filename Hashtbl In_channel Isr_aig Isr_model L2s List Model Printf Sltl String

@@ -1,0 +1,1 @@
+lib/isl/isl.mli: Isr_model Model Result

@@ -1,0 +1,567 @@
+open Isr_aig
+open Isr_model
+
+exception Error of string
+
+let err line fmt = Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | TIdent of string
+  | TInt of int
+  | TPunct of string  (* ; = [ ] ( ) ? : , { } and operators *)
+  | TEof
+
+type lexed = { tok : token; line : int }
+
+let keywords = [ "input"; "reg"; "wire"; "next"; "bad"; "assume"; "justice"; "assert"; "always"; "within"; "until" ]
+
+let lex text =
+  let n = String.length text in
+  let out = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some text.[!pos + k] else None in
+  let emit tok = out := { tok; line = !line } :: !out in
+  while !pos < n do
+    let c = text.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if (c = '/' && peek 1 = Some '/') || (c = '-' && peek 1 = Some '-') then begin
+      while !pos < n && text.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        let c = text.[!pos] in
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      do
+        incr pos
+      done;
+      emit (TIdent (String.sub text start (!pos - start)))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        let c = text.[!pos] in
+        (c >= '0' && c <= '9') || c = 'x' || c = 'b' || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      do
+        incr pos
+      done;
+      let s = String.sub text start (!pos - start) in
+      match int_of_string_opt s with
+      | Some v when v >= 0 -> emit (TInt v)
+      | _ -> err !line "bad integer literal %S" s
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub text !pos 2) else None
+      in
+      match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "<<" | ">>" | "->") as op) ->
+        emit (TPunct op);
+        pos := !pos + 2
+      | _ -> (
+        match c with
+        | ';' | '=' | '[' | ']' | '(' | ')' | '?' | ':' | ',' | '{' | '}' | '|' | '^'
+        | '&' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '!' | '~' ->
+          emit (TPunct (String.make 1 c));
+          incr pos
+        | _ -> err !line "unexpected character %C" c)
+    end
+  done;
+  emit TEof;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* AST and parser                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | Eident of string * int
+  | Eint of int * int
+  | Eunop of string * expr * int
+  | Ebinop of string * expr * expr * int
+  | Eternary of expr * expr * expr * int
+  | Eselect of expr * int * int
+  | Eslice of expr * int * int * int
+  | Econcat of expr list * int
+
+type prop =
+  | Pbool of expr
+  | Pimplies of expr * prop * int
+  | Pnext of prop * int
+  | Pwithin of int * expr * int
+  | Puntil of expr * int * expr * int
+
+type decl =
+  | Dinput of string * int * int
+  | Dreg of string * int * int * int  (* name, width, init, line *)
+  | Dwire of string * expr * int
+  | Dnext of string * expr * int
+  | Dbad of expr * int
+  | Dassume of expr * int
+  | Djustice of expr * int
+  | Dassert of prop * int
+
+type parser_state = { mutable toks : lexed list }
+
+let peek p = match p.toks with [] -> { tok = TEof; line = 0 } | t :: _ -> t
+let advance p = match p.toks with [] -> () | _ :: rest -> p.toks <- rest
+
+let expect_punct p s =
+  let t = peek p in
+  match t.tok with
+  | TPunct x when x = s -> advance p
+  | _ -> err t.line "expected %S" s
+
+let expect_ident p =
+  let t = peek p in
+  match t.tok with
+  | TIdent x when not (List.mem x keywords) ->
+    advance p;
+    x
+  | _ -> err t.line "expected an identifier"
+
+let expect_int p =
+  let t = peek p in
+  match t.tok with
+  | TInt v ->
+    advance p;
+    v
+  | _ -> err t.line "expected an integer"
+
+let eat_punct p s =
+  match (peek p).tok with
+  | TPunct x when x = s ->
+    advance p;
+    true
+  | _ -> false
+
+(* Expression parsing, precedence climbing.  Levels, low to high:
+   ternary; or; xor; and; equality; relational; shifts; additive;
+   multiplicative; unary; postfix. *)
+let rec parse_expr p = parse_ternary p
+
+and parse_ternary p =
+  let line = (peek p).line in
+  let c = parse_level p 0 in
+  if eat_punct p "?" then begin
+    let t = parse_ternary p in
+    expect_punct p ":";
+    let e = parse_ternary p in
+    Eternary (c, t, e, line)
+  end
+  else c
+
+and level_ops = [| [ "|" ]; [ "^" ]; [ "&" ]; [ "=="; "!=" ]; [ "<"; "<="; ">"; ">=" ]; [ "<<"; ">>" ]; [ "+"; "-" ]; [ "*"; "/"; "%" ] |]
+
+and parse_level p lvl =
+  if lvl >= Array.length level_ops then parse_unary p
+  else begin
+    let left = ref (parse_level p (lvl + 1)) in
+    let continue = ref true in
+    while !continue do
+      let t = peek p in
+      match t.tok with
+      | TPunct op when List.mem op level_ops.(lvl) ->
+        advance p;
+        let right = parse_level p (lvl + 1) in
+        left := Ebinop (op, !left, right, t.line)
+      | _ -> continue := false
+    done;
+    !left
+  end
+
+and parse_unary p =
+  let t = peek p in
+  match t.tok with
+  | TPunct (("!" | "~" | "-" | "&" | "|" | "^") as op) ->
+    advance p;
+    Eunop (op, parse_unary p, t.line)
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let continue = ref true in
+  while !continue do
+    let t = peek p in
+    if eat_punct p "[" then begin
+      let hi = expect_int p in
+      if eat_punct p ":" then begin
+        let lo = expect_int p in
+        expect_punct p "]";
+        e := Eslice (!e, hi, lo, t.line)
+      end
+      else begin
+        expect_punct p "]";
+        e := Eselect (!e, hi, t.line)
+      end
+    end
+    else continue := false
+  done;
+  !e
+
+and parse_primary p =
+  let t = peek p in
+  match t.tok with
+  | TInt v ->
+    advance p;
+    Eint (v, t.line)
+  | TIdent x when not (List.mem x keywords) ->
+    advance p;
+    Eident (x, t.line)
+  | TPunct "(" ->
+    advance p;
+    let e = parse_expr p in
+    expect_punct p ")";
+    e
+  | TPunct "{" ->
+    advance p;
+    let rec parts acc =
+      let e = parse_expr p in
+      if eat_punct p "," then parts (e :: acc) else List.rev (e :: acc)
+    in
+    let es = parts [] in
+    expect_punct p "}";
+    Econcat (es, t.line)
+  | _ -> err t.line "expected an expression"
+
+let rec parse_prop p =
+  let t = peek p in
+  match t.tok with
+  | TIdent "next" ->
+    advance p;
+    Pnext (parse_prop p, t.line)
+  | TIdent "within" ->
+    advance p;
+    expect_punct p "[";
+    let k = expect_int p in
+    expect_punct p "]";
+    Pwithin (k, parse_expr p, t.line)
+  | TPunct "(" -> (
+    (* Parentheses are ambiguous between a sub-property and an ordinary
+       boolean expression; try the property reading first and fall back
+       by rewinding the token stream (it is just a list). *)
+    let saved = p.toks in
+    advance p;
+    let attempt =
+      try
+        let pr = parse_prop p in
+        match pr with
+        | Pbool _ -> None (* let the expression path own this paren *)
+        | _ ->
+          expect_punct p ")";
+          Some pr
+      with Error _ -> None
+    in
+    match attempt with
+    | Some pr -> pr
+    | None ->
+      p.toks <- saved;
+      parse_prop_expr p)
+  | _ -> parse_prop_expr p
+
+and parse_prop_expr p =
+  let e = parse_expr p in
+  let t2 = peek p in
+  match t2.tok with
+  | TPunct "->" ->
+    advance p;
+    Pimplies (e, parse_prop p, t2.line)
+  | TIdent "until" ->
+    advance p;
+    expect_punct p "[";
+    let k = expect_int p in
+    expect_punct p "]";
+    Puntil (e, k, parse_expr p, t2.line)
+  | _ -> Pbool e
+
+let parse_decl p =
+  let t = peek p in
+  match t.tok with
+  | TIdent "input" ->
+    advance p;
+    let name = expect_ident p in
+    let w = if eat_punct p "[" then (let w = expect_int p in expect_punct p "]"; w) else 1 in
+    expect_punct p ";";
+    Some (Dinput (name, w, t.line))
+  | TIdent "reg" ->
+    advance p;
+    let name = expect_ident p in
+    let w = if eat_punct p "[" then (let w = expect_int p in expect_punct p "]"; w) else 1 in
+    let init = if eat_punct p "=" then expect_int p else 0 in
+    expect_punct p ";";
+    Some (Dreg (name, w, init, t.line))
+  | TIdent "wire" ->
+    advance p;
+    let name = expect_ident p in
+    expect_punct p "=";
+    let e = parse_expr p in
+    expect_punct p ";";
+    Some (Dwire (name, e, t.line))
+  | TIdent "next" ->
+    advance p;
+    let name = expect_ident p in
+    expect_punct p "=";
+    let e = parse_expr p in
+    expect_punct p ";";
+    Some (Dnext (name, e, t.line))
+  | TIdent "bad" ->
+    advance p;
+    let e = parse_expr p in
+    expect_punct p ";";
+    Some (Dbad (e, t.line))
+  | TIdent "assume" ->
+    advance p;
+    let e = parse_expr p in
+    expect_punct p ";";
+    Some (Dassume (e, t.line))
+  | TIdent "justice" ->
+    advance p;
+    let e = parse_expr p in
+    expect_punct p ";";
+    Some (Djustice (e, t.line))
+  | TIdent "assert" ->
+    advance p;
+    (match (peek p).tok with
+    | TIdent "always" -> advance p
+    | _ -> err t.line "assert expects 'always' (only invariance properties are supported)");
+    let pr = parse_prop p in
+    expect_punct p ";";
+    Some (Dassert (pr, t.line))
+  | TEof -> None
+  | _ -> err t.line "expected a declaration (input/reg/wire/next/bad/assume/justice)"
+
+let parse_program text =
+  let p = { toks = lex text } in
+  let rec go acc = match parse_decl p with None -> List.rev acc | Some d -> go (d :: acc) in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type signal = { vec : Aig.lit array; is_reg : bool }
+
+let elaborate ?(name = "isl") decls =
+  let b = Builder.create name in
+  let m = Builder.man b in
+  let env : (string, signal) Hashtbl.t = Hashtbl.create 32 in
+  let reg_lines : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let nexts : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let bads = ref [] and assumes = ref [] and justices = ref [] in
+  let declare line nm signal =
+    if Hashtbl.mem env nm then err line "duplicate name %S" nm;
+    Hashtbl.add env nm signal
+  in
+  (* Expression widths: literals are flexible and adopt the width of the
+     other operand; everything else must match exactly. *)
+  let fit line v w =
+    if w < 63 && v >= 1 lsl w then err line "literal %d does not fit in %d bits" v w;
+    Bitvec.of_int ~width:w v
+  in
+  let rec eval ?want e =
+    match e with
+    | Eint (v, line) -> (
+      match want with
+      | Some w -> fit line v w
+      | None ->
+        (* Standalone literal: minimal width. *)
+        let rec bits x = if x <= 1 then 1 else 1 + bits (x lsr 1) in
+        fit line v (bits v))
+    | Eident (nm, line) -> (
+      match Hashtbl.find_opt env nm with
+      | Some s -> s.vec
+      | None -> err line "unknown name %S" nm)
+    | Eunop (op, a, line) -> (
+      let va = eval ?want:(if op = "-" || op = "~" then want else None) a in
+      match op with
+      | "!" ->
+        if Array.length va <> 1 then err line "'!' needs a 1-bit operand (use ~ or a comparison)";
+        [| Aig.not_ va.(0) |]
+      | "~" -> Bitvec.lnot m va
+      | "-" -> Bitvec.neg m va
+      | "&" -> [| Bitvec.redand m va |]
+      | "|" -> [| Bitvec.redor m va |]
+      | "^" -> [| Bitvec.redxor m va |]
+      | _ -> assert false)
+    | Ebinop (op, a, bb, line) -> (
+      (* Width negotiation: evaluate the non-literal side first. *)
+      let va, vb =
+        match (a, bb) with
+        | Eint _, Eint _ ->
+          let va = eval ?want a in
+          (va, eval ~want:(Array.length va) bb)
+        | Eint _, _ ->
+          let vb = eval ?want:(if List.mem op [ "<<"; ">>" ] then None else want) bb in
+          (eval ~want:(Array.length vb) a, vb)
+        | _, Eint _ ->
+          let va = eval ?want:(if List.mem op [ "<<"; ">>" ] then want else None) a in
+          (va, eval ~want:(Array.length va) bb)
+        | _ ->
+          let va = eval ?want:(if List.mem op [ "<<"; ">>" ] then want else None) a in
+          (va, eval bb)
+      in
+      let same () =
+        if Array.length va <> Array.length vb then
+          err line "width mismatch: %d vs %d for %S" (Array.length va) (Array.length vb) op
+      in
+      match op with
+      | "|" -> same (); Array.mapi (fun i x -> Aig.or_ m x vb.(i)) va
+      | "^" -> same (); Array.mapi (fun i x -> Aig.xor_ m x vb.(i)) va
+      | "&" -> same (); Array.mapi (fun i x -> Aig.and_ m x vb.(i)) va
+      | "==" -> same (); [| Bitvec.eq m va vb |]
+      | "!=" -> same (); [| Aig.not_ (Bitvec.eq m va vb) |]
+      | "<" -> same (); [| Bitvec.ult m va vb |]
+      | "<=" -> same (); [| Aig.not_ (Bitvec.ult m vb va) |]
+      | ">" -> same (); [| Bitvec.ult m vb va |]
+      | ">=" -> same (); [| Aig.not_ (Bitvec.ult m va vb) |]
+      | "+" -> same (); Bitvec.add m va vb
+      | "-" -> same (); Bitvec.sub m va vb
+      | "*" -> same (); Bitvec.mul m va vb
+      | "/" ->
+        same ();
+        let q, _ = Bitvec.divmod m va vb in
+        let bz = Bitvec.eq m vb (Bitvec.zero (Array.length vb)) in
+        Bitvec.mux m bz (Array.make (Array.length va) Aig.lit_true) q
+      | "%" ->
+        same ();
+        let _, r = Bitvec.divmod m va vb in
+        let bz = Bitvec.eq m vb (Bitvec.zero (Array.length vb)) in
+        Bitvec.mux m bz va r
+      | "<<" -> Bitvec.shift m ~left:true ~fill:(fun _ -> Aig.lit_false) va vb
+      | ">>" -> Bitvec.shift m ~left:false ~fill:(fun _ -> Aig.lit_false) va vb
+      | _ -> assert false)
+    | Eternary (c, t, e, line) ->
+      let vc = eval c in
+      if Array.length vc <> 1 then err line "mux condition must be 1 bit wide";
+      let vt = eval ?want t in
+      let ve = eval ~want:(Array.length vt) e in
+      if Array.length vt <> Array.length ve then
+        err line "mux arms differ in width: %d vs %d" (Array.length vt) (Array.length ve);
+      Bitvec.mux m vc.(0) vt ve
+    | Eselect (a, i, line) ->
+      let va = eval a in
+      if i < 0 || i >= Array.length va then err line "bit %d out of range" i;
+      [| va.(i) |]
+    | Eslice (a, hi, lo, line) ->
+      let va = eval a in
+      if lo > hi || hi >= Array.length va then err line "slice [%d:%d] out of range" hi lo;
+      Array.sub va lo (hi - lo + 1)
+    | Econcat (es, _) ->
+      (* First part is the high end, Verilog style. *)
+      let vs = List.map (fun e -> eval e) es in
+      Array.concat (List.rev vs)
+  in
+  let bit line what e =
+    let v = eval ~want:1 e in
+    if Array.length v <> 1 then err line "%s must be 1 bit wide" what;
+    v.(0)
+  in
+  (* Registers first need their declarations before wires can read them;
+     process declarations strictly in order (declare-before-use). *)
+  List.iter
+    (fun d ->
+      match d with
+      | Dinput (nm, w, line) ->
+        if w < 1 then err line "input width must be positive";
+        declare line nm { vec = Array.init w (fun _ -> Builder.input b); is_reg = false }
+      | Dreg (nm, w, init, line) ->
+        if w < 1 then err line "reg width must be positive";
+        if w < 63 && init >= 1 lsl w then err line "reset value %d does not fit in %d bits" init w;
+        let vec = Array.init w (fun i -> Builder.latch b ~init:((init lsr i) land 1 = 1) ()) in
+        Hashtbl.add reg_lines nm line;
+        declare line nm { vec; is_reg = true }
+      | Dwire (nm, e, line) -> declare line nm { vec = eval e; is_reg = false }
+      | Dnext (nm, e, line) -> (
+        match Hashtbl.find_opt env nm with
+        | Some { vec; is_reg = true } ->
+          if Hashtbl.mem nexts nm then err line "duplicate next for %S" nm;
+          Hashtbl.add nexts nm ();
+          let v = eval ~want:(Array.length vec) e in
+          if Array.length v <> Array.length vec then
+            err line "next width mismatch for %S: %d vs %d" nm (Array.length v)
+              (Array.length vec);
+          Array.iteri (fun i _ -> Builder.set_next b vec.(i) v.(i)) vec
+        | Some _ -> err line "%S is not a reg" nm
+        | None -> err line "unknown reg %S" nm)
+      | Dbad (e, line) -> bads := bit line "bad" e :: !bads
+      | Dassert (pr, _line) ->
+        let expr_line = function
+          | Eident (_, l) | Eint (_, l) | Eunop (_, _, l) | Ebinop (_, _, _, l)
+          | Eternary (_, _, _, l) | Eselect (_, _, l) | Eslice (_, _, _, l)
+          | Econcat (_, l) ->
+            l
+        in
+        let rec compile = function
+          | Pbool e' -> Sltl.Holds (bit (expr_line e') "assert condition" e')
+          | Pimplies (c, pr', line') -> Sltl.Implies (bit line' "assert antecedent" c, compile pr')
+          | Pnext (pr', _) -> Sltl.Next (compile pr')
+          | Pwithin (k, e', line') -> Sltl.Within (k, bit line' "within condition" e')
+          | Puntil (h, k, f, line') ->
+            Sltl.Until_within (k, bit line' "until condition" h, bit line' "until target" f)
+        in
+        let viol = Sltl.always b (compile pr) in
+        bads := viol :: !bads
+      | Dassume (e, line) -> assumes := bit line "assume" e :: !assumes
+      | Djustice (e, line) -> justices := bit line "justice" e :: !justices)
+    decls;
+  Hashtbl.iter
+    (fun nm line -> if not (Hashtbl.mem nexts nm) then err line "reg %S has no next" nm)
+    reg_lines;
+  (* Environment assumptions: valid-prefix transformation. *)
+  let assumes_now = List.fold_left (Aig.and_ m) Aig.lit_true !assumes in
+  let guard =
+    if !assumes = [] then Aig.lit_true
+    else begin
+      let valid = Builder.latch b ~init:true () in
+      Builder.set_next b valid (Aig.and_ m valid assumes_now);
+      Aig.and_ m valid assumes_now
+    end
+  in
+  let safety_models =
+    List.mapi
+      (fun idx bad ->
+        let model = Builder.finish b ~bad:(Aig.and_ m bad guard) in
+        {
+          model with
+          Model.name =
+            (if List.length !bads = 1 then name else Printf.sprintf "%s_b%d" name idx);
+        })
+      (List.rev !bads)
+  in
+  let liveness_models =
+    List.mapi
+      (fun idx j ->
+        let host = Builder.finish b ~bad:(Aig.and_ m j guard) in
+        let justice = [ host.Model.bad ] in
+        let safety, _ = L2s.transform { host with Model.bad = Aig.lit_false } ~justice in
+        { safety with Model.name = Printf.sprintf "%s_j%d" name idx })
+      (List.rev !justices)
+  in
+  match safety_models @ liveness_models with
+  | [] -> [ Builder.finish b ~bad:Aig.lit_false ]
+  | models -> models
+
+let parse_string ?name text =
+  match elaborate ?name (parse_program text) with
+  | models -> Ok models
+  | exception Error msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  | exception Sys_error msg -> Error msg

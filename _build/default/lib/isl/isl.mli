@@ -1,0 +1,48 @@
+(** ISL — a small textual netlist language for writing verification
+    models without OCaml.  One circuit per file:
+
+    {v
+    // 4-bit vending machine (unsigned arithmetic, little-endian regs)
+    input coin;
+    input vend_req;
+    reg credit[4] = 0;
+
+    wire below    = credit < 7;
+    wire at_price = credit == 7;
+    wire vend     = vend_req & at_price;
+    wire accept   = coin & below;
+
+    next credit = vend ? 0 : (accept ? credit + 1 : credit);
+
+    bad credit == 8;
+    v}
+
+    Declarations: [input x;] / [input x[w];], [reg x[w] = init;],
+    [wire x = e;], [next r = e;], [bad e;], [assume e;] (environment
+    constraint, compiled with the valid-prefix transformation),
+    [justice e;] (liveness, compiled through {!Isr_model.L2s}), and
+    temporal assertions compiled through {!Isr_model.Sltl}:
+
+    {v
+    assert always req -> within[4] ack;
+    assert always go -> next (busy until[2] fin);
+    v}
+
+    Expressions: identifiers, unsigned integer literals (sized by
+    context), [! ~ -] and reduction [& | ^] prefixes, infix
+    [| ^ & == != < <= > >= << >> + - * / %], the mux [c ? a : b],
+    bit-select [x[i]], slice [x[hi:lo]] and concatenation [{hi, lo}].
+    Binary operators require equal widths; bare literals adopt the width
+    of the other side.  Comments run from [//] or [--] to end of line.
+
+    Width errors, unknown or duplicate names, missing or duplicate
+    [next] lines are reported with line numbers. *)
+
+open Isr_model
+
+val parse_string : ?name:string -> string -> (Model.t list, string) Result.t
+(** One model per [bad], followed by one per [justice] (as in the BTOR2
+    front-end).  A file with no properties yields one constant-false-bad
+    model. *)
+
+val parse_file : string -> (Model.t list, string) Result.t

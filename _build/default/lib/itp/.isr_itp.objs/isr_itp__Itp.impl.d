@@ -1,0 +1,1 @@
+lib/itp/itp.ml: Aig Array Isr_aig Isr_sat Lit Printf Proof

@@ -1,0 +1,1 @@
+lib/itp/itp.mli: Aig Isr_aig Isr_sat Proof

@@ -1,0 +1,118 @@
+open Isr_sat
+open Isr_aig
+
+type system = McMillan | Pudlak | McMillan_dual
+
+let system_name = function
+  | McMillan -> "mcmillan"
+  | Pudlak -> "pudlak"
+  | McMillan_dual -> "mcmillan-dual"
+
+type info = {
+  minp : int array;  (* variable -> smallest partition tag it occurs in *)
+  maxp : int array;  (* variable -> largest partition tag it occurs in *)
+  ntags : int;
+  used : bool array; (* clause id -> reachable from the empty clause *)
+}
+
+let analyze (p : Proof.t) =
+  let n = p.Proof.nvars in
+  let minp = Array.make n max_int in
+  let maxp = Array.make n 0 in
+  let ntags = ref 0 in
+  Array.iter
+    (function
+      | Proof.Derived _ -> ()
+      | Proof.Input { lits; tag } ->
+        if tag < 1 then invalid_arg "Itp.analyze: input clause with tag < 1";
+        ntags := max !ntags tag;
+        Array.iter
+          (fun l ->
+            let v = Lit.var l in
+            if tag < minp.(v) then minp.(v) <- tag;
+            if tag > maxp.(v) then maxp.(v) <- tag)
+          lits)
+    p.Proof.steps;
+  { minp; maxp; ntags = !ntags; used = Proof.used p }
+
+(* Literal/variable label at a cut.  Unused variables (never in an input
+   clause) can only appear as pivots of irrelevant resolutions; treating
+   them as A-local is sound. *)
+type label = La | Lb | Lab
+
+let var_label info ~cut ~system v =
+  if info.maxp.(v) <= cut then La
+  else if info.minp.(v) > cut then Lb
+  else
+    match system with McMillan -> Lb | Pudlak -> Lab | McMillan_dual -> La
+
+let interpolant ?info ?(system = McMillan) (p : Proof.t) ~cut ~man ~var_map =
+  let info = match info with Some i -> i | None -> analyze p in
+  let label v = var_label info ~cut ~system v in
+  let map_var v =
+    match var_map v with
+    | Some l -> l
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Itp.interpolant: cut-global variable %d not mapped" v)
+  in
+  let map_lit l =
+    let al = map_var (Lit.var l) in
+    if Lit.is_neg l then Aig.not_ al else al
+  in
+  let attrs =
+    Proof.fold_inorder
+      (fun ~get id step ->
+        if not info.used.(id) then Aig.lit_false
+        else
+          match step with
+          | Proof.Input { lits; tag } ->
+            if tag <= cut then
+              (* A-clause: disjunction of its b-labeled literals. *)
+              Array.fold_left
+                (fun acc l ->
+                  if label (Lit.var l) = Lb then Aig.or_ man acc (map_lit l) else acc)
+                Aig.lit_false lits
+            else
+              (* B-clause: conjunction of its negated a-labeled literals. *)
+              Array.fold_left
+                (fun acc l ->
+                  if label (Lit.var l) = La then
+                    Aig.and_ man acc (Aig.not_ (map_lit l))
+                  else acc)
+                Aig.lit_true lits
+          | Proof.Derived { first; chain; _ } ->
+            Array.fold_left
+              (fun acc (pivot, aid) ->
+                let other = get aid in
+                match label pivot with
+                | La -> Aig.or_ man acc other
+                | Lb -> Aig.and_ man acc other
+                | Lab ->
+                  (* Pudlák: disjoin each premise's own pivot phase.  The
+                     antecedent's phase is read off its literals; the
+                     running resolvent holds the complement. *)
+                  let ant_lits = Proof.lits p aid in
+                  let phase_in_ant =
+                    let rec find k =
+                      if k >= Array.length ant_lits then
+                        invalid_arg "Itp.interpolant: pivot absent from antecedent"
+                      else if Lit.var ant_lits.(k) = pivot then ant_lits.(k)
+                      else find (k + 1)
+                    in
+                    find 0
+                  in
+                  let l_ant = map_lit phase_in_ant in
+                  Aig.and_ man
+                    (Aig.or_ man acc (Aig.not_ l_ant))
+                    (Aig.or_ man other l_ant))
+              (get first) chain)
+      p
+  in
+  attrs.(p.Proof.empty)
+
+let sequence ?info ?system (p : Proof.t) ~man ~var_map =
+  let info = match info with Some i -> i | None -> analyze p in
+  let n = info.ntags in
+  if n < 2 then invalid_arg "Itp.sequence: needs at least two partitions";
+  Array.init (n - 1) (fun j -> interpolant ~info ?system p ~cut:(j + 1) ~man ~var_map)

@@ -1,0 +1,65 @@
+(** Craig interpolation from resolution proofs.
+
+    Partitions are given by the tags on the proof's input clauses: for a
+    cut [j], the A-side is the conjunction of clauses with tag [<= j] and
+    the B-side the rest.  Tags must be [>= 1] on every input clause.
+
+    For a single (A, B) interpolant, tag A-clauses 1 and B-clauses 2 and
+    use [cut:1].  For an interpolation sequence over Γ = A{_1} … A{_n},
+    tag each A{_i} with [i]; cut [j] then yields I{_j} of Definition 2 in
+    the paper — all cuts share the same proof, which is exactly the
+    "parallel" computation of interpolation sequences.
+
+    Three labeled interpolation systems are provided, differing in how
+    cut-global (shared) literals are treated; they produce interpolants
+    of decreasing logical strength:
+
+    - {!McMillan} (the paper's choice, strongest): shared literals take
+      label [b] — A-clauses seed the disjunction of their shared
+      literals, B-clauses seed true, shared pivots conjoin.
+    - {!Pudlak} (symmetric): shared literals take label [ab] — seeds are
+      false/true and shared pivots introduce a mux on the pivot.
+    - {!McMillan_dual} (weakest): shared literals take label [a] —
+      B-clauses seed the conjunction of their negated shared literals and
+      shared pivots disjoin. *)
+
+open Isr_sat
+open Isr_aig
+
+type system = McMillan | Pudlak | McMillan_dual
+
+val system_name : system -> string
+
+type info
+(** Per-variable partition occurrence and proof reachability, computed
+    once per proof and shared by every cut. *)
+
+val analyze : Proof.t -> info
+(** @raise Invalid_argument if an input clause has tag 0. *)
+
+val interpolant :
+  ?info:info ->
+  ?system:system ->
+  Proof.t ->
+  cut:int ->
+  man:Aig.man ->
+  var_map:(int -> Aig.lit option) ->
+  Aig.lit
+(** Interpolant at a cut, built over [man] with every cut-global SAT
+    variable translated through [var_map] (typically to a latch literal).
+    Only the steps reachable from the empty clause are visited.
+
+    @raise Invalid_argument if a global variable is not covered by
+    [var_map]. *)
+
+val sequence :
+  ?info:info ->
+  ?system:system ->
+  Proof.t ->
+  man:Aig.man ->
+  var_map:(int -> Aig.lit option) ->
+  Aig.lit array
+(** All interpolants of the sequence from one proof: element [j-1] is the
+    cut-[j] interpolant, for [j] in [1 .. max_tag - 1].  By Definition 2
+    the virtual endpoints are I{_0} = true and I{_n} = false; they are not
+    included. *)

@@ -1,0 +1,1 @@
+lib/model/aiger.ml: Aig Array Buffer Char Filename Hashtbl In_channel Isr_aig List Model Option Out_channel Printf Result String Trace

@@ -1,0 +1,1 @@
+lib/model/aiger.mli: Model Result Trace

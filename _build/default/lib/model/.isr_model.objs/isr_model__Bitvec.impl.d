@@ -1,0 +1,1 @@
+lib/model/bitvec.ml: Aig Array Isr_aig List

@@ -1,0 +1,1 @@
+lib/model/bitvec.mli: Aig Isr_aig

@@ -1,0 +1,1 @@
+lib/model/builder.ml: Aig Array Hashtbl Isr_aig List Model Printf

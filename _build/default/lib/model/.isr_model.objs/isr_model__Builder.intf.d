@@ -1,0 +1,1 @@
+lib/model/builder.mli: Aig Isr_aig Model

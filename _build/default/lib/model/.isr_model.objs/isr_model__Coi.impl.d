@@ -1,0 +1,1 @@
+lib/model/coi.ml: Aig Array Builder Fun Hashtbl Isr_aig List Model Trace

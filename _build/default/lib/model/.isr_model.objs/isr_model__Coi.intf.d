@@ -1,0 +1,1 @@
+lib/model/coi.mli: Model Trace

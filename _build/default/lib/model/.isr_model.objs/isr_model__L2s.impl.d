@@ -1,0 +1,1 @@
+lib/model/l2s.ml: Aig Array Builder Fun Isr_aig List Model Sim Trace

@@ -1,0 +1,1 @@
+lib/model/l2s.mli: Aig Isr_aig Model Trace

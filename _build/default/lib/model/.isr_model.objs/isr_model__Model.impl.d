@@ -1,0 +1,1 @@
+lib/model/model.ml: Aig Array Format Hashtbl Isr_aig List Printf

@@ -1,0 +1,1 @@
+lib/model/model.mli: Aig Format Isr_aig Result

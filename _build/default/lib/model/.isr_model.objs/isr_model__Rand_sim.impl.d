@@ -1,0 +1,1 @@
+lib/model/rand_sim.ml: Aig Array Int64 Isr_aig List Model Random Sim Trace

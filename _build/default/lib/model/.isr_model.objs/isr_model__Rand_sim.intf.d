@@ -1,0 +1,1 @@
+lib/model/rand_sim.mli: Model Trace

@@ -1,0 +1,1 @@
+lib/model/sim.ml: Aig Array Isr_aig Model Trace

@@ -1,0 +1,1 @@
+lib/model/sim.mli: Aig Isr_aig Model Trace

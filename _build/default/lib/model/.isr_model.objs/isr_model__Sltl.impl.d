@@ -1,0 +1,1 @@
+lib/model/sltl.ml: Aig Builder Isr_aig

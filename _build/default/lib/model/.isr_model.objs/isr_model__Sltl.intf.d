@@ -1,0 +1,1 @@
+lib/model/sltl.mli: Aig Builder Isr_aig

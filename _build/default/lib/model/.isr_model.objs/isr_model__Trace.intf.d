@@ -1,0 +1,1 @@
+lib/model/trace.mli: Format

@@ -1,0 +1,1 @@
+lib/model/unroll.ml: Aig Array Hashtbl Isr_aig Isr_cnf Isr_sat Lit Model Solver Trace

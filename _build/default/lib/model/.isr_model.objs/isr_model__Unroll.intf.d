@@ -1,0 +1,1 @@
+lib/model/unroll.mli: Aig Isr_aig Isr_sat Lit Model Solver Trace

@@ -1,0 +1,100 @@
+open Isr_aig
+
+let zero w = Array.make w Aig.lit_false
+
+let of_int ~width v =
+  Array.init width (fun i ->
+      if (v lsr i) land 1 = 1 then Aig.lit_true else Aig.lit_false)
+
+let lnot _m a = Array.map Aig.not_ a
+
+let full_add m a b cin =
+  let sum = Aig.xor_ m (Aig.xor_ m a b) cin in
+  let cout = Aig.or_ m (Aig.and_ m a b) (Aig.and_ m cin (Aig.xor_ m a b)) in
+  (sum, cout)
+
+let adder m a b cin =
+  let carry = ref cin in
+  Array.mapi
+    (fun i x ->
+      let s, c = full_add m x b.(i) !carry in
+      carry := c;
+      s)
+    a
+
+let add m a b = adder m a b Aig.lit_false
+let sub m a b = adder m a (lnot m b) Aig.lit_true
+let neg m a = sub m (zero (Array.length a)) a
+let mux m c a b = Array.mapi (fun i x -> Aig.ite m c x b.(i)) a
+
+let eq m a b =
+  let acc = ref Aig.lit_true in
+  Array.iteri (fun i x -> acc := Aig.and_ m !acc (Aig.iff_ m x b.(i))) a;
+  !acc
+
+let ult m a b =
+  let lt = ref Aig.lit_false in
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      lt := Aig.or_ m (Aig.and_ m (Aig.not_ x) y) (Aig.and_ m (Aig.iff_ m x y) !lt))
+    a;
+  !lt
+
+let slt m a b =
+  let w = Array.length a in
+  let sa = a.(w - 1) and sb = b.(w - 1) in
+  Aig.or_ m (Aig.and_ m sa (Aig.not_ sb)) (Aig.and_ m (Aig.iff_ m sa sb) (ult m a b))
+
+let mul m a b =
+  let w = Array.length a in
+  let acc = ref (zero w) in
+  for i = 0 to w - 1 do
+    let shifted = Array.init w (fun j -> if j < i then Aig.lit_false else a.(j - i)) in
+    let masked = Array.map (fun l -> Aig.and_ m b.(i) l) shifted in
+    acc := add m !acc masked
+  done;
+  !acc
+
+let shift m ~left ~fill a shamt =
+  let w = Array.length a in
+  let stages = ref [] in
+  let s = ref 0 in
+  while 1 lsl !s < w do
+    stages := !s :: !stages;
+    incr s
+  done;
+  let cur = ref a in
+  List.iter
+    (fun st ->
+      let d = 1 lsl st in
+      let shifted =
+        Array.init w (fun j ->
+            if left then if j < d then fill j else !cur.(j - d)
+            else if j + d < w then !cur.(j + d)
+            else fill j)
+      in
+      if st < Array.length shamt then cur := mux m shamt.(st) shifted !cur)
+    (List.rev !stages);
+  let big = ref Aig.lit_false in
+  Array.iteri (fun i l -> if 1 lsl i >= w then big := Aig.or_ m !big l) shamt;
+  Array.init w (fun j -> Aig.ite m !big (fill j) !cur.(j))
+
+let divmod m a b =
+  let w = Array.length a in
+  let rem = ref (zero w) in
+  let quo = Array.make w Aig.lit_false in
+  for i = w - 1 downto 0 do
+    let shifted = Array.init w (fun j -> if j = 0 then a.(i) else !rem.(j - 1)) in
+    let overflow = !rem.(w - 1) in
+    let ge_low = Aig.not_ (ult m shifted b) in
+    let ge = Aig.or_ m overflow ge_low in
+    let diff = sub m shifted b in
+    quo.(i) <- ge;
+    rem := mux m ge diff shifted
+  done;
+  (quo, !rem)
+
+let redand m a = Array.fold_left (Aig.and_ m) Aig.lit_true a
+let redor m a = Array.fold_left (Aig.or_ m) Aig.lit_false a
+let redxor m a = Array.fold_left (Aig.xor_ m) Aig.lit_false a

@@ -1,0 +1,36 @@
+(** Bit-vector circuit constructors over an AIG manager (little-endian
+    [Aig.lit array] words) — the shared arithmetic layer of the BTOR2
+    bit-blaster and the ISL netlist language. *)
+
+open Isr_aig
+
+val zero : int -> Aig.lit array
+val of_int : width:int -> int -> Aig.lit array
+val lnot : Aig.man -> Aig.lit array -> Aig.lit array
+val add : Aig.man -> Aig.lit array -> Aig.lit array -> Aig.lit array
+val sub : Aig.man -> Aig.lit array -> Aig.lit array -> Aig.lit array
+val neg : Aig.man -> Aig.lit array -> Aig.lit array
+val mul : Aig.man -> Aig.lit array -> Aig.lit array -> Aig.lit array
+
+val divmod : Aig.man -> Aig.lit array -> Aig.lit array -> Aig.lit array * Aig.lit array
+(** Restoring division; callers pick their own division-by-zero
+    convention. *)
+
+val mux : Aig.man -> Aig.lit -> Aig.lit array -> Aig.lit array -> Aig.lit array
+val eq : Aig.man -> Aig.lit array -> Aig.lit array -> Aig.lit
+val ult : Aig.man -> Aig.lit array -> Aig.lit array -> Aig.lit
+val slt : Aig.man -> Aig.lit array -> Aig.lit array -> Aig.lit
+
+val shift :
+  Aig.man ->
+  left:bool ->
+  fill:(int -> Aig.lit) ->
+  Aig.lit array ->
+  Aig.lit array ->
+  Aig.lit array
+(** Barrel shifter; any shift amount addressing at or above the width
+    yields the fill bits. *)
+
+val redand : Aig.man -> Aig.lit array -> Aig.lit
+val redor : Aig.man -> Aig.lit array -> Aig.lit
+val redxor : Aig.man -> Aig.lit array -> Aig.lit

@@ -1,0 +1,48 @@
+(** Imperative construction of sequential models.
+
+    Usage: allocate primary inputs and latches in any order, define each
+    latch's next-state function, then {!finish} with the bad-state
+    literal.  The builder checks that every latch got a next-state
+    function and that cones only use declared signals. *)
+
+open Isr_aig
+
+type t
+
+val create : string -> t
+val man : t -> Aig.man
+
+val input : t -> Aig.lit
+(** Allocates a primary input. *)
+
+val inputs : t -> int -> Aig.lit array
+
+val latch : t -> ?init:bool -> unit -> Aig.lit
+(** Allocates a latch (initial value defaults to [false]) and returns its
+    current-state literal. *)
+
+val latches : t -> ?init:bool -> int -> Aig.lit array
+
+val set_next : t -> Aig.lit -> Aig.lit -> unit
+(** [set_next b latch f] installs the next-state function of [latch].
+    @raise Invalid_argument if [latch] was not created by {!latch} or its
+    next function is already set. *)
+
+val finish : t -> bad:Aig.lit -> Model.t
+(** @raise Invalid_argument if a latch is missing its next function or
+    the model fails {!Model.validate}. *)
+
+(* Conveniences for datapath-style circuits (little-endian bit vectors). *)
+
+val vec_const : t -> width:int -> int -> Aig.lit array
+val vec_eq_const : t -> Aig.lit array -> int -> Aig.lit
+val vec_eq : t -> Aig.lit array -> Aig.lit array -> Aig.lit
+val vec_incr : t -> Aig.lit array -> Aig.lit array
+(** Increment modulo [2^width]. *)
+
+val vec_add : t -> Aig.lit array -> Aig.lit array -> Aig.lit array
+val vec_mux : t -> Aig.lit -> Aig.lit array -> Aig.lit array -> Aig.lit array
+(** [vec_mux b c t e] selects [t] when [c] holds, else [e]. *)
+
+val vec_lt_const : t -> Aig.lit array -> int -> Aig.lit
+(** Unsigned [v < c]. *)

@@ -1,0 +1,78 @@
+open Isr_aig
+
+type reduction = {
+  model : Model.t;
+  kept_latches : int array;
+  kept_inputs : int array;
+}
+
+let reduce (m : Model.t) =
+  let ni = m.Model.num_inputs and nl = m.Model.num_latches in
+  let latch_needed = Array.make nl false in
+  let input_needed = Array.make ni false in
+  let mark_support l =
+    let fresh = ref [] in
+    List.iter
+      (fun i ->
+        if i < ni then input_needed.(i) <- true
+        else begin
+          let li = i - ni in
+          if not latch_needed.(li) then begin
+            latch_needed.(li) <- true;
+            fresh := li :: !fresh
+          end
+        end)
+      (Aig.support m.Model.man l);
+    !fresh
+  in
+  (* Closure: latches read by the property, then by kept next-states. *)
+  let rec close worklist =
+    match worklist with
+    | [] -> ()
+    | li :: rest -> close (mark_support m.Model.next.(li) @ rest)
+  in
+  close (mark_support m.Model.bad);
+  let kept_latches =
+    Array.of_list (List.filter (fun i -> latch_needed.(i)) (List.init nl Fun.id))
+  in
+  let kept_inputs =
+    Array.of_list (List.filter (fun i -> input_needed.(i)) (List.init ni Fun.id))
+  in
+  (* Rebuild on the kept signals. *)
+  let b = Builder.create (m.Model.name ^ "_coi") in
+  let new_inputs = Array.map (fun _ -> Builder.input b) kept_inputs in
+  let new_latches =
+    Array.map (fun oi -> Builder.latch b ~init:m.Model.init.(oi) ()) kept_latches
+  in
+  let input_map = Hashtbl.create 16 and latch_map = Hashtbl.create 16 in
+  Array.iteri (fun ni' oi -> Hashtbl.add input_map oi new_inputs.(ni')) kept_inputs;
+  Array.iteri (fun nl' oi -> Hashtbl.add latch_map oi new_latches.(nl')) kept_latches;
+  let map i =
+    if i < ni then Hashtbl.find input_map i else Hashtbl.find latch_map (i - ni)
+  in
+  let copy = Aig.copier ~src:m.Model.man ~dst:(Builder.man b) ~map in
+  Array.iteri
+    (fun nl' oi -> Builder.set_next b new_latches.(nl') (copy m.Model.next.(oi)))
+    kept_latches;
+  let model = Builder.finish b ~bad:(copy m.Model.bad) in
+  { model; kept_latches; kept_inputs }
+
+let lift_trace r (tr : Trace.t) =
+  (* Original input count is not stored in the reduction; recover the
+     width from the mapping's largest index plus the reduced model's
+     complement is impossible — instead callers replay on the original
+     model, so we only need a vector wide enough for every original
+     index.  Use max kept index + 1 as a lower bound and let Sim treat
+     missing inputs as false. *)
+  let width =
+    Array.fold_left (fun acc oi -> max acc (oi + 1)) 0 r.kept_inputs
+  in
+  let inputs =
+    Array.map
+      (fun frame ->
+        let full = Array.make width false in
+        Array.iteri (fun ri oi -> full.(oi) <- frame.(ri)) r.kept_inputs;
+        full)
+      tr.Trace.inputs
+  in
+  { Trace.inputs }

@@ -1,0 +1,75 @@
+open Isr_aig
+
+type witness = { stem : Trace.t; loop : Trace.t }
+
+let transform (m : Model.t) ~justice =
+  let b = Builder.create (m.Model.name ^ "_l2s") in
+  let man = Builder.man b in
+  (* Original inputs first, then the save oracle. *)
+  let pis = Array.init m.Model.num_inputs (fun _ -> Builder.input b) in
+  let save = Builder.input b in
+  let latches =
+    Array.init m.Model.num_latches (fun i -> Builder.latch b ~init:m.Model.init.(i) ())
+  in
+  let map i = if i < m.Model.num_inputs then pis.(i) else latches.(i - m.Model.num_inputs) in
+  let copy = Aig.copier ~src:m.Model.man ~dst:man ~map in
+  Array.iteri (fun i _ -> Builder.set_next b latches.(i) (copy m.Model.next.(i))) latches;
+  (* Monitor state. *)
+  let saved = Builder.latch b () in
+  let snap = Array.map (fun _ -> Builder.latch b ()) latches in
+  let take = Aig.and_ man save (Aig.not_ saved) in
+  Builder.set_next b saved (Aig.or_ man saved save);
+  Array.iteri (fun i s -> Builder.set_next b s (Aig.ite man take latches.(i) s)) snap;
+  let triggered = Aig.or_ man saved save in
+  let seen =
+    List.map
+      (fun j ->
+        let s = Builder.latch b () in
+        let j_now = copy j in
+        Builder.set_next b s (Aig.and_ man triggered (Aig.or_ man s j_now));
+        s)
+      justice
+  in
+  (* Bad: the snapshot recurs with every condition seen since. *)
+  let same = ref Aig.lit_true in
+  Array.iteri (fun i s -> same := Aig.and_ man !same (Aig.iff_ man latches.(i) s)) snap;
+  let all_seen = List.fold_left (Aig.and_ man) Aig.lit_true seen in
+  let bad = Aig.and_ man saved (Aig.and_ man !same all_seen) in
+  let model = Builder.finish b ~bad in
+  let decode (tr : Trace.t) =
+    (* The save oracle is the last input; the loop starts at the first
+       frame where it fires. *)
+    let frames = Array.length tr.Trace.inputs in
+    let save_at f = tr.Trace.inputs.(f).(m.Model.num_inputs) in
+    let rec find f = if f >= frames then frames else if save_at f then f else find (f + 1) in
+    let start = find 0 in
+    let orig f = Array.sub tr.Trace.inputs.(f) 0 m.Model.num_inputs in
+    let stem = Array.init start orig in
+    (* The final frame re-enters the snapshot state: the loop body is the
+       frames from the snapshot up to (excluding) the recurrence. *)
+    let loop = Array.init (max 0 (frames - 1 - start)) (fun i -> orig (start + i)) in
+    { stem = { Trace.inputs = stem }; loop = { Trace.inputs = loop } }
+  in
+  (model, decode)
+
+let check_witness (m : Model.t) ~justice w =
+  let stem_len = Array.length w.stem.Trace.inputs in
+  let loop_len = Array.length w.loop.Trace.inputs in
+  if loop_len = 0 then false
+  else begin
+    (* Run the stem. *)
+    let state = ref (Model.init_state m) in
+    Array.iter (fun inputs -> state := Sim.step m ~state:!state ~inputs) w.stem.Trace.inputs;
+    ignore stem_len;
+    let entry = Array.copy !state in
+    (* Run the loop, recording which justice conditions fire. *)
+    let seen = Array.make (List.length justice) false in
+    Array.iter
+      (fun inputs ->
+        List.iteri
+          (fun idx j -> if Sim.eval_lit m ~state:!state ~inputs j then seen.(idx) <- true)
+          justice;
+        state := Sim.step m ~state:!state ~inputs)
+      w.loop.Trace.inputs;
+    !state = entry && Array.for_all Fun.id seen
+  end

@@ -1,0 +1,30 @@
+(** Liveness-to-safety: the Biere–Artho–Schuppan transformation.
+
+    A justice property (a set of conditions that a counterexample must
+    satisfy infinitely often) is reduced to a safety property on an
+    augmented model: an oracle input nondeterministically snapshots the
+    current state; per-condition monitor latches accumulate which
+    conditions occurred since the snapshot; the bad state fires when the
+    snapshot state recurs with every condition seen — exactly a fair
+    lasso.  Any safety engine of this library then decides the liveness
+    question, with counterexamples decodable into stem + loop. *)
+
+open Isr_aig
+
+type witness = {
+  stem : Trace.t;  (** inputs before the loop starts *)
+  loop : Trace.t;  (** inputs of one loop iteration *)
+}
+
+val transform : Model.t -> justice:Aig.lit list -> Model.t * (Trace.t -> witness)
+(** [transform m ~justice] builds the safety model (original inputs plus
+    a final [save] oracle input) and a decoder turning its
+    counterexample traces back into lasso witnesses over the original
+    inputs.  The safety model is falsifiable iff the original model has
+    a fair lasso (all [justice] conditions — circuits over [m]'s inputs
+    and latches — occur infinitely often on some path). *)
+
+val check_witness : Model.t -> justice:Aig.lit list -> witness -> bool
+(** Replays a lasso witness on the original model: the loop must return
+    to its entry state and every justice condition must hold somewhere
+    inside the loop. *)

@@ -1,0 +1,80 @@
+open Isr_aig
+
+type t = {
+  name : string;
+  man : Aig.man;
+  num_inputs : int;
+  num_latches : int;
+  next : Aig.lit array;
+  init : bool array;
+  bad : Aig.lit;
+}
+
+let input_lit t i =
+  if i < 0 || i >= t.num_inputs then invalid_arg "Model.input_lit";
+  Aig.input t.man i
+
+let latch_lit t i =
+  if i < 0 || i >= t.num_latches then invalid_arg "Model.latch_lit";
+  Aig.input t.man (t.num_inputs + i)
+
+let prop t = Aig.not_ t.bad
+
+let init_lit t =
+  let conj = ref Aig.lit_true in
+  for i = 0 to t.num_latches - 1 do
+    let l = latch_lit t i in
+    let l = if t.init.(i) then l else Aig.not_ l in
+    conj := Aig.and_ t.man !conj l
+  done;
+  !conj
+
+let init_state t = Array.copy t.init
+
+let validate t =
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if Array.length t.next <> t.num_latches then
+    fail "%s: %d next functions for %d latches" t.name (Array.length t.next) t.num_latches
+  else if Array.length t.init <> t.num_latches then
+    fail "%s: %d init values for %d latches" t.name (Array.length t.init) t.num_latches
+  else if Aig.num_inputs t.man < t.num_inputs + t.num_latches then
+    fail "%s: manager has %d inputs, needs %d" t.name (Aig.num_inputs t.man)
+      (t.num_inputs + t.num_latches)
+  else begin
+    let max_idx = t.num_inputs + t.num_latches in
+    let check_cone what l =
+      let bad_input =
+        List.find_opt (fun i -> i >= max_idx) (Aig.support t.man l)
+      in
+      match bad_input with
+      | Some i -> fail "%s: %s reads undeclared input %d" t.name what i
+      | None -> Ok ()
+    in
+    let rec all = function
+      | [] -> Ok ()
+      | (what, l) :: rest -> ( match check_cone what l with Ok () -> all rest | e -> e)
+    in
+    all
+      (("bad", t.bad)
+      :: List.init t.num_latches (fun i -> (Printf.sprintf "next(%d)" i, t.next.(i))))
+  end
+
+let num_ands t =
+  (* AND nodes in the union of all relevant cones. *)
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let visit l =
+    ignore
+      (Aig.fold_cone t.man l ~init:() ~f:(fun () node ->
+           if not (Hashtbl.mem seen node) then begin
+             Hashtbl.add seen node ();
+             if Aig.is_and t.man (node lsl 1) then incr count
+           end))
+  in
+  visit t.bad;
+  Array.iter visit t.next;
+  !count
+
+let pp_stats fmt t =
+  Format.fprintf fmt "%s: %d PIs, %d latches, %d ANDs" t.name t.num_inputs t.num_latches
+    (num_ands t)

@@ -1,0 +1,40 @@
+(** Sequential models: an AIG with latches, an initial state and a safety
+    property.
+
+    Inside the combinational manager, AIG inputs [0 .. num_inputs-1] are
+    the primary inputs and inputs [num_inputs .. num_inputs+num_latches-1]
+    are the current-state latch outputs. *)
+
+open Isr_aig
+
+type t = {
+  name : string;
+  man : Aig.man;
+  num_inputs : int;
+  num_latches : int;
+  next : Aig.lit array;  (** next-state function of each latch *)
+  init : bool array;     (** initial value of each latch *)
+  bad : Aig.lit;         (** bad-state indicator: [not p] *)
+}
+
+val input_lit : t -> int -> Aig.lit
+(** Literal of primary input [i]. *)
+
+val latch_lit : t -> int -> Aig.lit
+(** Current-state literal of latch [i]. *)
+
+val prop : t -> Aig.lit
+(** The property literal [p = not bad]. *)
+
+val init_lit : t -> Aig.lit
+(** The initial-state predicate over the latch literals. *)
+
+val init_state : t -> bool array
+(** Copy of the initial latch values. *)
+
+val validate : t -> (unit, string) Result.t
+(** Checks structural sanity: array lengths agree, [next] and [bad] cones
+    only reach declared inputs and latches. *)
+
+val num_ands : t -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+open Isr_aig
+
+let falsify ?(rounds = 16) ?(max_depth = 64) ?(seed = 0x5eed) model =
+  let rand = Random.State.make [| seed |] in
+  let ni = model.Model.num_inputs and nl = model.Model.num_latches in
+  let result = ref None in
+  let round _ =
+    if !result = None then begin
+      (* One batch: 64 executions in parallel. *)
+      let state =
+        Array.init nl (fun i -> if model.Model.init.(i) then -1L else 0L)
+      in
+      let inputs_log = ref [] in
+      let rec frames depth =
+        if depth <= max_depth && !result = None then begin
+          let frame_inputs = Array.init ni (fun _ -> Random.State.bits64 rand) in
+          inputs_log := frame_inputs :: !inputs_log;
+          let env i =
+            if i < ni then frame_inputs.(i) else state.(i - ni)
+          in
+          let bad_word = Aig.eval64 model.Model.man env model.Model.bad in
+          if bad_word <> 0L then begin
+            (* Extract the lowest lane that hit the bad state. *)
+            let rec lane b = if Int64.logand (Int64.shift_right_logical bad_word b) 1L = 1L then b else lane (b + 1) in
+            let b = lane 0 in
+            let frames_rev = !inputs_log in
+            let inputs =
+              List.rev_map
+                (fun words ->
+                  Array.map
+                    (fun w -> Int64.logand (Int64.shift_right_logical w b) 1L = 1L)
+                    words)
+                frames_rev
+            in
+            result := Some { Trace.inputs = Array.of_list inputs }
+          end
+          else begin
+            let next = Array.map (fun f -> Aig.eval64 model.Model.man env f) model.Model.next in
+            Array.blit next 0 state 0 nl;
+            frames (depth + 1)
+          end
+        end
+      in
+      frames 0
+    end
+  in
+  for r = 1 to rounds do
+    round r
+  done;
+  (* The trace ends at the frame where bad held; by construction it
+     replays, but guard against evaluation mismatches anyway. *)
+  match !result with
+  | Some tr when Sim.check_trace model tr -> Some tr
+  | _ -> None

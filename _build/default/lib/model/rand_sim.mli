@@ -1,0 +1,14 @@
+(** Bit-parallel random simulation: a cheap falsification front-end.
+
+    Runs 64 random executions at a time, packing one execution per bit of
+    an [int64] word and evaluating the whole design once per frame
+    through {!Isr_aig.Aig.eval64}.  Shallow, input-robust bugs fall out
+    almost for free before any SAT machinery starts; deep or
+    narrowly-triggered bugs are left to BMC. *)
+
+val falsify :
+  ?rounds:int -> ?max_depth:int -> ?seed:int -> Model.t -> Trace.t option
+(** [falsify model] runs [rounds] (default 16) batches of 64 random
+    executions, each up to [max_depth] (default 64) frames, and returns a
+    concrete trace for the first bad-state hit.  The returned trace
+    always replays ({!Sim.check_trace}). *)

@@ -1,0 +1,38 @@
+open Isr_aig
+
+let env model ~state ~inputs i =
+  if i < model.Model.num_inputs then
+    if i < Array.length inputs then inputs.(i) else false
+  else state.(i - model.Model.num_inputs)
+
+let eval_lit model ~state ~inputs l =
+  Aig.eval model.Model.man (env model ~state ~inputs) l
+
+let step model ~state ~inputs =
+  Array.map (eval_lit model ~state ~inputs) model.Model.next
+
+let bad_now model ~state ~inputs = eval_lit model ~state ~inputs model.Model.bad
+
+let run model (tr : Trace.t) =
+  let frames = Array.length tr.Trace.inputs in
+  let states = Array.make (frames + 1) [||] in
+  states.(0) <- Model.init_state model;
+  for f = 0 to frames - 1 do
+    states.(f + 1) <- step model ~state:states.(f) ~inputs:tr.Trace.inputs.(f)
+  done;
+  states
+
+let first_bad model (tr : Trace.t) =
+  let states = run model tr in
+  let frames = Array.length tr.Trace.inputs in
+  let rec find f =
+    if f >= frames then None
+    else if bad_now model ~state:states.(f) ~inputs:tr.Trace.inputs.(f) then Some f
+    else find (f + 1)
+  in
+  find 0
+
+let check_trace model (tr : Trace.t) =
+  let states = run model tr in
+  let last = Array.length tr.Trace.inputs - 1 in
+  last >= 0 && bad_now model ~state:states.(last) ~inputs:tr.Trace.inputs.(last)

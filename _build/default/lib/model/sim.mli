@@ -1,0 +1,25 @@
+(** Concrete simulation of sequential models. *)
+
+open Isr_aig
+
+val step : Model.t -> state:bool array -> inputs:bool array -> bool array
+(** One transition: next latch values under the given input vector. *)
+
+val eval_lit : Model.t -> state:bool array -> inputs:bool array -> Aig.lit -> bool
+(** Evaluates any combinational literal of the model under a state and an
+    input vector. *)
+
+val bad_now : Model.t -> state:bool array -> inputs:bool array -> bool
+
+val run : Model.t -> Trace.t -> bool array array
+(** States visited under the trace: [k+2] state vectors for a depth-[k]
+    trace (the last one past the final frame is included for
+    convenience). *)
+
+val check_trace : Model.t -> Trace.t -> bool
+(** Replays the trace from the initial state and reports whether the bad
+    cone is asserted at the final frame — the acceptance test for
+    counterexamples produced by BMC. *)
+
+val first_bad : Model.t -> Trace.t -> int option
+(** First frame at which bad holds during the replay, if any. *)

@@ -1,0 +1,49 @@
+open Isr_aig
+
+type t =
+  | Holds of Aig.lit
+  | And of t * t
+  | Implies of Aig.lit * t
+  | Next of t
+  | Within of int * Aig.lit
+  | Until_within of int * Aig.lit * Aig.lit
+
+let rec monitor b ~trigger p =
+  let m = Builder.man b in
+  match p with
+  | Holds cond -> Aig.and_ m trigger (Aig.not_ cond)
+  | And (p1, p2) -> Aig.or_ m (monitor b ~trigger p1) (monitor b ~trigger p2)
+  | Implies (cond, p) -> monitor b ~trigger:(Aig.and_ m trigger cond) p
+  | Next p ->
+    let armed = Builder.latch b () in
+    Builder.set_next b armed trigger;
+    monitor b ~trigger:armed p
+  | Within (k, cond) ->
+    (* Pending chain: r_i means "an instance triggered i steps ago has
+       not seen [cond] yet"; violation once the budget is exhausted. *)
+    let miss = Aig.not_ cond in
+    let pending = ref (Aig.and_ m trigger miss) in
+    for _ = 1 to k do
+      let r = Builder.latch b () in
+      Builder.set_next b r !pending;
+      pending := Aig.and_ m r miss
+    done;
+    !pending
+  | Until_within (k, hold, fire) ->
+    (* While waiting for [fire], [hold] must stay true; [fire] must come
+       within [k] steps. *)
+    let waiting_now = Aig.and_ m trigger (Aig.not_ fire) in
+    let viol = ref (Aig.and_ m waiting_now (Aig.not_ hold)) in
+    let wait = ref waiting_now in
+    for i = 1 to k do
+      let r = Builder.latch b () in
+      Builder.set_next b r !wait;
+      let still = Aig.and_ m r (Aig.not_ fire) in
+      viol := Aig.or_ m !viol (Aig.and_ m still (Aig.not_ hold));
+      if i = k then viol := Aig.or_ m !viol still;
+      wait := still
+    done;
+    if k = 0 then viol := Aig.or_ m !viol waiting_now;
+    !viol
+
+let always b p = monitor b ~trigger:Aig.lit_true p

@@ -1,0 +1,37 @@
+(** Safety-LTL monitors: compile bounded temporal properties into
+    violation circuits on a model under construction.
+
+    The fragment is the practical request/response core of safety LTL —
+    everything a bounded monitor automaton can watch:
+
+    - [Holds b] — the condition holds now;
+    - [And (p, q)] — both;
+    - [Implies (b, p)] — when [b] holds now, [p] starts;
+    - [Next p] — [p] starts at the next step;
+    - [Within (k, b)] — [b] holds at some step in the next [k]
+      (inclusive of now: [Within (0, b)] is [Holds b]);
+    - [Until_within (k, b1, b2)] — [b1] holds from now until [b2] fires,
+      which happens within [k] steps.
+
+    {!always} instantiates the monitor with a constant trigger, giving
+    the violation signal of [G p]: using it as (part of) a model's bad
+    literal turns any safety engine into an LTL checker for the
+    fragment.  The ISL language exposes this as [assert always …]. *)
+
+open Isr_aig
+
+type t =
+  | Holds of Aig.lit
+  | And of t * t
+  | Implies of Aig.lit * t
+  | Next of t
+  | Within of int * Aig.lit
+  | Until_within of int * Aig.lit * Aig.lit
+
+val monitor : Builder.t -> trigger:Aig.lit -> t -> Aig.lit
+(** Adds the monitor latches to the builder and returns the violation
+    signal: it pulses exactly when an instance of the property started
+    by [trigger] is observed violated. *)
+
+val always : Builder.t -> t -> Aig.lit
+(** Violation of [G p] ([monitor] with a constant-true trigger). *)

@@ -1,0 +1,12 @@
+type t = { inputs : bool array array }
+
+let depth tr = Array.length tr.inputs - 1
+
+let pp fmt tr =
+  Format.fprintf fmt "@[<v>trace depth %d" (depth tr);
+  Array.iteri
+    (fun f vals ->
+      Format.fprintf fmt "@,frame %2d:" f;
+      Array.iter (fun b -> Format.fprintf fmt " %d" (if b then 1 else 0)) vals)
+    tr.inputs;
+  Format.fprintf fmt "@]"

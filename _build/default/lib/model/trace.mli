@@ -1,0 +1,12 @@
+(** Counterexample traces: primary-input values per time frame.
+
+    A trace of depth [k] carries [k+1] frames of input values: frames
+    [0..k-1] drive the transitions and frame [k] feeds the bad cone
+    (the property may read primary inputs combinationally). *)
+
+type t = { inputs : bool array array }
+
+val depth : t -> int
+(** [depth tr] is the number of transitions, i.e. [length inputs - 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+open Isr_sat
+open Isr_aig
+module Tseitin = Isr_cnf.Tseitin
+
+type t = {
+  model : Model.t;
+  solver : Solver.t;
+  mutable states : Lit.t array array;      (* frame -> latch -> SAT literal *)
+  mutable pis : Lit.t array option array;  (* frame -> PI -> SAT literal *)
+  mutable nframes : int;
+  var_to_latch : (int, int * Aig.lit) Hashtbl.t; (* SAT var -> frame, latch lit *)
+  clause_to_latch : (int, int) Hashtbl.t; (* equality clause id -> latch index *)
+}
+
+let fresh_lit t = Lit.pos (Solver.new_var t)
+
+let create model =
+  let solver = Solver.create () in
+  let nl = model.Model.num_latches in
+  let state0 = Array.init nl (fun _ -> fresh_lit solver) in
+  let t =
+    {
+      model;
+      solver;
+      states = Array.make 8 [||];
+      pis = Array.make 8 None;
+      nframes = 1;
+      var_to_latch = Hashtbl.create 64;
+      clause_to_latch = Hashtbl.create 64;
+    }
+  in
+  t.states.(0) <- state0;
+  Array.iteri
+    (fun i l -> Hashtbl.add t.var_to_latch (Lit.var l) (0, Model.latch_lit model i))
+    state0;
+  t
+
+let model t = t.model
+let solver t = t.solver
+let nframes t = t.nframes
+
+let state_lit t ~frame i =
+  if frame < 0 || frame >= t.nframes then invalid_arg "Unroll.state_lit: no such frame";
+  t.states.(frame).(i)
+
+let grow t =
+  if t.nframes = Array.length t.states then begin
+    let s = Array.make (2 * t.nframes) [||] in
+    Array.blit t.states 0 s 0 t.nframes;
+    t.states <- s;
+    let p = Array.make (2 * t.nframes) None in
+    Array.blit t.pis 0 p 0 t.nframes;
+    t.pis <- p
+  end
+
+let pi_frame t frame =
+  if frame < 0 || frame >= t.nframes then invalid_arg "Unroll.pi_lit: no such frame";
+  match t.pis.(frame) with
+  | Some a -> a
+  | None ->
+    let a = Array.init t.model.Model.num_inputs (fun _ -> fresh_lit t.solver) in
+    t.pis.(frame) <- Some a;
+    a
+
+let pi_lit t ~frame i = (pi_frame t frame).(i)
+
+let frame_ctx t ~frame ~tag =
+  Tseitin.create ~man:t.model.Model.man ~solver:t.solver ~tag ~input_lit:(fun i ->
+      if i < t.model.Model.num_inputs then pi_lit t ~frame i
+      else state_lit t ~frame (i - t.model.Model.num_inputs))
+
+let assert_init t ~tag =
+  Array.iteri
+    (fun i l ->
+      let l = if t.model.Model.init.(i) then l else Lit.neg l in
+      Solver.add_clause t.solver ~tag [ l ])
+    t.states.(0)
+
+let add_transition ?(frozen = fun _ -> false) t ~tag =
+  let frame = t.nframes - 1 in
+  let ctx = frame_ctx t ~frame ~tag in
+  let nl = t.model.Model.num_latches in
+  let next_state =
+    Array.init nl (fun i ->
+        if frozen i then fresh_lit t.solver
+        else begin
+          let enc = Tseitin.lit ctx t.model.Model.next.(i) in
+          let v = fresh_lit t.solver in
+          (* Attribute the two equality clauses to the latch: proof-based
+             abstraction keys on which of them reach the unsat core. *)
+          Hashtbl.replace t.clause_to_latch (Solver.num_clauses t.solver) i;
+          Solver.add_clause t.solver ~tag [ Lit.neg v; enc ];
+          Hashtbl.replace t.clause_to_latch (Solver.num_clauses t.solver) i;
+          Solver.add_clause t.solver ~tag [ v; Lit.neg enc ];
+          v
+        end)
+  in
+  grow t;
+  t.states.(t.nframes) <- next_state;
+  t.nframes <- t.nframes + 1;
+  Array.iteri
+    (fun i l ->
+      Hashtbl.add t.var_to_latch (Lit.var l) (t.nframes - 1, Model.latch_lit t.model i))
+    next_state
+
+let encode t ~frame ~tag l = Tseitin.lit (frame_ctx t ~frame ~tag) l
+let assert_circuit t ~frame ~tag l = Tseitin.assert_lit (frame_ctx t ~frame ~tag) l
+let add_clause t ~tag lits = Solver.add_clause t.solver ~tag lits
+
+let boundary_map t ~frame v =
+  match Hashtbl.find_opt t.var_to_latch v with
+  | Some (f, l) when f = frame -> Some l
+  | _ -> None
+
+let any_state_map t v =
+  match Hashtbl.find_opt t.var_to_latch v with Some (_, l) -> Some l | None -> None
+
+let latch_of_clause t cid = Hashtbl.find_opt t.clause_to_latch cid
+
+let trace t =
+  let inputs =
+    Array.init t.nframes (fun frame ->
+        match t.pis.(frame) with
+        | None -> Array.make t.model.Model.num_inputs false
+        | Some a -> Array.map (fun l -> Solver.lit_value t.solver l) a)
+  in
+  { Trace.inputs }
+
+let state_values t ~frame =
+  Array.map (fun l -> Solver.lit_value t.solver l) t.states.(frame)

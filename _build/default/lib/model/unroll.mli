@@ -1,0 +1,75 @@
+(** Time-frame expansion of a sequential model into a SAT solver.
+
+    An unrolling owns a fresh solver and a growing sequence of frames.
+    Frame [f] has one SAT variable per latch (the state [V^f]) and one
+    per primary input.  {!add_transition} appends a frame by encoding the
+    next-state functions; every emitted clause carries the caller's
+    partition tag, which is how the BMC formulations ([bound-k],
+    [exact-k], [assume-k]) and the interpolation partitions Γ are
+    expressed (see DESIGN.md).
+
+    State variables at each frame are fresh variables linked to the
+    next-state cones by equivalence clauses, so the cut between two
+    adjacent partitions is exactly the state variables — the invariant
+    interpolation relies on. *)
+
+open Isr_sat
+open Isr_aig
+
+type t
+
+val create : Model.t -> t
+val model : t -> Model.t
+val solver : t -> Solver.t
+
+val nframes : t -> int
+(** Number of state frames currently allocated (at least 1). *)
+
+val state_lit : t -> frame:int -> int -> Lit.t
+(** SAT literal of latch [i] at a frame. *)
+
+val pi_lit : t -> frame:int -> int -> Lit.t
+(** SAT literal of primary input [i] at a frame (allocated on demand). *)
+
+val assert_init : t -> tag:int -> unit
+(** Constrains frame 0 to the model's initial state (unit clauses). *)
+
+val add_transition : ?frozen:(int -> bool) -> t -> tag:int -> unit
+(** Encodes one transition from the last frame, allocating the next one.
+    Latches selected by [frozen] get a fresh {e unconstrained} variable at
+    the new frame instead of their next-state function — the localization
+    abstraction used by the CBA engine (a frozen latch behaves as a free
+    input). *)
+
+val encode : t -> frame:int -> tag:int -> Aig.lit -> Lit.t
+(** Encodes a combinational literal over the frame's latches and primary
+    inputs; returns its SAT literal.  Each call uses a private Tseitin
+    context: internal variables are never shared across calls, keeping
+    partitions disjoint. *)
+
+val assert_circuit : t -> frame:int -> tag:int -> Aig.lit -> unit
+(** [encode] then assert with a unit clause. *)
+
+val add_clause : t -> tag:int -> Lit.t list -> unit
+
+val boundary_map : t -> frame:int -> int -> Aig.lit option
+(** Maps a SAT variable to the corresponding latch literal of the model
+    when the variable is a state variable of the given frame. *)
+
+val any_state_map : t -> int -> Aig.lit option
+(** Maps a SAT variable to its latch literal whatever the frame — the
+    single variable map valid for every cut of an interpolation
+    sequence. *)
+
+val latch_of_clause : t -> int -> int option
+(** When the clause id denotes one of the state-equality clauses emitted
+    by {!add_transition}, the index of the latch it constrains.  Used by
+    proof-based abstraction to read relevant latches off an unsat
+    core. *)
+
+val trace : t -> Trace.t
+(** Extracts the primary-input assignment per frame from a satisfiable
+    solver (unconstrained inputs read as [false]). *)
+
+val state_values : t -> frame:int -> bool array
+(** Latch values at a frame from a satisfiable solver. *)

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Buffer In_channel List Lit Printf Solver String

@@ -1,0 +1,1 @@
+lib/sat/proof.ml: Array Format Int List Lit

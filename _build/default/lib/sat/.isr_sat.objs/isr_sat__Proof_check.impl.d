@@ -1,0 +1,1 @@
+lib/sat/proof_check.ml: Array Format Int Lit Proof Set

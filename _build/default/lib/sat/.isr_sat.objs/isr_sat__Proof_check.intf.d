@@ -1,0 +1,1 @@
+lib/sat/proof_check.mli: Format Proof Result

@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Bytes Hashtbl Heap List Lit Proof Vec

@@ -1,0 +1,77 @@
+type cnf = { nvars : int; clauses : Lit.t list list }
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref (-1) in
+  let nclauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> fail (Printf.sprintf "not an integer: %S" tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some i ->
+      if abs i > !nvars then fail (Printf.sprintf "literal %d out of range" i)
+      else current := Lit.of_dimacs i :: !current
+  in
+  List.iter
+    (fun line ->
+      if !error = None then
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then ()
+        else if line.[0] = 'p' then begin
+          if !nvars >= 0 then fail "duplicate header"
+          else
+            match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+            | [ "p"; "cnf"; v; c ] -> (
+              match (int_of_string_opt v, int_of_string_opt c) with
+              | Some v, Some c when v >= 0 && c >= 0 ->
+                nvars := v;
+                nclauses := c
+              | _ -> fail "malformed header counts")
+            | _ -> fail "malformed problem line"
+        end
+        else if !nvars < 0 then fail "clause before header"
+        else
+          String.split_on_char ' ' line
+          |> List.filter (fun s -> s <> "")
+          |> List.iter handle_token)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    if !nvars < 0 then Error "missing header"
+    else if !current <> [] then Error "unterminated clause"
+    else begin
+      let clauses = List.rev !clauses in
+      if List.length clauses <> !nclauses then
+        Error
+          (Printf.sprintf "header promised %d clauses, found %d" !nclauses
+             (List.length clauses))
+      else Ok { nvars = !nvars; clauses }
+    end
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error msg -> Error msg
+
+let to_string { nvars; clauses } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load solver { nvars; clauses } =
+  for _ = 1 to nvars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (fun c -> Solver.add_clause solver c) clauses

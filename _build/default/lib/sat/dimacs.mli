@@ -1,0 +1,14 @@
+(** DIMACS CNF reading and writing. *)
+
+type cnf = { nvars : int; clauses : Lit.t list list }
+
+val parse_string : string -> (cnf, string) Result.t
+(** Parses DIMACS text: a [p cnf V C] header (optional comment lines),
+    then zero-terminated clauses.  Tolerates clauses spanning lines. *)
+
+val parse_file : string -> (cnf, string) Result.t
+
+val to_string : cnf -> string
+
+val load : Solver.t -> cnf -> unit
+(** Allocates the variables and adds every clause to a fresh solver. *)

@@ -1,0 +1,27 @@
+(** Indexed binary max-heap over variables, ordered by activity.
+
+    The heap shares the solver's activity array: {!set_activity} must be
+    called whenever the solver reallocates it. *)
+
+type t
+
+val create : unit -> t
+
+val set_activity : t -> float array -> unit
+(** Installs the array used for comparisons.  Elements already in the heap
+    keep their positions; callers must only grow the array. *)
+
+val in_heap : t -> int -> bool
+val insert : t -> int -> unit
+(** No-op when the variable is already present. *)
+
+val decrease : t -> int -> unit
+(** Restores the heap property after the variable's activity increased
+    (a higher activity moves it towards the root). *)
+
+val pop : t -> int option
+(** Removes and returns the variable with the highest activity. *)
+
+val size : t -> int
+val rebuild : t -> unit
+(** Re-heapifies after a bulk activity rescale. *)

@@ -1,0 +1,20 @@
+type t = int
+
+let of_var ?(neg = false) v =
+  assert (v >= 0);
+  (v lsl 1) lor (if neg then 1 else 0)
+
+let pos v = v lsl 1
+let neg l = l lxor 1
+let var l = l lsr 1
+let is_neg l = l land 1 = 1
+let sign l = l land 1
+let to_dimacs l = if is_neg l then -(var l + 1) else var l + 1
+
+let of_dimacs i =
+  assert (i <> 0);
+  if i > 0 then pos (i - 1) else of_var ~neg:true (-i - 1)
+
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt l = Format.fprintf fmt "%d" (to_dimacs l)

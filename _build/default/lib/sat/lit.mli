@@ -1,0 +1,36 @@
+(** Propositional literals.
+
+    A literal is an integer [2*v + s] where [v >= 0] is the variable index
+    and [s = 1] marks negation.  This packed representation is shared by
+    the whole SAT stack (solver, proofs, CNF encoders). *)
+
+type t = int
+
+val of_var : ?neg:bool -> int -> t
+(** [of_var v] is the positive literal on variable [v];
+    [of_var ~neg:true v] the negative one.  Requires [v >= 0]. *)
+
+val pos : int -> t
+(** [pos v] is the positive literal on [v]. *)
+
+val neg : t -> t
+(** [neg l] is the complement of [l]. *)
+
+val var : t -> int
+(** Variable index of a literal. *)
+
+val is_neg : t -> bool
+(** [true] iff the literal is negative. *)
+
+val sign : t -> int
+(** [0] for positive literals, [1] for negative ones. *)
+
+val to_dimacs : t -> int
+(** 1-based signed integer, DIMACS convention. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}.  Requires a non-zero argument. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type step =
+  | Input of { lits : Lit.t array; tag : int }
+  | Derived of { lits : Lit.t array; first : int; chain : (int * int) array }
+
+type t = { steps : step array; empty : int; nvars : int }
+
+let lits p id =
+  match p.steps.(id) with Input { lits; _ } | Derived { lits; _ } -> lits
+
+let tag p id = match p.steps.(id) with Input { tag; _ } -> Some tag | Derived _ -> None
+
+let max_tag p =
+  Array.fold_left
+    (fun acc s -> match s with Input { tag; _ } -> max acc tag | Derived _ -> acc)
+    0 p.steps
+
+let fold_inorder f p =
+  let n = Array.length p.steps in
+  assert (n > 0);
+  let attr = ref [||] in
+  let get id =
+    assert (id >= 0 && id < Array.length !attr);
+    !attr.(id)
+  in
+  let first = f ~get 0 p.steps.(0) in
+  attr := Array.make n first;
+  for id = 1 to n - 1 do
+    !attr.(id) <- f ~get id p.steps.(id)
+  done;
+  !attr
+
+let used p =
+  let n = Array.length p.steps in
+  let mark = Array.make n false in
+  (* Antecedents always have smaller ids: one backwards sweep suffices. *)
+  mark.(p.empty) <- true;
+  for id = n - 1 downto 0 do
+    if mark.(id) then
+      match p.steps.(id) with
+      | Input _ -> ()
+      | Derived { first; chain; _ } ->
+        mark.(first) <- true;
+        Array.iter (fun (_, aid) -> mark.(aid) <- true) chain
+  done;
+  mark
+
+let core p =
+  let mark = used p in
+  let acc = ref [] in
+  for id = Array.length p.steps - 1 downto 0 do
+    if mark.(id) then
+      match p.steps.(id) with Input _ -> acc := id :: !acc | Derived _ -> ()
+  done;
+  !acc
+
+let core_tags p =
+  core p
+  |> List.filter_map (fun id ->
+         match p.steps.(id) with Input { tag; _ } -> Some tag | Derived _ -> None)
+  |> List.sort_uniq Int.compare
+
+let pp_stats fmt p =
+  let inputs = ref 0 and derived = ref 0 and chain_len = ref 0 in
+  Array.iter
+    (function
+      | Input _ -> incr inputs
+      | Derived { chain; _ } ->
+        incr derived;
+        chain_len := !chain_len + Array.length chain)
+    p.steps;
+  Format.fprintf fmt "proof: %d inputs, %d derived, %d resolutions, empty=%d" !inputs
+    !derived !chain_len p.empty

@@ -1,0 +1,53 @@
+(** Resolution proofs produced by the solver on unsatisfiable instances.
+
+    Clauses are numbered by creation order: every antecedent of a derived
+    clause has a smaller id, so a single in-order pass suffices to compute
+    any inductive attribute of the proof (interpolants in particular).
+
+    A derived clause records a {e trivial resolution chain}: starting from
+    clause [first], each [(pivot, id)] pair resolves the running resolvent
+    with clause [id] on variable [pivot].  The final resolvent equals the
+    derived clause (as a set of literals).  The last step of the proof
+    derives the empty clause. *)
+
+type step =
+  | Input of { lits : Lit.t array; tag : int }
+      (** An original clause with its partition tag (0 when untagged). *)
+  | Derived of { lits : Lit.t array; first : int; chain : (int * int) array }
+      (** A learned clause: [chain] is an array of [(pivot_var, clause_id)]. *)
+
+type t = {
+  steps : step array;  (** indexed by clause id *)
+  empty : int;         (** id of the (derived or input) empty clause *)
+  nvars : int;         (** number of variables in the instance *)
+}
+
+val lits : t -> int -> Lit.t array
+(** Literals of the clause with the given id. *)
+
+val tag : t -> int -> int option
+(** Partition tag of an input clause, [None] for derived clauses. *)
+
+val max_tag : t -> int
+(** Largest partition tag among input clauses. *)
+
+val fold_inorder : (get:(int -> 'a) -> int -> step -> 'a) -> t -> 'a array
+(** [fold_inorder f p] computes an attribute for every clause in id order;
+    [f ~get id step] may consult the attribute of any clause with a
+    smaller id through [get]. *)
+
+val used : t -> bool array
+(** Clause ids reachable from the empty clause through antecedent edges —
+    the part of the proof that actually derives unsatisfiability.
+    Solvers log every learned clause, so typically much of the proof is
+    unused. *)
+
+val core : t -> int list
+(** Ids of the {e input} clauses in the used part: the unsatisfiable
+    core.  Proof-based abstraction keys on which transition clauses
+    appear here. *)
+
+val core_tags : t -> int list
+(** Sorted distinct partition tags occurring in the core. *)
+
+val pp_stats : Format.formatter -> t -> unit

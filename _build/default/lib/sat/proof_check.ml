@@ -1,0 +1,50 @@
+type error =
+  | Missing_pivot of { clause : int; pivot : int }
+  | Wrong_result of { clause : int }
+  | Empty_not_empty
+
+let pp_error fmt = function
+  | Missing_pivot { clause; pivot } ->
+    Format.fprintf fmt "clause %d: pivot variable %d absent from a premise" clause pivot
+  | Wrong_result { clause } ->
+    Format.fprintf fmt "clause %d: replayed resolvent differs from recorded literals" clause
+  | Empty_not_empty -> Format.fprintf fmt "registered empty clause is not empty"
+
+module Lset = Set.Make (Int)
+
+let set_of_lits lits = Array.fold_left (fun s l -> Lset.add l s) Lset.empty lits
+
+exception Fail of error
+
+(* Resolve [res] with clause [other] on variable [pivot]: [res] must hold
+   one phase of the pivot, [other] the opposite one. *)
+let resolve clause_id res other pivot =
+  let p = Lit.pos pivot and n = Lit.of_var ~neg:true pivot in
+  let lp, ln =
+    if Lset.mem p res && Lset.mem n other then (p, n)
+    else if Lset.mem n res && Lset.mem p other then (n, p)
+    else raise (Fail (Missing_pivot { clause = clause_id; pivot }))
+  in
+  Lset.union (Lset.remove lp res) (Lset.remove ln other)
+
+let check (p : Proof.t) =
+  try
+    let sets =
+      Proof.fold_inorder
+        (fun ~get id step ->
+          match step with
+          | Proof.Input { lits; _ } -> set_of_lits lits
+          | Proof.Derived { lits; first; chain } ->
+            let res =
+              Array.fold_left
+                (fun res (pivot, aid) -> resolve id res (get aid) pivot)
+                (get first) chain
+            in
+            if not (Lset.equal res (set_of_lits lits)) then
+              raise (Fail (Wrong_result { clause = id }));
+            res)
+        p
+    in
+    if not (Lset.is_empty sets.(p.Proof.empty)) then raise (Fail Empty_not_empty);
+    Ok ()
+  with Fail e -> Error e

@@ -1,0 +1,635 @@
+type result = Sat | Unsat | Undef
+
+(* A clause doubles as a proof step: input clauses carry a partition tag,
+   learned clauses carry their resolution chain. *)
+type clause = {
+  cid : int;
+  lits : Lit.t array;
+  ctag : int;                  (* partition tag; -1 for learned clauses *)
+  first : int;                 (* first antecedent id; -1 for inputs *)
+  chain : (int * int) array;   (* (pivot var, antecedent id) *)
+}
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause array;      (* by id *)
+  mutable nclauses : int;
+  mutable watches : Vec.t array;       (* literal -> clause ids *)
+  mutable assigns : int array;         (* var -> -1 unknown / 0 false / 1 true *)
+  mutable level : int array;           (* var -> decision level *)
+  mutable reason : int array;          (* var -> clause id or -1 *)
+  mutable phase : Bytes.t;             (* var -> saved phase *)
+  mutable activity : float array;
+  mutable var_inc : float;
+  trail : Vec.t;                       (* assigned literals, in order *)
+  trail_lim : Vec.t;                   (* trail size at each decision *)
+  mutable qhead : int;
+  order : Heap.t;
+  mutable ok : bool;                   (* false once unconditionally unsat *)
+  mutable empty_id : int;              (* id of the empty clause, or -1 *)
+  mutable last_result : result;
+  mutable core : Lit.t list;           (* assumption core of the last Unsat *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable seen : Bytes.t;              (* conflict-analysis scratch *)
+  mutable mark0 : Bytes.t;             (* level-0 elimination scratch *)
+  pending : Vec.t;                     (* clause ids to re-examine at solve start *)
+}
+
+let dummy_clause = { cid = -1; lits = [||]; ctag = -1; first = -1; chain = [||] }
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 64 dummy_clause;
+    nclauses = 0;
+    watches = Array.init 32 (fun _ -> Vec.create ~cap:4 ());
+    assigns = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    phase = Bytes.make 16 '\000';
+    activity = Array.make 16 0.0;
+    var_inc = 1.0;
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    order = Heap.create ();
+    ok = true;
+    empty_id = -1;
+    last_result = Undef;
+    core = [];
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    seen = Bytes.make 16 '\000';
+    mark0 = Bytes.make 16 '\000';
+    pending = Vec.create ();
+  }
+
+let nvars s = s.nvars
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+let num_clauses s = s.nclauses
+
+let grow_vars s n =
+  let cap = Array.length s.assigns in
+  if n > cap then begin
+    let cap' = max (2 * cap) n in
+    let grow_int a def =
+      let a' = Array.make cap' def in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    s.assigns <- grow_int s.assigns (-1);
+    s.level <- grow_int s.level 0;
+    s.reason <- grow_int s.reason (-1);
+    let grow_bytes b =
+      let b' = Bytes.make cap' '\000' in
+      Bytes.blit b 0 b' 0 cap;
+      b'
+    in
+    s.phase <- grow_bytes s.phase;
+    s.seen <- grow_bytes s.seen;
+    s.mark0 <- grow_bytes s.mark0;
+    let act' = Array.make cap' 0.0 in
+    Array.blit s.activity 0 act' 0 cap;
+    s.activity <- act';
+    Heap.set_activity s.order s.activity
+  end;
+  let wcap = Array.length s.watches in
+  if 2 * n > wcap then begin
+    let wcap' = max (2 * wcap) (2 * n) in
+    let w' =
+      Array.init wcap' (fun i -> if i < wcap then s.watches.(i) else Vec.create ~cap:4 ())
+    in
+    s.watches <- w'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  grow_vars s s.nvars;
+  Heap.set_activity s.order s.activity;
+  Heap.insert s.order v;
+  v
+
+(* Value of a literal: -1 unknown, 0 false, 1 true. *)
+let lit_val s l =
+  let a = Array.unsafe_get s.assigns (Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let value s v = s.assigns.(v) = 1
+let lit_value s l = lit_val s l = 1
+let decision_level s = Vec.size s.trail_lim
+
+let push_clause s c =
+  if s.nclauses = Array.length s.clauses then begin
+    let a = Array.make (2 * s.nclauses) dummy_clause in
+    Array.blit s.clauses 0 a 0 s.nclauses;
+    s.clauses <- a
+  end;
+  s.clauses.(s.nclauses) <- c;
+  s.nclauses <- s.nclauses + 1
+
+let watch s lit cid = Vec.push s.watches.(lit) cid
+
+let enqueue s lit reason =
+  let v = Lit.var lit in
+  assert (s.assigns.(v) < 0);
+  s.assigns.(v) <- (lit land 1) lxor 1;
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail lit
+
+exception Conflict of int
+
+(* Two-watched-literal propagation; returns the id of a conflicting clause
+   or -1. *)
+let propagate s =
+  try
+    while s.qhead < Vec.size s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      let false_lit = Lit.neg p in
+      let ws = s.watches.(false_lit) in
+      let n = Vec.size ws in
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        let cid = Vec.get ws i in
+        let c = s.clauses.(cid) in
+        let lits = c.lits in
+        (* Ensure the false literal sits at position 1. *)
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        if lit_val s lits.(0) = 1 then begin
+          (* Clause already satisfied: keep the watch. *)
+          Vec.set ws !j cid;
+          incr j
+        end
+        else begin
+          (* Look for a replacement literal to watch. *)
+          let len = Array.length lits in
+          let rec find k =
+            if k >= len then -1 else if lit_val s lits.(k) <> 0 then k else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            lits.(1) <- lits.(k);
+            lits.(k) <- false_lit;
+            watch s lits.(1) cid
+          end
+          else begin
+            (* Unit or conflicting: the watch stays. *)
+            Vec.set ws !j cid;
+            incr j;
+            if lit_val s lits.(0) = 0 then begin
+              (* Conflict: salvage the remaining watches, then abort. *)
+              for i' = i + 1 to n - 1 do
+                Vec.set ws !j (Vec.get ws i');
+                incr j
+              done;
+              Vec.shrink ws !j;
+              s.qhead <- Vec.size s.trail;
+              raise (Conflict cid)
+            end
+            else enqueue s lits.(0) cid
+          end
+        end
+      done;
+      Vec.shrink ws !j
+    done;
+    -1
+  with Conflict cid -> cid
+
+let var_decay = 1.0 /. 0.95
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100;
+    Heap.rebuild s.order
+  end;
+  Heap.decrease s.order v
+
+let decay_activities s = s.var_inc <- s.var_inc *. var_decay
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let lit = Vec.get s.trail i in
+      let v = Lit.var lit in
+      Bytes.set s.phase v (if s.assigns.(v) = 1 then '\001' else '\000');
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- -1;
+      if not (Heap.in_heap s.order v) then Heap.insert s.order v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* Append to [chain] the resolutions eliminating every marked level-0
+   variable from the virtual resolvent.  Walks the level-0 trail segment
+   backwards: a reason clause only mentions literals assigned earlier, so a
+   single sweep eliminates everything in valid resolution order. *)
+let resolve_level0 s chain =
+  let bound =
+    if Vec.size s.trail_lim > 0 then Vec.get s.trail_lim 0 else Vec.size s.trail
+  in
+  for i = bound - 1 downto 0 do
+    let v = Lit.var (Vec.get s.trail i) in
+    if Bytes.get s.mark0 v = '\001' then begin
+      Bytes.set s.mark0 v '\000';
+      let r = s.reason.(v) in
+      assert (r >= 0);
+      chain := (v, r) :: !chain;
+      Array.iter
+        (fun l ->
+          let w = Lit.var l in
+          if w <> v && s.level.(w) = 0 then Bytes.set s.mark0 w '\001')
+        s.clauses.(r).lits
+    end
+  done
+
+(* First-UIP conflict analysis.  Returns the learned clause (asserting
+   literal first), the backjump level, and the resolution chain. *)
+let analyze s confl =
+  let cur_level = decision_level s in
+  let learnt = ref [] in
+  let chain = ref [] in
+  let zeros = ref false in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (Vec.size s.trail - 1) in
+  let cid = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c = s.clauses.(!cid) in
+    Array.iter
+      (fun q ->
+        (* Skip the pivot occurrence: reason clauses contain the literal
+           they propagated. *)
+        if !p = -1 || q <> !p then begin
+          let v = Lit.var q in
+          if Bytes.get s.seen v = '\000' then
+            if s.level.(v) = 0 then begin
+              (* Resolved against its level-0 reason afterwards. *)
+              Bytes.set s.mark0 v '\001';
+              zeros := true
+            end
+            else begin
+              Bytes.set s.seen v '\001';
+              bump_var s v;
+              if s.level.(v) = cur_level then incr counter else learnt := q :: !learnt
+            end
+        end)
+      c.lits;
+    (* Select the next seen literal on the trail at the current level. *)
+    while Bytes.get s.seen (Lit.var (Vec.get s.trail !idx)) = '\000' do
+      decr idx
+    done;
+    p := Vec.get s.trail !idx;
+    decr idx;
+    let v = Lit.var !p in
+    Bytes.set s.seen v '\000';
+    decr counter;
+    if !counter = 0 then continue := false
+    else begin
+      cid := s.reason.(v);
+      assert (!cid >= 0);
+      chain := (v, !cid) :: !chain
+    end
+  done;
+  (* Local clause minimization (Sörensson): a literal is redundant when
+     its reason's other literals are all in the clause already or fixed
+     at level 0 — resolving it away shrinks the clause without adding
+     anything new.  Literals are processed latest-assigned first, so a
+     removal never invalidates the check for the earlier ones; each
+     removal is recorded in the resolution chain to keep proofs exact. *)
+  let original_learnt = !learnt in
+  if !learnt <> [] then begin
+    let in_clause = Hashtbl.create 16 in
+    List.iter (fun q -> Hashtbl.replace in_clause (Lit.var q) ()) !learnt;
+    let position = Hashtbl.create 16 in
+    for i = 0 to Vec.size s.trail - 1 do
+      let v = Lit.var (Vec.get s.trail i) in
+      if Hashtbl.mem in_clause v then Hashtbl.replace position v i
+    done;
+    let by_pos_desc =
+      List.sort
+        (fun a b ->
+          compare (Hashtbl.find position (Lit.var b)) (Hashtbl.find position (Lit.var a)))
+        !learnt
+    in
+    let kept = ref [] in
+    List.iter
+      (fun q ->
+        let v = Lit.var q in
+        let r = s.reason.(v) in
+        let removable =
+          r >= 0
+          && Array.for_all
+               (fun l ->
+                 let w = Lit.var l in
+                 w = v || s.level.(w) = 0 || Hashtbl.mem in_clause w)
+               s.clauses.(r).lits
+        in
+        if removable then begin
+          Hashtbl.remove in_clause v;
+          chain := (v, r) :: !chain;
+          Array.iter
+            (fun l ->
+              let w = Lit.var l in
+              if w <> v && s.level.(w) = 0 then begin
+                Bytes.set s.mark0 w '\001';
+                zeros := true
+              end)
+            s.clauses.(r).lits
+        end
+        else kept := q :: !kept)
+      by_pos_desc;
+    learnt := !kept
+  end;
+  if !zeros then resolve_level0 s chain;
+  let learnt_lits = Lit.neg !p :: !learnt in
+  List.iter (fun q -> Bytes.set s.seen (Lit.var q) '\000') original_learnt;
+  let bt_level = List.fold_left (fun acc q -> max acc s.level.(Lit.var q)) 0 !learnt in
+  (Array.of_list learnt_lits, bt_level, confl, Array.of_list (List.rev !chain))
+
+(* Conflict whose literals are all false at decision level 0: derive the
+   empty clause and mark the instance unconditionally unsatisfiable. *)
+let analyze_final s confl =
+  let chain = ref [] in
+  Array.iter (fun q -> Bytes.set s.mark0 (Lit.var q) '\001') s.clauses.(confl).lits;
+  resolve_level0 s chain;
+  let cid = s.nclauses in
+  push_clause s
+    { cid; lits = [||]; ctag = -1; first = confl; chain = Array.of_list (List.rev !chain) };
+  s.empty_id <- cid;
+  s.ok <- false;
+  s.core <- []
+
+(* Assumption failure: the assumption [p] is false under the earlier
+   assumption levels.  Collect the subset of assumption decisions the
+   falsification depends on — the unsat core. *)
+let analyze_assumptions s p =
+  let core = ref [ p ] in
+  let v0 = Lit.var p in
+  Bytes.set s.seen v0 '\001';
+  for i = Vec.size s.trail - 1 downto 0 do
+    let q = Vec.get s.trail i in
+    let v = Lit.var q in
+    if Bytes.get s.seen v = '\001' then begin
+      Bytes.set s.seen v '\000';
+      let r = s.reason.(v) in
+      if r = -1 then begin
+        (* An assumption decision (level-0 literals never reach here —
+           their reasons are clauses — and ordinary search decisions
+           cannot, because assumption installation happens first). *)
+        if s.level.(v) > 0 then core := q :: !core
+      end
+      else
+        Array.iter
+          (fun l ->
+            if s.level.(Lit.var l) > 0 then Bytes.set s.seen (Lit.var l) '\001')
+          s.clauses.(r).lits
+    end
+  done;
+  Bytes.set s.seen v0 '\000';
+  !core
+
+let record_learnt s lits first chain =
+  let cid = s.nclauses in
+  push_clause s { cid; lits; ctag = -1; first; chain };
+  if Array.length lits >= 2 then begin
+    (* lits.(0) is the asserting literal; the second watch must be the
+       highest-level other literal so the invariant survives backjumps. *)
+    let best = ref 1 in
+    for k = 2 to Array.length lits - 1 do
+      if s.level.(Lit.var lits.(k)) > s.level.(Lit.var lits.(!best)) then best := k
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp;
+    watch s lits.(0) cid;
+    watch s lits.(1) cid
+  end;
+  cid
+
+(* Adding clauses is allowed at any time; the solver backtracks to the
+   root level first.  Unit consequences are deferred to the next solve
+   (via the pending list) so that proof shapes do not depend on
+   interleaving clause addition with propagation. *)
+let add_clause s ?(tag = 0) lits =
+  assert (tag >= 0);
+  if s.ok then begin
+    cancel_until s 0;
+    s.last_result <- Undef;
+    (* Merge duplicates, drop tautologies.  Literals are otherwise kept
+       untouched so the clause matches its proof role exactly. *)
+    let lits = List.sort_uniq Lit.compare lits in
+    let rec tauto = function
+      | a :: (b :: _ as rest) -> (Lit.var a = Lit.var b && a <> b) || tauto rest
+      | _ -> false
+    in
+    if not (tauto lits) then begin
+      List.iter
+        (fun l ->
+          if Lit.var l >= s.nvars || l < 0 then
+            invalid_arg "Solver.add_clause: unknown variable")
+        lits;
+      let arr = Array.of_list lits in
+      let cid = s.nclauses in
+      push_clause s { cid; lits = arr; ctag = tag; first = -1; chain = [||] };
+      match Array.length arr with
+      | 0 ->
+        s.ok <- false;
+        s.empty_id <- cid
+      | 1 -> Vec.push s.pending cid
+      | _ ->
+        (* Watch two non-false literals when possible (under the current
+           root-level assignment); when fewer exist, the clause is unit
+           or false right now and goes to the pending list. *)
+        let len = Array.length arr in
+        let swap i j =
+          let t = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- t
+        in
+        let pos = ref 0 in
+        (try
+           for i = 0 to len - 1 do
+             if !pos < 2 && lit_val s arr.(i) <> 0 then begin
+               swap !pos i;
+               incr pos;
+               if !pos = 2 then raise Exit
+             end
+           done
+         with Exit -> ());
+        watch s arr.(0) cid;
+        watch s arr.(1) cid;
+        if !pos < 2 then Vec.push s.pending cid
+    end
+  end
+
+(* Re-examine the pending clauses at solve start: enqueue the unit ones,
+   derive the empty clause from falsified ones.  Clauses whose literal
+   got satisfied at the root level are dropped from the list. *)
+let flush_pending s =
+  let kept = ref [] in
+  let failed = ref false in
+  Vec.iter
+    (fun cid ->
+      if not !failed then begin
+        let lits = s.clauses.(cid).lits in
+        let nonfalse = ref [] in
+        Array.iter (fun l -> if lit_val s l <> 0 then nonfalse := l :: !nonfalse) lits;
+        match !nonfalse with
+        | [] ->
+          analyze_final s cid;
+          failed := true
+        | [ l ] ->
+          if lit_val s l = -1 then enqueue s l cid;
+          (* A root-level assignment never goes away: once satisfied (or
+             enqueued) the clause needs no further attention. *)
+          ()
+        | _ -> kept := cid :: !kept
+      end)
+    s.pending;
+  Vec.clear s.pending;
+  List.iter (fun cid -> Vec.push s.pending cid) (List.rev !kept);
+  not !failed
+
+let pick_branch_var s =
+  let rec loop () =
+    match Heap.pop s.order with
+    | None -> -1
+    | Some v -> if s.assigns.(v) < 0 then v else loop ()
+  in
+  loop ()
+
+(* Luby restart sequence (MiniSat formulation), scaled by [restart_base]. *)
+let luby x =
+  let rec outer size seq = if size >= x + 1 then (size, seq) else outer ((2 * size) + 1) (seq + 1) in
+  let rec inner size seq x =
+    if size - 1 = x then seq
+    else
+      let size = (size - 1) / 2 in
+      inner size (seq - 1) (x mod size)
+  in
+  let size, seq = outer 1 0 in
+  1 lsl inner size seq x
+
+let restart_base = 100
+
+let solve ?(assumptions = []) ?(conflict_budget = max_int) s =
+  cancel_until s 0;
+  s.core <- [];
+  if not s.ok then begin
+    s.last_result <- Unsat;
+    Unsat
+  end
+  else if not (flush_pending s) then begin
+    s.last_result <- Unsat;
+    Unsat
+  end
+  else begin
+    s.last_result <- Undef;
+    let assumptions = Array.of_list assumptions in
+    let nassumptions = Array.length assumptions in
+    let budget_start = s.conflicts in
+    let restarts = ref 0 in
+    let conflicts_this_restart = ref 0 in
+    let limit = ref (restart_base * luby 0) in
+    let res = ref None in
+    while !res = None do
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        incr conflicts_this_restart;
+        if decision_level s = 0 then begin
+          analyze_final s confl;
+          res := Some Unsat
+        end
+        else begin
+          let lits, bt_level, first, chain = analyze s confl in
+          (* Never backjump into the middle of the assumption prefix
+             without replaying it: cancelling to [bt_level] is safe since
+             the decision loop re-installs assumptions by level. *)
+          cancel_until s bt_level;
+          let cid = record_learnt s lits first chain in
+          if lit_val s lits.(0) = -1 then enqueue s lits.(0) cid
+          else if lit_val s lits.(0) = 0 then begin
+            (* Can only happen when the asserting literal is false at the
+               root level: unconditionally unsat. *)
+            analyze_final s cid;
+            res := Some Unsat
+          end;
+          decay_activities s;
+          if s.conflicts - budget_start >= conflict_budget then begin
+            cancel_until s 0;
+            res := Some Undef
+          end
+        end
+      end
+      else if
+        !conflicts_this_restart >= !limit && decision_level s > nassumptions
+      then begin
+        incr restarts;
+        conflicts_this_restart := 0;
+        limit := restart_base * luby !restarts;
+        cancel_until s nassumptions
+      end
+      else if decision_level s < nassumptions then begin
+        (* Install the next assumption as a decision. *)
+        let p = assumptions.(decision_level s) in
+        if Lit.var p >= s.nvars then invalid_arg "Solver.solve: unknown assumption variable";
+        match lit_val s p with
+        | 1 -> Vec.push s.trail_lim (Vec.size s.trail) (* dummy level *)
+        | -1 ->
+          Vec.push s.trail_lim (Vec.size s.trail);
+          enqueue s p (-1)
+        | _ ->
+          s.core <- analyze_assumptions s p;
+          res := Some Unsat
+      end
+      else begin
+        let v = pick_branch_var s in
+        if v < 0 then res := Some Sat
+        else begin
+          s.decisions <- s.decisions + 1;
+          Vec.push s.trail_lim (Vec.size s.trail);
+          enqueue s (Lit.of_var ~neg:(Bytes.get s.phase v = '\000') v) (-1)
+        end
+      end
+    done;
+    let r = match !res with Some r -> r | None -> assert false in
+    (* Keep the model readable after Sat; otherwise return to the root. *)
+    if r <> Sat then cancel_until s 0;
+    s.last_result <- r;
+    r
+  end
+
+let unsat_core s =
+  if s.last_result <> Unsat then invalid_arg "Solver.unsat_core: last result not Unsat";
+  s.core
+
+let proof s =
+  if s.ok || s.empty_id < 0 then
+    invalid_arg "Solver.proof: instance not proved unconditionally unsatisfiable";
+  let steps =
+    Array.init s.nclauses (fun i ->
+        let c = s.clauses.(i) in
+        if c.first = -1 then Proof.Input { lits = Array.copy c.lits; tag = c.ctag }
+        else Proof.Derived { lits = Array.copy c.lits; first = c.first; chain = c.chain })
+  in
+  { Proof.steps; empty = s.empty_id; nvars = s.nvars }

@@ -1,0 +1,62 @@
+(** An incremental CDCL SAT solver with resolution-proof logging.
+
+    Clauses may be added at any time (each carrying an optional partition
+    tag used by interpolation) and {!solve} may be called repeatedly,
+    optionally under {e assumptions}.  On an unsatisfiable answer under
+    assumptions, {!unsat_core} names the involved assumption subset; on
+    an unconditionally unsatisfiable instance, {!proof} returns the full
+    resolution proof.  On [Sat], {!value} reads the model.
+
+    Implementation notes: two-watched-literal propagation, first-UIP
+    clause learning, VSIDS branching with phase saving, Luby restarts.
+    Learned clauses are never deleted so that every proof antecedent stays
+    available — instances produced by bounded model checking at our scale
+    stay well within memory. *)
+
+type t
+
+type result = Sat | Unsat | Undef
+(** [Undef] is returned only when a conflict budget is exhausted. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> ?tag:int -> Lit.t list -> unit
+(** Adds a clause; the solver first backtracks to the root level.
+    Tautologies are silently dropped; duplicate literals are merged.
+    [tag] (default 0) is recorded in the proof for interpolation; it must
+    be [>= 0]. *)
+
+val solve : ?assumptions:Lit.t list -> ?conflict_budget:int -> t -> result
+(** Runs the search under the given assumption literals (installed as the
+    first decisions).  [conflict_budget] bounds the number of conflicts
+    explored; when exhausted the solver answers [Undef] and a later call
+    resumes with all learned clauses retained. *)
+
+val value : t -> int -> bool
+(** [value s v] is the model value of variable [v].  Only meaningful
+    after {!solve} returned [Sat]; unassigned variables (possible when
+    the formula did not constrain them) read as [false]. *)
+
+val lit_value : t -> Lit.t -> bool
+
+val unsat_core : t -> Lit.t list
+(** After an [Unsat] answer under assumptions: a subset [C] of the
+    assumptions such that the clauses together with [C] are
+    unsatisfiable.  Empty when the instance is unconditionally
+    unsatisfiable.
+    @raise Invalid_argument when the last result was not [Unsat]. *)
+
+val proof : t -> Proof.t
+(** The resolution proof of {e unconditional} unsatisfiability (a proof
+    exists whenever [Unsat] was answered with no assumptions involved).
+    @raise Invalid_argument otherwise. *)
+
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+val num_clauses : t -> int

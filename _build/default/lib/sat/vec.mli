@@ -1,0 +1,23 @@
+(** Growable integer vectors, used pervasively in the solver hot paths. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+val size : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val pop : t -> int
+(** Removes and returns the last element.  Requires a non-empty vector. *)
+
+val last : t -> int
+val clear : t -> unit
+val shrink : t -> int -> unit
+(** [shrink v n] truncates [v] to its first [n] elements. *)
+
+val iter : (int -> unit) -> t -> unit
+val to_array : t -> int array
+val of_array : int array -> t
+val mem : t -> int -> bool
+val remove : t -> int -> unit
+(** Removes the first occurrence of the element if present (swap-with-last). *)

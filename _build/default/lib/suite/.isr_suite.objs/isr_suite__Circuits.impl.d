@@ -1,0 +1,1 @@
+lib/suite/circuits.ml: Aig Array Builder Isr_aig Isr_model Model Printf

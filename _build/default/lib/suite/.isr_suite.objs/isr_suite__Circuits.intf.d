@@ -1,0 +1,1 @@
+lib/suite/circuits.mli: Aig Builder Isr_aig Isr_model Model

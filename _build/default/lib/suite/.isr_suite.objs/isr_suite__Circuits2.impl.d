@@ -1,0 +1,1 @@
+lib/suite/circuits2.ml: Aig Array Builder Isr_aig Isr_model List Printf

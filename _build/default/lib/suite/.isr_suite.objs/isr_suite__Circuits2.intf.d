@@ -1,0 +1,1 @@
+lib/suite/circuits2.mli: Isr_model Model

@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Array Circuits Circuits2 Format Hashtbl Isr_model List Model Printf

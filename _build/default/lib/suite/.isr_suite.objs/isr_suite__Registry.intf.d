@@ -1,0 +1,1 @@
+lib/suite/registry.mli: Format Isr_model Model

@@ -1,0 +1,500 @@
+open Isr_aig
+open Isr_model
+
+let mk_bad_vec_eq = Builder.vec_eq_const
+
+(* How many bits are needed to count up to [n] inclusively. *)
+let bits_for n =
+  let rec go b = if 1 lsl b > n then b else go (b + 1) in
+  go 1
+
+(* --- counters ----------------------------------------------------------- *)
+
+let counter ~bits ~target =
+  assert (0 < target && target < 1 lsl bits);
+  let b = Builder.create (Printf.sprintf "counter%d_t%d" bits target) in
+  let q = Builder.latches b bits in
+  let q1 = Builder.vec_incr b q in
+  Array.iteri (fun i l -> Builder.set_next b l q1.(i)) q;
+  Builder.finish b ~bad:(Builder.vec_eq_const b q target)
+
+let counter_mod ~bits ~modulus =
+  assert (1 < modulus && modulus < 1 lsl bits);
+  let b = Builder.create (Printf.sprintf "countermod%d_m%d" bits modulus) in
+  let q = Builder.latches b bits in
+  let wrap = Builder.vec_eq_const b q (modulus - 1) in
+  let q1 =
+    Builder.vec_mux b wrap (Builder.vec_const b ~width:bits 0) (Builder.vec_incr b q)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l q1.(i)) q;
+  Builder.finish b ~bad:(Builder.vec_eq_const b q modulus)
+
+let gated_counter ~bits ~target =
+  assert (0 < target && target < 1 lsl bits);
+  let b = Builder.create (Printf.sprintf "gcounter%d_t%d" bits target) in
+  let en = Builder.input b in
+  let q = Builder.latches b bits in
+  let q1 = Builder.vec_mux b en (Builder.vec_incr b q) q in
+  Array.iteri (fun i l -> Builder.set_next b l q1.(i)) q;
+  Builder.finish b ~bad:(Builder.vec_eq_const b q target)
+
+(* --- token ring (eijk-style) -------------------------------------------- *)
+
+let token_ring ~stations ~unsafe_at =
+  assert (stations >= 2);
+  let b = Builder.create (Printf.sprintf "ring%d" stations) in
+  let en = Builder.input b in
+  let t = Array.init stations (fun i -> Builder.latch b ~init:(i = 0) ()) in
+  let m = Builder.man b in
+  for i = 0 to stations - 1 do
+    let prev = t.((i + stations - 1) mod stations) in
+    Builder.set_next b t.(i) (Aig.ite m en prev t.(i))
+  done;
+  let bad =
+    match unsafe_at with
+    | Some s ->
+      assert (0 < s && s < stations);
+      t.(s)
+    | None ->
+      (* Two tokens at once: preserved-one-hot makes this unreachable,
+         but only inductively so. *)
+      let pairs = ref Aig.lit_false in
+      for i = 0 to stations - 1 do
+        for j = i + 1 to stations - 1 do
+          pairs := Aig.or_ m !pairs (Aig.and_ m t.(i) t.(j))
+        done
+      done;
+      !pairs
+  in
+  Builder.finish b ~bad
+
+(* --- LFSR ---------------------------------------------------------------- *)
+
+let lfsr ~bits ~taps ~target =
+  let b = Builder.create (Printf.sprintf "lfsr%d_%x_t%d" bits taps target) in
+  let q = Array.init bits (fun i -> Builder.latch b ~init:(i = 0) ()) in
+  let m = Builder.man b in
+  (* Fibonacci LFSR: shift up, bit 0 takes the xor of the tapped bits. *)
+  let feedback = ref Aig.lit_false in
+  for i = 0 to bits - 1 do
+    if (taps lsr i) land 1 = 1 then feedback := Aig.xor_ m !feedback q.(i)
+  done;
+  Builder.set_next b q.(0) !feedback;
+  for i = 1 to bits - 1 do
+    Builder.set_next b q.(i) q.(i - 1)
+  done;
+  Builder.finish b ~bad:(Builder.vec_eq_const b q target)
+
+let lfsr_cex_depth ~bits ~taps ~target =
+  (* Pure simulation: the LFSR has no inputs. *)
+  let state = Array.init bits (fun i -> i = 0) in
+  let matches s =
+    let v = ref 0 in
+    Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) s;
+    !v = target
+  in
+  let rec go depth s =
+    if matches s then Some depth
+    else if depth > 1 lsl bits then None
+    else begin
+      let fb = ref false in
+      Array.iteri (fun i b -> if (taps lsr i) land 1 = 1 && b then fb := not !fb) s;
+      let s' = Array.init (Array.length s) (fun i -> if i = 0 then !fb else s.(i - 1)) in
+      go (depth + 1) s'
+    end
+  in
+  go 0 state
+
+(* --- vending machine ------------------------------------------------------ *)
+
+let vending ~price ~buggy =
+  let bits = bits_for (price + 1) in
+  let b = Builder.create (Printf.sprintf "vending_p%d%s" price (if buggy then "_bug" else "")) in
+  let coin = Builder.input b in
+  let vend_req = Builder.input b in
+  let credit = Builder.latches b bits in
+  let m = Builder.man b in
+  let below = Builder.vec_lt_const b credit price in
+  let at_price = Builder.vec_eq_const b credit price in
+  let vend = Aig.and_ m vend_req at_price in
+  let accept = if buggy then coin else Aig.and_ m coin below in
+  let next =
+    Builder.vec_mux b vend
+      (Builder.vec_const b ~width:bits 0)
+      (Builder.vec_mux b accept (Builder.vec_incr b credit) credit)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l next.(i)) credit;
+  Builder.finish b ~bad:(Builder.vec_eq_const b credit (price + 1))
+
+(* --- traffic lights -------------------------------------------------------- *)
+
+let traffic ~green_time ~buggy =
+  let tbits = bits_for green_time in
+  let b = Builder.create (Printf.sprintf "traffic_g%d%s" green_time (if buggy then "_bug" else "")) in
+  let emergency = Builder.input b in
+  let m = Builder.man b in
+  let phase = Builder.latches b 2 in       (* 0 NS, 1 red, 2 EW, 3 red *)
+  let timer = Builder.latches b tbits in
+  let gns = Builder.latch b ~init:true () in
+  let gew = Builder.latch b () in
+  let wrap = Builder.vec_eq_const b timer (green_time - 1) in
+  let timer' =
+    Builder.vec_mux b wrap (Builder.vec_const b ~width:tbits 0) (Builder.vec_incr b timer)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l timer'.(i)) timer;
+  let phase' = Builder.vec_mux b wrap (Builder.vec_incr b phase) phase in
+  Array.iteri (fun i l -> Builder.set_next b l phase'.(i)) phase;
+  let ns_next = Builder.vec_eq_const b phase' 0 in
+  let ew_next = Builder.vec_eq_const b phase' 2 in
+  Builder.set_next b gns ns_next;
+  Builder.set_next b gew (if buggy then Aig.or_ m ew_next emergency else ew_next);
+  Builder.finish b ~bad:(Aig.and_ m gns gew)
+
+(* --- Peterson's mutual exclusion ------------------------------------------ *)
+
+let mutex_peterson () =
+  let b = Builder.create "peterson" in
+  let sched = Builder.input b in
+  let m = Builder.man b in
+  (* Program counters: 00 idle, 01 trying, 10 waiting, 11 critical. *)
+  let pc = Array.init 2 (fun _ -> Builder.latches b 2) in
+  let flag = Array.init 2 (fun _ -> Builder.latch b ()) in
+  let turn = Builder.latch b () in
+  let enabled = [| Aig.not_ sched; sched |] in
+  let in_state p v = Builder.vec_eq_const b pc.(p) v in
+  let can p =
+    let other = 1 - p in
+    let turn_mine = if p = 0 then Aig.not_ turn else turn in
+    Aig.or_ m (Aig.not_ flag.(other)) turn_mine
+  in
+  for p = 0 to 1 do
+    let en = enabled.(p) in
+    let idle = in_state p 0 and trying = in_state p 1 and waiting = in_state p 2 and crit = in_state p 3 in
+    (* pc' as a mux chain over the current state. *)
+    let advance =
+      Builder.vec_mux b idle
+        (Builder.vec_const b ~width:2 1)
+        (Builder.vec_mux b trying
+           (Builder.vec_const b ~width:2 2)
+           (Builder.vec_mux b waiting
+              (Builder.vec_mux b (can p)
+                 (Builder.vec_const b ~width:2 3)
+                 (Builder.vec_const b ~width:2 2))
+              (Builder.vec_const b ~width:2 0)))
+    in
+    let pc' = Builder.vec_mux b en advance pc.(p) in
+    Array.iteri (fun i l -> Builder.set_next b l pc'.(i)) pc.(p);
+    (* flag: set on idle->trying, cleared on critical->idle. *)
+    let set = Aig.and_ m en idle in
+    let clear = Aig.and_ m en crit in
+    Builder.set_next b flag.(p)
+      (Aig.or_ m set (Aig.and_ m flag.(p) (Aig.not_ clear)))
+  done;
+  (* turn := other, on trying->waiting. *)
+  let t0 = Aig.and_ m enabled.(0) (in_state 0 1) in
+  let t1 = Aig.and_ m enabled.(1) (in_state 1 1) in
+  Builder.set_next b turn
+    (Aig.ite m t0 Aig.lit_true (Aig.ite m t1 Aig.lit_false turn));
+  Builder.finish b ~bad:(Aig.and_ m (in_state 0 3) (in_state 1 3))
+
+(* --- producer / consumer --------------------------------------------------- *)
+
+let prodcons ~cap ~unsafe =
+  let bits = bits_for (cap + 1) in
+  let b = Builder.create (Printf.sprintf "prodcons_c%d%s" cap (if unsafe then "_bug" else "")) in
+  let prod = Builder.input b in
+  let cons = Builder.input b in
+  let c = Builder.latches b bits in
+  let m = Builder.man b in
+  let below = Builder.vec_lt_const b c cap in
+  let empty = Builder.vec_eq_const b c 0 in
+  let can_prod = if unsafe then prod else Aig.and_ m prod below in
+  let can_cons = Aig.and_ m cons (Aig.not_ empty) in
+  let up = Aig.and_ m can_prod (Aig.not_ can_cons) in
+  let down = Aig.and_ m can_cons (Aig.not_ can_prod) in
+  let next =
+    Builder.vec_mux b up (Builder.vec_incr b c)
+      (Builder.vec_mux b down
+         (Builder.vec_add b c (Builder.vec_const b ~width:bits ((1 lsl bits) - 1)))
+         c)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l next.(i)) c;
+  Builder.finish b ~bad:(Builder.vec_eq_const b c (cap + 1))
+
+(* --- round-robin arbiter ---------------------------------------------------- *)
+
+let arbiter ~masters ~buggy =
+  assert (masters >= 2 && masters <= 8);
+  let b = Builder.create (Printf.sprintf "arbiter%d%s" masters (if buggy then "_bug" else "")) in
+  let req = Builder.inputs b masters in
+  let m = Builder.man b in
+  let pbits = bits_for (masters - 1) in
+  let ptr = Builder.latches b pbits in
+  let grant = Array.init masters (fun _ -> Builder.latch b ()) in
+  (* chosen_i: master i requests and no master with higher round-robin
+     priority (starting at ptr) requests. *)
+  let chosen =
+    Array.init masters (fun i ->
+        let higher = ref Aig.lit_false in
+        (* Masters j that precede i in the rotation starting at ptr. *)
+        for j = 0 to masters - 1 do
+          if j <> i then begin
+            (* j precedes i iff (j - ptr) mod n < (i - ptr) mod n; encode
+               by case distinction over ptr values. *)
+            let cond = ref Aig.lit_false in
+            for p = 0 to masters - 1 do
+              let dist x = (x - p + masters) mod masters in
+              if dist j < dist i then
+                cond := Aig.or_ m !cond (Builder.vec_eq_const b ptr p)
+            done;
+            higher := Aig.or_ m !higher (Aig.and_ m req.(j) !cond)
+          end
+        done;
+        Aig.and_ m req.(i) (Aig.not_ !higher))
+  in
+  let all_req = Array.fold_left (fun acc r -> Aig.and_ m acc r) Aig.lit_true req in
+  Array.iteri
+    (fun i g ->
+      let c =
+        if buggy && i = 0 then Aig.or_ m chosen.(0) all_req
+        else chosen.(i)
+      in
+      Builder.set_next b g c)
+    grant;
+  (* ptr advances past the granted master. *)
+  let ptr' = ref (Array.map (fun l -> l) ptr) in
+  for i = 0 to masters - 1 do
+    let succ = Builder.vec_const b ~width:pbits ((i + 1) mod masters) in
+    ptr' := Builder.vec_mux b chosen.(i) succ !ptr'
+  done;
+  Array.iteri (fun i l -> Builder.set_next b l !ptr'.(i)) ptr;
+  let two_grants = ref Aig.lit_false in
+  for i = 0 to masters - 1 do
+    for j = i + 1 to masters - 1 do
+      two_grants := Aig.or_ m !two_grants (Aig.and_ m grant.(i) grant.(j))
+    done
+  done;
+  Builder.finish b ~bad:!two_grants
+
+(* --- cache coherence --------------------------------------------------------- *)
+
+let coherence ~caches ~buggy =
+  assert (caches >= 2 && caches <= 6);
+  let b = Builder.create (Printf.sprintf "coherence%d%s" caches (if buggy then "_bug" else "")) in
+  let rd = Builder.inputs b caches in
+  let wr = Builder.inputs b caches in
+  let m = Builder.man b in
+  (* Per-cache state: 00 Invalid, 01 Shared, 11 Modified. *)
+  let st = Array.init caches (fun _ -> Builder.latches b 2) in
+  (* Priority: lowest-index active request wins the bus; writes beat
+     reads at the same cache. *)
+  let act = Array.init caches (fun i -> Aig.or_ m rd.(i) wr.(i)) in
+  let wins =
+    Array.init caches (fun i ->
+        let earlier = ref Aig.lit_false in
+        for j = 0 to i - 1 do
+          earlier := Aig.or_ m !earlier act.(j)
+        done;
+        Aig.and_ m act.(i) (Aig.not_ !earlier))
+  in
+  for i = 0 to caches - 1 do
+    let w = Aig.and_ m wins.(i) wr.(i) in
+    let r = Aig.and_ m wins.(i) (Aig.and_ m rd.(i) (Aig.not_ wr.(i))) in
+    let other_write = ref Aig.lit_false in
+    for j = 0 to caches - 1 do
+      if j <> i then other_write := Aig.or_ m !other_write (Aig.and_ m wins.(j) wr.(j))
+    done;
+    let cur = st.(i) in
+    (* On own write -> Modified (11); own read -> Shared (01) if Invalid;
+       another cache's write invalidates (00) unless buggy. *)
+    let to_m = Builder.vec_const b ~width:2 3 in
+    let to_s = Builder.vec_const b ~width:2 1 in
+    let to_i = Builder.vec_const b ~width:2 0 in
+    let invalid = Builder.vec_eq_const b cur 0 in
+    let after_read = Builder.vec_mux b invalid to_s cur in
+    let stay = Builder.vec_mux b r after_read cur in
+    let with_inval =
+      if buggy then stay else Builder.vec_mux b !other_write to_i stay
+    in
+    let nxt = Builder.vec_mux b w to_m with_inval in
+    Array.iteri (fun k l -> Builder.set_next b l nxt.(k)) cur
+  done;
+  let modif i = Builder.vec_eq_const b st.(i) 3 in
+  let two_m = ref Aig.lit_false in
+  for i = 0 to caches - 1 do
+    for j = i + 1 to caches - 1 do
+      two_m := Aig.or_ m !two_m (Aig.and_ m (modif i) (modif j))
+    done
+  done;
+  Builder.finish b ~bad:!two_m
+
+(* --- reactor (cascaded counters, huge forward diameter) --------------------- *)
+
+let reactor ~stages ~bits =
+  let b = Builder.create (Printf.sprintf "reactor_s%d_b%d" stages bits) in
+  let m = Builder.man b in
+  let stage = Array.init stages (fun _ -> Builder.latches b bits) in
+  let carry = ref Aig.lit_true in
+  for s = 0 to stages - 1 do
+    let q = stage.(s) in
+    let wrap = Aig.and_ m !carry (Builder.vec_eq_const b q ((1 lsl bits) - 1)) in
+    let q1 = Builder.vec_mux b !carry (Builder.vec_incr b q) q in
+    Array.iteri (fun i l -> Builder.set_next b l q1.(i)) q;
+    carry := wrap
+  done;
+  ignore m;
+  (* Safety target: a shadow register holds yesterday's stage-0 value, and
+     stage 0 advances by exactly one per step, so stage0 = shadow + 2
+     (modulo 2^bits) is unreachable — but seeing that requires relating
+     two registers across a step, which keeps the property non-trivial
+     while the cascade gives the model its huge forward diameter. *)
+  let shadow = Builder.latches b bits in
+  Array.iteri (fun i l -> Builder.set_next b l stage.(0).(i)) shadow;
+  let plus2 = Builder.vec_add b shadow (Builder.vec_const b ~width:bits 2) in
+  Builder.finish b ~bad:(Builder.vec_eq b stage.(0) plus2)
+
+(* --- guidance-style mode controller ----------------------------------------- *)
+
+let guidance ~timer_bits =
+  let b = Builder.create (Printf.sprintf "guidance_t%d" timer_bits) in
+  let go = Builder.input b in
+  let fault = Builder.input b in
+  let m = Builder.man b in
+  (* Modes: 0 idle, 1 acquire, 2 track, 3 abort. *)
+  let mode = Builder.latches b 2 in
+  let prev = Builder.latches b 2 in
+  let timer = Builder.latches b timer_bits in
+  let at v = Builder.vec_eq_const b mode v in
+  let expired = Builder.vec_eq_const b timer ((1 lsl timer_bits) - 1) in
+  let timer' =
+    Builder.vec_mux b expired timer (Builder.vec_incr b timer)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l timer'.(i)) timer;
+  let to_acquire = Aig.and_ m (at 0) go in
+  let to_track = Aig.and_ m (at 1) expired in
+  (* abort reachable only from track *)
+  let to_abort = Aig.and_ m (at 2) fault in
+  let mode' =
+    Builder.vec_mux b to_acquire
+      (Builder.vec_const b ~width:2 1)
+      (Builder.vec_mux b to_track
+         (Builder.vec_const b ~width:2 2)
+         (Builder.vec_mux b to_abort (Builder.vec_const b ~width:2 3) mode))
+  in
+  Array.iteri (fun i l -> Builder.set_next b l mode'.(i)) mode;
+  Array.iteri (fun i l -> Builder.set_next b l mode.(i)) prev;
+  (* Bad: abort entered directly from acquire. *)
+  let bad =
+    Aig.and_ m (Builder.vec_eq_const b mode 3) (Builder.vec_eq_const b prev 1)
+  in
+  Builder.finish b ~bad
+
+(* --- TCAS-style separation monitor ------------------------------------------- *)
+
+let tcas ~separation =
+  let bits = bits_for separation in
+  let b = Builder.create (Printf.sprintf "tcas_s%d" separation) in
+  let close = Builder.input b in
+  let open_ = Builder.input b in
+  let gap = Array.init bits (fun i -> Builder.latch b ~init:((separation lsr i) land 1 = 1) ()) in
+  let m = Builder.man b in
+  let at_zero = Builder.vec_eq_const b gap 0 in
+  let at_max = Builder.vec_eq_const b gap separation in
+  let dec = Aig.and_ m close (Aig.not_ at_zero) in
+  let inc = Aig.and_ m (Aig.and_ m open_ (Aig.not_ close)) (Aig.not_ at_max) in
+  let minus1 = Builder.vec_add b gap (Builder.vec_const b ~width:bits ((1 lsl bits) - 1)) in
+  let next =
+    Builder.vec_mux b dec minus1 (Builder.vec_mux b inc (Builder.vec_incr b gap) gap)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l next.(i)) gap;
+  Builder.finish b ~bad:at_zero
+
+(* --- Feistel-style scrambler --------------------------------------------------- *)
+
+let feistel ~rounds ~width =
+  let rbits = bits_for (rounds + 1) in
+  let b = Builder.create (Printf.sprintf "feistel_r%d_w%d" rounds width) in
+  let key = Builder.inputs b width in
+  let m = Builder.man b in
+  let left = Builder.latches b width in
+  let right = Builder.latches b width in
+  let round = Builder.latches b rbits in
+  let running = Builder.vec_lt_const b round rounds in
+  (* F(R, k): rotate, xor key, mix with a nonlinear term. *)
+  let f =
+    Array.init width (fun i ->
+        let rot = right.((i + 1) mod width) in
+        let nl = Aig.and_ m right.(i) right.((i + width - 1) mod width) in
+        Aig.xor_ m (Aig.xor_ m rot key.(i)) nl)
+  in
+  Array.iteri
+    (fun i l -> Builder.set_next b l (Aig.ite m running right.(i) left.(i)))
+    left;
+  Array.iteri
+    (fun i l -> Builder.set_next b l (Aig.ite m running (Aig.xor_ m left.(i) f.(i)) right.(i)))
+    right;
+  let round' = Builder.vec_mux b running (Builder.vec_incr b round) round in
+  Array.iteri (fun i l -> Builder.set_next b l round'.(i)) round;
+  (* The counter saturates at [rounds]; passing it is unreachable. *)
+  Builder.finish b ~bad:(Builder.vec_eq_const b round (rounds + 1))
+
+(* --- rether-style real-time scheduler ------------------------------------------ *)
+
+let rether ~slots =
+  let bits = bits_for slots in
+  let b = Builder.create (Printf.sprintf "rether_s%d" slots) in
+  let req = Builder.input b in
+  let timer = Array.init bits (fun i -> Builder.latch b ~init:((slots lsr i) land 1 = 1) ()) in
+  let pending = Builder.latch b () in
+  let m = Builder.man b in
+  let active = Aig.or_ m pending req in
+  let at_zero = Builder.vec_eq_const b timer 0 in
+  let minus1 = Builder.vec_add b timer (Builder.vec_const b ~width:bits ((1 lsl bits) - 1)) in
+  let timer' = Builder.vec_mux b (Aig.and_ m active (Aig.not_ at_zero)) minus1 timer in
+  Array.iteri (fun i l -> Builder.set_next b l timer'.(i)) timer;
+  Builder.set_next b pending active;
+  Builder.finish b ~bad:(Aig.and_ m pending at_zero)
+
+(* --- industrial padding ----------------------------------------------------------- *)
+
+(* Deterministic pseudo-random stream (xorshift), independent of the
+   stdlib Random state. *)
+let mk_rand seed =
+  let s = ref (if seed = 0 then 0x9e3779b9 else seed) in
+  fun n ->
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x land max_int;
+    !s mod n
+
+let industrial ~name ~core ~pad_latches ~pad_inputs ~seed =
+  let b = Builder.create name in
+  let rand = mk_rand seed in
+  (* Pad primary inputs first, then the core's own inputs. *)
+  let pad_in = Builder.inputs b (max 1 pad_inputs) in
+  let core_in = Array.init core.Model.num_inputs (fun _ -> Builder.input b) in
+  let core_latch =
+    Array.init core.Model.num_latches (fun i -> Builder.latch b ~init:core.Model.init.(i) ())
+  in
+  let pad = Array.init pad_latches (fun _ -> Builder.latch b ()) in
+  let m = Builder.man b in
+  (* Irrelevant logic: every pad latch mixes a few neighbours and a pad
+     input through xor/and clouds. *)
+  Array.iteri
+    (fun i l ->
+      let a = pad.(rand pad_latches) in
+      let c = pad.(rand pad_latches) in
+      let k = pad_in.(rand (Array.length pad_in)) in
+      let nl = Aig.and_ m a (Aig.or_ m c l) in
+      let mix = Aig.xor_ m (Aig.xor_ m nl k) pad.((i + 1) mod pad_latches) in
+      Builder.set_next b l mix)
+    pad;
+  (* Core logic, copied across managers. *)
+  let map i =
+    if i < core.Model.num_inputs then core_in.(i) else core_latch.(i - core.Model.num_inputs)
+  in
+  let copy = Aig.copier ~src:core.Model.man ~dst:m ~map in
+  Array.iteri (fun i _ -> Builder.set_next b core_latch.(i) (copy core.Model.next.(i))) core_latch;
+  Builder.finish b ~bad:(copy core.Model.bad)

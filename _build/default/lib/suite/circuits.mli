@@ -1,0 +1,106 @@
+(** Parametric benchmark circuits.
+
+    These generators reproduce the circuit {e families} behind the
+    paper's benchmark selection (HWMCC-style academic designs plus
+    synthesized industrial-like ones); see DESIGN.md for the mapping and
+    the substitution rationale.  Every generator documents its safety
+    status and, when falsifiable, the depth of the shortest
+    counterexample. *)
+
+open Isr_aig
+open Isr_model
+
+val counter : bits:int -> target:int -> Model.t
+(** Free-running counter; bad when the count equals [target].
+    Unsafe with shortest counterexample depth [target]
+    (requires [0 < target < 2^bits]). *)
+
+val counter_mod : bits:int -> modulus:int -> Model.t
+(** Counter wrapping at [modulus]; bad at the unreachable count
+    [modulus].  Safe; forward diameter [modulus - 1]. *)
+
+val gated_counter : bits:int -> target:int -> Model.t
+(** Counter with an enable input; unsafe at depth [target]. *)
+
+val token_ring : stations:int -> unsafe_at:int option -> Model.t
+(** One-hot token rotating through [stations] stations behind an enable
+    input (eijk-style).  With [unsafe_at = Some s], bad is "token at
+    station [s]" — unsafe with depth [s].  With [None], bad is "token at
+    two stations at once" — safe. *)
+
+val lfsr : bits:int -> taps:int -> target:int -> Model.t
+(** Galois LFSR with tap mask [taps]; bad when the state equals
+    [target].  Safety depends on reachability of [target]; use
+    {!lfsr_cex_depth} to classify. *)
+
+val lfsr_cex_depth : bits:int -> taps:int -> target:int -> int option
+(** Shortest depth at which the LFSR reaches [target], by simulation. *)
+
+val vending : price:int -> buggy:bool -> Model.t
+(** Coin-accepting vending machine (credit accumulator, vend at
+    [price]).  Correct version is safe (credit can never exceed
+    [price]); the buggy version drops the acceptance guard and fails at
+    depth [price + 1]. *)
+
+val traffic : green_time:int -> buggy:bool -> Model.t
+(** Two-way traffic-light controller with a phase timer.  Bad = both
+    green.  Safe when correct; the buggy variant glitches when an
+    emergency input interrupts the timer, failing at depth
+    [green_time + 1]. *)
+
+val mutex_peterson : unit -> Model.t
+(** Peterson's mutual exclusion for two processes under an adversarial
+    scheduler input.  Bad = both in the critical section; safe. *)
+
+val prodcons : cap:int -> unsafe:bool -> Model.t
+(** Producer/consumer occupancy protocol with capacity [cap].  The safe
+    version guards against overflow; the unsafe one omits the guard and
+    overflows after [cap + 1] produces. *)
+
+val arbiter : masters:int -> buggy:bool -> Model.t
+(** Round-robin bus arbiter (AMBA-like).  Bad = two simultaneous
+    grants.  Safe when correct; the buggy variant can double-grant when
+    all masters request, at depth 2. *)
+
+val coherence : caches:int -> buggy:bool -> Model.t
+(** MSI-like cache coherence: bad = two caches in Modified.  Safe when
+    invalidation is broadcast; the buggy variant omits it. *)
+
+val reactor : stages:int -> bits:int -> Model.t
+(** Cascaded counters (stage [i] steps when stage [i-1] wraps): forward
+    diameter grows as [2^(bits*stages)].  Bad is an unreachable sentinel;
+    safe. *)
+
+val guidance : timer_bits:int -> Model.t
+(** Mode-switching controller with a dwell timer; bad = forbidden mode
+    pair; safe. *)
+
+val tcas : separation:int -> Model.t
+(** Altitude-separation monitor: adversarial inputs close the gap by at
+    most one per step; bad = separation exhausted.  Unsafe with depth
+    [separation]. *)
+
+val feistel : rounds:int -> width:int -> Model.t
+(** Feistel-style scrambling network with a round counter; wide
+    combinational cones.  Bad = round counter passes [rounds] — which the
+    design prevents; safe. *)
+
+val rether : slots:int -> Model.t
+(** Real-time scheduler with a bandwidth countdown (retherrtf-like): bad
+    = deadline miss, forced after exactly [slots] steps of adversarial
+    requests.  Unsafe with depth [slots]. *)
+
+val industrial :
+  name:string ->
+  core:Model.t ->
+  pad_latches:int ->
+  pad_inputs:int ->
+  seed:int ->
+  Model.t
+(** Wraps a property core with [pad_latches] of irrelevant (but
+    input-driven and interconnected) logic — the shape that makes CBA
+    shine on the paper's industrial rows.  The property and its verdict
+    are those of [core]. *)
+
+val mk_bad_vec_eq : Builder.t -> Aig.lit array -> int -> Aig.lit
+(** Helper exposed for tests. *)

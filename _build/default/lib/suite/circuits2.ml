@@ -1,0 +1,214 @@
+open Isr_aig
+open Isr_model
+
+let bits_for n =
+  let rec go b = if 1 lsl b > n then b else go (b + 1) in
+  go 1
+
+(* --- circular FIFO with redundant occupancy ------------------------------ *)
+
+let fifo ~ptr_bits ~buggy =
+  let cap = 1 lsl ptr_bits in
+  let cbits = ptr_bits + 1 in
+  let b =
+    Builder.create (Printf.sprintf "fifo%d%s" ptr_bits (if buggy then "_bug" else ""))
+  in
+  let push = Builder.input b in
+  let pop = Builder.input b in
+  let m = Builder.man b in
+  let wr = Builder.latches b ptr_bits in
+  let rd = Builder.latches b ptr_bits in
+  let count = Builder.latches b cbits in
+  let full = Builder.vec_eq_const b count cap in
+  let empty = Builder.vec_eq_const b count 0 in
+  let do_push =
+    if buggy then Aig.and_ m push (Aig.not_ pop)
+    else Aig.and_ m (Aig.and_ m push (Aig.not_ pop)) (Aig.not_ full)
+  in
+  let do_pop = Aig.and_ m (Aig.and_ m pop (Aig.not_ push)) (Aig.not_ empty) in
+  let wr' = Builder.vec_mux b do_push (Builder.vec_incr b wr) wr in
+  let rd' = Builder.vec_mux b do_pop (Builder.vec_incr b rd) rd in
+  Array.iteri (fun i l -> Builder.set_next b l wr'.(i)) wr;
+  Array.iteri (fun i l -> Builder.set_next b l rd'.(i)) rd;
+  let minus1 = Builder.vec_add b count (Builder.vec_const b ~width:cbits ((1 lsl cbits) - 1)) in
+  (* The occupancy counter saturates at its maximum instead of wrapping:
+     in the correct design the full guard keeps it at [cap] or below, but
+     the buggy variant keeps pushing, so the pointers run ahead of the
+     saturated counter and the consistency check eventually trips. *)
+  let at_max = Builder.vec_eq_const b count ((1 lsl cbits) - 1) in
+  let count' =
+    Builder.vec_mux b (Aig.and_ m do_push (Aig.not_ at_max)) (Builder.vec_incr b count)
+      (Builder.vec_mux b do_pop minus1 count)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l count'.(i)) count;
+  (* Consistency: count mod cap must equal wr - rd mod cap.  The correct
+     design maintains it; dropping the full guard lets count reach cap+1
+     while the pointers wrap, desynchronizing the low bits. *)
+  let diff = Builder.vec_add b wr (Array.map (fun l -> Aig.not_ l) rd) in
+  let diff = Builder.vec_incr b diff (* wr + (~rd) + 1 = wr - rd *) in
+  let low_count = Array.sub count 0 ptr_bits in
+  let consistent = Builder.vec_eq b low_count diff in
+  Builder.finish b ~bad:(Aig.not_ consistent)
+
+(* --- elevator -------------------------------------------------------------- *)
+
+let elevator ~floors =
+  let fbits = bits_for (floors - 1) in
+  let b = Builder.create (Printf.sprintf "elevator%d" floors) in
+  let call_up = Builder.input b in
+  let call_down = Builder.input b in
+  let m = Builder.man b in
+  let pos = Builder.latches b fbits in
+  let moving = Builder.latch b () in
+  let door_open = Builder.latch b () in
+  let at_top = Builder.vec_eq_const b pos (floors - 1) in
+  let at_bottom = Builder.vec_eq_const b pos 0 in
+  let want_up = Aig.and_ m call_up (Aig.not_ at_top) in
+  let want_down = Aig.and_ m (Aig.and_ m call_down (Aig.not_ call_up)) (Aig.not_ at_bottom) in
+  (* Interlock: a move may only start with the door closed and the cab
+     idle — exactly the invariant the property monitors. *)
+  let start =
+    Aig.and_ m
+      (Aig.and_ m (Aig.or_ m want_up want_down) (Aig.not_ door_open))
+      (Aig.not_ moving)
+  in
+  let pos'' =
+    Builder.vec_mux b (Aig.and_ m start want_up) (Builder.vec_incr b pos)
+      (Builder.vec_mux b (Aig.and_ m start want_down)
+         (Builder.vec_add b pos (Builder.vec_const b ~width:fbits ((1 lsl fbits) - 1)))
+         pos)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l pos''.(i)) pos;
+  Builder.set_next b moving start;
+  (* The door opens when a movement completes and closes before the next
+     start: door_open' = moving (arrival), and never while starting. *)
+  Builder.set_next b door_open moving;
+  Builder.finish b ~bad:(Aig.and_ m moving door_open)
+
+(* --- parity-protected register ---------------------------------------------- *)
+
+let hamming ~data_bits ~buggy =
+  let b =
+    Builder.create (Printf.sprintf "hamming%d%s" data_bits (if buggy then "_bug" else ""))
+  in
+  let load = Builder.input b in
+  let din = Builder.inputs b data_bits in
+  let m = Builder.man b in
+  let data = Builder.latches b data_bits in
+  let parity = Builder.latch b () in
+  let din_parity = Array.fold_left (fun acc l -> Aig.xor_ m acc l) Aig.lit_false din in
+  Array.iteri (fun i l -> Builder.set_next b l (Aig.ite m load din.(i) l)) data;
+  (* Correct: parity follows every load.  Buggy: parity only updates when
+     the new parity would be 1, silently losing even-parity loads. *)
+  let parity' =
+    if buggy then Aig.ite m (Aig.and_ m load din_parity) din_parity parity
+    else Aig.ite m load din_parity parity
+  in
+  Builder.set_next b parity parity';
+  let data_parity = Array.fold_left (fun acc l -> Aig.xor_ m acc l) Aig.lit_false data in
+  Builder.finish b ~bad:(Aig.xor_ m data_parity parity)
+
+(* --- Dekker's mutual exclusion ------------------------------------------------ *)
+
+let dekker () =
+  let b = Builder.create "dekker" in
+  let sched = Builder.input b in
+  let m = Builder.man b in
+  (* Per process: 00 idle, 01 wants, 10 yielding, 11 critical. *)
+  let pc = Array.init 2 (fun _ -> Builder.latches b 2) in
+  let turn = Builder.latch b () in
+  let enabled = [| Aig.not_ sched; sched |] in
+  let at p v = Builder.vec_eq_const b pc.(p) v in
+  let wants p = Aig.or_ m (at p 1) (at p 3) in
+  for p = 0 to 1 do
+    let o = 1 - p in
+    let en = enabled.(p) in
+    let my_turn = if p = 0 then Aig.not_ turn else turn in
+    (* idle -> wants; wants -> critical when the other is quiet, else
+       yield when it is not our turn; yielding -> wants when our turn
+       returns; critical -> idle. *)
+    let next_state =
+      Builder.vec_mux b (at p 0) (Builder.vec_const b ~width:2 1)
+        (Builder.vec_mux b (at p 1)
+           (Builder.vec_mux b (Aig.not_ (wants o))
+              (Builder.vec_const b ~width:2 3)
+              (Builder.vec_mux b my_turn pc.(p) (Builder.vec_const b ~width:2 2)))
+           (Builder.vec_mux b (at p 2)
+              (Builder.vec_mux b my_turn (Builder.vec_const b ~width:2 1) pc.(p))
+              (Builder.vec_const b ~width:2 0)))
+    in
+    let pc' = Builder.vec_mux b en next_state pc.(p) in
+    Array.iteri (fun i l -> Builder.set_next b l pc'.(i)) pc.(p)
+  done;
+  (* turn flips to the other process on exit from the critical section. *)
+  let exit0 = Aig.and_ m enabled.(0) (at 0 3) in
+  let exit1 = Aig.and_ m enabled.(1) (at 1 3) in
+  Builder.set_next b turn (Aig.ite m exit0 Aig.lit_true (Aig.ite m exit1 Aig.lit_false turn));
+  Builder.finish b ~bad:(Aig.and_ m (at 0 3) (at 1 3))
+
+(* --- Johnson (twisted ring) counter ----------------------------------------- *)
+
+let johnson ~bits ~unsafe_at =
+  let b = Builder.create (Printf.sprintf "johnson%d" bits) in
+  let m = Builder.man b in
+  let q = Builder.latches b bits in
+  Builder.set_next b q.(0) (Aig.not_ q.(bits - 1));
+  for i = 1 to bits - 1 do
+    Builder.set_next b q.(i) q.(i - 1)
+  done;
+  let bad =
+    match unsafe_at with
+    | Some d ->
+      assert (0 < d && d < 2 * bits);
+      (* Simulate to the code word at depth d. *)
+      let state = ref (Array.make bits false) in
+      for _ = 1 to d do
+        let s = !state in
+        state := Array.init bits (fun i -> if i = 0 then not s.(bits - 1) else s.(i - 1))
+      done;
+      let v = ref 0 in
+      Array.iteri (fun i x -> if x then v := !v lor (1 lsl i)) !state;
+      Builder.vec_eq_const b q !v
+    | None ->
+      (* Valid Johnson code words have at most one 01 and one 10 boundary
+         in the cyclic order; flag two 10 boundaries as bad. *)
+      let boundaries = ref [] in
+      for i = 0 to bits - 1 do
+        let nxt = q.((i + 1) mod bits) in
+        boundaries := Aig.and_ m q.(i) (Aig.not_ nxt) :: !boundaries
+      done;
+      let rec pairs = function
+        | [] -> Aig.lit_false
+        | x :: rest ->
+          List.fold_left (fun acc y -> Aig.or_ m acc (Aig.and_ m x y)) (pairs rest) rest
+      in
+      pairs !boundaries
+  in
+  Builder.finish b ~bad
+
+(* --- stack pointer controller -------------------------------------------------- *)
+
+let stack_ctrl ~cap_log ~buggy =
+  let cap = 1 lsl cap_log in
+  let bits = cap_log + 1 in
+  let b =
+    Builder.create (Printf.sprintf "stack%d%s" cap_log (if buggy then "_bug" else ""))
+  in
+  let push = Builder.input b in
+  let pop = Builder.input b in
+  let m = Builder.man b in
+  let sp = Builder.latches b bits in
+  let at_cap = Builder.vec_eq_const b sp cap in
+  let at_zero = Builder.vec_eq_const b sp 0 in
+  let do_push =
+    if buggy then Aig.and_ m push (Aig.not_ pop)
+    else Aig.and_ m (Aig.and_ m push (Aig.not_ pop)) (Aig.not_ at_cap)
+  in
+  let do_pop = Aig.and_ m (Aig.and_ m pop (Aig.not_ push)) (Aig.not_ at_zero) in
+  let minus1 = Builder.vec_add b sp (Builder.vec_const b ~width:bits ((1 lsl bits) - 1)) in
+  let sp' =
+    Builder.vec_mux b do_push (Builder.vec_incr b sp)
+      (Builder.vec_mux b do_pop minus1 sp)
+  in
+  Array.iteri (fun i l -> Builder.set_next b l sp'.(i)) sp;
+  Builder.finish b ~bad:(Builder.vec_eq_const b sp (cap + 1))

@@ -1,0 +1,37 @@
+(** Second wave of benchmark circuits: protocol- and datapath-flavoured
+    designs exercising relational invariants (two registers that must
+    stay consistent), the shape on which interpolation sequences differ
+    most visibly from standard interpolation. *)
+
+open Isr_model
+
+val fifo : ptr_bits:int -> buggy:bool -> Model.t
+(** Circular FIFO with read/write pointers and a redundant occupancy
+    counter; bad = the counter and the pointer difference disagree.
+    Safe when the full/empty guards are in place; the buggy variant
+    drops the full guard, so the saturating occupancy counter and the
+    free-running pointers desynchronize at depth [2^(ptr_bits+1)]. *)
+
+val elevator : floors:int -> Model.t
+(** Floor position with direction and door control; bad = moving with
+    the door open.  Safe. *)
+
+val hamming : data_bits:int -> buggy:bool -> Model.t
+(** Register protected by parity maintained on every load; bad = parity
+    check fails.  Safe when every load updates the parity; the buggy
+    variant skips the update on even-parity loads, failing at depth 2. *)
+
+val dekker : unit -> Model.t
+(** Dekker's mutual exclusion (two processes, adversarial scheduler);
+    bad = both in the critical section.  Safe. *)
+
+val johnson : bits:int -> unsafe_at:int option -> Model.t
+(** Johnson (twisted-ring) counter.  With [None], bad = an invalid code
+    word (not of the form 1^a 0^b rotated) — safe but only inductively.
+    With [Some d], bad = the code word reached at depth [d] — unsafe with
+    that exact depth (requires [0 < d < 2*bits]). *)
+
+val stack_ctrl : cap_log:int -> buggy:bool -> Model.t
+(** Stack pointer controller with push/pop guards; bad = pointer above
+    capacity.  Safe when guarded; the buggy variant overflows at depth
+    [2^cap_log + 1]. *)

@@ -1,0 +1,298 @@
+open Isr_model
+
+type category = Mid | Industrial
+type expected = Safe | Unsafe of int
+
+type entry = {
+  name : string;
+  category : category;
+  expected : expected;
+  build : unit -> Model.t;
+}
+
+let mid name expected build = { name; category = Mid; expected; build }
+let ind name expected build = { name; category = Industrial; expected; build }
+
+(* An LFSR target reached at exactly the given depth, by construction. *)
+let lfsr_at ~bits ~taps ~depth =
+  let state = ref (Array.init bits (fun i -> i = 0)) in
+  for _ = 1 to depth do
+    let s = !state in
+    let fb = ref false in
+    Array.iteri (fun i b -> if (taps lsr i) land 1 = 1 && b then fb := not !fb) s;
+    state := Array.init bits (fun i -> if i = 0 then !fb else s.(i - 1))
+  done;
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) !state;
+  !v
+
+(* --- Table I ------------------------------------------------------------- *)
+
+let table1_mid =
+  [
+    mid "amba2g3" Safe (fun () -> Circuits.arbiter ~masters:2 ~buggy:false);
+    mid "amba3g4" Safe (fun () -> Circuits.arbiter ~masters:3 ~buggy:false);
+    mid "amba4bug" (Unsafe 2) (fun () -> Circuits.arbiter ~masters:4 ~buggy:true);
+    mid "eijkring8" Safe (fun () -> Circuits.token_ring ~stations:8 ~unsafe_at:None);
+    mid "eijkring12" Safe (fun () -> Circuits.token_ring ~stations:12 ~unsafe_at:None);
+    mid "eijkring10u7" (Unsafe 7) (fun () ->
+        Circuits.token_ring ~stations:10 ~unsafe_at:(Some 7));
+    mid "lfsr8d40"
+      (Unsafe 40)
+      (fun () ->
+        Circuits.lfsr ~bits:8 ~taps:0x8e ~target:(lfsr_at ~bits:8 ~taps:0x8e ~depth:40));
+    mid "lfsr9safe" Safe (fun () -> Circuits.lfsr ~bits:9 ~taps:0x110 ~target:0);
+    mid "vending11" Safe (fun () -> Circuits.vending ~price:11 ~buggy:false);
+    mid "vending7bug" (Unsafe 8) (fun () -> Circuits.vending ~price:7 ~buggy:true);
+    mid "traffic6" Safe (fun () -> Circuits.traffic ~green_time:6 ~buggy:false);
+    mid "traffic5bug" (Unsafe 1) (fun () -> Circuits.traffic ~green_time:5 ~buggy:true);
+    mid "peterson" Safe (fun () -> Circuits.mutex_peterson ());
+    mid "prodcons8" Safe (fun () -> Circuits.prodcons ~cap:8 ~unsafe:false);
+    mid "prodcons6bug" (Unsafe 7) (fun () -> Circuits.prodcons ~cap:6 ~unsafe:true);
+    mid "coherence3" Safe (fun () -> Circuits.coherence ~caches:3 ~buggy:false);
+    mid "coherence4" Safe (fun () -> Circuits.coherence ~caches:4 ~buggy:false);
+    mid "coherence3bug" (Unsafe 2) (fun () -> Circuits.coherence ~caches:3 ~buggy:true);
+    mid "reactor2x3" Safe (fun () -> Circuits.reactor ~stages:2 ~bits:3);
+    mid "reactor3x2" Safe (fun () -> Circuits.reactor ~stages:3 ~bits:2);
+    mid "guidance4" Safe (fun () -> Circuits.guidance ~timer_bits:4);
+    mid "tcas12" (Unsafe 12) (fun () -> Circuits.tcas ~separation:12);
+    mid "tcas25" (Unsafe 25) (fun () -> Circuits.tcas ~separation:25);
+    mid "feistel8x8" Safe (fun () -> Circuits.feistel ~rounds:8 ~width:8);
+    mid "rether16" (Unsafe 16) (fun () -> Circuits.rether ~slots:16);
+    mid "rether33" (Unsafe 33) (fun () -> Circuits.rether ~slots:33);
+    mid "counter6t40" (Unsafe 40) (fun () -> Circuits.counter ~bits:6 ~target:40);
+    mid "countermod6m50" Safe (fun () -> Circuits.counter_mod ~bits:6 ~modulus:50);
+    mid "gcount5t20" (Unsafe 20) (fun () -> Circuits.gated_counter ~bits:5 ~target:20);
+    mid "fifo3" Safe (fun () -> Circuits2.fifo ~ptr_bits:3 ~buggy:false);
+    mid "fifo2bug" (Unsafe 8) (fun () -> Circuits2.fifo ~ptr_bits:2 ~buggy:true);
+    mid "elevator6" Safe (fun () -> Circuits2.elevator ~floors:6);
+    mid "hamming8" Safe (fun () -> Circuits2.hamming ~data_bits:8 ~buggy:false);
+    mid "hamming6bug" (Unsafe 2) (fun () -> Circuits2.hamming ~data_bits:6 ~buggy:true);
+    mid "dekker" Safe (fun () -> Circuits2.dekker ());
+    mid "johnson6" Safe (fun () -> Circuits2.johnson ~bits:6 ~unsafe_at:None);
+    mid "johnson5u8" (Unsafe 8) (fun () -> Circuits2.johnson ~bits:5 ~unsafe_at:(Some 8));
+    mid "stack4" Safe (fun () -> Circuits2.stack_ctrl ~cap_log:4 ~buggy:false);
+    mid "stack3bug" (Unsafe 9) (fun () -> Circuits2.stack_ctrl ~cap_log:3 ~buggy:true);
+  ]
+
+let table1_industrial =
+  [
+    ind "industrialA1" Safe (fun () ->
+        Circuits.industrial ~name:"industrialA1"
+          ~core:(Circuits.counter_mod ~bits:5 ~modulus:24)
+          ~pad_latches:120 ~pad_inputs:24 ~seed:11);
+    ind "industrialA2" Safe (fun () ->
+        Circuits.industrial ~name:"industrialA2"
+          ~core:(Circuits.token_ring ~stations:12 ~unsafe_at:None)
+          ~pad_latches:230 ~pad_inputs:40 ~seed:22);
+    ind "industrialA3" Safe (fun () ->
+        Circuits.industrial ~name:"industrialA3"
+          ~core:(Circuits.vending ~price:12 ~buggy:false)
+          ~pad_latches:230 ~pad_inputs:40 ~seed:33);
+    ind "industrialA4" Safe (fun () ->
+        Circuits.industrial ~name:"industrialA4"
+          ~core:(Circuits.reactor ~stages:2 ~bits:3)
+          ~pad_latches:230 ~pad_inputs:40 ~seed:44);
+    ind "industrialB1" Safe (fun () ->
+        Circuits.industrial ~name:"industrialB1"
+          ~core:(Circuits.prodcons ~cap:10 ~unsafe:false)
+          ~pad_latches:700 ~pad_inputs:380 ~seed:55);
+    ind "industrialB2" (Unsafe 5) (fun () ->
+        Circuits.industrial ~name:"industrialB2"
+          ~core:(Circuits.rether ~slots:5)
+          ~pad_latches:740 ~pad_inputs:380 ~seed:66);
+    ind "industrialB3" Safe (fun () ->
+        Circuits.industrial ~name:"industrialB3"
+          ~core:(Circuits.guidance ~timer_bits:5)
+          ~pad_latches:760 ~pad_inputs:390 ~seed:77);
+    ind "industrialC1" (Unsafe 4) (fun () ->
+        Circuits.industrial ~name:"industrialC1"
+          ~core:(Circuits.tcas ~separation:4)
+          ~pad_latches:750 ~pad_inputs:400 ~seed:88);
+    ind "industrialC2" Safe (fun () ->
+        Circuits.industrial ~name:"industrialC2"
+          ~core:(Circuits.coherence ~caches:3 ~buggy:false)
+          ~pad_latches:580 ~pad_inputs:260 ~seed:99);
+    ind "industrialD1" Safe (fun () ->
+        Circuits.industrial ~name:"industrialD1"
+          ~core:(Circuits.mutex_peterson ())
+          ~pad_latches:90 ~pad_inputs:66 ~seed:123);
+    ind "industrialE1" Safe (fun () ->
+        Circuits.industrial ~name:"industrialE1"
+          ~core:(Circuits.feistel ~rounds:6 ~width:6)
+          ~pad_latches:580 ~pad_inputs:240 ~seed:321);
+    (* The F rows pair deep safe cores with very large pads: the shape on
+       which the paper reports ITPSEQCBA as the only finishing engine. *)
+    ind "industrialF1" Safe (fun () ->
+        Circuits.industrial ~name:"industrialF1"
+          ~core:(Circuits.prodcons ~cap:12 ~unsafe:false)
+          ~pad_latches:1600 ~pad_inputs:420 ~seed:404);
+    ind "industrialF2" Safe (fun () ->
+        Circuits.industrial ~name:"industrialF2"
+          ~core:(Circuits.vending ~price:14 ~buggy:false)
+          ~pad_latches:2200 ~pad_inputs:520 ~seed:505);
+    ind "industrialF3" Safe (fun () ->
+        Circuits.industrial ~name:"industrialF3"
+          ~core:(Circuits.counter_mod ~bits:6 ~modulus:44)
+          ~pad_latches:1900 ~pad_inputs:480 ~seed:606);
+  ]
+
+let table1 = table1_mid @ table1_industrial
+
+(* --- Figure 6 sweep -------------------------------------------------------- *)
+
+let sweeps =
+  List.concat
+    [
+      List.map
+        (fun t -> mid (Printf.sprintf "counter7t%d" t) (Unsafe t) (fun () ->
+             Circuits.counter ~bits:7 ~target:t))
+        [ 10; 20; 30; 50; 70; 90 ];
+      List.map
+        (fun m -> mid (Printf.sprintf "countermod7m%d" m) Safe (fun () ->
+             Circuits.counter_mod ~bits:7 ~modulus:m))
+        [ 12; 24; 48; 96 ];
+      List.map
+        (fun s -> mid (Printf.sprintf "ring%dsafe" s) Safe (fun () ->
+             Circuits.token_ring ~stations:s ~unsafe_at:None))
+        [ 4; 6; 10; 14; 16 ];
+      List.map
+        (fun s ->
+          mid
+            (Printf.sprintf "ring%du%d" (s + 3) s)
+            (Unsafe s)
+            (fun () -> Circuits.token_ring ~stations:(s + 3) ~unsafe_at:(Some s)))
+        [ 3; 5; 9; 11 ];
+      List.map
+        (fun sep -> mid (Printf.sprintf "tcas%d" sep) (Unsafe sep) (fun () ->
+             Circuits.tcas ~separation:sep))
+        [ 6; 9; 15; 18; 21; 30 ];
+      List.map
+        (fun n -> mid (Printf.sprintf "rether%d" n) (Unsafe n) (fun () ->
+             Circuits.rether ~slots:n))
+        [ 8; 12; 20; 24; 40 ];
+      List.map
+        (fun p -> mid (Printf.sprintf "vending%d" p) Safe (fun () ->
+             Circuits.vending ~price:p ~buggy:false))
+        [ 5; 9; 14; 18 ];
+      List.map
+        (fun p ->
+          mid
+            (Printf.sprintf "vending%dbug" p)
+            (Unsafe (p + 1))
+            (fun () -> Circuits.vending ~price:p ~buggy:true))
+        [ 5; 9; 13 ];
+      List.map
+        (fun c -> mid (Printf.sprintf "prodcons%d" c) Safe (fun () ->
+             Circuits.prodcons ~cap:c ~unsafe:false))
+        [ 4; 6; 12; 16 ];
+      List.map
+        (fun c ->
+          mid
+            (Printf.sprintf "prodcons%dbug" c)
+            (Unsafe (c + 1))
+            (fun () -> Circuits.prodcons ~cap:c ~unsafe:true))
+        [ 4; 10; 14 ];
+      List.map
+        (fun ms -> mid (Printf.sprintf "arbiter%d" ms) Safe (fun () ->
+             Circuits.arbiter ~masters:ms ~buggy:false))
+        [ 4; 5; 6 ];
+      List.map
+        (fun cs -> mid (Printf.sprintf "coherence%dx" cs) Safe (fun () ->
+             Circuits.coherence ~caches:cs ~buggy:false))
+        [ 5; 6 ];
+      List.map
+        (fun g -> mid (Printf.sprintf "traffic%d" g) Safe (fun () ->
+             Circuits.traffic ~green_time:g ~buggy:false))
+        [ 4; 9; 12 ];
+      List.map
+        (fun (r, w) -> mid (Printf.sprintf "feistel%dx%d" r w) Safe (fun () ->
+             Circuits.feistel ~rounds:r ~width:w))
+        [ (4, 6); (6, 10); (10, 12) ];
+      List.map
+        (fun tb -> mid (Printf.sprintf "guidance%d" tb) Safe (fun () ->
+             Circuits.guidance ~timer_bits:tb))
+        [ 3; 5; 6 ];
+      List.map
+        (fun d ->
+          mid
+            (Printf.sprintf "lfsr8d%d" d)
+            (Unsafe d)
+            (fun () ->
+              Circuits.lfsr ~bits:8 ~taps:0x8e
+                ~target:(lfsr_at ~bits:8 ~taps:0x8e ~depth:d)))
+        [ 15; 25; 55 ];
+      List.map
+        (fun (s, bt) -> mid (Printf.sprintf "reactor%dx%d" s bt) Safe (fun () ->
+             Circuits.reactor ~stages:s ~bits:bt))
+        [ (2, 2); (4, 2); (2, 4) ];
+      List.map
+        (fun p -> mid (Printf.sprintf "fifo%dsafe" p) Safe (fun () ->
+             Circuits2.fifo ~ptr_bits:p ~buggy:false))
+        [ 2; 4 ];
+      List.map
+        (fun p ->
+          mid
+            (Printf.sprintf "fifo%dbug" p)
+            (Unsafe (1 lsl (p + 1)))
+            (fun () -> Circuits2.fifo ~ptr_bits:p ~buggy:true))
+        [ 3 ];
+      List.map
+        (fun f -> mid (Printf.sprintf "elevator%d" f) Safe (fun () ->
+             Circuits2.elevator ~floors:f))
+        [ 4; 8 ];
+      List.map
+        (fun d -> mid (Printf.sprintf "hamming%d" d) Safe (fun () ->
+             Circuits2.hamming ~data_bits:d ~buggy:false))
+        [ 5; 12 ];
+      List.map
+        (fun bs -> mid (Printf.sprintf "johnson%d" bs) Safe (fun () ->
+             Circuits2.johnson ~bits:bs ~unsafe_at:None))
+        [ 4; 8; 10 ];
+      List.map
+        (fun cl -> mid (Printf.sprintf "stack%d" cl) Safe (fun () ->
+             Circuits2.stack_ctrl ~cap_log:cl ~buggy:false))
+        [ 3; 5 ];
+      List.map
+        (fun (pl, seed) ->
+          ind
+            (Printf.sprintf "industrialP%d" pl)
+            Safe
+            (fun () ->
+              Circuits.industrial
+                ~name:(Printf.sprintf "industrialP%d" pl)
+                ~core:(Circuits.counter_mod ~bits:5 ~modulus:20)
+                ~pad_latches:pl ~pad_inputs:(pl / 4) ~seed))
+        [ (150, 7); (300, 9); (450, 13) ];
+    ]
+
+let fig6 =
+  (* Deduplicate by name: sweeps may overlap with table1 entries. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e.name then false
+      else begin
+        Hashtbl.add seen e.name ();
+        true
+      end)
+    (table1 @ sweeps)
+
+let find name = List.find_opt (fun e -> e.name = name) fig6
+let names () = List.map (fun e -> e.name) fig6
+
+let agrees entry outcome =
+  match (entry.expected, outcome) with
+  | Safe, `Proved -> true
+  | Unsafe d, `Falsified d' -> d = d'
+  | _ -> false
+
+let pp_expected fmt = function
+  | Safe -> Format.pp_print_string fmt "safe"
+  | Unsafe d -> Format.fprintf fmt "unsafe@%d" d
+
+let build_validated entry =
+  let m = entry.build () in
+  match Model.validate m with
+  | Ok () -> m
+  | Error msg -> invalid_arg (Printf.sprintf "Registry.%s: %s" entry.name msg)

@@ -1,0 +1,44 @@
+(** The named benchmark instances.
+
+    [table1] mirrors the structure of the paper's Table I: a mid-size
+    block of academic-style circuits and an industrial block of large
+    padded designs whose property cone is a small fraction of the logic.
+    [fig6] extends it with parameter sweeps to the 100-instance
+    population used for the cactus plot of Figure 6.
+
+    Every entry carries its ground-truth verdict, established by
+    construction of the generator (and cross-checked against BDD
+    reachability in the test suite). *)
+
+open Isr_model
+
+type category = Mid | Industrial
+
+type expected =
+  | Safe
+  | Unsafe of int  (** depth of the shortest counterexample *)
+
+type entry = {
+  name : string;
+  category : category;
+  expected : expected;
+  build : unit -> Model.t;
+}
+
+val table1 : entry list
+val fig6 : entry list
+
+val find : string -> entry option
+(** Looks a name up in [fig6] (a superset of [table1]). *)
+
+val names : unit -> string list
+
+val agrees : entry -> [ `Proved | `Falsified of int ] -> bool
+(** Does an engine outcome match the entry's ground truth?  A [Falsified]
+    outcome must name exactly the shortest depth. *)
+
+val pp_expected : Format.formatter -> expected -> unit
+
+val build_validated : entry -> Model.t
+(** Builds the model and runs {!Model.validate}.
+    @raise Invalid_argument on a broken generator. *)

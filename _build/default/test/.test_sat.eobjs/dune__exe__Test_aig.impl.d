@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Int64 Isr_aig List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Aig Alcotest Array Bdd Builder Isr_aig Isr_bdd Isr_model List Model Printf QCheck2 QCheck_alcotest Reach

@@ -1,0 +1,1 @@
+test/test_bmc_random.ml: Aig Alcotest Array Bmc Budget Builder Certify Engine Hashtbl Isr_aig Isr_bdd Isr_core Isr_model List Printf QCheck2 QCheck_alcotest Sim String Unroll Verdict

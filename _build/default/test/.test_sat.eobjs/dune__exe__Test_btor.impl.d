@@ -1,0 +1,1 @@
+test/test_btor.ml: Alcotest Array Btor2 Buffer Isr_btor Isr_core Isr_model Isr_suite List Model Printf Random Sim Trace

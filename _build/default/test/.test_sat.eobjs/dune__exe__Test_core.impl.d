@@ -1,0 +1,1 @@
+test/test_core.ml: Aig Alcotest Array Bmc Budget Certify Engine Isr_aig Isr_bdd Isr_core Isr_model Isr_suite L2s List Printf Registry Sim Verdict

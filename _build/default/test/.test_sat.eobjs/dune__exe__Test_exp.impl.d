@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Budget Buffer Format Isr_core Isr_exp Isr_model Isr_suite List Registry String Verdict

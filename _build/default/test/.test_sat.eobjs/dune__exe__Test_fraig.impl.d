@@ -1,0 +1,1 @@
+test/test_fraig.ml: Aig Alcotest Array Builder Fraig Isr_aig Isr_core Isr_fraig Isr_model Isr_suite List Model Printf QCheck2 QCheck_alcotest Random Sim Trace

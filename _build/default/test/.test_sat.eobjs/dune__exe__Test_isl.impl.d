@@ -1,0 +1,1 @@
+test/test_isl.ml: Alcotest Array Isl Isr_core Isr_isl Isr_model Isr_suite List Model Printf Random Sim String Trace

@@ -1,0 +1,1 @@
+test/test_itp.ml: Aig Alcotest Array Int Isr_aig Isr_itp Isr_sat Itp List Lit Printf Proof Proof_check QCheck2 QCheck_alcotest Solver String Tutil

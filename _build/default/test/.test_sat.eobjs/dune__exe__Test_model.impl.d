@@ -1,0 +1,1 @@
+test/test_model.ml: Aig Aiger Alcotest Array Builder Coi Isr_aig Isr_cnf Isr_model Isr_sat List Lit Model Printf Rand_sim Random Sim Solver String Trace Unroll

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Dimacs Isr_sat List Lit Printf Proof_check QCheck2 QCheck_alcotest Solver String

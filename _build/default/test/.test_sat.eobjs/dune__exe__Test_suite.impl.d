@@ -1,0 +1,1 @@
+test/test_suite.ml: Aiger Alcotest Array Isr_bdd Isr_model Isr_suite List Model Printf Random Registry Sim Trace

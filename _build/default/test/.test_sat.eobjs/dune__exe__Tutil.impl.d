@@ -1,0 +1,1 @@
+test/tutil.ml: Isr_sat List Lit Solver

@@ -1,0 +1,88 @@
+(* Tests for the experiment harness: each reproduction renders sensible
+   output on a small entry subset and never contradicts ground truth. *)
+
+open Isr_core
+open Isr_suite
+
+let limits =
+  { Budget.time_limit = 20.0; conflict_limit = 1_000_000; bound_limit = 50 }
+
+let small_entries names = List.filter_map Registry.find names
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_table1 () =
+  let entries = small_entries [ "amba2g3"; "tcas12"; "vending11" ] in
+  let out = render (fun fmt -> Isr_exp.Table1.run ~limits ~entries ~out:fmt ()) in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " in table") true (contains out n))
+    [ "amba2g3"; "tcas12"; "vending11" ];
+  (* No ground-truth contradictions: the only '!' is the one in the
+     explanatory header. *)
+  let bangs = String.fold_left (fun n c -> if c = '!' then n + 1 else n) 0 out in
+  Alcotest.(check int) "no contradictions" 1 bangs
+
+let test_fig6 () =
+  let entries = small_entries [ "amba2g3"; "traffic6"; "coherence3bug" ] in
+  let out = render (fun fmt -> Isr_exp.Fig6.run ~limits ~entries ~out:fmt ()) in
+  Alcotest.(check bool) "has ranks" true (contains out "rank");
+  Alcotest.(check bool) "reports solved counts" true (contains out "solved instances");
+  (* All three instances are easy: every engine must solve all 3. *)
+  Alcotest.(check bool) "all solved" true (contains out "3")
+
+let test_fig7 () =
+  let entries = small_entries [ "amba2g3"; "traffic6"; "vending11"; "eijkring8" ] in
+  let out = render (fun fmt -> Isr_exp.Fig7.run ~limits ~entries ~out:fmt ()) in
+  Alcotest.(check bool) "summarizes" true (contains out "assume-k faster on")
+
+let test_ablation_checks () =
+  let entries = small_entries [ "vending11"; "coherence3" ] in
+  let out =
+    render (fun fmt -> Isr_exp.Ablation.checks ~limits ~entries ~depths:[ 4; 8 ] ~out:fmt ())
+  in
+  (* Safe instances: every depth must be unsat — the "SAT?!" cell must
+     never appear. *)
+  Alcotest.(check bool) "all unsat" false (contains out "SAT?!");
+  Alcotest.(check bool) "instances present" true (contains out "vending11")
+
+let test_ablation_alpha () =
+  let entries = small_entries [ "amba2g3"; "traffic6" ] in
+  let out =
+    render (fun fmt ->
+        Isr_exp.Ablation.alpha ~limits ~entries ~alphas:[ 0.0; 0.5; 1.0 ] ~out:fmt ())
+  in
+  Alcotest.(check bool) "alpha columns" true (contains out "alpha=0.50");
+  Alcotest.(check bool) "no unknowns" false (contains out "ovf")
+
+let test_runner_cells () =
+  let stats = Verdict.mk_stats () in
+  stats.Verdict.last_bound <- 7;
+  Alcotest.(check string) "ovf cell" "ovf(7)"
+    (Isr_exp.Runner.time_cell (Verdict.Unknown Verdict.Time_limit) stats);
+  Alcotest.(check string) "kfp" "4" (Isr_exp.Runner.kfp_cell (Verdict.Proved { kfp = 4; jfp = 2; invariant = None }));
+  Alcotest.(check string) "jfp of fail" "0"
+    (Isr_exp.Runner.jfp_cell (Verdict.Falsified { depth = 3; trace = { Isr_model.Trace.inputs = [||] } }))
+
+let () =
+  Alcotest.run "isr_exp"
+    [
+      ( "reproductions",
+        [
+          Alcotest.test_case "table1" `Slow test_table1;
+          Alcotest.test_case "fig6" `Slow test_fig6;
+          Alcotest.test_case "fig7" `Slow test_fig7;
+          Alcotest.test_case "ablation checks" `Slow test_ablation_checks;
+          Alcotest.test_case "ablation alpha" `Slow test_ablation_alpha;
+        ] );
+      ("runner", [ Alcotest.test_case "cells" `Quick test_runner_cells ]);
+    ]

@@ -1,0 +1,173 @@
+(* Tests for SAT sweeping: merges are machine-checked, models stay
+   sequentially equivalent, and semantically redundant logic shrinks. *)
+
+open Isr_aig
+open Isr_model
+open Isr_fraig
+
+let test_equivalent_basic () =
+  let man = Aig.create () in
+  let a = Aig.fresh_input man and b = Aig.fresh_input man in
+  (* x&y vs y&x are already structurally shared; build semantic twins:
+     !(!a | !b) == a & b by De Morgan. *)
+  let conj = Aig.and_ man a b in
+  let demorgan = Aig.not_ (Aig.or_ man (Aig.not_ a) (Aig.not_ b)) in
+  Alcotest.(check bool) "demorgan" true (Fraig.equivalent man conj demorgan = Some true);
+  let xor1 = Aig.xor_ man a b in
+  Alcotest.(check bool) "xor vs and differ" true
+    (Fraig.equivalent man conj xor1 = Some false);
+  (* ite(a, b, b) == b *)
+  let ite = Aig.ite man a b b in
+  Alcotest.(check bool) "ite collapse" true (Fraig.equivalent man ite b = Some true)
+
+(* A model with deliberate semantic (not structural) redundancy: the
+   same mux computed through two different decompositions. *)
+let redundant_model () =
+  let b = Builder.create "redundant" in
+  let sel = Builder.input b in
+  let x = Builder.input b in
+  let y = Builder.input b in
+  let m = Builder.man b in
+  let q1 = Builder.latch b () in
+  let q2 = Builder.latch b () in
+  (* mux as (sel&x) | (!sel&y) and as !( (!(sel&x)) & (!(!sel&y)) ) plus
+     an xor-based variant: x xor ((x xor y) & !sel). *)
+  let mux_a = Aig.or_ m (Aig.and_ m sel x) (Aig.and_ m (Aig.not_ sel) y) in
+  let mux_b = Aig.xor_ m x (Aig.and_ m (Aig.xor_ m x y) (Aig.not_ sel)) in
+  Builder.set_next b q1 mux_a;
+  Builder.set_next b q2 mux_b;
+  Builder.finish b ~bad:(Aig.xor_ m q1 q2)
+
+let test_sweep_preserves_behaviour () =
+  let m = redundant_model () in
+  let swept = Fraig.sweep_model m in
+  Alcotest.(check int) "same inputs" m.Model.num_inputs swept.Model.num_inputs;
+  Alcotest.(check int) "same latches" m.Model.num_latches swept.Model.num_latches;
+  let rand = Random.State.make [| 99 |] in
+  for _ = 1 to 100 do
+    let depth = 1 + Random.State.int rand 6 in
+    let inputs =
+      Array.init depth (fun _ -> Array.init m.Model.num_inputs (fun _ -> Random.State.bool rand))
+    in
+    let tr = { Trace.inputs } in
+    if Sim.run m tr <> Sim.run swept tr then Alcotest.fail "behaviour diverged";
+    if Sim.check_trace m tr <> Sim.check_trace swept tr then Alcotest.fail "bad diverged"
+  done
+
+let test_sweep_shrinks_redundancy () =
+  let m = redundant_model () in
+  let swept = Fraig.sweep_model m in
+  (* The two mux decompositions must collapse: bad = q1 xor q2 where both
+     latches now load the same node. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "swept (%d) smaller than original (%d)" (Model.num_ands swept)
+       (Model.num_ands m))
+    true
+    (Model.num_ands swept < Model.num_ands m);
+  Alcotest.(check int) "next functions merged" swept.Model.next.(0) swept.Model.next.(1)
+
+(* Sweeping never changes engine verdicts. *)
+let test_sweep_verdicts () =
+  List.iter
+    (fun name ->
+      match Isr_suite.Registry.find name with
+      | None -> Alcotest.failf "missing %s" name
+      | Some e ->
+        let m = Isr_suite.Registry.build_validated e in
+        let swept = Fraig.sweep_model m in
+        let limits =
+          { Isr_core.Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+        in
+        let v1, _ = Isr_core.Engine.run (Isr_core.Engine.Itpseq Isr_core.Bmc.Assume) ~limits m in
+        let v2, _ =
+          Isr_core.Engine.run (Isr_core.Engine.Itpseq Isr_core.Bmc.Assume) ~limits swept
+        in
+        (match (v1, v2) with
+        | Isr_core.Verdict.Proved _, Isr_core.Verdict.Proved _ -> ()
+        | ( Isr_core.Verdict.Falsified { depth = d1; _ },
+            Isr_core.Verdict.Falsified { depth = d2; trace } ) ->
+          Alcotest.(check int) (name ^ " depth") d1 d2;
+          Alcotest.(check bool) (name ^ " swept trace replays on original") true
+            (Sim.first_bad m trace = Some d2)
+        | _ -> Alcotest.failf "%s: verdicts diverged" name))
+    [ "traffic6"; "tcas12"; "coherence3"; "amba2g3" ]
+
+(* Random sequential circuits: sweeping preserves the entire visible
+   behaviour (states and bad) on random input sequences. *)
+type expr = T | F | In of int | L of int | Not of expr | And of expr * expr | Xor of expr * expr
+
+let nl = 3
+let ni = 2
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 5) @@ fix (fun self n ->
+      if n = 0 then
+        oneof
+          [
+            pure T; pure F;
+            map (fun i -> In i) (int_range 0 (ni - 1));
+            map (fun i -> L i) (int_range 0 (nl - 1));
+          ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map (fun e -> Not e) sub;
+            map2 (fun a b -> And (a, b)) sub sub;
+            map2 (fun a b -> Xor (a, b)) sub sub;
+          ])
+
+let gen_circuit =
+  let open QCheck2.Gen in
+  let* nexts = list_size (pure nl) gen_expr in
+  let* bad = gen_expr in
+  pure (nexts, bad)
+
+let build_circuit (nexts, bad) =
+  let b = Builder.create "rand" in
+  let ins = Builder.inputs b ni in
+  let ls = Builder.latches b nl in
+  let m = Builder.man b in
+  let rec tr = function
+    | T -> Aig.lit_true
+    | F -> Aig.lit_false
+    | In i -> ins.(i)
+    | L i -> ls.(i)
+    | Not e -> Aig.not_ (tr e)
+    | And (a, b') -> Aig.and_ m (tr a) (tr b')
+    | Xor (a, b') -> Aig.xor_ m (tr a) (tr b')
+  in
+  List.iteri (fun i e -> Builder.set_next b ls.(i) (tr e)) nexts;
+  Builder.finish b ~bad:(tr bad)
+
+let prop_sweep_random =
+  QCheck2.Test.make ~count:150 ~name:"sweeping preserves random circuits"
+    (QCheck2.Gen.pair gen_circuit (QCheck2.Gen.int_bound 10000))
+    (fun (spec, seed) ->
+      let m = build_circuit spec in
+      let swept = Fraig.sweep_model m in
+      let rand = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let depth = 1 + Random.State.int rand 5 in
+        let inputs =
+          Array.init depth (fun _ -> Array.init ni (fun _ -> Random.State.bool rand))
+        in
+        let tr = { Trace.inputs } in
+        if Sim.run m tr <> Sim.run swept tr then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "isr_fraig"
+    [
+      ( "fraig",
+        [
+          Alcotest.test_case "equivalence checks" `Quick test_equivalent_basic;
+          Alcotest.test_case "behaviour preserved" `Quick test_sweep_preserves_behaviour;
+          Alcotest.test_case "redundancy merged" `Quick test_sweep_shrinks_redundancy;
+          Alcotest.test_case "verdicts stable" `Slow test_sweep_verdicts;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_sweep_random ]);
+    ]

@@ -1,0 +1,308 @@
+(* Tests for Craig interpolation and interpolation sequences, checked
+   against Definitions 1 and 2 of the paper by exhaustive enumeration. *)
+
+open Isr_sat
+open Isr_aig
+open Isr_itp
+
+(* Solve a tagged clause set; return the proof if unsat. *)
+let solve_tagged nvars tagged_clauses =
+  let s = Tutil.fresh_solver nvars in
+  List.iter (fun (tag, c) -> Solver.add_clause s ~tag c) tagged_clauses;
+  match Solver.solve s with
+  | Solver.Unsat -> Some (Solver.proof s)
+  | Solver.Sat -> None
+  | Solver.Undef -> assert false
+
+(* Interpolant over AIG inputs mirroring SAT variables 1:1. *)
+let itp_over_inputs ?system nvars proof ~cut =
+  let man = Aig.create () in
+  let inputs = Array.init nvars (fun _ -> Aig.fresh_input man) in
+  let var_map v = if v < nvars then Some inputs.(v) else None in
+  (man, Itp.interpolant ?system proof ~cut ~man ~var_map)
+
+let seq_over_inputs nvars proof =
+  let man = Aig.create () in
+  let inputs = Array.init nvars (fun _ -> Aig.fresh_input man) in
+  let var_map v = if v < nvars then Some inputs.(v) else None in
+  (man, Itp.sequence proof ~man ~var_map)
+
+let eval_itp man l mask = Aig.eval man (fun i -> (mask lsr i) land 1 = 1) l
+
+(* Check Definition 1 by enumeration:
+   (1) A => I, (2) I /\ B unsat, (3) supp(I) within supp(A) /\ supp(B). *)
+let check_def1 nvars a_clauses b_clauses man itp =
+  let n = 1 lsl nvars in
+  let ok = ref true in
+  for mask = 0 to n - 1 do
+    if Tutil.clauses_sat mask a_clauses && not (eval_itp man itp mask) then ok := false;
+    if eval_itp man itp mask && Tutil.clauses_sat mask b_clauses then ok := false
+  done;
+  let vars_of cs =
+    List.concat_map (List.map Lit.var) cs |> List.sort_uniq Int.compare
+  in
+  let sa = vars_of a_clauses and sb = vars_of b_clauses in
+  List.iter
+    (fun i -> if not (List.mem i sa && List.mem i sb) then ok := false)
+    (Aig.support man itp);
+  !ok
+
+(* --- unit tests --------------------------------------------------------- *)
+
+let lit v = Lit.pos v
+let nlit v = Lit.of_var ~neg:true v
+
+let test_textbook_example () =
+  (* A = (v)(¬v ∨ x), B = (¬x): McMillan's interpolant is x. *)
+  let a = [ [ lit 0 ]; [ nlit 0; lit 1 ] ] and b = [ [ nlit 1 ] ] in
+  match solve_tagged 2 (List.map (fun c -> (1, c)) a @ List.map (fun c -> (2, c)) b) with
+  | None -> Alcotest.fail "expected unsat"
+  | Some proof ->
+    let man, itp = itp_over_inputs 2 proof ~cut:1 in
+    Alcotest.(check bool) "definition 1 holds" true (check_def1 2 a b man itp);
+    (* McMillan's interpolant for this proof is literally x (input 1). *)
+    Alcotest.(check int) "interpolant is x" (Aig.input man 1) itp
+
+let test_interpolant_false_when_a_unsat () =
+  (* A alone is unsat: the interpolant can only be false. *)
+  let a = [ [ lit 0 ]; [ nlit 0 ] ] and b = [ [ lit 1 ] ] in
+  match solve_tagged 2 (List.map (fun c -> (1, c)) a @ List.map (fun c -> (2, c)) b) with
+  | None -> Alcotest.fail "expected unsat"
+  | Some proof ->
+    let man, itp = itp_over_inputs 2 proof ~cut:1 in
+    Alcotest.(check bool) "def1" true (check_def1 2 a b man itp);
+    for mask = 0 to 3 do
+      Alcotest.(check bool) "itp false" false (eval_itp man itp mask)
+    done
+
+let test_interpolant_true_when_b_unsat () =
+  let a = [ [ lit 1 ] ] and b = [ [ lit 0 ]; [ nlit 0 ] ] in
+  match solve_tagged 2 (List.map (fun c -> (1, c)) a @ List.map (fun c -> (2, c)) b) with
+  | None -> Alcotest.fail "expected unsat"
+  | Some proof ->
+    let man, itp = itp_over_inputs 2 proof ~cut:1 in
+    Alcotest.(check bool) "def1" true (check_def1 2 a b man itp)
+
+let test_untagged_rejected () =
+  let s = Tutil.fresh_solver 1 in
+  Solver.add_clause s [ lit 0 ];
+  Solver.add_clause s [ nlit 0 ];
+  (match Solver.solve s with Solver.Unsat -> () | _ -> Alcotest.fail "unsat expected");
+  let proof = Solver.proof s in
+  match Itp.analyze proof with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for tag-0 clauses"
+
+let test_sequence_three_partitions () =
+  (* Γ = { (x0), (¬x0 ∨ x1), (¬x1) } with tags 1,2,3. *)
+  let g = [ (1, [ lit 0 ]); (2, [ nlit 0; lit 1 ]); (3, [ nlit 1 ]) ] in
+  match solve_tagged 2 g with
+  | None -> Alcotest.fail "expected unsat"
+  | Some proof ->
+    let man, seq = seq_over_inputs 2 proof in
+    Alcotest.(check int) "two interior interpolants" 2 (Array.length seq);
+    (* I1 over {x0}: x0 satisfies it; I2 over {x1}. *)
+    let a1 = [ [ lit 0 ] ] in
+    let a2 = [ [ nlit 0; lit 1 ] ] in
+    let a3 = [ [ nlit 1 ] ] in
+    (* Chain conditions: I0=T, I1, I2, I3=F with Ii /\ A(i+1) => I(i+1). *)
+    let ok = ref true in
+    for mask = 0 to 3 do
+      if Tutil.clauses_sat mask a1 && not (eval_itp man seq.(0) mask) then ok := false;
+      if
+        eval_itp man seq.(0) mask
+        && Tutil.clauses_sat mask a2
+        && not (eval_itp man seq.(1) mask)
+      then ok := false;
+      if eval_itp man seq.(1) mask && Tutil.clauses_sat mask a3 then ok := false
+    done;
+    Alcotest.(check bool) "chain conditions" true !ok
+
+(* --- property tests ----------------------------------------------------- *)
+
+let nv = 5
+
+let gen_partitioned ~ntags =
+  let open QCheck2.Gen in
+  let* nclauses = int_range 2 24 in
+  let gen_lit = map2 (fun v neg -> Lit.of_var ~neg v) (int_range 0 (nv - 1)) bool in
+  let gen_clause = list_size (int_range 1 3) gen_lit in
+  let* clauses = list_size (pure nclauses) gen_clause in
+  let* tags = list_size (pure nclauses) (int_range 1 ntags) in
+  pure (List.combine tags clauses)
+
+let print_partitioned tcs =
+  String.concat " ; "
+    (List.map
+       (fun (t, c) ->
+         Printf.sprintf "%d:[%s]" t
+           (String.concat "," (List.map (fun l -> string_of_int (Lit.to_dimacs l)) c)))
+       tcs)
+
+(* Force unsatisfiability by conjoining (x0)(¬x0) split across first/last
+   partitions would bias proofs; instead filter with assume. *)
+let prop_def1 =
+  QCheck2.Test.make ~count:800 ~name:"interpolants satisfy Definition 1"
+    ~print:print_partitioned (gen_partitioned ~ntags:2) (fun tcs ->
+      let a = List.filter_map (fun (t, c) -> if t = 1 then Some c else None) tcs in
+      let b = List.filter_map (fun (t, c) -> if t = 2 then Some c else None) tcs in
+      QCheck2.assume (a <> [] && b <> []);
+      match solve_tagged nv tcs with
+      | None -> QCheck2.assume_fail () (* satisfiable: nothing to test *)
+      | Some proof ->
+        (match Proof_check.check proof with Ok () -> () | Error _ -> QCheck2.Test.fail_report "proof invalid");
+        let man, itp = itp_over_inputs nv proof ~cut:1 in
+        check_def1 nv a b man itp)
+
+let prop_sequence_def2 =
+  QCheck2.Test.make ~count:800 ~name:"sequences satisfy Definition 2"
+    ~print:print_partitioned (gen_partitioned ~ntags:4) (fun tcs ->
+      match solve_tagged nv tcs with
+      | None -> QCheck2.assume_fail ()
+      | Some proof ->
+        (* Tautologies are dropped by the solver, which can lower the
+           largest surviving tag; since a tautology holds under every
+           assignment, checking Definition 2 over the proof's own tag
+           range is equivalent. *)
+        let ntags = Proof.max_tag proof in
+        QCheck2.assume (ntags >= 2);
+        let man, seq = seq_over_inputs nv proof in
+        let part i = List.filter_map (fun (t, c) -> if t = i then Some c else None) tcs in
+        let eval_I j mask =
+          (* I_0 = true, I_ntags = false, interior from seq. *)
+          if j = 0 then true
+          else if j >= ntags then false
+          else eval_itp man seq.(j - 1) mask
+        in
+        let ok = ref true in
+        for mask = 0 to (1 lsl nv) - 1 do
+          for j = 0 to ntags - 1 do
+            if eval_I j mask && Tutil.clauses_sat mask (part (j + 1)) && not (eval_I (j + 1) mask)
+            then ok := false
+          done
+        done;
+        (* Support condition: supp(I_j) within vars(A_1..A_j) /\ vars(A_j+1..A_n) *)
+        let vars_upto j =
+          List.concat_map (fun (t, c) -> if t <= j then List.map Lit.var c else []) tcs
+          |> List.sort_uniq Int.compare
+        in
+        let vars_after j =
+          List.concat_map (fun (t, c) -> if t > j then List.map Lit.var c else []) tcs
+          |> List.sort_uniq Int.compare
+        in
+        Array.iteri
+          (fun idx l ->
+            let j = idx + 1 in
+            List.iter
+              (fun i ->
+                if not (List.mem i (vars_upto j) && List.mem i (vars_after j)) then
+                  ok := false)
+              (Aig.support man l))
+          seq;
+        !ok)
+
+(* Definition 1 for the two other labeled systems. *)
+let prop_def1_system system sys_name =
+  QCheck2.Test.make ~count:600
+    ~name:(Printf.sprintf "%s interpolants satisfy Definition 1" sys_name)
+    ~print:print_partitioned (gen_partitioned ~ntags:2) (fun tcs ->
+      let a = List.filter_map (fun (t, c) -> if t = 1 then Some c else None) tcs in
+      let b = List.filter_map (fun (t, c) -> if t = 2 then Some c else None) tcs in
+      QCheck2.assume (a <> [] && b <> []);
+      match solve_tagged nv tcs with
+      | None -> QCheck2.assume_fail ()
+      | Some proof ->
+        let man, itp = itp_over_inputs ~system nv proof ~cut:1 in
+        check_def1 nv a b man itp)
+
+(* Strength ordering: McMillan => Pudlak => dual McMillan, pointwise. *)
+let prop_strength_order =
+  QCheck2.Test.make ~count:600 ~name:"labeled systems are strength-ordered"
+    ~print:print_partitioned (gen_partitioned ~ntags:2) (fun tcs ->
+      match solve_tagged nv tcs with
+      | None -> QCheck2.assume_fail ()
+      | Some proof ->
+        let man = Aig.create () in
+        let inputs = Array.init nv (fun _ -> Aig.fresh_input man) in
+        let var_map v = if v < nv then Some inputs.(v) else None in
+        let info = Itp.analyze proof in
+        let itp system = Itp.interpolant ~info ~system proof ~cut:1 ~man ~var_map in
+        let im = itp Itp.McMillan and ip = itp Itp.Pudlak and id = itp Itp.McMillan_dual in
+        let ok = ref true in
+        for mask = 0 to (1 lsl nv) - 1 do
+          let v l = eval_itp man l mask in
+          if v im && not (v ip) then ok := false;
+          if v ip && not (v id) then ok := false
+        done;
+        !ok)
+
+(* The sequence chain conditions hold in every system. *)
+let prop_sequence_def2_system system sys_name =
+  QCheck2.Test.make ~count:400
+    ~name:(Printf.sprintf "%s sequences satisfy Definition 2" sys_name)
+    ~print:print_partitioned (gen_partitioned ~ntags:4) (fun tcs ->
+      match solve_tagged nv tcs with
+      | None -> QCheck2.assume_fail ()
+      | Some proof ->
+        let ntags = Proof.max_tag proof in
+        QCheck2.assume (ntags >= 2);
+        let man = Aig.create () in
+        let inputs = Array.init nv (fun _ -> Aig.fresh_input man) in
+        let var_map v = if v < nv then Some inputs.(v) else None in
+        let seq = Itp.sequence ~system proof ~man ~var_map in
+        let part i = List.filter_map (fun (t, c) -> if t = i then Some c else None) tcs in
+        let eval_I j mask =
+          if j = 0 then true
+          else if j >= ntags then false
+          else eval_itp man seq.(j - 1) mask
+        in
+        let ok = ref true in
+        for mask = 0 to (1 lsl nv) - 1 do
+          for j = 0 to ntags - 1 do
+            if eval_I j mask && Tutil.clauses_sat mask (part (j + 1)) && not (eval_I (j + 1) mask)
+            then ok := false
+          done
+        done;
+        !ok)
+
+(* The unsat core really is unsatisfiable, and proofs restricted to used
+   steps still derive the empty clause. *)
+let prop_core_unsat =
+  QCheck2.Test.make ~count:400 ~name:"proof cores are unsatisfiable"
+    ~print:print_partitioned (gen_partitioned ~ntags:3) (fun tcs ->
+      match solve_tagged nv tcs with
+      | None -> QCheck2.assume_fail ()
+      | Some proof ->
+        let core_ids = Proof.core proof in
+        let core_clauses =
+          List.map (fun id -> Array.to_list (Proof.lits proof id)) core_ids
+        in
+        (not (Tutil.brute_sat nv core_clauses))
+        && List.for_all (fun id -> (Proof.used proof).(id)) core_ids)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_def1;
+        prop_sequence_def2;
+        prop_def1_system Itp.Pudlak "pudlak";
+        prop_def1_system Itp.McMillan_dual "mcmillan-dual";
+        prop_strength_order;
+        prop_sequence_def2_system Itp.Pudlak "pudlak";
+        prop_sequence_def2_system Itp.McMillan_dual "mcmillan-dual";
+        prop_core_unsat;
+      ]
+  in
+  Alcotest.run "isr_itp"
+    [
+      ( "interpolant",
+        [
+          Alcotest.test_case "textbook example" `Quick test_textbook_example;
+          Alcotest.test_case "A unsat -> I false" `Quick test_interpolant_false_when_a_unsat;
+          Alcotest.test_case "B unsat" `Quick test_interpolant_true_when_b_unsat;
+          Alcotest.test_case "untagged rejected" `Quick test_untagged_rejected;
+          Alcotest.test_case "three partitions" `Quick test_sequence_three_partitions;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,333 @@
+(* Tests for the proof-logging CDCL solver. *)
+
+open Isr_sat
+
+let lit v = Lit.pos v
+let nlit v = Lit.of_var ~neg:true v
+
+(* --- brute-force reference ------------------------------------------- *)
+
+let brute_force nvars clauses =
+  let sat = ref false in
+  let n = 1 lsl nvars in
+  for m = 0 to n - 1 do
+    if not !sat then begin
+      let value l =
+        let v = Lit.var l in
+        let bit = (m lsr v) land 1 = 1 in
+        if Lit.is_neg l then not bit else bit
+      in
+      if List.for_all (fun c -> List.exists value c) clauses then sat := true
+    end
+  done;
+  !sat
+
+let solve_clauses nvars clauses =
+  let s = Solver.create () in
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s c) clauses;
+  (s, Solver.solve s)
+
+(* --- unit tests ------------------------------------------------------- *)
+
+let test_empty_problem () =
+  let _, r = solve_clauses 0 [] in
+  Alcotest.(check bool) "empty problem is sat" true (r = Solver.Sat)
+
+let test_empty_clause () =
+  let s, r = solve_clauses 1 [ [] ] in
+  Alcotest.(check bool) "empty clause is unsat" true (r = Solver.Unsat);
+  let p = Solver.proof s in
+  Alcotest.(check bool) "proof checks" true (Proof_check.check p = Ok ())
+
+let test_unit_conflict () =
+  let s, r = solve_clauses 1 [ [ lit 0 ]; [ nlit 0 ] ] in
+  Alcotest.(check bool) "x and not x" true (r = Solver.Unsat);
+  Alcotest.(check bool) "proof checks" true (Proof_check.check (Solver.proof s) = Ok ())
+
+let test_simple_sat () =
+  let s, r = solve_clauses 3 [ [ lit 0; lit 1 ]; [ nlit 0; lit 2 ]; [ nlit 1; nlit 2 ] ] in
+  Alcotest.(check bool) "satisfiable" true (r = Solver.Sat);
+  (* The model must satisfy every clause. *)
+  let value l = Solver.lit_value s l in
+  List.iter
+    (fun c -> Alcotest.(check bool) "clause satisfied" true (List.exists value c))
+    [ [ lit 0; lit 1 ]; [ nlit 0; lit 2 ]; [ nlit 1; nlit 2 ] ]
+
+let test_model_respects_units () =
+  let s, r = solve_clauses 2 [ [ lit 0 ]; [ nlit 1 ] ] in
+  Alcotest.(check bool) "sat" true (r = Solver.Sat);
+  Alcotest.(check bool) "v0 true" true (Solver.value s 0);
+  Alcotest.(check bool) "v1 false" false (Solver.value s 1)
+
+(* Pigeonhole: n+1 pigeons in n holes, always unsat.  Exercises real
+   conflict analysis with restarts. *)
+let pigeonhole n =
+  let var p h = (p * n) + h in
+  let clauses = ref [] in
+  for p = 0 to n do
+    clauses := List.init n (fun h -> lit (var p h)) :: !clauses
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        clauses := [ nlit (var p1 h); nlit (var p2 h) ] :: !clauses
+      done
+    done
+  done;
+  ((n + 1) * n, !clauses)
+
+let test_pigeonhole () =
+  List.iter
+    (fun n ->
+      let nv, cls = pigeonhole n in
+      let s, r = solve_clauses nv cls in
+      Alcotest.(check bool) (Printf.sprintf "php %d unsat" n) true (r = Solver.Unsat);
+      match Proof_check.check (Solver.proof s) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "php %d proof: %a" n Proof_check.pp_error e)
+    [ 2; 3; 4; 5 ]
+
+let test_chain_propagation () =
+  (* x0 -> x1 -> ... -> x9, x0, ¬x9: unsat purely by propagation. *)
+  let n = 10 in
+  let clauses =
+    [ lit 0 ] :: [ nlit (n - 1) ]
+    :: List.init (n - 1) (fun i -> [ nlit i; lit (i + 1) ])
+  in
+  let s, r = solve_clauses n clauses in
+  Alcotest.(check bool) "chain unsat" true (r = Solver.Unsat);
+  Alcotest.(check bool) "proof checks" true (Proof_check.check (Solver.proof s) = Ok ())
+
+let test_tautology_dropped () =
+  let s, r = solve_clauses 2 [ [ lit 0; nlit 0 ]; [ lit 1 ] ] in
+  Alcotest.(check bool) "sat" true (r = Solver.Sat);
+  Alcotest.(check bool) "v1 true" true (Solver.value s 1);
+  ignore s
+
+let test_budget () =
+  let nv, cls = pigeonhole 7 in
+  let s = Solver.create () in
+  for _ = 1 to nv do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s c) cls;
+  let r = Solver.solve ~conflict_budget:5 s in
+  (* php(7) needs far more than 5 conflicts. *)
+  Alcotest.(check bool) "budget exhausts" true (r = Solver.Undef);
+  (* The solver is resumable after an exhausted budget. *)
+  let r2 = Solver.solve s in
+  Alcotest.(check bool) "resumes to unsat" true (r2 = Solver.Unsat)
+
+(* Incremental use: clauses added between solves, flipping the verdict. *)
+let test_incremental () =
+  let s = Solver.create () in
+  let v0 = Solver.new_var s and v1 = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v0; Lit.pos v1 ];
+  Alcotest.(check bool) "sat initially" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ Lit.neg (Lit.pos v0) ];
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "model forced" true (Solver.value s v1);
+  Solver.add_clause s [ Lit.neg (Lit.pos v1) ];
+  Alcotest.(check bool) "now unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "proof checks" true (Proof_check.check (Solver.proof s) = Ok ())
+
+let test_assumptions_basic () =
+  let s = Solver.create () in
+  let x = Lit.pos (Solver.new_var s) and y = Lit.pos (Solver.new_var s) in
+  Solver.add_clause s [ Lit.neg x; y ];
+  (* x -> y *)
+  Alcotest.(check bool) "sat under x" true (Solver.solve ~assumptions:[ x ] s = Solver.Sat);
+  Alcotest.(check bool) "y forced" true (Solver.lit_value s y);
+  Alcotest.(check bool) "unsat under x,!y" true
+    (Solver.solve ~assumptions:[ x; Lit.neg y ] s = Solver.Unsat);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core mentions both" true
+    (List.mem x core && List.mem (Lit.neg y) core);
+  (* The solver is reusable afterwards. *)
+  Alcotest.(check bool) "sat again" true (Solver.solve s = Solver.Sat)
+
+let test_contradictory_assumptions () =
+  let s = Solver.create () in
+  let x = Lit.pos (Solver.new_var s) in
+  Solver.add_clause s [ x; Lit.neg x ] |> ignore;
+  Alcotest.(check bool) "unsat under x,!x" true
+    (Solver.solve ~assumptions:[ x; Lit.neg x ] s = Solver.Unsat);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core = both phases" true
+    (List.mem x core && List.mem (Lit.neg x) core)
+
+(* --- literals --------------------------------------------------------- *)
+
+let test_lit_roundtrip () =
+  for v = 0 to 20 do
+    Alcotest.(check int) "var of pos" v (Lit.var (Lit.pos v));
+    Alcotest.(check bool) "pos not neg" false (Lit.is_neg (Lit.pos v));
+    Alcotest.(check bool) "neg is neg" true (Lit.is_neg (Lit.neg (Lit.pos v)));
+    Alcotest.(check int) "double neg" (Lit.pos v) (Lit.neg (Lit.neg (Lit.pos v)));
+    let d = Lit.to_dimacs (Lit.of_var ~neg:true v) in
+    Alcotest.(check int) "dimacs roundtrip" (Lit.of_var ~neg:true v) (Lit.of_dimacs d)
+  done
+
+(* --- dimacs ----------------------------------------------------------- *)
+
+let test_dimacs_roundtrip () =
+  let cnf = { Dimacs.nvars = 4; clauses = [ [ lit 0; nlit 1 ]; [ lit 2; lit 3; nlit 0 ]; [] ] } in
+  match Dimacs.parse_string (Dimacs.to_string cnf) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok cnf' ->
+    Alcotest.(check int) "nvars" cnf.Dimacs.nvars cnf'.Dimacs.nvars;
+    Alcotest.(check bool) "clauses" true (cnf.Dimacs.clauses = cnf'.Dimacs.clauses)
+
+let test_dimacs_errors () =
+  let bad = [ "p cnf 2"; "1 0"; "p cnf 1 1\n2 0"; "p cnf 1 2\n1 0"; "p cnf 1 1\n1" ] in
+  List.iter
+    (fun text ->
+      match Dimacs.parse_string text with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" text
+      | Error _ -> ())
+    bad
+
+let test_dimacs_comments () =
+  let text = "c hello\nc world\np cnf 2 2\n1 -2 0\n2 0\n" in
+  match Dimacs.parse_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok cnf ->
+    Alcotest.(check int) "nvars" 2 cnf.Dimacs.nvars;
+    Alcotest.(check int) "nclauses" 2 (List.length cnf.Dimacs.clauses)
+
+(* --- property tests --------------------------------------------------- *)
+
+let gen_cnf =
+  let open QCheck2.Gen in
+  let* nvars = int_range 1 8 in
+  let* nclauses = int_range 1 30 in
+  let gen_lit = map2 (fun v neg -> Lit.of_var ~neg v) (int_range 0 (nvars - 1)) bool in
+  let gen_clause = list_size (int_range 1 4) gen_lit in
+  let* clauses = list_size (pure nclauses) gen_clause in
+  pure (nvars, clauses)
+
+let print_cnf (nvars, clauses) =
+  Printf.sprintf "nvars=%d %s" nvars
+    (String.concat " ; "
+       (List.map
+          (fun c -> String.concat "," (List.map (fun l -> string_of_int (Lit.to_dimacs l)) c))
+          clauses))
+
+let prop_matches_bruteforce =
+  QCheck2.Test.make ~count:500 ~name:"solver agrees with brute force" ~print:print_cnf gen_cnf
+    (fun (nvars, clauses) ->
+      let _, r = solve_clauses nvars clauses in
+      let expected = brute_force nvars clauses in
+      (r = Solver.Sat) = expected)
+
+let prop_unsat_proof_checks =
+  QCheck2.Test.make ~count:500 ~name:"unsat proofs replay" ~print:print_cnf gen_cnf
+    (fun (nvars, clauses) ->
+      let s, r = solve_clauses nvars clauses in
+      match r with
+      | Solver.Unsat -> Proof_check.check (Solver.proof s) = Ok ()
+      | _ -> true)
+
+let prop_sat_model_valid =
+  QCheck2.Test.make ~count:500 ~name:"sat models satisfy all clauses" ~print:print_cnf gen_cnf
+    (fun (nvars, clauses) ->
+      let s, r = solve_clauses nvars clauses in
+      match r with
+      | Solver.Sat ->
+        List.for_all (fun c -> List.exists (fun l -> Solver.lit_value s l) c) clauses
+      | _ -> true)
+
+let gen_cnf_with_assumptions =
+  let open QCheck2.Gen in
+  let* nvars, clauses = gen_cnf in
+  let gen_lit = map2 (fun v neg -> Lit.of_var ~neg v) (int_range 0 (nvars - 1)) bool in
+  let* assumptions = list_size (int_range 0 4) gen_lit in
+  pure (nvars, clauses, assumptions)
+
+let print_cnf_assum (nvars, clauses, assumptions) =
+  Printf.sprintf "%s assuming %s"
+    (print_cnf (nvars, clauses))
+    (String.concat "," (List.map (fun l -> string_of_int (Lit.to_dimacs l)) assumptions))
+
+let prop_assumptions_equal_units =
+  QCheck2.Test.make ~count:500 ~name:"assumptions behave like unit clauses"
+    ~print:print_cnf_assum gen_cnf_with_assumptions (fun (nvars, clauses, assumptions) ->
+      let s = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (fun c -> Solver.add_clause s c) clauses;
+      let got = Solver.solve ~assumptions s = Solver.Sat in
+      let expected = brute_force nvars (clauses @ List.map (fun l -> [ l ]) assumptions) in
+      got = expected)
+
+let prop_unsat_cores_suffice =
+  QCheck2.Test.make ~count:500 ~name:"unsat cores are genuine cores"
+    ~print:print_cnf_assum gen_cnf_with_assumptions (fun (nvars, clauses, assumptions) ->
+      let s = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (fun c -> Solver.add_clause s c) clauses;
+      match Solver.solve ~assumptions s with
+      | Solver.Unsat ->
+        let core = Solver.unsat_core s in
+        List.for_all (fun l -> List.mem l assumptions) core
+        && not (brute_force nvars (clauses @ List.map (fun l -> [ l ]) core))
+      | _ -> true)
+
+let prop_incremental_equals_batch =
+  QCheck2.Test.make ~count:300 ~name:"incremental = from-scratch" ~print:print_cnf gen_cnf
+    (fun (nvars, clauses) ->
+      (* Add clauses one at a time, solving after each addition; the final
+         verdict must match a single batch solve. *)
+      let s = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      let ok = ref true in
+      let added = ref [] in
+      List.iter
+        (fun c ->
+          Solver.add_clause s c;
+          added := c :: !added;
+          let got = Solver.solve s = Solver.Sat in
+          if got <> brute_force nvars !added then ok := false)
+        clauses;
+      !ok)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest
+      [ prop_matches_bruteforce; prop_unsat_proof_checks; prop_sat_model_valid;
+        prop_assumptions_equal_units; prop_unsat_cores_suffice;
+        prop_incremental_equals_batch ]
+  in
+  Alcotest.run "isr_sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "empty problem" `Quick test_empty_problem;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "unit conflict" `Quick test_unit_conflict;
+          Alcotest.test_case "simple sat" `Quick test_simple_sat;
+          Alcotest.test_case "units fix model" `Quick test_model_respects_units;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "chain propagation" `Quick test_chain_propagation;
+          Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+          Alcotest.test_case "conflict budget" `Quick test_budget;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "assumptions" `Quick test_assumptions_basic;
+          Alcotest.test_case "contradictory assumptions" `Quick test_contradictory_assumptions;
+        ] );
+      ("lit", [ Alcotest.test_case "roundtrips" `Quick test_lit_roundtrip ]);
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "comments" `Quick test_dimacs_comments;
+        ] );
+      ("properties", qsuite);
+    ]

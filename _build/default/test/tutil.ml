@@ -1,0 +1,26 @@
+(* Shared helpers for the test suites. *)
+
+open Isr_sat
+
+(* Evaluate a clause list under an assignment encoded as an int bitmask. *)
+let clause_sat mask c =
+  List.exists
+    (fun l ->
+      let bit = (mask lsr Lit.var l) land 1 = 1 in
+      if Lit.is_neg l then not bit else bit)
+    c
+
+let clauses_sat mask cs = List.for_all (clause_sat mask) cs
+
+(* Brute-force satisfiability of a clause list over [nvars] variables. *)
+let brute_sat nvars cs =
+  let n = 1 lsl nvars in
+  let rec go m = m < n && (clauses_sat m cs || go (m + 1)) in
+  go 0
+
+let fresh_solver nvars =
+  let s = Solver.create () in
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  s
