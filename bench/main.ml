@@ -26,6 +26,62 @@ let conflicts_arg =
 let mid_only_arg =
   Arg.(value & flag & info [ "mid-only" ] ~doc:"Skip the industrial-size instances.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file covering every run; open it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write one JSON line per engine run (benchmark, engine, verdict, full \
+           metrics-registry snapshot).")
+
+(* Observability plumbing shared by every command: installs the Chrome
+   sink for the command's whole duration and hands the body a [record]
+   callback streaming per-run JSON lines to the metrics file. *)
+let open_out_or_die path =
+  try open_out path
+  with Sys_error msg ->
+    prerr_endline ("isr-bench: " ^ msg);
+    exit 2
+
+let with_obs ~trace ~metrics f =
+  let finish_trace =
+    match trace with
+    | None -> fun () -> ()
+    | Some path ->
+      let oc = open_out_or_die path in
+      Isr_obs.Trace.set_sink (Isr_obs.Trace.chrome_channel oc);
+      fun () ->
+        Isr_obs.Trace.flush ();
+        Isr_obs.Trace.clear_sink ();
+        close_out oc
+  in
+  let record, finish_metrics =
+    match metrics with
+    | None -> ((fun _ -> ()), fun () -> ())
+    | Some path ->
+      let oc = open_out_or_die path in
+      ( (fun r ->
+          output_string oc (Isr_exp.Runner.json_of_record r);
+          output_char oc '\n';
+          flush oc),
+        fun () -> close_out oc )
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      finish_trace ();
+      finish_metrics ())
+    (fun () -> f ~record)
+
 let entries_for mid_only lst =
   if mid_only then List.filter (fun e -> e.Registry.category = Registry.Mid) lst
   else lst
@@ -33,63 +89,75 @@ let entries_for mid_only lst =
 (* --- table1 ------------------------------------------------------------- *)
 
 let table1_cmd =
-  let run time bound conflicts mid_only =
-    Isr_exp.Table1.run
-      ~limits:(limits_of ~time ~bound ~conflicts)
-      ~entries:(entries_for mid_only Registry.table1)
-      ~out ()
+  let run time bound conflicts mid_only trace metrics =
+    with_obs ~trace ~metrics (fun ~record ->
+        Isr_exp.Table1.run
+          ~limits:(limits_of ~time ~bound ~conflicts)
+          ~entries:(entries_for mid_only Registry.table1)
+          ~record ~out ())
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+    Term.(
+      const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- fig6 ----------------------------------------------------------------- *)
 
 let fig6_cmd =
-  let run time bound conflicts mid_only =
-    Isr_exp.Fig6.run
-      ~limits:(limits_of ~time ~bound ~conflicts)
-      ~entries:(entries_for mid_only Registry.fig6)
-      ~out ()
+  let run time bound conflicts mid_only trace metrics =
+    with_obs ~trace ~metrics (fun ~record ->
+        Isr_exp.Fig6.run
+          ~limits:(limits_of ~time ~bound ~conflicts)
+          ~entries:(entries_for mid_only Registry.fig6)
+          ~record ~out ())
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (cactus plot data)")
-    Term.(const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+    Term.(
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- fig7 ------------------------------------------------------------------ *)
 
 let fig7_cmd =
-  let run time bound conflicts mid_only =
-    Isr_exp.Fig7.run
-      ~limits:(limits_of ~time ~bound ~conflicts)
-      ~entries:(entries_for mid_only Registry.fig6)
-      ~out ()
+  let run time bound conflicts mid_only trace metrics =
+    with_obs ~trace ~metrics (fun ~record ->
+        Isr_exp.Fig7.run
+          ~limits:(limits_of ~time ~bound ~conflicts)
+          ~entries:(entries_for mid_only Registry.fig6)
+          ~record ~out ())
   in
   Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Figure 7 (exact-k vs assume-k scatter)")
-    Term.(const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+    Term.(
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- ablations --------------------------------------------------------------- *)
 
 let ablation_checks_cmd =
-  let run time bound conflicts =
-    Isr_exp.Ablation.checks ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  let run time bound conflicts trace =
+    with_obs ~trace ~metrics:None (fun ~record:_ ->
+        Isr_exp.Ablation.checks ~limits:(limits_of ~time ~bound ~conflicts) ~out ())
   in
   Cmd.v
     (Cmd.info "ablation-checks" ~doc:"A1: bound-k vs exact-k vs assume-k SAT effort")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg)
 
 let ablation_alpha_cmd =
-  let run time bound conflicts =
-    Isr_exp.Ablation.alpha ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  let run time bound conflicts trace =
+    with_obs ~trace ~metrics:None (fun ~record:_ ->
+        Isr_exp.Ablation.alpha ~limits:(limits_of ~time ~bound ~conflicts) ~out ())
   in
   Cmd.v (Cmd.info "ablation-alpha" ~doc:"A2: serial fraction sweep for SITPSEQ")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg)
 
 let ablation_systems_cmd =
-  let run time bound conflicts =
-    Isr_exp.Ablation.systems ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  let run time bound conflicts trace =
+    with_obs ~trace ~metrics:None (fun ~record:_ ->
+        Isr_exp.Ablation.systems ~limits:(limits_of ~time ~bound ~conflicts) ~out ())
   in
   Cmd.v
     (Cmd.info "ablation-systems" ~doc:"A3: labeled interpolation systems in ITPSEQ")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg)
 
 (* --- bechamel kernels ----------------------------------------------------------- *)
 
@@ -147,35 +215,38 @@ let kernels () =
   Format.pp_print_flush out ()
 
 let extended_cmd =
-  let run time bound conflicts =
-    Isr_exp.Extended.run ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  let run time bound conflicts trace metrics =
+    with_obs ~trace ~metrics (fun ~record ->
+        Isr_exp.Extended.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v
     (Cmd.info "extended" ~doc:"Beyond the paper: all engines incl. PBA/k-induction/PDR/portfolio")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg)
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg $ metrics_arg)
 
 let abstraction_cmd =
-  let run time bound conflicts =
-    Isr_exp.Abstraction.run ~limits:(limits_of ~time ~bound ~conflicts) ~out ()
+  let run time bound conflicts trace metrics =
+    with_obs ~trace ~metrics (fun ~record ->
+        Isr_exp.Abstraction.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v (Cmd.info "abstraction" ~doc:"Section V: CBA vs PBA on industrial designs")
-    Term.(const run $ time_arg 30.0 $ bound_arg $ conflicts_arg)
+    Term.(const run $ time_arg 30.0 $ bound_arg $ conflicts_arg $ trace_arg $ metrics_arg)
 
 let kernels_cmd =
   Cmd.v (Cmd.info "kernels" ~doc:"Bechamel micro-benchmarks") Term.(const kernels $ const ())
 
 (* --- all (default) ------------------------------------------------------------------ *)
 
-let all time bound conflicts mid_only =
+let all time bound conflicts mid_only trace metrics =
+  with_obs ~trace ~metrics @@ fun ~record ->
   let limits = limits_of ~time ~bound ~conflicts in
   let entries6 = entries_for mid_only Registry.fig6 in
   let entries1 = entries_for mid_only Registry.table1 in
   Format.fprintf out "=== Table I ===@.";
-  Isr_exp.Table1.run ~limits ~entries:entries1 ~out ();
+  Isr_exp.Table1.run ~limits ~entries:entries1 ~record ~out ();
   Format.fprintf out "@.=== Figure 6 ===@.";
-  Isr_exp.Fig6.run ~limits ~entries:entries6 ~out ();
+  Isr_exp.Fig6.run ~limits ~entries:entries6 ~record ~out ();
   Format.fprintf out "@.=== Figure 7 ===@.";
-  Isr_exp.Fig7.run ~limits ~entries:entries6 ~out ();
+  Isr_exp.Fig7.run ~limits ~entries:entries6 ~record ~out ();
   Format.fprintf out "@.=== Ablation A1 (BMC checks) ===@.";
   Isr_exp.Ablation.checks ~limits ~out ();
   Format.fprintf out "@.=== Ablation A2 (alpha sweep) ===@.";
@@ -184,14 +255,17 @@ let all time bound conflicts mid_only =
   Isr_exp.Ablation.systems ~limits ~out ();
   if not mid_only then begin
     Format.fprintf out "@.=== Abstraction: CBA vs PBA (Section V) ===@.";
-    Isr_exp.Abstraction.run ~limits ~out ()
+    Isr_exp.Abstraction.run ~limits ~record ~out ()
   end;
   Format.fprintf out "@.=== Extended engines (beyond the paper) ===@.";
-  Isr_exp.Extended.run ~limits ~out ();
+  Isr_exp.Extended.run ~limits ~record ~out ();
   Format.fprintf out "@.=== Kernels ===@.";
   kernels ()
 
-let all_term = Term.(const all $ time_arg 5.0 $ bound_arg $ conflicts_arg $ mid_only_arg)
+let all_term =
+  Term.(
+    const all $ time_arg 5.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
+    $ metrics_arg)
 
 let () =
   let info =

@@ -86,6 +86,52 @@ let json_arg =
     value & flag
     & info [ "json" ] ~doc:"Emit the result as a JSON object on stdout (for tooling).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run; open it in Perfetto \
+           (ui.perfetto.dev) or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a JSON snapshot of the run's metrics registry.")
+
+(* Tracing covers everything between sink installation and [flush];
+   [Fun.protect] keeps the JSON well formed even when the run raises. *)
+let open_out_or_die path =
+  try open_out path
+  with Sys_error msg ->
+    prerr_endline ("itpseq_mc: " ^ msg);
+    exit 2
+
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some path ->
+    let oc = open_out_or_die path in
+    Isr_obs.Trace.set_sink (Isr_obs.Trace.chrome_channel oc);
+    Fun.protect
+      ~finally:(fun () ->
+        Isr_obs.Trace.flush ();
+        Isr_obs.Trace.clear_sink ();
+        close_out oc)
+      f
+
+let write_metrics metrics_file stats =
+  match metrics_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_or_die path in
+    Out_channel.output_string oc (Isr_obs.Metrics.to_json (Verdict.registry stats));
+    Out_channel.output_char oc '\n';
+    close_out oc
+
 (* Minimal JSON rendering; all of our strings are identifier-like. *)
 let json_of_verdict ~model_name ~engine_name verdict (stats : Verdict.stats) certified =
   let b = Buffer.create 256 in
@@ -123,10 +169,13 @@ let json_of_verdict ~model_name ~engine_name verdict (stats : Verdict.stats) cer
       | Verdict.Time_limit -> "\"time\""
       | Verdict.Conflict_limit -> "\"conflicts\""
       | Verdict.Bound_limit k -> Printf.sprintf "\"bound %d\"" k));
-  field "time_s" (Printf.sprintf "%.4f" stats.Verdict.time);
-  field "sat_calls" (string_of_int stats.Verdict.sat_calls);
-  field "conflicts" (string_of_int stats.Verdict.conflicts);
-  field ~last:true "bound" (string_of_int stats.Verdict.last_bound);
+  field "time_s" (Printf.sprintf "%.4f" (Verdict.time stats));
+  field "sat_calls" (string_of_int (Verdict.sat_calls stats));
+  field "conflicts" (string_of_int (Verdict.conflicts stats));
+  field "decisions" (string_of_int (Verdict.decisions stats));
+  field "propagations" (string_of_int (Verdict.propagations stats));
+  field "restarts" (string_of_int (Verdict.restarts stats));
+  field ~last:true "bound" (string_of_int (Verdict.last_bound stats));
   Buffer.add_string b "}";
   Buffer.contents b
 
@@ -147,8 +196,8 @@ let certify_arg =
     & info [ "certify" ]
         ~doc:"On PASS, re-check the inductive invariant with independent SAT calls.")
 
-let verify_cmd =
-  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json =
+let verify_term =
+  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics =
     setup_logs verbose;
     match load_model ~property file name with
     | Error e ->
@@ -180,7 +229,8 @@ let verify_cmd =
         let limits =
           { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
         in
-        let verdict, stats = Engine.run eng ~limits model in
+        let verdict, stats = with_trace trace (fun () -> Engine.run eng ~limits model) in
+        write_metrics metrics stats;
         (* Lift counterexamples of the reduced model back to the original
            input space so the replay check below runs on the real design. *)
         let verdict, model =
@@ -250,11 +300,12 @@ let verify_cmd =
           end
         | Verdict.Unknown _ -> 4))
   in
-  Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine")
-    Term.(
-      const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
-      $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
-      $ witness_file_arg $ json_arg)
+  Term.(
+    const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
+    $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
+    $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg)
+
+let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term
 
 let bdd_cmd =
   let run verbose file name nodes =
@@ -304,4 +355,5 @@ let () =
     Cmd.info "itpseq_mc" ~version:"1.0.0"
       ~doc:"SAT-based unbounded model checking with interpolation sequences"
   in
-  exit (Cmd.eval' (Cmd.group info [ verify_cmd; bdd_cmd; list_cmd ]))
+  (* [verify] is also the default, so `itpseq_mc --engine itpseq FILE` works. *)
+  exit (Cmd.eval' (Cmd.group ~default:verify_term info [ verify_cmd; bdd_cmd; list_cmd ]))

@@ -32,9 +32,9 @@ let () =
           let cell =
             match verdict with
             | Verdict.Proved { kfp; jfp; _ } ->
-              Printf.sprintf "PASS k=%d j=%d %.2fs" kfp jfp stats.Verdict.time
+              Printf.sprintf "PASS k=%d j=%d %.2fs" kfp jfp (Verdict.time stats)
             | Verdict.Falsified { depth; _ } ->
-              Printf.sprintf "FAIL d=%d %.2fs" depth stats.Verdict.time
+              Printf.sprintf "FAIL d=%d %.2fs" depth (Verdict.time stats)
             | Verdict.Unknown _ -> "unknown"
           in
           Format.printf " | %-22s" cell)

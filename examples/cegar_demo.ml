@@ -28,6 +28,6 @@ let () =
       let v2, s2 = Engine.run (Engine.Itpseq_cba (0.5, Bmc.Exact)) ~limits model in
       Format.printf "  itpseqcba : %a  (%a)@." Verdict.pp v2 Verdict.pp_stats s2;
       Format.printf "  cba kept %d of %d latches frozen after %d refinements@."
-        s2.Verdict.abstract_latches model.Isr_model.Model.num_latches
-        s2.Verdict.refinements)
+        (Verdict.abstract_latches s2) model.Isr_model.Model.num_latches
+        (Verdict.refinements s2))
     [ 50; 150; 300 ]

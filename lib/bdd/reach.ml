@@ -68,11 +68,14 @@ let preimage sp s =
   let s' = Bdd.permute sp.man (fun v -> v + 1) s in
   Bdd.and_exists sp.man is_next s' sp.trans
 
+let dir_name = function `Forward -> "forward" | `Backward -> "backward"
+
 let run ?(max_nodes = max_int) ?(max_steps = max_int) model ~dir =
-  let t0 = Sys.time () in
+  Isr_obs.Trace.span "bdd.reach" ~args:[ ("dir", dir_name dir) ] @@ fun () ->
+  let t0 = Isr_obs.Clock.now () in
   match build ~max_nodes model with
   | exception Bdd.Overflow ->
-    { verdict = Overflow; diameter = None; time = Sys.time () -. t0; peak_nodes = max_nodes }
+    { verdict = Overflow; diameter = None; time = Isr_obs.Clock.now () -. t0; peak_nodes = max_nodes }
   | sp -> (
     let man = sp.man in
     let start, step_fn, target =
@@ -88,14 +91,14 @@ let run ?(max_nodes = max_int) ?(max_steps = max_int) model ~dir =
           {
             verdict = Falsified frontier_depth;
             diameter = None;
-            time = Sys.time () -. t0;
+            time = Isr_obs.Clock.now () -. t0;
             peak_nodes = Bdd.num_nodes man;
           }
         else if frontier_depth >= max_steps then
           {
             verdict = Overflow;
             diameter = None;
-            time = Sys.time () -. t0;
+            time = Isr_obs.Clock.now () -. t0;
             peak_nodes = Bdd.num_nodes man;
           }
         else begin
@@ -104,7 +107,7 @@ let run ?(max_nodes = max_int) ?(max_steps = max_int) model ~dir =
             {
               verdict = Proved;
               diameter = Some frontier_depth;
-              time = Sys.time () -. t0;
+              time = Isr_obs.Clock.now () -. t0;
               peak_nodes = Bdd.num_nodes man;
             }
           else loop next_set (frontier_depth + 1)
@@ -115,7 +118,7 @@ let run ?(max_nodes = max_int) ?(max_steps = max_int) model ~dir =
       {
         verdict = Overflow;
         diameter = None;
-        time = Sys.time () -. t0;
+        time = Isr_obs.Clock.now () -. t0;
         peak_nodes = Bdd.num_nodes man;
       })
 

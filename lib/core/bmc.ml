@@ -30,12 +30,17 @@ let build_instance ?frozen model ~check ~k =
   u
 
 let check_depth budget stats ?frozen model ~check ~k =
-  stats.Verdict.last_bound <- max stats.Verdict.last_bound k;
-  let u = build_instance ?frozen model ~check ~k in
-  match Budget.solve budget stats (Unroll.solver u) with
-  | Solver.Sat -> `Sat u
-  | Solver.Unsat -> `Unsat u
-  | Solver.Undef -> assert false
+  Verdict.note_bound stats k;
+  Isr_obs.Metrics.incr
+    (Isr_obs.Metrics.counter (Verdict.registry stats) ("bmc.calls." ^ check_name check));
+  Isr_obs.Trace.span "bmc.bound"
+    ~args:[ ("k", string_of_int k); ("check", check_name check) ]
+    (fun () ->
+      let u = build_instance ?frozen model ~check ~k in
+      match Budget.solve budget stats (Unroll.solver u) with
+      | Solver.Sat -> `Sat u
+      | Solver.Unsat -> `Unsat u
+      | Solver.Undef -> assert false)
 
 (* Incremental deepening in one solver: the frame-k target is guarded by
    a fresh activation literal assumed during the solve and retired with a
@@ -44,7 +49,7 @@ let check_depth budget stats ?frozen model ~check ~k =
    refuted).  Learned clauses carry over across depths. *)
 let run_incremental ~check ~limits budget stats model =
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
+    Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
   let u = Unroll.create model in
@@ -54,11 +59,17 @@ let run_incremental ~check ~limits budget stats model =
     if k > limits.Budget.bound_limit then
       finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
     else begin
-      stats.Verdict.last_bound <- max stats.Verdict.last_bound k;
-      let act = Isr_sat.Lit.pos (Solver.new_var solver) in
-      let bad_k = Unroll.encode u ~frame:k ~tag:(k + 1) model.Model.bad in
-      Solver.add_clause solver ~tag:(k + 1) [ Isr_sat.Lit.neg act; bad_k ];
-      match Budget.solve ~assumptions:[ act ] budget stats solver with
+      Verdict.note_bound stats k;
+      let act, result =
+        Isr_obs.Trace.span "bmc.bound"
+          ~args:[ ("k", string_of_int k); ("check", check_name check); ("incremental", "1") ]
+          (fun () ->
+            let act = Isr_sat.Lit.pos (Solver.new_var solver) in
+            let bad_k = Unroll.encode u ~frame:k ~tag:(k + 1) model.Model.bad in
+            Solver.add_clause solver ~tag:(k + 1) [ Isr_sat.Lit.neg act; bad_k ];
+            (act, Budget.solve ~assumptions:[ act ] budget stats solver))
+      in
+      match result with
       | Solver.Sat ->
         let tr = Unroll.trace u in
         let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
@@ -79,7 +90,7 @@ let run ?(check = Assume) ?(incremental = false) ?(limits = Budget.default_limit
   let budget = Budget.start limits in
   let stats = Verdict.mk_stats () in
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
+    Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
   try

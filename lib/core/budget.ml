@@ -9,29 +9,55 @@ type t = { l : limits; t0 : float; mutable conflicts_left : int }
 exception Out_of_time
 exception Out_of_conflicts
 
-let start l = { l; t0 = Sys.time (); conflicts_left = l.conflict_limit }
+let start l = { l; t0 = Isr_obs.Clock.now (); conflicts_left = l.conflict_limit }
 let limits b = b.l
-let elapsed b = Sys.time () -. b.t0
+let elapsed b = Isr_obs.Clock.now () -. b.t0
 let check_time b = if elapsed b > b.l.time_limit then raise Out_of_time
 
 (* Solve in slices so the deadline is honoured mid-search: the solver is
    resumable after an exhausted conflict budget. *)
 let slice = 20_000
 
-let solve ?assumptions b stats solver =
-  stats.Verdict.sat_calls <- stats.Verdict.sat_calls + 1;
+(* One logical SAT call: charges a call plus the conflict, decision,
+   propagation and restart deltas to the run's metrics registry, feeds
+   the learned-clause-length histogram, and brackets the whole call in a
+   "sat.call" span (the per-slice "sat.solve" spans nest inside it). *)
+let solve ?assumptions b (stats : Verdict.stats) solver =
+  Isr_obs.Metrics.incr stats.Verdict.c_sat_calls;
+  Solver.on_learnt solver
+    (Some (fun len -> Isr_obs.Metrics.observe stats.Verdict.h_learnt_len (float_of_int len)));
+  let charge_from c0 d0 p0 r0 =
+    Isr_obs.Metrics.add stats.Verdict.c_conflicts (Solver.num_conflicts solver - c0);
+    Isr_obs.Metrics.add stats.Verdict.c_decisions (Solver.num_decisions solver - d0);
+    Isr_obs.Metrics.add stats.Verdict.c_propagations (Solver.num_propagations solver - p0);
+    Isr_obs.Metrics.add stats.Verdict.c_restarts (Solver.num_restarts solver - r0)
+  in
   let rec go () =
     check_time b;
     if b.conflicts_left <= 0 then raise Out_of_conflicts;
     let before = Solver.num_conflicts solver in
+    let d0 = Solver.num_decisions solver and p0 = Solver.num_propagations solver in
+    let r0 = Solver.num_restarts solver in
     let r = Solver.solve ?assumptions ~conflict_budget:(min slice b.conflicts_left) solver in
     let used = Solver.num_conflicts solver - before in
     b.conflicts_left <- b.conflicts_left - used;
-    stats.Verdict.conflicts <- stats.Verdict.conflicts + used;
+    charge_from before d0 p0 r0;
     match r with
     | Solver.Undef -> go ()
     | r ->
       check_time b;
       r
   in
-  go ()
+  let res = ref Solver.Undef in
+  let end_args () =
+    [
+      ("result",
+       match !res with Solver.Sat -> "sat" | Solver.Unsat -> "unsat" | Solver.Undef -> "undef");
+      ("vars", string_of_int (Solver.nvars solver));
+      ("clauses", string_of_int (Solver.num_clauses solver));
+    ]
+  in
+  Isr_obs.Trace.span "sat.call" ~end_args (fun () ->
+      let r = go () in
+      res := r;
+      r)

@@ -6,7 +6,7 @@
 open Isr_sat
 
 type limits = {
-  time_limit : float;      (** seconds of [Sys.time], [infinity] = none *)
+  time_limit : float;      (** wall-clock seconds ({!Isr_obs.Clock}), [infinity] = none *)
   conflict_limit : int;    (** total conflicts across all SAT calls *)
   bound_limit : int;       (** largest BMC bound to attempt *)
 }
@@ -26,8 +26,10 @@ val check_time : t -> unit
 (** @raise Out_of_time when the deadline passed. *)
 
 val solve : ?assumptions:Lit.t list -> t -> Verdict.stats -> Solver.t -> Solver.result
-(** Runs the solver under the remaining conflict budget, charging the
-    conflicts used and one SAT call to [stats].
+(** Runs the solver under the remaining conflict budget, charging one
+    SAT call plus the conflict/decision/propagation/restart deltas and
+    the learned-clause lengths to the [stats] registry, inside a
+    ["sat.call"] trace span.
     @raise Out_of_conflicts when the pool is exhausted
     @raise Out_of_time when the deadline passed before the call. *)
 

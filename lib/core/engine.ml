@@ -47,6 +47,11 @@ let all =
   [ Itp; Itpseq Bmc.Assume; Sitpseq (0.5, Bmc.Assume); Itpseq_cba (0.5, Bmc.Exact) ]
 
 let run engine ?limits model =
+  (* The root span of a run: everything an engine does — bound checks,
+     interpolant extraction, SAT calls — nests below it. *)
+  Isr_obs.Trace.span "engine"
+    ~args:[ ("engine", name engine); ("model", model.Isr_model.Model.name) ]
+  @@ fun () ->
   match engine with
   | Bmc_only check -> Bmc.run ~check ?limits model
   | Itp -> Itp_verif.verify ?limits model

@@ -2,6 +2,7 @@ open Isr_aig
 open Isr_model
 
 let sat_and budget stats model a b =
+  Isr_obs.Trace.span "incl.check" @@ fun () ->
   let u = Unroll.create model in
   Unroll.assert_circuit u ~frame:0 ~tag:1 a;
   Unroll.assert_circuit u ~frame:0 ~tag:1 b;

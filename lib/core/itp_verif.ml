@@ -31,7 +31,7 @@ let verify ?system ?(limits = Budget.default_limits) model =
   let stats = Verdict.mk_stats () in
   let man = model.Model.man in
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
+    Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
   try
@@ -44,40 +44,51 @@ let verify ?system ?(limits = Budget.default_limits) model =
         if k > limits.Budget.bound_limit then
           finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
         else begin
-          stats.Verdict.last_bound <- k;
+          Verdict.note_bound stats k;
           (* Exact first iteration: A rooted at the real initial states,
              so a satisfiable answer is a genuine counterexample. *)
-          let u = build_bound_instance model ~start:`Init ~k in
-          match Budget.solve budget stats (Unroll.solver u) with
-          | Solver.Sat ->
+          let first =
+            Isr_obs.Trace.span "itp.outer" ~args:[ ("k", string_of_int k) ] (fun () ->
+                let u = build_bound_instance model ~start:`Init ~k in
+                (u, Budget.solve budget stats (Unroll.solver u)))
+          in
+          match first with
+          | u, Solver.Sat ->
             let tr = Unroll.trace u in
             let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
             finish (Verdict.Falsified { depth; trace = tr })
-          | Solver.Undef -> assert false
-          | Solver.Unsat ->
+          | _, Solver.Undef -> assert false
+          | u, Solver.Unsat ->
             let itp_of u =
               let proof = Solver.proof (Unroll.solver u) in
               let i =
                 Itp.interpolant ?system proof ~cut:1 ~man
                   ~var_map:(Unroll.boundary_map u ~frame:1)
               in
-              stats.Verdict.itp_nodes <- stats.Verdict.itp_nodes + Aig.cone_size man i;
+              Verdict.add_itp_nodes stats (Aig.cone_size man i);
               i
             in
             let rec inner j r cur =
               (* cur = I_j; r = R_{j-1}. *)
-              if Incl.implies budget stats model cur r then begin
+              let step =
+                Isr_obs.Trace.span "itp.inner"
+                  ~args:[ ("k", string_of_int k); ("j", string_of_int j) ]
+                  (fun () ->
+                    if Incl.implies budget stats model cur r then `Fixpoint
+                    else begin
+                      let u = build_bound_instance model ~start:(`Circuit cur) ~k in
+                      match Budget.solve budget stats (Unroll.solver u) with
+                      | Solver.Sat -> `Deepen
+                      | Solver.Unsat -> `Next (itp_of u)
+                      | Solver.Undef -> assert false
+                    end)
+              in
+              match step with
+              | `Fixpoint ->
                 Log.debug (fun m -> m "fixpoint at k=%d j=%d" k j);
                 finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
-              end
-              else begin
-                let r = Aig.or_ man r cur in
-                let u = build_bound_instance model ~start:(`Circuit cur) ~k in
-                match Budget.solve budget stats (Unroll.solver u) with
-                | Solver.Sat -> outer (k + 1) (* possibly spurious: deepen *)
-                | Solver.Unsat -> inner (j + 1) r (itp_of u)
-                | Solver.Undef -> assert false
-              end
+              | `Deepen -> outer (k + 1) (* possibly spurious: deepen *)
+              | `Next cur' -> inner (j + 1) (Aig.or_ man r cur) cur'
             in
             inner 1 s0 (itp_of u)
         end

@@ -13,8 +13,8 @@ let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
   let man = model.Model.man in
   let cba = Cba.create model in
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
-    stats.Verdict.abstract_latches <- Cba.num_frozen cba;
+    Verdict.set_time stats (Budget.elapsed budget);
+    Verdict.set_abstract_latches stats (Cba.num_frozen cba);
     (v, stats)
   in
   try
@@ -31,8 +31,10 @@ let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
              abstract instance at this bound is unsatisfiable. *)
           let rec attempt () =
             match
-              Seq_family.compute budget stats ~frozen:(Cba.frozen cba) model
-                ~mode:(Seq_family.Serial alpha) ~check ~k
+              Isr_obs.Trace.span "itpseq.outer" ~args:[ ("k", string_of_int k) ]
+                (fun () ->
+                  Seq_family.compute budget stats ~frozen:(Cba.frozen cba) model
+                    ~mode:(Seq_family.Serial alpha) ~check ~k)
             with
             | `Cex u -> (
               let tr = Unroll.trace u in
@@ -43,7 +45,14 @@ let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
                   Cba.refine cba tr ~abstract_state:(fun ~frame ->
                       Unroll.state_values u ~frame)
                 in
-                stats.Verdict.refinements <- stats.Verdict.refinements + 1;
+                Verdict.incr_refinements stats;
+                Isr_obs.Trace.instant "cba.refine"
+                  ~args:
+                    [
+                      ("k", string_of_int k);
+                      ("unfrozen", string_of_int n);
+                      ("still_frozen", string_of_int (Cba.num_frozen cba));
+                    ];
                 Log.debug (fun m ->
                     m "k=%d: refined %d latches (%d still frozen)" k n
                       (Cba.num_frozen cba));
@@ -60,8 +69,11 @@ let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
                 if j > k then outer (k + 1)
                 else begin
                   let c = cols.(j - 1) in
-                  if Incl.implies budget stats model c r then
-                    finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
+                  if
+                    Isr_obs.Trace.span "itpseq.sweep"
+                      ~args:[ ("k", string_of_int k); ("j", string_of_int j) ]
+                      (fun () -> Incl.implies budget stats model c r)
+                  then finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
                   else sweep (j + 1) (Aig.or_ man r c)
                 end
               in

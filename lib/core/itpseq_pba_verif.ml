@@ -24,9 +24,9 @@ let verify ?(alpha = 0.0) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
   let man = model.Model.man in
   let relevant = Array.make model.Model.num_latches false in
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
-    stats.Verdict.abstract_latches <-
-      Array.fold_left (fun n b -> if b then n else n + 1) 0 relevant;
+    Verdict.set_time stats (Budget.elapsed budget);
+    Verdict.set_abstract_latches stats
+      (Array.fold_left (fun n b -> if b then n else n + 1) 0 relevant);
     (v, stats)
   in
   let mode = if alpha > 0.0 then Seq_family.Serial alpha else Seq_family.Parallel in
@@ -50,13 +50,19 @@ let verify ?(alpha = 0.0) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
           | `Unsat u -> (
             let proof = Solver.proof (Unroll.solver u) in
             ignore (core_latches u proof relevant);
-            stats.Verdict.refinements <- stats.Verdict.refinements + 1;
+            Verdict.incr_refinements stats;
+            let nrelevant =
+              Array.fold_left (fun n b -> if b then n + 1 else n) 0 relevant
+            in
+            Isr_obs.Trace.instant "pba.core"
+              ~args:[ ("k", string_of_int k); ("relevant", string_of_int nrelevant) ];
             let frozen i = not relevant.(i) in
-            Log.debug (fun m ->
-                m "k=%d: %d relevant latches" k
-                  (Array.fold_left (fun n b -> if b then n + 1 else n) 0 relevant));
+            Log.debug (fun m -> m "k=%d: %d relevant latches" k nrelevant);
             let family =
-              match Seq_family.compute budget stats ~frozen model ~mode ~check ~k with
+              match
+                Isr_obs.Trace.span "itpseq.outer" ~args:[ ("k", string_of_int k) ]
+                  (fun () -> Seq_family.compute budget stats ~frozen model ~mode ~check ~k)
+              with
               | `Family family -> family
               | `Cex _ ->
                 (* Cannot happen — the abstract instance contains the
@@ -75,8 +81,11 @@ let verify ?(alpha = 0.0) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
               if j > k then outer (k + 1)
               else begin
                 let c = cols.(j - 1) in
-                if Incl.implies budget stats model c r then
-                  finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
+                if
+                  Isr_obs.Trace.span "itpseq.sweep"
+                    ~args:[ ("k", string_of_int k); ("j", string_of_int j) ]
+                    (fun () -> Incl.implies budget stats model c r)
+                then finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
                 else sweep (j + 1) (Aig.or_ man r c)
               end
             in

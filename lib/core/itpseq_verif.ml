@@ -13,7 +13,7 @@ let verify ?(mode = Seq_family.Parallel) ?(check = Bmc.Assume) ?system
   let stats = Verdict.mk_stats () in
   let man = model.Model.man in
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
+    Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
   try
@@ -27,7 +27,9 @@ let verify ?(mode = Seq_family.Parallel) ?(check = Bmc.Assume) ?system
         if k > limits.Budget.bound_limit then
           finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
         else
-          match Seq_family.compute ?system budget stats model ~mode ~check ~k with
+          Isr_obs.Trace.span "itpseq.outer" ~args:[ ("k", string_of_int k) ] (fun () ->
+              Seq_family.compute ?system budget stats model ~mode ~check ~k)
+          |> function
           | `Cex u ->
             let tr = Unroll.trace u in
             let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
@@ -46,7 +48,11 @@ let verify ?(mode = Seq_family.Parallel) ?(check = Bmc.Assume) ?system
               if j > k then outer (k + 1)
               else begin
                 let c = cols.(j - 1) in
-                if Incl.implies budget stats model c r then begin
+                if
+                  Isr_obs.Trace.span "itpseq.sweep"
+                    ~args:[ ("k", string_of_int k); ("j", string_of_int j) ]
+                    (fun () -> Incl.implies budget stats model c r)
+                then begin
                   Log.debug (fun m -> m "fixpoint at k=%d j=%d" k j);
                   finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
                 end

@@ -25,6 +25,7 @@ let assert_frames_differ u ~tag f g =
    bad at s_{k+1}, all states pairwise distinct.  UNSAT proves the
    property k-inductive (given the base case). *)
 let step_holds budget stats ~unique model ~k =
+  Isr_obs.Trace.span "kind.step" ~args:[ ("k", string_of_int k) ] @@ fun () ->
   let u = Unroll.create model in
   for f = 0 to k do
     Unroll.assert_circuit u ~frame:f ~tag:1 (Model.prop model);
@@ -46,7 +47,7 @@ let verify ?(unique = true) ?(limits = Budget.default_limits) model =
   let budget = Budget.start limits in
   let stats = Verdict.mk_stats () in
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
+    Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
   try

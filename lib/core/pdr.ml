@@ -242,7 +242,7 @@ let verify ?(limits = Budget.default_limits) model =
   let stats = Verdict.mk_stats () in
   let ctx = { model; budget; stats; deltas = Array.make 8 Cubeset.empty; depth = 0 } in
   let finish v =
-    stats.Verdict.time <- Budget.elapsed budget;
+    Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
   try
@@ -256,7 +256,7 @@ let verify ?(limits = Budget.default_limits) model =
         else begin
           ctx.depth <- k;
           grow_deltas ctx (k + 1);
-          stats.Verdict.last_bound <- k;
+          Verdict.note_bound stats k;
           (* Drain all bad states out of F_k. *)
           let rec drain () =
             match bad_query ctx k with
@@ -266,8 +266,11 @@ let verify ?(limits = Budget.default_limits) model =
                 [ { cube; frame = k; inputs_to_next = bad_inputs; next = None } ];
               drain ()
           in
-          drain ();
-          match propagate_clauses ctx k with
+          Isr_obs.Trace.span "pdr.block" ~args:[ ("k", string_of_int k) ] drain;
+          match
+            Isr_obs.Trace.span "pdr.propagate" ~args:[ ("k", string_of_int k) ]
+              (fun () -> propagate_clauses ctx k)
+          with
           | Some i ->
             Log.debug (fun m -> m "fixpoint: frame %d drained at round %d" i k);
             finish

@@ -9,6 +9,14 @@ let members =
     (1.00, `Itpseq_cba);
   ]
 
+let member_name = function
+  | `Randsim -> "randsim"
+  | `Bmc -> "bmc"
+  | `Kind -> "kind"
+  | `Pdr -> "pdr"
+  | `Itp -> "itp"
+  | `Itpseq_cba -> "itpseqcba"
+
 let run_member member ~limits model =
   match member with
   | `Randsim -> (
@@ -22,7 +30,10 @@ let run_member member ~limits model =
       let cap = Isr_model.Trace.depth trace in
       match Bmc.run ~check:Bmc.Exact ~limits:{ limits with Budget.bound_limit = cap } model with
       | (Verdict.Falsified _, _) as r -> r
-      | _ -> (Verdict.Falsified { depth = cap; trace }, stats))
+      | _, bmc_stats ->
+        (* Keep the SAT effort of the failed minimization on the books. *)
+        Verdict.merge_into ~into:stats bmc_stats;
+        (Verdict.Falsified { depth = cap; trace }, stats))
     | None -> (Verdict.Unknown Verdict.Time_limit, stats))
   | `Bmc -> Bmc.run ~check:Bmc.Assume ~incremental:true ~limits model
   | `Kind -> Kind.verify ~limits model
@@ -31,23 +42,17 @@ let run_member member ~limits model =
   | `Itpseq_cba -> Itpseq_cba_verif.verify ~limits model
 
 let verify ?(limits = Budget.default_limits) model =
-  let t0 = Sys.time () in
+  let t0 = Isr_obs.Clock.now () in
+  let elapsed () = Isr_obs.Clock.now () -. t0 in
   let total = Verdict.mk_stats () in
-  let merge (s : Verdict.stats) =
-    total.Verdict.sat_calls <- total.Verdict.sat_calls + s.Verdict.sat_calls;
-    total.Verdict.conflicts <- total.Verdict.conflicts + s.Verdict.conflicts;
-    total.Verdict.itp_nodes <- total.Verdict.itp_nodes + s.Verdict.itp_nodes;
-    total.Verdict.last_bound <- max total.Verdict.last_bound s.Verdict.last_bound;
-    total.Verdict.refinements <- total.Verdict.refinements + s.Verdict.refinements
-  in
   let rec go = function
     | [] ->
-      total.Verdict.time <- Sys.time () -. t0;
+      Verdict.set_time total (elapsed ());
       (Verdict.Unknown Verdict.Time_limit, total)
     | (share, member) :: rest ->
-      let remaining = limits.Budget.time_limit -. (Sys.time () -. t0) in
+      let remaining = limits.Budget.time_limit -. elapsed () in
       if remaining <= 0.0 then begin
-        total.Verdict.time <- Sys.time () -. t0;
+        Verdict.set_time total (elapsed ());
         (Verdict.Unknown Verdict.Time_limit, total)
       end
       else begin
@@ -55,11 +60,15 @@ let verify ?(limits = Budget.default_limits) model =
           if rest = [] then remaining else Float.min remaining (share *. limits.Budget.time_limit)
         in
         let member_limits = { limits with Budget.time_limit = slice } in
-        let verdict, stats = run_member member ~limits:member_limits model in
-        merge stats;
+        let verdict, stats =
+          Isr_obs.Trace.span "portfolio.member"
+            ~args:[ ("engine", member_name member) ]
+            (fun () -> run_member member ~limits:member_limits model)
+        in
+        Verdict.merge_into ~into:total stats;
         match verdict with
         | Verdict.Proved _ | Verdict.Falsified _ ->
-          total.Verdict.time <- Sys.time () -. t0;
+          Verdict.set_time total (elapsed ());
           (verdict, total)
         | Verdict.Unknown _ -> go rest
       end

@@ -13,23 +13,23 @@ let src = Logs.Src.create "isr.seq_family" ~doc:"interpolation sequence extracti
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let charge_itp stats man l =
-  stats.Verdict.itp_nodes <- stats.Verdict.itp_nodes + Aig.cone_size man l
+let charge_itp stats man l = Verdict.add_itp_nodes stats (Aig.cone_size man l)
 
 (* Parallel family from a refutation: one interpolant per requested cut,
    all from the same proof (Equation 2).  Explicit [ncuts] keeps the
    family aligned even when a degenerate partition emitted no clause. *)
 let of_refutation ?(system = Itp.McMillan) stats u ~ncuts =
   let model = Unroll.model u in
-  let proof = Solver.proof (Unroll.solver u) in
-  let info = Itp.analyze proof in
-  let seq =
-    Array.init ncuts (fun j ->
-        Itp.interpolant ~info ~system proof ~cut:(j + 1) ~man:model.Model.man
-          ~var_map:(Unroll.any_state_map u))
-  in
-  Array.iter (charge_itp stats model.Model.man) seq;
-  seq
+  Isr_obs.Trace.span "itpseq.family" ~args:[ ("ncuts", string_of_int ncuts) ] (fun () ->
+      let proof = Solver.proof (Unroll.solver u) in
+      let info = Itp.analyze proof in
+      let seq =
+        Array.init ncuts (fun j ->
+            Itp.interpolant ~info ~system proof ~cut:(j + 1) ~man:model.Model.man
+              ~var_map:(Unroll.any_state_map u))
+      in
+      Array.iter (charge_itp stats model.Model.man) seq;
+      seq)
 
 let parallel_family ~system stats u ~ncuts = of_refutation ~system stats u ~ncuts
 
@@ -39,6 +39,9 @@ let parallel_family ~system stats u ~ncuts = of_refutation ~system stats u ~ncut
    Partition 1 holds I_{j-1} and the first transition; partition 2 all
    the rest, so the standard cut-1 interpolant is I_j. *)
 let serial_step ~system budget stats ?frozen model ~check ~k ~j prev =
+  Isr_obs.Trace.span "itpseq.serial_step"
+    ~args:[ ("k", string_of_int k); ("j", string_of_int j) ]
+  @@ fun () ->
   let u = Unroll.create model in
   Unroll.assert_circuit u ~frame:0 ~tag:1 prev;
   if check = Bmc.Assume && j >= 2 then

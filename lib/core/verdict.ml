@@ -1,4 +1,5 @@
 open Isr_model
+module M = Isr_obs.Metrics
 
 type reason = Time_limit | Conflict_limit | Bound_limit of int
 
@@ -8,25 +9,65 @@ type t =
   | Unknown of reason
 
 type stats = {
-  mutable sat_calls : int;
-  mutable conflicts : int;
-  mutable itp_nodes : int;
-  mutable last_bound : int;
-  mutable refinements : int;
-  mutable abstract_latches : int;
-  mutable time : float;
+  metrics : M.t;
+  c_sat_calls : M.counter;
+  c_conflicts : M.counter;
+  c_decisions : M.counter;
+  c_propagations : M.counter;
+  c_restarts : M.counter;
+  h_learnt_len : M.histogram;
+  c_itp_nodes : M.counter;
+  h_itp_size : M.histogram;
+  g_last_bound : M.gauge;
+  c_refinements : M.counter;
+  g_frozen_latches : M.gauge;
+  g_time : M.gauge;
 }
 
+(* Metric names are the public contract of the JSON snapshot; the
+   glossary in DESIGN.md maps them to the paper's quantities. *)
 let mk_stats () =
+  let m = M.create () in
   {
-    sat_calls = 0;
-    conflicts = 0;
-    itp_nodes = 0;
-    last_bound = 0;
-    refinements = 0;
-    abstract_latches = 0;
-    time = 0.0;
+    metrics = m;
+    c_sat_calls = M.counter m "sat.calls";
+    c_conflicts = M.counter m "sat.conflicts";
+    c_decisions = M.counter m "sat.decisions";
+    c_propagations = M.counter m "sat.propagations";
+    c_restarts = M.counter m "sat.restarts";
+    h_learnt_len = M.histogram m "sat.learnt_len";
+    c_itp_nodes = M.counter m "itp.nodes";
+    h_itp_size = M.histogram m "itp.size";
+    g_last_bound = M.gauge m "bmc.last_bound";
+    c_refinements = M.counter m "abs.refinements";
+    g_frozen_latches = M.gauge m "abs.frozen_latches";
+    g_time = M.gauge m "engine.time_s";
   }
+
+let registry s = s.metrics
+
+let sat_calls s = M.value s.c_sat_calls
+let conflicts s = M.value s.c_conflicts
+let decisions s = M.value s.c_decisions
+let propagations s = M.value s.c_propagations
+let restarts s = M.value s.c_restarts
+let max_learnt_len s = int_of_float (M.hist_max s.h_learnt_len)
+let itp_nodes s = M.value s.c_itp_nodes
+let last_bound s = int_of_float (M.gauge_value s.g_last_bound)
+let refinements s = M.value s.c_refinements
+let abstract_latches s = int_of_float (M.gauge_value s.g_frozen_latches)
+let time s = M.gauge_value s.g_time
+
+let note_bound s k = M.set_max s.g_last_bound (float_of_int k)
+
+let add_itp_nodes s n =
+  M.add s.c_itp_nodes n;
+  M.observe s.h_itp_size (float_of_int n)
+
+let incr_refinements s = M.incr s.c_refinements
+let set_abstract_latches s n = M.set s.g_frozen_latches (float_of_int n)
+let set_time s t = M.set s.g_time t
+let merge_into ~into s = M.merge ~into:into.metrics s.metrics
 
 let is_proved = function Proved _ -> true | Falsified _ | Unknown _ -> false
 let is_falsified = function Falsified _ -> true | Proved _ | Unknown _ -> false
@@ -51,8 +92,12 @@ let pp fmt = function
   | Unknown (Bound_limit k) -> Format.fprintf fmt "UNKNOWN (bound limit %d)" k
 
 let pp_stats fmt s =
-  Format.fprintf fmt "%.3fs, %d SAT calls, %d conflicts, bound %d, %d itp nodes" s.time
-    s.sat_calls s.conflicts s.last_bound s.itp_nodes;
-  if s.refinements > 0 then
-    Format.fprintf fmt ", %d refinements (%d latches still frozen)" s.refinements
-      s.abstract_latches
+  Format.fprintf fmt "%.3fs, %d SAT calls, %d conflicts, bound %d, %d itp nodes" (time s)
+    (sat_calls s) (conflicts s) (last_bound s) (itp_nodes s);
+  Format.fprintf fmt ", %d decisions, %d propagations, %d restarts" (decisions s)
+    (propagations s) (restarts s);
+  if max_learnt_len s > 0 then
+    Format.fprintf fmt ", max learnt %d" (max_learnt_len s);
+  if refinements s > 0 then
+    Format.fprintf fmt ", %d refinements (%d latches still frozen)" (refinements s)
+      (abstract_latches s)

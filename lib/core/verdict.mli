@@ -4,7 +4,16 @@
     bound at the fixpoint (the outer iteration count) and [jfp] the depth
     of the over-approximate forward traversal (the inner iteration, or the
     index of the converging cut).  Falsified runs report [jfp = 0] in the
-    tables, as the paper does. *)
+    tables, as the paper does.
+
+    [stats] is a thin projection over a per-run {!Isr_obs.Metrics}
+    registry: every engine owns a fresh registry (created by
+    {!mk_stats}), the budget layer and the engines update pre-resolved
+    counter/gauge/histogram handles, and the legacy seven quantities are
+    read back out of the registry by the accessors below.  The full
+    registry — including per-check-kind SAT call counts and the
+    learned-clause and interpolant-size histograms — is reachable
+    through {!registry} for JSON snapshots ([--metrics]). *)
 
 open Isr_model
 
@@ -24,16 +33,60 @@ type t =
   | Unknown of reason
 
 type stats = {
-  mutable sat_calls : int;
-  mutable conflicts : int;     (** summed over all SAT calls *)
-  mutable itp_nodes : int;     (** AND nodes over all extracted interpolants *)
-  mutable last_bound : int;    (** largest bound attempted *)
-  mutable refinements : int;   (** CBA only *)
-  mutable abstract_latches : int;  (** CBA only: frozen latches at the end *)
-  mutable time : float;
+  metrics : Isr_obs.Metrics.t;  (** the authoritative per-run registry *)
+  (* Pre-resolved handles into [metrics]; hot-path writers use these
+     directly instead of name lookups. *)
+  c_sat_calls : Isr_obs.Metrics.counter;
+  c_conflicts : Isr_obs.Metrics.counter;
+  c_decisions : Isr_obs.Metrics.counter;
+  c_propagations : Isr_obs.Metrics.counter;
+  c_restarts : Isr_obs.Metrics.counter;
+  h_learnt_len : Isr_obs.Metrics.histogram;
+  c_itp_nodes : Isr_obs.Metrics.counter;
+  h_itp_size : Isr_obs.Metrics.histogram;
+  g_last_bound : Isr_obs.Metrics.gauge;
+  c_refinements : Isr_obs.Metrics.counter;
+  g_frozen_latches : Isr_obs.Metrics.gauge;
+  g_time : Isr_obs.Metrics.gauge;
 }
 
 val mk_stats : unit -> stats
+(** A fresh registry with all standard metrics registered. *)
+
+val registry : stats -> Isr_obs.Metrics.t
+
+(* Projections of the registry (reads): [conflicts] etc. are summed over
+   all SAT calls, [itp_nodes] counts AND nodes over all extracted
+   interpolants, [last_bound] is the largest bound attempted, and
+   [refinements]/[abstract_latches] are only written by the CBA/PBA
+   abstraction engines. *)
+val sat_calls : stats -> int
+val conflicts : stats -> int
+val decisions : stats -> int
+val propagations : stats -> int
+val restarts : stats -> int
+val max_learnt_len : stats -> int
+val itp_nodes : stats -> int
+val last_bound : stats -> int
+val refinements : stats -> int
+val abstract_latches : stats -> int
+val time : stats -> float
+
+(* Engine-side updates. *)
+val note_bound : stats -> int -> unit
+(** Record a bound attempt: keeps the maximum. *)
+
+val add_itp_nodes : stats -> int -> unit
+(** Charge one extracted interpolant of the given AND-node count (also
+    feeds the per-interpolant size histogram). *)
+
+val incr_refinements : stats -> unit
+val set_abstract_latches : stats -> int -> unit
+val set_time : stats -> float -> unit
+
+val merge_into : into:stats -> stats -> unit
+(** Registry-wide merge (counters add, gauges max, histograms combine) —
+    what the portfolio uses to aggregate member runs. *)
 
 val is_proved : t -> bool
 val is_falsified : t -> bool

@@ -23,11 +23,12 @@ let checks ?(limits = Budget.default_limits) ?entries ?(depths = [ 5; 10; 15; 20
               (fun check ->
                 let budget = Budget.start limits in
                 let stats = Verdict.mk_stats () in
-                let t0 = Sys.time () in
+                let t0 = Isr_obs.Clock.now () in
                 match Bmc.check_depth budget stats model ~check ~k with
                 | `Unsat _ ->
-                  Printf.sprintf "%10.3f %10d" (Sys.time () -. t0)
-                    stats.Verdict.conflicts
+                  Printf.sprintf "%10.3f %10d"
+                    (Isr_obs.Clock.now () -. t0)
+                    (Verdict.conflicts stats)
                 | `Sat _ -> Printf.sprintf "%10s %10s" "SAT?!" "-"
                 | exception (Budget.Out_of_time | Budget.Out_of_conflicts) ->
                   Printf.sprintf "%10s %10s" "ovf" "-")
@@ -66,7 +67,7 @@ let systems ?(limits = Budget.default_limits) ?entries ~out:fmt () =
           Format.fprintf fmt " | %8s %4s %3s %6d"
             (Runner.time_cell verdict stats)
             (Runner.kfp_cell verdict) (Runner.jfp_cell verdict)
-            stats.Verdict.itp_nodes)
+            (Verdict.itp_nodes stats))
         sys;
       Format.fprintf fmt "@.";
       Format.pp_print_flush fmt ())

@@ -5,7 +5,8 @@ open Isr_suite
 let default_entries () =
   List.filter (fun e -> e.Registry.category = Registry.Industrial) Registry.table1
 
-let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+let run ?(limits = Budget.default_limits) ?entries
+    ?(record = fun (_ : Runner.record) -> ()) ~out:fmt () =
   let entries = match entries with Some e -> e | None -> default_entries () in
   Format.fprintf fmt
     "Abstraction comparison (Section V): SITPSEQ (none) vs ITPSEQCBA vs ITPSEQPBA@.";
@@ -14,15 +15,22 @@ let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
   List.iter
     (fun entry ->
       let model = Registry.build_validated entry in
+      let run_engine engine =
+        let verdict, stats = Engine.run engine ~limits model in
+        record
+          { Runner.bench = entry.Registry.name;
+            engine_name = Engine.name engine; verdict; stats };
+        (verdict, stats)
+      in
       let plain =
-        let verdict, stats = Engine.run (Engine.Sitpseq (0.5, Bmc.Exact)) ~limits model in
+        let verdict, stats = run_engine (Engine.Sitpseq (0.5, Bmc.Exact)) in
         Printf.sprintf "%-14s" (Runner.time_cell verdict stats)
       in
       let abstracted engine =
-        let verdict, stats = Engine.run engine ~limits model in
+        let verdict, stats = run_engine engine in
         Printf.sprintf "%8s %5d %7d"
           (Runner.time_cell verdict stats)
-          stats.Verdict.refinements stats.Verdict.abstract_latches
+          (Verdict.refinements stats) (Verdict.abstract_latches stats)
       in
       Format.fprintf fmt "%-16s %6d | %s | %s | %s@." entry.Registry.name
         model.Model.num_latches plain

@@ -7,6 +7,7 @@
 val run :
   ?limits:Isr_core.Budget.limits ->
   ?entries:Isr_suite.Registry.entry list ->
+  ?record:(Runner.record -> unit) ->
   out:Format.formatter ->
   unit ->
   unit

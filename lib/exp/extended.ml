@@ -13,7 +13,8 @@ let engines =
     Engine.Portfolio;
   ]
 
-let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+let run ?(limits = Budget.default_limits) ?entries
+    ?(record = fun (_ : Runner.record) -> ()) ~out:fmt () =
   let entries =
     match entries with
     | Some e -> e
@@ -33,6 +34,9 @@ let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
       List.iteri
         (fun i engine ->
           let verdict, stats = Engine.run engine ~limits model in
+          record
+            { Runner.bench = entry.Registry.name;
+              engine_name = Engine.name engine; verdict; stats };
           (match verdict with Verdict.Unknown _ -> () | _ -> solved.(i) <- solved.(i) + 1);
           let mark =
             match verdict with

@@ -9,7 +9,8 @@ let engines =
     Engine.Itpseq_cba (0.5, Bmc.Exact);
   ]
 
-let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+let run ?(limits = Budget.default_limits) ?entries
+    ?(record = fun (_ : Runner.record) -> ()) ~out:fmt () =
   let entries = match entries with Some e -> e | None -> Registry.fig6 in
   let n = List.length entries in
   Format.fprintf fmt
@@ -32,10 +33,13 @@ let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
         (fun engine ->
           let name = Engine.name engine in
           let verdict, stats = Engine.run engine ~limits model in
+          record
+            { Runner.bench = entry.Registry.name; engine_name = name;
+              verdict; stats };
           let t, ok =
             match verdict with
             | Verdict.Unknown _ -> (limits.Budget.time_limit, false)
-            | _ -> (stats.Verdict.time, true)
+            | _ -> (Verdict.time stats, true)
           in
           Hashtbl.replace times name (t :: Hashtbl.find times name);
           if ok then Hashtbl.replace solved name (Hashtbl.find solved name + 1))

@@ -1,7 +1,8 @@
 open Isr_core
 open Isr_suite
 
-let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
+let run ?(limits = Budget.default_limits) ?entries
+    ?(record = fun (_ : Runner.record) -> ()) ~out:fmt () =
   let entries = match entries with Some e -> e | None -> Registry.fig6 in
   Format.fprintf fmt
     "Figure 7 reproduction: ITPSEQ run time [s], exact-k (x) vs assume-k (y)@.";
@@ -14,9 +15,12 @@ let run ?(limits = Budget.default_limits) ?entries ~out:fmt () =
       let model = Registry.build_validated entry in
       let time engine =
         let verdict, stats = Engine.run engine ~limits model in
+        record
+          { Runner.bench = entry.Registry.name;
+            engine_name = Engine.name engine; verdict; stats };
         match verdict with
         | Verdict.Unknown _ -> limits.Budget.time_limit
-        | _ -> stats.Verdict.time
+        | _ -> Verdict.time stats
       in
       let te = time (Engine.Itpseq Bmc.Exact) in
       let ta = time (Engine.Itpseq Bmc.Assume) in

@@ -15,13 +15,67 @@ type row = {
   results : engine_result list;
 }
 
-let run_entry ?(progress = fun _ -> ()) ~limits ~engines entry =
+type record = {
+  bench : string;
+  engine_name : string;
+  verdict : Verdict.t;
+  stats : Verdict.stats;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let verdict_tag = function
+  | Verdict.Proved _ -> "proved"
+  | Verdict.Falsified _ -> "falsified"
+  | Verdict.Unknown _ -> "unknown"
+
+let json_of_record r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"bench\":\"%s\",\"engine\":\"%s\",\"verdict\":\"%s\""
+       (json_escape r.bench) (json_escape r.engine_name) (verdict_tag r.verdict));
+  (match Verdict.kfp r.verdict with
+  | Some k -> Buffer.add_string b (Printf.sprintf ",\"kfp\":%d" k)
+  | None -> ());
+  (match Verdict.jfp r.verdict with
+  | Some j -> Buffer.add_string b (Printf.sprintf ",\"jfp\":%d" j)
+  | None -> ());
+  (* The registry snapshot is pretty-printed; collapse it so each record
+     stays a single JSON line. *)
+  let compact s = String.concat " " (String.split_on_char '\n' s) in
+  Buffer.add_string b
+    (Printf.sprintf ",\"metrics\":%s}"
+       (compact (Isr_obs.Metrics.to_json (Verdict.registry r.stats))));
+  Buffer.contents b
+
+let run_entry ?(progress = fun _ -> ()) ?(record = fun _ -> ()) ~limits ~engines
+    entry =
   let model = Registry.build_validated entry in
   let results =
     List.map
       (fun engine ->
         progress (Printf.sprintf "%s / %s" entry.Registry.name (Engine.name engine));
         let verdict, stats = Engine.run engine ~limits model in
+        record
+          {
+            bench = entry.Registry.name;
+            engine_name = Engine.name engine;
+            verdict;
+            stats;
+          };
         { engine; verdict; stats })
       engines
   in
@@ -32,8 +86,8 @@ let run_entry ?(progress = fun _ -> ()) ~limits ~engines entry =
     results;
   }
 
-let run_suite ?progress ~limits ~engines entries =
-  List.map (run_entry ?progress ~limits ~engines) entries
+let run_suite ?progress ?record ~limits ~engines entries =
+  List.map (run_entry ?progress ?record ~limits ~engines) entries
 
 let ok_mark entry verdict =
   match verdict with
@@ -44,9 +98,8 @@ let ok_mark entry verdict =
 
 let time_cell verdict stats =
   match verdict with
-  | Verdict.Unknown _ ->
-    Printf.sprintf "ovf(%d)" stats.Verdict.last_bound
-  | _ -> Printf.sprintf "%.2f" stats.Verdict.time
+  | Verdict.Unknown _ -> Printf.sprintf "ovf(%d)" (Verdict.last_bound stats)
+  | _ -> Printf.sprintf "%.2f" (Verdict.time stats)
 
 let kfp_cell = function
   | Verdict.Proved { kfp; _ } -> string_of_int kfp

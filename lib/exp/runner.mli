@@ -17,8 +17,22 @@ type row = {
   results : engine_result list;
 }
 
+type record = {
+  bench : string;
+  engine_name : string;
+  verdict : Verdict.t;
+  stats : Verdict.stats;
+}
+(** One engine run on one benchmark — the unit of the per-run JSON stats
+    stream ([--metrics] in the bench harness). *)
+
+val json_of_record : record -> string
+(** A single-line JSON object: bench, engine, verdict tag, kfp/jfp when
+    defined, and the full metrics-registry snapshot. *)
+
 val run_entry :
   ?progress:(string -> unit) ->
+  ?record:(record -> unit) ->
   limits:Budget.limits ->
   engines:Engine.t list ->
   Registry.entry ->
@@ -26,6 +40,7 @@ val run_entry :
 
 val run_suite :
   ?progress:(string -> unit) ->
+  ?record:(record -> unit) ->
   limits:Budget.limits ->
   engines:Engine.t list ->
   Registry.entry list ->

@@ -24,7 +24,7 @@ let bdd_cells ~bdd_nodes model =
   (cell fwd, cell bwd)
 
 let run ?(bdd_nodes = 2_000_000) ?(limits = Budget.default_limits) ?entries
-    ~out:fmt () =
+    ?(record = fun (_ : Runner.record) -> ()) ~out:fmt () =
   let entries = match entries with Some e -> e | None -> Registry.table1 in
   Format.fprintf fmt
     "Table I reproduction: BDD diameters and engine Time/kfp/jfp@.";
@@ -49,6 +49,9 @@ let run ?(bdd_nodes = 2_000_000) ?(limits = Budget.default_limits) ?entries
         List.map
           (fun engine ->
             let verdict, stats = Engine.run engine ~limits model in
+            record
+              { Runner.bench = entry.Registry.name;
+                engine_name = Engine.name engine; verdict; stats };
             Printf.sprintf "%8s %4s %4s%s"
               (Runner.time_cell verdict stats)
               (Runner.kfp_cell verdict) (Runner.jfp_cell verdict)

@@ -5,9 +5,11 @@ val run :
   ?bdd_nodes:int ->
   ?limits:Isr_core.Budget.limits ->
   ?entries:Isr_suite.Registry.entry list ->
+  ?record:(Runner.record -> unit) ->
   out:Format.formatter ->
   unit ->
   unit
 (** Prints the table.  [bdd_nodes] bounds the BDD engine (overflowing
     entries show a dash, like the paper); [entries] defaults to the full
-    Table I registry. *)
+    Table I registry; [record] observes every engine run as it finishes
+    (used by the bench harness's [--metrics] stream). *)

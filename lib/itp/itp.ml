@@ -16,6 +16,7 @@ type info = {
 }
 
 let analyze (p : Proof.t) =
+  Isr_obs.Trace.span "itp.analyze" @@ fun () ->
   let n = p.Proof.nvars in
   let minp = Array.make n max_int in
   let maxp = Array.make n 0 in
@@ -47,6 +48,7 @@ let var_label info ~cut ~system v =
     match system with McMillan -> Lb | Pudlak -> Lab | McMillan_dual -> La
 
 let interpolant ?info ?(system = McMillan) (p : Proof.t) ~cut ~man ~var_map =
+  Isr_obs.Trace.span "itp.extract" ~args:[ ("cut", string_of_int cut) ] @@ fun () ->
   let info = match info with Some i -> i | None -> analyze p in
   let label v = var_label info ~cut ~system v in
   let map_var v =

@@ -1,0 +1,9 @@
+let t0 = Unix.gettimeofday ()
+let last = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () -. t0 in
+  if t > !last then last := t;
+  !last
+
+let now_us () = now () *. 1e6

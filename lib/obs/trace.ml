@@ -1,0 +1,139 @@
+type args = (string * string) list
+
+type event =
+  | Begin of { name : string; ts : float; args : args }
+  | End of { ts : float; args : args }
+  | Instant of { name : string; ts : float; args : args }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let null = { emit = ignore; flush = (fun () -> ()) }
+
+(* The enabled flag is the whole fast path: [span] tests it once and,
+   when false, tail-calls the thunk without touching the sink. *)
+let current = ref null
+let on = ref false
+
+let set_sink s =
+  current := s;
+  on := s != null
+
+let clear_sink () =
+  current := null;
+  on := false
+
+let enabled () = !on
+let flush () = !current.flush ()
+
+let memory () =
+  let events = ref [] in
+  let sink = { emit = (fun e -> events := e :: !events); flush = (fun () -> ()) } in
+  (sink, fun () -> List.rev !events)
+
+(* --- Chrome trace-event JSON --------------------------------------------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_args b args =
+  if args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b "\":\"";
+        escape b v;
+        Buffer.add_char b '"')
+      args;
+    Buffer.add_char b '}'
+  end
+
+let chrome_event b ~first e =
+  if not first then Buffer.add_string b ",\n";
+  let obj ph ?name ts args =
+    Buffer.add_string b "{\"ph\":\"";
+    Buffer.add_string b ph;
+    Buffer.add_string b "\",\"pid\":1,\"tid\":1,\"ts\":";
+    Buffer.add_string b (Printf.sprintf "%.1f" (ts *. 1e6));
+    (match name with
+    | Some n ->
+      Buffer.add_string b ",\"name\":\"";
+      escape b n;
+      Buffer.add_char b '"'
+    | None -> ());
+    add_args b args;
+    (* Instant events need a scope for Perfetto to render them. *)
+    if ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
+    Buffer.add_char b '}'
+  in
+  match e with
+  | Begin { name; ts; args } -> obj "B" ~name ts args
+  | End { ts; args } -> obj "E" ts args
+  | Instant { name; ts; args } -> obj "i" ~name ts args
+
+let chrome buf =
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  {
+    emit =
+      (fun e ->
+        chrome_event buf ~first:!first e;
+        first := false);
+    flush = (fun () -> Buffer.add_string buf "\n]\n");
+  }
+
+let chrome_channel oc =
+  let buf = Buffer.create 256 in
+  let sink = chrome buf in
+  {
+    emit =
+      (fun e ->
+        sink.emit e;
+        if Buffer.length buf > 65536 then begin
+          Buffer.output_buffer oc buf;
+          Buffer.clear buf
+        end);
+    flush =
+      (fun () ->
+        sink.flush ();
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf;
+        Stdlib.flush oc);
+  }
+
+(* --- emission -------------------------------------------------------------- *)
+
+let begin_span ?(args = []) name =
+  if !on then !current.emit (Begin { name; ts = Clock.now (); args })
+
+let end_span ?(args = []) () =
+  if !on then !current.emit (End { ts = Clock.now (); args })
+
+let instant ?(args = []) name =
+  if !on then !current.emit (Instant { name; ts = Clock.now (); args })
+
+let span ?args ?end_args name f =
+  if not !on then f ()
+  else begin
+    begin_span ?args name;
+    match f () with
+    | v ->
+      let args = match end_args with None -> [] | Some g -> g () in
+      end_span ~args ();
+      v
+    | exception e ->
+      end_span ~args:[ ("exception", Printexc.exn_slot_name e) ] ();
+      raise e
+  end

@@ -1,0 +1,64 @@
+(** Nested span tracing on the monotonic clock.
+
+    A global sink receives begin/end/instant events; the default sink is
+    {!null} and the fast path is a single flag test — [span] with the
+    null sink installed calls its thunk directly and allocates nothing.
+    Sinks ship with the library: an in-memory sink for tests and a
+    Chrome trace-event JSON sink whose output loads in Perfetto
+    (https://ui.perfetto.dev) or chrome://tracing.
+
+    Span arguments are pre-rendered [(key, value)] string pairs; end
+    arguments are supplied as a thunk that only runs when tracing is
+    enabled, so instrumentation sites pay nothing for building counter
+    deltas in the common disabled case. *)
+
+type args = (string * string) list
+
+type event =
+  | Begin of { name : string; ts : float; args : args }
+  | End of { ts : float; args : args }
+  | Instant of { name : string; ts : float; args : args }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+val null : sink
+(** Drops everything. *)
+
+val memory : unit -> sink * (unit -> event list)
+(** An in-memory sink and a function returning the events recorded so
+    far, in emission order. *)
+
+val chrome : Buffer.t -> sink
+(** Renders Chrome trace-event JSON into the buffer; [flush] closes the
+    top-level array (the sink must not be used afterwards). *)
+
+val chrome_channel : out_channel -> sink
+(** Streams Chrome trace-event JSON to the channel; [flush] closes the
+    array and flushes the channel. *)
+
+val set_sink : sink -> unit
+(** Installs a sink and enables tracing (unless it is {!null}). *)
+
+val clear_sink : unit -> unit
+(** Back to {!null}; tracing disabled. *)
+
+val enabled : unit -> bool
+(** True when a non-null sink is installed.  Callers may use this to
+    guard expensive argument construction. *)
+
+val flush : unit -> unit
+(** Flushes the current sink. *)
+
+val span : ?args:args -> ?end_args:(unit -> args) -> string -> (unit -> 'a) -> 'a
+(** [span name f] brackets [f ()] in a begin/end pair.  [end_args] is
+    evaluated after [f] returns normally; when [f] raises, the end event
+    carries the exception name instead and the exception is re-raised.
+    With tracing disabled this is exactly [f ()]. *)
+
+val instant : ?args:args -> string -> unit
+(** A zero-duration marker event. *)
+
+val begin_span : ?args:args -> string -> unit
+val end_span : ?args:args -> unit -> unit
+(** Explicit bracket for call sites where a function wrapper does not
+    fit; the caller owns the pairing discipline. *)

@@ -32,6 +32,10 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_count : int;
+  mutable max_learnt_len : int;
+  mutable learnt_cb : (int -> unit) option; (* observes each learned-clause length *)
   mutable seen : Bytes.t;              (* conflict-analysis scratch *)
   mutable mark0 : Bytes.t;             (* level-0 elimination scratch *)
   pending : Vec.t;                     (* clause ids to re-examine at solve start *)
@@ -62,6 +66,10 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    learnt_count = 0;
+    max_learnt_len = 0;
+    learnt_cb = None;
     seen = Bytes.make 16 '\000';
     mark0 = Bytes.make 16 '\000';
     pending = Vec.create ();
@@ -71,7 +79,11 @@ let nvars s = s.nvars
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
+let num_restarts s = s.restarts
+let num_learnt s = s.learnt_count
+let max_learnt_len s = s.max_learnt_len
 let num_clauses s = s.nclauses
+let on_learnt s cb = s.learnt_cb <- cb
 
 let grow_vars s n =
   let cap = Array.length s.assigns in
@@ -409,6 +421,10 @@ let analyze_assumptions s p =
 
 let record_learnt s lits first chain =
   let cid = s.nclauses in
+  s.learnt_count <- s.learnt_count + 1;
+  let len = Array.length lits in
+  if len > s.max_learnt_len then s.max_learnt_len <- len;
+  (match s.learnt_cb with None -> () | Some f -> f len);
   push_clause s { cid; lits; ctag = -1; first; chain };
   if Array.length lits >= 2 then begin
     (* lits.(0) is the asserting literal; the second watch must be the
@@ -531,7 +547,7 @@ let luby x =
 
 let restart_base = 100
 
-let solve ?(assumptions = []) ?(conflict_budget = max_int) s =
+let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
   cancel_until s 0;
   s.core <- [];
   if not s.ok then begin
@@ -585,6 +601,7 @@ let solve ?(assumptions = []) ?(conflict_budget = max_int) s =
         !conflicts_this_restart >= !limit && decision_level s > nassumptions
       then begin
         incr restarts;
+        s.restarts <- s.restarts + 1;
         conflicts_this_restart := 0;
         limit := restart_base * luby !restarts;
         cancel_until s nassumptions
@@ -617,6 +634,31 @@ let solve ?(assumptions = []) ?(conflict_budget = max_int) s =
     if r <> Sat then cancel_until s 0;
     s.last_result <- r;
     r
+  end
+
+let result_name = function Sat -> "sat" | Unsat -> "unsat" | Undef -> "undef"
+
+(* Each solve is one trace span carrying the search-effort deltas; with
+   tracing disabled this is a single flag test on top of the search. *)
+let solve ?assumptions ?conflict_budget s =
+  if not (Isr_obs.Trace.enabled ()) then solve_core ?assumptions ?conflict_budget s
+  else begin
+    let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
+    let r0 = s.restarts in
+    let res = ref Undef in
+    let end_args () =
+      [
+        ("result", result_name !res);
+        ("conflicts", string_of_int (s.conflicts - c0));
+        ("decisions", string_of_int (s.decisions - d0));
+        ("propagations", string_of_int (s.propagations - p0));
+        ("restarts", string_of_int (s.restarts - r0));
+      ]
+    in
+    Isr_obs.Trace.span "sat.solve" ~end_args (fun () ->
+        let r = solve_core ?assumptions ?conflict_budget s in
+        res := r;
+        r)
   end
 
 let unsat_core s =

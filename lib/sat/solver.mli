@@ -59,4 +59,14 @@ val proof : t -> Proof.t
 val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
+val num_restarts : t -> int
+val num_learnt : t -> int
+val max_learnt_len : t -> int
+(** Longest learned clause so far (0 before any conflict). *)
+
 val num_clauses : t -> int
+
+val on_learnt : t -> (int -> unit) option -> unit
+(** Installs (or clears) an observer called with the length of every
+    clause learned from a conflict — the hook behind the per-call
+    learned-clause-length histogram of {!Isr_obs.Metrics}. *)

@@ -66,7 +66,7 @@ let test_ablation_alpha () =
 
 let test_runner_cells () =
   let stats = Verdict.mk_stats () in
-  stats.Verdict.last_bound <- 7;
+  Verdict.note_bound stats 7;
   Alcotest.(check string) "ovf cell" "ovf(7)"
     (Isr_exp.Runner.time_cell (Verdict.Unknown Verdict.Time_limit) stats);
   Alcotest.(check string) "kfp" "4" (Isr_exp.Runner.kfp_cell (Verdict.Proved { kfp = 4; jfp = 2; invariant = None }));

@@ -1,0 +1,447 @@
+(* Tests for the observability library: span emission order and nesting,
+   exception safety, histogram bucket boundaries, Chrome trace JSON
+   well-formedness (via a small parser), the null-sink fast path, and the
+   end-to-end span structure of a real engine run. *)
+
+open Isr_obs
+
+let with_memory_sink f =
+  let sink, events = Trace.memory () in
+  Trace.set_sink sink;
+  Fun.protect ~finally:Trace.clear_sink (fun () -> f events)
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let test_span_order () =
+  with_memory_sink (fun events ->
+      let r =
+        Trace.span "outer" ~args:[ ("k", "1") ] (fun () ->
+            Trace.span "inner" (fun () -> 42))
+      in
+      Alcotest.(check int) "result" 42 r;
+      match events () with
+      | [ Trace.Begin b1; Trace.Begin b2; Trace.End e2; Trace.End e1 ] ->
+        Alcotest.(check string) "outer name" "outer" b1.name;
+        Alcotest.(check string) "inner name" "inner" b2.name;
+        Alcotest.(check (list (pair string string))) "args" [ ("k", "1") ] b1.args;
+        let ts = [ b1.ts; b2.ts; e2.ts; e1.ts ] in
+        Alcotest.(check bool) "timestamps sorted" true (List.sort compare ts = ts);
+        Alcotest.(check bool) "non-negative" true (b1.ts >= 0.0)
+      | evs -> Alcotest.failf "unexpected event shape (%d events)" (List.length evs))
+
+let test_span_exception () =
+  with_memory_sink (fun events ->
+      (try Trace.span "boom" (fun () -> failwith "no") with Failure _ -> ());
+      match events () with
+      | [ Trace.Begin _; Trace.End e ] ->
+        Alcotest.(check (list (pair string string)))
+          "exception arg"
+          [ ("exception", "Failure") ]
+          e.args
+      | _ -> Alcotest.fail "expected exactly Begin/End")
+
+let test_instant_and_enabled () =
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  with_memory_sink (fun events ->
+      Alcotest.(check bool) "enabled with sink" true (Trace.enabled ());
+      Trace.instant "mark" ~args:[ ("x", "y") ];
+      match events () with
+      | [ Trace.Instant i ] -> Alcotest.(check string) "name" "mark" i.name
+      | _ -> Alcotest.fail "expected one instant");
+  Alcotest.(check bool) "disabled after clear" false (Trace.enabled ())
+
+(* The disabled fast path must not allocate: a span with a pre-built
+   thunk is a flag test plus a call. *)
+let test_null_sink_no_alloc () =
+  Trace.clear_sink ();
+  let f = fun () -> 0 in
+  ignore (Trace.span "warm" f);
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Trace.span "hot" f)
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words (%.0f) below bound" delta)
+    true (delta < 100.0)
+
+(* --- histograms ----------------------------------------------------------- *)
+
+let test_bucket_boundaries () =
+  let check v b =
+    Alcotest.(check int) (Printf.sprintf "bucket_of %g" v) b (Metrics.bucket_of v)
+  in
+  check 0.0 0;
+  check 0.5 0;
+  check 1.0 0;
+  check 1.5 1;
+  check 2.0 1;
+  check 2.1 2;
+  check 4.0 2;
+  check 1024.0 10;
+  check 1025.0 11;
+  Alcotest.(check (float 0.0)) "upper of 10" 1024.0 (Metrics.bucket_upper 10);
+  (* The defining invariant: v fits its bucket but not the one below. *)
+  List.iter
+    (fun v ->
+      let b = Metrics.bucket_of v in
+      Alcotest.(check bool) "v <= upper" true (v <= Metrics.bucket_upper b);
+      if b > 0 then
+        Alcotest.(check bool) "v > upper of previous" true
+          (v > Metrics.bucket_upper (b - 1)))
+    [ 0.3; 1.0; 1.0001; 3.0; 7.9; 8.0; 8.1; 100.0; 65536.0; 1e12 ]
+
+let test_histogram_observe () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "h" in
+  List.iter (Metrics.observe h) [ 1.0; 1.0; 3.0; 100.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 105.0 (Metrics.hist_sum h);
+  Alcotest.(check (float 0.0)) "max" 100.0 (Metrics.hist_max h);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets"
+    [ (1.0, 2); (4.0, 1); (128.0, 1) ]
+    (Metrics.hist_buckets h)
+
+(* --- registry ------------------------------------------------------------- *)
+
+let test_counters_gauges () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.(check int) "find-or-create" 5 (Metrics.value (Metrics.counter r "c"));
+  let g = Metrics.gauge r "g" in
+  Metrics.set g 3.0;
+  Metrics.set_max g 2.0;
+  Alcotest.(check (float 0.0)) "set_max keeps max" 3.0 (Metrics.gauge_value g);
+  Metrics.set_max g 7.0;
+  Alcotest.(check (float 0.0)) "set_max raises" 7.0 (Metrics.gauge_value g);
+  Alcotest.check_raises "kind clash" (Invalid_argument "Metrics.gauge: c is not a gauge")
+    (fun () -> ignore (Metrics.gauge r "c"));
+  Alcotest.(check (list string)) "names in order" [ "c"; "g" ] (Metrics.names r)
+
+let test_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add (Metrics.counter a "n") 2;
+  Metrics.add (Metrics.counter b "n") 3;
+  Metrics.set (Metrics.gauge a "g") 5.0;
+  Metrics.set (Metrics.gauge b "g") 4.0;
+  Metrics.observe (Metrics.histogram b "h") 3.0;
+  Metrics.add (Metrics.counter b "only_b") 9;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 5 (Metrics.value (Metrics.counter a "n"));
+  Alcotest.(check (float 0.0)) "gauges max" 5.0
+    (Metrics.gauge_value (Metrics.gauge a "g"));
+  Alcotest.(check int) "histogram copied" 1
+    (Metrics.hist_count (Metrics.histogram a "h"));
+  Alcotest.(check int) "absent metric created" 9
+    (Metrics.value (Metrics.counter a "only_b"));
+  (* Source unchanged. *)
+  Alcotest.(check int) "src intact" 3 (Metrics.value (Metrics.counter b "n"))
+
+(* --- a small JSON parser for the parse-back tests ------------------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let bad msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\n' | '\t' | '\r' ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = c then incr pos else bad (Printf.sprintf "expected %c" c) in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> bad "unterminated string"
+      | '"' ->
+        incr pos;
+        Buffer.contents b
+      | '\\' ->
+        incr pos;
+        let c = peek () in
+        incr pos;
+        (match c with
+        | '"' | '\\' | '/' -> Buffer.add_char b c
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'u' ->
+          pos := !pos + 4;
+          Buffer.add_char b '?'
+        | _ -> bad "bad escape");
+        go ()
+      | c ->
+        incr pos;
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while num_char (peek ()) do
+      incr pos
+    done;
+    if !pos = start then bad "expected number";
+    Jnum (float_of_string (String.sub s start (!pos - start)))
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else bad "bad literal"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Jstr (parse_string ())
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin
+        incr pos;
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          if peek () = ',' then begin
+            incr pos;
+            members ((k, v) :: acc)
+          end
+          else begin
+            expect '}';
+            List.rev ((k, v) :: acc)
+          end
+        in
+        Jobj (members [])
+      end
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin
+        incr pos;
+        Jlist []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          if peek () = ',' then begin
+            incr pos;
+            elems (v :: acc)
+          end
+          else begin
+            expect ']';
+            List.rev (v :: acc)
+          end
+        in
+        Jlist (elems [])
+      end
+    | 't' -> literal "true" (Jbool true)
+    | 'f' -> literal "false" (Jbool false)
+    | 'n' -> literal "null" Jnull
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage";
+  v
+
+let member k = function Jobj kv -> List.assoc_opt k kv | _ -> None
+
+let member_exn k j =
+  match member k j with Some v -> v | None -> Alcotest.failf "missing field %s" k
+
+let jstr = function Jstr s -> s | _ -> Alcotest.fail "expected string"
+let jnum = function Jnum f -> f | _ -> Alcotest.fail "expected number"
+
+(* --- Chrome trace JSON ---------------------------------------------------- *)
+
+let test_chrome_json () =
+  let buf = Buffer.create 256 in
+  Trace.set_sink (Trace.chrome buf);
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.flush ();
+      Trace.clear_sink ())
+    (fun () ->
+      Trace.span "outer" ~args:[ ("k", "2"); ("q\"uote", "a\nb") ] (fun () ->
+          Trace.instant "tick";
+          Trace.span "inner" (fun () -> ())));
+  let events =
+    match parse_json (Buffer.contents buf) with
+    | Jlist evs -> evs
+    | _ -> Alcotest.fail "expected a top-level array"
+  in
+  let phases = List.map (fun e -> jstr (member_exn "ph" e)) events in
+  Alcotest.(check (list string)) "phases" [ "B"; "i"; "B"; "E"; "E" ] phases;
+  (* Balanced B/E with depth never negative. *)
+  let depth =
+    List.fold_left
+      (fun d e ->
+        match jstr (member_exn "ph" e) with
+        | "B" -> d + 1
+        | "E" ->
+          Alcotest.(check bool) "depth positive at E" true (d > 0);
+          d - 1
+        | _ -> d)
+      0 events
+  in
+  Alcotest.(check int) "balanced" 0 depth;
+  (* Timestamps are non-decreasing microseconds. *)
+  let ts = List.map (fun e -> jnum (member_exn "ts" e)) events in
+  Alcotest.(check bool) "ts sorted" true (List.sort compare ts = ts);
+  (* Escaped args survive the round trip. *)
+  let first = List.hd events in
+  Alcotest.(check string) "name" "outer" (jstr (member_exn "name" first));
+  let args = member_exn "args" first in
+  Alcotest.(check string) "escaped key" "a\nb" (jstr (member_exn "q\"uote" args));
+  (* Instants carry a scope. *)
+  let inst = List.nth events 1 in
+  Alcotest.(check string) "instant scope" "t" (jstr (member_exn "s" inst))
+
+let test_chrome_channel_file () =
+  let path = Filename.temp_file "isr_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.set_sink (Trace.chrome_channel oc);
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.flush ();
+          Trace.clear_sink ();
+          close_out oc)
+        (fun () -> Trace.span "s" (fun () -> ()));
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match parse_json text with
+      | Jlist [ b; e ] ->
+        Alcotest.(check string) "B" "B" (jstr (member_exn "ph" b));
+        Alcotest.(check string) "E" "E" (jstr (member_exn "ph" e))
+      | _ -> Alcotest.fail "expected two events")
+
+let test_metrics_json () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "sat.calls") 3;
+  Metrics.set (Metrics.gauge r "engine.time_s") 1.5;
+  Metrics.observe (Metrics.histogram r "sat.learnt_len") 5.0;
+  let j = parse_json (Metrics.to_json r) in
+  Alcotest.(check (float 0.0)) "counter" 3.0 (jnum (member_exn "sat.calls" j));
+  Alcotest.(check (float 0.0)) "gauge" 1.5 (jnum (member_exn "engine.time_s" j));
+  let h = member_exn "sat.learnt_len" j in
+  Alcotest.(check (float 0.0)) "hist count" 1.0 (jnum (member_exn "count" h));
+  match member_exn "buckets" h with
+  | Jlist [ b ] ->
+    Alcotest.(check (float 0.0)) "le" 8.0 (jnum (member_exn "le" b));
+    Alcotest.(check (float 0.0)) "n" 1.0 (jnum (member_exn "n" b))
+  | _ -> Alcotest.fail "expected one bucket"
+
+(* --- end to end ----------------------------------------------------------- *)
+
+(* A real engine run must produce the nested structure the tooling relies
+   on: engine > bmc.bound > sat.call, balanced throughout. *)
+let test_engine_span_structure () =
+  let open Isr_core in
+  let entry =
+    match Isr_suite.Registry.find "vending7bug" with
+    | Some e -> e
+    | None -> Alcotest.fail "no vending7bug entry"
+  in
+  let model = Isr_suite.Registry.build_validated entry in
+  let limits =
+    { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+  in
+  let events =
+    with_memory_sink (fun events ->
+        let verdict, stats = Engine.run (Engine.Itpseq Bmc.Assume) ~limits model in
+        Alcotest.(check bool) "falsified" true (Verdict.is_falsified verdict);
+        Alcotest.(check bool) "sat calls counted" true (Verdict.sat_calls stats > 0);
+        events ())
+  in
+  (* Track the open-span stack; record ancestor chains of each begin. *)
+  let stack = ref [] in
+  let seen_chain = ref [] in
+  List.iter
+    (function
+      | Trace.Begin { name; _ } ->
+        stack := name :: !stack;
+        seen_chain := !stack :: !seen_chain
+      | Trace.End _ -> (
+        match !stack with
+        | _ :: tl -> stack := tl
+        | [] -> Alcotest.fail "unbalanced end")
+      | Trace.Instant _ -> ())
+    events;
+  Alcotest.(check (list string)) "all spans closed" [] !stack;
+  let has_chain pred = List.exists pred !seen_chain in
+  Alcotest.(check bool) "an engine root span" true
+    (has_chain (fun c -> c = [ "engine" ]));
+  Alcotest.(check bool) "bmc.bound under engine" true
+    (has_chain (fun c ->
+         match c with "bmc.bound" :: rest -> List.mem "engine" rest | _ -> false));
+  Alcotest.(check bool) "sat.call under bmc.bound" true
+    (has_chain (fun c ->
+         match c with "sat.call" :: rest -> List.mem "bmc.bound" rest | _ -> false));
+  Alcotest.(check bool) "sat.solve under sat.call" true
+    (has_chain (fun c ->
+         match c with "sat.solve" :: rest -> List.mem "sat.call" rest | _ -> false))
+
+let () =
+  Alcotest.run "isr_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span order and nesting" `Quick test_span_order;
+          Alcotest.test_case "span exception safety" `Quick test_span_exception;
+          Alcotest.test_case "instant and enabled" `Quick test_instant_and_enabled;
+          Alcotest.test_case "null sink allocates nothing" `Quick test_null_sink_no_alloc;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+          Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "chrome trace parse-back" `Quick test_chrome_json;
+          Alcotest.test_case "chrome channel file" `Quick test_chrome_channel_file;
+          Alcotest.test_case "metrics snapshot" `Quick test_metrics_json;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "engine span structure" `Slow test_engine_span_structure;
+        ] );
+    ]
