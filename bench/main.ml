@@ -44,6 +44,21 @@ let metrics_arg =
           "Write one JSON line per engine run (benchmark, engine, verdict, full \
            metrics-registry snapshot).")
 
+let check_arg =
+  let level_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Isr_check.Level.of_string s)),
+        fun fmt l -> Format.pp_print_string fmt (Isr_check.Level.to_string l) )
+  in
+  Arg.(
+    value
+    & opt level_conv Isr_check.Off
+    & info [ "check" ] ~docv:"LEVEL"
+        ~doc:
+          "Sanitizer level for every run: $(b,off) (the default — no overhead), \
+           $(b,fast) (metered invariant probes) or $(b,paranoid) (additionally \
+           replays proofs and lints interpolants).")
+
 (* Observability plumbing shared by every command: installs the Chrome
    sink for the command's whole duration and hands the body a [record]
    callback streaming per-run JSON lines to the metrics file. *)
@@ -53,7 +68,8 @@ let open_out_or_die path =
     prerr_endline ("isr-bench: " ^ msg);
     exit 2
 
-let with_obs ~trace ~metrics f =
+let with_obs ?(check = Isr_check.Off) ~trace ~metrics f =
+  Isr_check.Level.set check;
   let finish_trace =
     match trace with
     | None -> fun () -> ()
@@ -89,8 +105,8 @@ let entries_for mid_only lst =
 (* --- table1 ------------------------------------------------------------- *)
 
 let table1_cmd =
-  let run time bound conflicts mid_only trace metrics =
-    with_obs ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics =
+    with_obs ~check ~trace ~metrics (fun ~record ->
         Isr_exp.Table1.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.table1)
@@ -98,14 +114,14 @@ let table1_cmd =
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
     Term.(
-      const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
-      $ metrics_arg)
+      const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- fig6 ----------------------------------------------------------------- *)
 
 let fig6_cmd =
-  let run time bound conflicts mid_only trace metrics =
-    with_obs ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics =
+    with_obs ~check ~trace ~metrics (fun ~record ->
         Isr_exp.Fig6.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.fig6)
@@ -113,14 +129,14 @@ let fig6_cmd =
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (cactus plot data)")
     Term.(
-      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
-      $ metrics_arg)
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- fig7 ------------------------------------------------------------------ *)
 
 let fig7_cmd =
-  let run time bound conflicts mid_only trace metrics =
-    with_obs ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics =
+    with_obs ~check ~trace ~metrics (fun ~record ->
         Isr_exp.Fig7.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.fig6)
@@ -128,36 +144,36 @@ let fig7_cmd =
   in
   Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Figure 7 (exact-k vs assume-k scatter)")
     Term.(
-      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
-      $ metrics_arg)
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- ablations --------------------------------------------------------------- *)
 
 let ablation_checks_cmd =
-  let run time bound conflicts trace =
-    with_obs ~trace ~metrics:None (fun ~record:_ ->
+  let run time bound conflicts check trace =
+    with_obs ~check ~trace ~metrics:None (fun ~record:_ ->
         Isr_exp.Ablation.checks ~limits:(limits_of ~time ~bound ~conflicts) ~out ())
   in
   Cmd.v
     (Cmd.info "ablation-checks" ~doc:"A1: bound-k vs exact-k vs assume-k SAT effort")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg)
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg)
 
 let ablation_alpha_cmd =
-  let run time bound conflicts trace =
-    with_obs ~trace ~metrics:None (fun ~record:_ ->
+  let run time bound conflicts check trace =
+    with_obs ~check ~trace ~metrics:None (fun ~record:_ ->
         Isr_exp.Ablation.alpha ~limits:(limits_of ~time ~bound ~conflicts) ~out ())
   in
   Cmd.v (Cmd.info "ablation-alpha" ~doc:"A2: serial fraction sweep for SITPSEQ")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg)
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg)
 
 let ablation_systems_cmd =
-  let run time bound conflicts trace =
-    with_obs ~trace ~metrics:None (fun ~record:_ ->
+  let run time bound conflicts check trace =
+    with_obs ~check ~trace ~metrics:None (fun ~record:_ ->
         Isr_exp.Ablation.systems ~limits:(limits_of ~time ~bound ~conflicts) ~out ())
   in
   Cmd.v
     (Cmd.info "ablation-systems" ~doc:"A3: labeled interpolation systems in ITPSEQ")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg)
+    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg)
 
 (* --- bechamel kernels ----------------------------------------------------------- *)
 
@@ -215,29 +231,33 @@ let kernels () =
   Format.pp_print_flush out ()
 
 let extended_cmd =
-  let run time bound conflicts trace metrics =
-    with_obs ~trace ~metrics (fun ~record ->
+  let run time bound conflicts check trace metrics =
+    with_obs ~check ~trace ~metrics (fun ~record ->
         Isr_exp.Extended.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v
     (Cmd.info "extended" ~doc:"Beyond the paper: all engines incl. PBA/k-induction/PDR/portfolio")
-    Term.(const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
+      $ metrics_arg)
 
 let abstraction_cmd =
-  let run time bound conflicts trace metrics =
-    with_obs ~trace ~metrics (fun ~record ->
+  let run time bound conflicts check trace metrics =
+    with_obs ~check ~trace ~metrics (fun ~record ->
         Isr_exp.Abstraction.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v (Cmd.info "abstraction" ~doc:"Section V: CBA vs PBA on industrial designs")
-    Term.(const run $ time_arg 30.0 $ bound_arg $ conflicts_arg $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ time_arg 30.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
+      $ metrics_arg)
 
 let kernels_cmd =
   Cmd.v (Cmd.info "kernels" ~doc:"Bechamel micro-benchmarks") Term.(const kernels $ const ())
 
 (* --- all (default) ------------------------------------------------------------------ *)
 
-let all time bound conflicts mid_only trace metrics =
-  with_obs ~trace ~metrics @@ fun ~record ->
+let all time bound conflicts mid_only check trace metrics =
+  with_obs ~check ~trace ~metrics @@ fun ~record ->
   let limits = limits_of ~time ~bound ~conflicts in
   let entries6 = entries_for mid_only Registry.fig6 in
   let entries1 = entries_for mid_only Registry.table1 in
@@ -264,8 +284,8 @@ let all time bound conflicts mid_only trace metrics =
 
 let all_term =
   Term.(
-    const all $ time_arg 5.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ trace_arg
-    $ metrics_arg)
+    const all $ time_arg 5.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
+    $ trace_arg $ metrics_arg)
 
 let () =
   let info =

@@ -196,9 +196,25 @@ let certify_arg =
     & info [ "certify" ]
         ~doc:"On PASS, re-check the inductive invariant with independent SAT calls.")
 
+let check_arg =
+  let level_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Isr_check.Level.of_string s)),
+        fun fmt l -> Format.pp_print_string fmt (Isr_check.Level.to_string l) )
+  in
+  Arg.(
+    value
+    & opt level_conv Isr_check.Off
+    & info [ "check" ] ~docv:"LEVEL"
+        ~doc:
+          "Sanitizer level: off (default), fast (metered invariant probes at phase \
+           boundaries) or paranoid (additionally replay every refutation proof and \
+           lint every emitted interpolant).")
+
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics =
+  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check =
     setup_logs verbose;
+    Isr_check.Level.set check;
     match load_model ~property file name with
     | Error e ->
       prerr_endline e;
@@ -229,8 +245,15 @@ let verify_term =
         let limits =
           { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
         in
-        let verdict, stats = with_trace trace (fun () -> Engine.run eng ~limits model) in
+        let verdict, stats =
+          try with_trace trace (fun () -> Engine.run eng ~limits model)
+          with Isr_check.Level.Violation { check; detail } ->
+            Format.eprintf "sanitizer violation [%s]: %s@." check detail;
+            exit 5
+        in
         write_metrics metrics stats;
+        if Isr_check.Level.on () && not json then
+          Format.printf "%a@." Isr_check.Level.pp_summary ();
         (* Lift counterexamples of the reduced model back to the original
            input space so the replay check below runs on the real design. *)
         let verdict, model =
@@ -303,7 +326,7 @@ let verify_term =
   Term.(
     const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
     $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
-    $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg)
+    $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ check_arg)
 
 let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term
 

@@ -1,0 +1,31 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  check : string;
+  loc : string option;
+  message : string;
+  hint : string option;
+}
+
+let make severity ?loc ?hint ~check message = { severity; check; loc; message; hint }
+let error ?loc ?hint ~check message = make Error ?loc ?hint ~check message
+let warning ?loc ?hint ~check message = make Warning ?loc ?hint ~check message
+
+let errorf ?loc ?hint ~check fmt = Printf.ksprintf (error ?loc ?hint ~check) fmt
+let warningf ?loc ?hint ~check fmt = Printf.ksprintf (warning ?loc ?hint ~check) fmt
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let has_errors ds = List.exists is_error ds
+
+let pp fmt d =
+  Format.fprintf fmt "%s [%s]"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.check;
+  (match d.loc with Some l -> Format.fprintf fmt " at %s" l | None -> ());
+  Format.fprintf fmt ": %s" d.message;
+  match d.hint with Some h -> Format.fprintf fmt " (hint: %s)" h | None -> ()
+
+let pp_list fmt ds =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp fmt ds

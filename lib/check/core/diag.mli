@@ -1,0 +1,39 @@
+(** Typed diagnostics shared by every artifact linter.
+
+    A diagnostic names the check that fired (a dotted identifier such as
+    ["aig.cycle"] or ["lrat.truncated"]), carries a severity, an optional
+    location inside the artifact (a line number, a node name, …) and an
+    optional fix hint.  Linters return lists of diagnostics; callers
+    decide whether warnings matter. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  check : string;       (** dotted check identifier, e.g. ["aig.dangling"] *)
+  loc : string option;  (** artifact-relative location, e.g. ["line 12"] *)
+  message : string;
+  hint : string option; (** suggested fix, when one is known *)
+}
+
+val error : ?loc:string -> ?hint:string -> check:string -> string -> t
+val warning : ?loc:string -> ?hint:string -> check:string -> string -> t
+
+val errorf :
+  ?loc:string -> ?hint:string -> check:string -> ('a, unit, string, t) format4 -> 'a
+
+val warningf :
+  ?loc:string -> ?hint:string -> check:string -> ('a, unit, string, t) format4 -> 'a
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+(** The error-severity subset, in order. *)
+
+val has_errors : t list -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [severity [check] at loc: message (hint: …)] on one line. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** One diagnostic per line. *)

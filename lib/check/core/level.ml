@@ -1,0 +1,72 @@
+type t = Off | Fast | Paranoid
+
+exception Violation of { check : string; detail : string }
+
+let state = ref Off
+let set l = state := l
+let get () = !state
+
+let to_string = function Off -> "off" | Fast -> "fast" | Paranoid -> "paranoid"
+
+let of_string = function
+  | "off" -> Ok Off
+  | "fast" -> Ok Fast
+  | "paranoid" -> Ok Paranoid
+  | s -> Error (Printf.sprintf "unknown check level %S (expected off, fast or paranoid)" s)
+
+let on () = !state <> Off
+let paranoid () = !state = Paranoid
+
+(* One registry for the whole process: the level itself is global, and
+   check counts are diagnostics, not per-run results.  Handles are cached
+   by name so a probe costs two counter bumps, not a registry lookup. *)
+let registry = ref (Isr_obs.Metrics.create ())
+let handles : (string, Isr_obs.Metrics.counter * Isr_obs.Metrics.counter) Hashtbl.t =
+  Hashtbl.create 64
+
+let reset_metrics () =
+  registry := Isr_obs.Metrics.create ();
+  Hashtbl.reset handles
+
+let metrics () = !registry
+
+let counters name =
+  match Hashtbl.find_opt handles name with
+  | Some cs -> cs
+  | None ->
+    let cs =
+      ( Isr_obs.Metrics.counter !registry ("check." ^ name ^ ".pass"),
+        Isr_obs.Metrics.counter !registry ("check." ^ name ^ ".fail") )
+    in
+    Hashtbl.add handles name cs;
+    cs
+
+let record name = Isr_obs.Metrics.incr (fst (counters name))
+
+let violated name ~detail =
+  Isr_obs.Metrics.incr (snd (counters name));
+  raise (Violation { check = name; detail })
+
+let check ?(detail = fun () -> "invariant does not hold") name cond =
+  if on () then
+    if cond then record name else violated name ~detail:(detail ())
+
+let probe name f =
+  if on () then
+    if f () then record name
+    else violated name ~detail:"probe returned false"
+
+let probe_paranoid name f =
+  if paranoid () then
+    if f () then record name
+    else violated name ~detail:"probe returned false"
+
+let pp_summary fmt () =
+  let pass = ref 0 and fail = ref 0 in
+  List.iter
+    (fun name ->
+      let v = Isr_obs.Metrics.value (Isr_obs.Metrics.counter !registry name) in
+      if String.ends_with ~suffix:".pass" name then pass := !pass + v
+      else if String.ends_with ~suffix:".fail" name then fail := !fail + v)
+    (Isr_obs.Metrics.names !registry);
+  Format.fprintf fmt "checks: %d passed, %d failed" !pass !fail

@@ -1,0 +1,61 @@
+(** The tiered sanitizer switch.
+
+    A single process-wide level gates every runtime self-check of the
+    stack (the solver, the unroller, the interpolation engines):
+
+    - [Off] (the default): every check site reduces to one flag test.
+    - [Fast]: O(1)/O(n) invariant probes at phase boundaries — solver
+      trail sanity, frame-map injectivity, interpolant arity — each
+      named and counted.
+    - [Paranoid]: additionally replays every resolution proof behind an
+      unconditional UNSAT answer and lints every emitted interpolant.
+
+    Check outcomes are metered in a process-wide {!Isr_obs.Metrics}
+    registry (counters [check.<name>.pass] / [check.<name>.fail]), so a
+    sanitized run reports what it actually verified.  A failing check
+    raises {!Violation} — a sanitizer finding is a bug, never a
+    recoverable condition. *)
+
+type t = Off | Fast | Paranoid
+
+exception Violation of { check : string; detail : string }
+(** Raised by a failing check.  [check] is the dotted check name. *)
+
+val set : t -> unit
+val get : unit -> t
+
+val to_string : t -> string
+val of_string : string -> (t, string) Result.t
+(** Accepts ["off"], ["fast"], ["paranoid"]. *)
+
+val on : unit -> bool
+(** [get () <> Off] — the single flag test compiled into hot paths. *)
+
+val paranoid : unit -> bool
+
+val check : ?detail:(unit -> string) -> string -> bool -> unit
+(** [check name cond] records a pass when [cond] holds and raises
+    {!Violation} otherwise ([detail] is only forced on failure).
+    A no-op when the level is [Off]. *)
+
+val probe : string -> (unit -> bool) -> unit
+(** Like {!check} but the condition itself is only evaluated at [Fast]
+    or above — for probes whose evaluation is not free. *)
+
+val probe_paranoid : string -> (unit -> bool) -> unit
+(** A probe that only runs at [Paranoid]. *)
+
+val record : string -> unit
+(** Count a pass for a check verified by other means. *)
+
+val violated : string -> detail:string -> 'a
+(** Count a failure and raise {!Violation}. *)
+
+val metrics : unit -> Isr_obs.Metrics.t
+(** The process-wide check registry. *)
+
+val reset_metrics : unit -> unit
+(** Fresh registry (used by tests). *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** ["checks: N passed, M failed"] over the whole registry. *)

@@ -1,0 +1,1 @@
+include Isr_check_core.Diag

@@ -1,0 +1,29 @@
+(** Isr_check: the cross-layer static-analysis and certification layer.
+
+    Three parts (see DESIGN.md, "Checking & certification"):
+
+    - {e artifact linters} — pure structural passes with typed
+      diagnostics: {!Lint_aig} (netlists), {!Lint_cnf} (Tseitin
+      encodings), {!Lint_itp} (interpolants) and {!Lrat_check} (an
+      independent reverse-unit-propagation proof checker for the
+      {!Isr_sat.Proof.to_lrat} export);
+    - the {e tiered sanitizer} {!Level} ([Off]/[Fast]/[Paranoid])
+      threaded through the solver, the unroller and the interpolation
+      engines;
+    - the [isr_lint] CLI built on top of both.
+
+    The sanitizer switch itself lives in the [isr_check_core] library so
+    that low layers ([isr_sat], [isr_model], [isr_itp]) can consult it
+    without depending on the linters; this module re-exports it. *)
+
+module Diag = Diag
+module Level = Level
+module Lint_aig = Lint_aig
+module Lint_cnf = Lint_cnf
+module Lint_itp = Lint_itp
+module Lrat_check = Lrat_check
+
+type level = Level.t = Off | Fast | Paranoid
+
+let set_level = Level.set
+let level = Level.get

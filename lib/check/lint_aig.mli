@@ -1,0 +1,44 @@
+(** Structural linting of AIG artifacts.
+
+    Two entry points: {!lint_aiger_string} reads ASCII AIGER text with a
+    deliberately lenient reader of its own — unlike the strict parser in
+    {!Isr_model.Aiger}, it keeps going after the first defect, so a
+    cyclic or dangling netlist yields a typed diagnostic instead of a
+    bare parse error — and {!lint_model} checks an already-built
+    in-memory model.  Checks:
+
+    - [aig.header]: malformed or inconsistent [aag] header counts;
+    - [aig.truncated]: fewer definition lines than the header announces;
+    - [aig.duplicate_def] / [aig.redefines_constant]: a variable defined
+      twice, or variable 0 (the constant) defined at all;
+    - [aig.dangling]: a reference to a variable that is never defined;
+    - [aig.out_of_range]: a literal beyond the declared maximum index;
+    - [aig.cycle]: a combinational cycle through AND definitions;
+    - [aig.latch_init]: a latch reset value other than 0 or 1;
+    - [aig.unreachable] (warning): AND gates outside every output, bad
+      and next-state cone;
+    - [aig.no_output] (warning): no output or bad line at all;
+    - [aig.const_bad] (warning): the property is structurally constant. *)
+
+open Isr_aig
+open Isr_model
+
+val lint_aiger_string : ?name:string -> string -> Diag.t list
+(** Lints ASCII ([aag]) text structurally.  Binary ([aig]) input is
+    delegated to the strict parser, mapping a parse failure to an
+    [aig.parse] error and a success to {!lint_model}. *)
+
+val lint_model : Model.t -> Diag.t list
+(** Structural checks on an in-memory model: array-length consistency,
+    cone support inside the declared inputs and latches
+    ([aig.support]), unreachable AND nodes ([aig.unreachable]) and a
+    structurally constant property ([aig.const_bad]). *)
+
+val unreachable_ands : Model.t -> int
+(** Number of AND nodes of the manager outside every next-state and bad
+    cone (exposed for tests). *)
+
+val lint_cone : ?check:string -> Aig.man -> shared:(int -> bool) -> Aig.lit -> Diag.t list
+(** [lint_cone man ~shared l] reports an error (check name [check],
+    default ["aig.support"]) for every structural input of [l] outside
+    the [shared] set — the raw check behind the interpolant linter. *)

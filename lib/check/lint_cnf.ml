@@ -1,0 +1,82 @@
+open Isr_sat
+open Isr_aig
+open Isr_cnf
+
+(* Clauses are compared as sorted literal lists: the solver merges
+   duplicates and may permute storage for watching, neither of which
+   matters to the encoding's logical content. *)
+let clause_key lits = List.sort_uniq Lit.compare lits
+
+let check_context ctx =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let man = Tseitin.man ctx in
+  let solver = Tseitin.solver ctx in
+  let tag = Tseitin.tag ctx in
+  let nodes = Tseitin.fold_nodes ctx ~init:[] ~f:(fun acc node l -> (node, l) :: acc) in
+  let node_of = Hashtbl.create 64 in
+  List.iter (fun (node, l) -> Hashtbl.replace node_of node l) nodes;
+  (* Injectivity of the node→variable map. *)
+  let var_node = Hashtbl.create 64 in
+  List.iter
+    (fun (node, l) ->
+      let v = Lit.var l in
+      match Hashtbl.find_opt var_node v with
+      | Some node0 when node0 <> node ->
+        add
+          (Diag.errorf ~check:"cnf.var_map_injective"
+             ~loc:(Printf.sprintf "node %d" node)
+             ~hint:"two distinct AIG nodes were encoded onto one SAT variable"
+             "nodes %d and %d both map to variable %d" node0 node v)
+      | _ -> Hashtbl.replace var_node v node)
+    nodes;
+  (* The context's clauses, as a multiset of literal sets. *)
+  let clauses = Hashtbl.create 64 in
+  let clause_vars = Hashtbl.create 64 in
+  Solver.iter_input_clauses solver (fun ~tag:t lits ->
+      if t = tag then begin
+        Hashtbl.replace clauses (clause_key (Array.to_list lits)) ();
+        Array.iter (fun l -> Hashtbl.replace clause_vars (Lit.var l) ()) lits
+      end);
+  (* Every cached AND node carries its three defining clauses. *)
+  let lit_of al =
+    match Hashtbl.find_opt node_of (Aig.node_of al) with
+    | None -> None
+    | Some base -> Some (if Aig.is_complemented al then Lit.neg base else base)
+  in
+  List.iter
+    (fun (node, v) ->
+      if Aig.is_and man (node lsl 1) then begin
+        let f0, f1 = Aig.fanins man (node lsl 1) in
+        match (lit_of f0, lit_of f1) with
+        | Some l0, Some l1 ->
+          List.iter
+            (fun cl ->
+              if not (Hashtbl.mem clauses (clause_key cl)) then
+                add
+                  (Diag.errorf ~check:"cnf.gate_clauses"
+                     ~loc:(Printf.sprintf "node %d" node)
+                     ~hint:"a defining clause of the AND gate was never emitted"
+                     "missing clause (%s) for gate variable %d"
+                     (String.concat " "
+                        (List.map (fun l -> string_of_int (Lit.to_dimacs l)) cl))
+                     (Lit.var v)))
+            [ [ Lit.neg v; l0 ]; [ Lit.neg v; l1 ]; [ v; Lit.neg l0; Lit.neg l1 ] ]
+        | _ ->
+          add
+            (Diag.errorf ~check:"cnf.missing_fanin"
+               ~loc:(Printf.sprintf "node %d" node)
+               "a fanin of AND node %d is absent from the node cache" node)
+      end)
+    nodes;
+  (* No orphan auxiliary variables under this tag. *)
+  Hashtbl.iter
+    (fun v () ->
+      if not (Hashtbl.mem var_node v) then
+        add
+          (Diag.errorf ~check:"cnf.orphan_var"
+             ~loc:(Printf.sprintf "variable %d" v)
+             ~hint:"the variable belongs to no cached node of this context"
+             "variable %d occurs in the context's clauses but maps to no AIG node" v))
+    clause_vars;
+  List.rev !ds

@@ -1,0 +1,17 @@
+(** Linting of Tseitin encodings against the solver's clause database.
+
+    {!check_context} audits one {!Isr_cnf.Tseitin.t} context after
+    encoding: the node→variable map must be injective
+    ([cnf.var_map_injective]), every cached AND node must have its three
+    defining clauses present in the solver under the context's tag
+    ([cnf.gate_clauses], [cnf.missing_fanin]), and every variable
+    occurring in the context's clauses must be reachable from the cache
+    — no orphan auxiliary variables ([cnf.orphan_var]).
+
+    The orphan check assumes the context's tag is private to it (as
+    {!Isr_cnf.Tseitin.create} encourages); clauses added under a shared
+    tag by other contexts would be reported as orphans. *)
+
+open Isr_cnf
+
+val check_context : Tseitin.t -> Diag.t list

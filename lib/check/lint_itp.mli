@@ -1,0 +1,42 @@
+(** Interpolant linting: structural support and optional SAT-backed
+    semantic checks.
+
+    The interpolants of this stack are state predicates — AIG literals
+    whose cone may only reach the latch inputs of the model's manager
+    (inputs [num_inputs .. num_inputs+num_latches-1]), which are exactly
+    the shared variables of every A/B partition cut.  A violation means
+    the var map of the interpolation run leaked a non-shared variable.
+
+    {!semantic} additionally discharges the two interpolant obligations
+    with fresh SAT queries (the same queries {!Isr_core.Certify} uses
+    for invariants): A ⊨ I and I ∧ B unsatisfiable, for the bounded
+    partition A = Init ∧ T{^cut}, B = T{^k-cut} ∧ Bad.  With
+    [~assume:true] the property is additionally asserted at every
+    intermediate frame {e on both sides}, which only strengthens each
+    side — a correct interpolant of any of the paper's BMC formulations
+    ([bound-k], [exact-k], [assume-k]) always passes. *)
+
+open Isr_aig
+open Isr_model
+
+val check_state_predicate : Model.t -> Aig.lit -> Diag.t list
+(** [itp.support] error for every cone input outside the latch range. *)
+
+val enforce : what:string -> Model.t -> Aig.lit -> unit
+(** Level-metered form of {!check_state_predicate}: records a pass or
+    raises [Level.Violation] with check ["itp.support"].  No-op when the
+    sanitizer level is [Off]. *)
+
+val semantic :
+  ?conflict_budget:int ->
+  ?assume:bool ->
+  Model.t ->
+  cut:int ->
+  k:int ->
+  Aig.lit ->
+  Diag.t list
+(** Semantic check of an interpolant at [cut] of a depth-[k] refutation:
+    [itp.init_implication] when Init ∧ T{^cut} ∧ ¬I is satisfiable,
+    [itp.bad_consistency] when I ∧ T{^k-cut} ∧ Bad is satisfiable, and
+    an [itp.undecided] warning when a query exhausts [conflict_budget].
+    @raise Invalid_argument unless [0 <= cut <= k]. *)

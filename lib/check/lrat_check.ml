@@ -1,0 +1,214 @@
+type report = { input_clauses : int; additions : int; deletions : int }
+
+exception Fail of Diag.t
+
+let fail ?loc ?hint ~check fmt = Printf.ksprintf (fun m -> raise (Fail (Diag.error ?loc ?hint ~check m))) fmt
+
+(* --- raw token scanning ------------------------------------------------ *)
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let int_token ~loc ~check s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ~loc ~check "expected an integer, found %S" s
+
+(* --- DIMACS ------------------------------------------------------------ *)
+
+let parse_dimacs text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref (-1) and nclauses = ref (-1) in
+  let clauses = ref [] and current = ref [] in
+  List.iteri
+    (fun i line ->
+      let loc = Printf.sprintf "cnf line %d" (i + 1) in
+      match tokens_of_line (String.trim line) with
+      | [] -> ()
+      | "c" :: _ -> ()
+      | "p" :: rest ->
+        if !nvars >= 0 then fail ~loc ~check:"dimacs.parse" "duplicate DIMACS header";
+        (match rest with
+        | [ "cnf"; v; c ] ->
+          nvars := int_token ~loc ~check:"dimacs.parse" v;
+          nclauses := int_token ~loc ~check:"dimacs.parse" c
+        | _ -> fail ~loc ~check:"dimacs.parse" "malformed DIMACS header")
+      | toks ->
+        if !nvars < 0 then fail ~loc ~check:"dimacs.parse" "clause before the DIMACS header";
+        List.iter
+          (fun t ->
+            let l = int_token ~loc ~check:"dimacs.parse" t in
+            if l = 0 then begin
+              clauses := Array.of_list (List.rev !current) :: !clauses;
+              current := []
+            end
+            else if abs l > !nvars then
+              fail ~loc ~check:"dimacs.out_of_range" "literal %d beyond %d variables" l !nvars
+            else current := l :: !current)
+          toks)
+    lines;
+  if !nvars < 0 then fail ~check:"dimacs.parse" "missing DIMACS header";
+  if !current <> [] then fail ~check:"dimacs.parse" "unterminated final clause (missing 0)";
+  let clauses = List.rev !clauses in
+  if List.length clauses <> !nclauses then
+    fail ~check:"dimacs.parse" "header announces %d clauses, file holds %d" !nclauses
+      (List.length clauses);
+  (!nvars, clauses)
+
+(* --- LRAT steps -------------------------------------------------------- *)
+
+type step =
+  | Add of { id : int; lits : int array; hints : int array; loc : string }
+  | Delete of { ids : int list; loc : string }
+
+let parse_lrat nvars text =
+  let lines = String.split_on_char '\n' text in
+  let steps = ref [] in
+  List.iteri
+    (fun i line ->
+      let loc = Printf.sprintf "lrat line %d" (i + 1) in
+      match tokens_of_line (String.trim line) with
+      | [] | "c" :: _ -> ()
+      | id :: "d" :: rest ->
+        ignore (int_token ~loc ~check:"lrat.parse" id);
+        let ints = List.map (int_token ~loc ~check:"lrat.parse") rest in
+        let rec split acc = function
+          | [ 0 ] -> List.rev acc
+          | 0 :: _ -> fail ~loc ~check:"lrat.parse" "tokens after the terminating 0"
+          | x :: r -> split (x :: acc) r
+          | [] -> fail ~loc ~check:"lrat.parse" "deletion line not terminated by 0"
+        in
+        steps := Delete { ids = split [] ints; loc } :: !steps
+      | id :: rest ->
+        let id = int_token ~loc ~check:"lrat.parse" id in
+        let ints = List.map (int_token ~loc ~check:"lrat.parse") rest in
+        (* <lits> 0 <hints> 0 *)
+        let rec split acc = function
+          | 0 :: rest -> (List.rev acc, rest)
+          | x :: rest -> split (x :: acc) rest
+          | [] -> fail ~loc ~check:"lrat.truncated" "addition line cut short before the 0"
+        in
+        let lits, rest = split [] ints in
+        let hints, rest = split [] rest in
+        if rest <> [] then fail ~loc ~check:"lrat.parse" "trailing tokens after the final 0";
+        List.iter
+          (fun l ->
+            if l = 0 || abs l > nvars then
+              fail ~loc ~check:"lrat.out_of_range" "literal %d beyond %d variables" l nvars)
+          lits;
+        steps :=
+          Add { id; lits = Array.of_list lits; hints = Array.of_list hints; loc } :: !steps)
+    lines;
+  List.rev !steps
+
+(* --- reverse unit propagation ------------------------------------------ *)
+
+(* Assignment: value.(v) is 0 unknown, 1 true, -1 false.  [trail] undoes
+   one RUP step's assignments. *)
+let lit_value value l = if l > 0 then value.(l) else - value.(-l)
+
+let assign value trail l =
+  (if l > 0 then value.(l) <- 1 else value.(-l) <- -1);
+  trail := abs l :: !trail
+
+exception Tauto
+
+let rup ~loc value clauses lits hints =
+  let trail = ref [] in
+  let undo () = List.iter (fun v -> value.(v) <- 0) !trail in
+  Fun.protect ~finally:undo @@ fun () ->
+  try
+    (* Assume the negation of every literal of the candidate clause.  A
+       candidate holding both phases of a variable contradicts its own
+       negation — tautological, trivially implied. *)
+    Array.iter
+      (fun l ->
+        match lit_value value (-l) with
+        | -1 -> raise_notrace Tauto
+        | 0 -> assign value trail (-l)
+        | _ -> ())
+      lits;
+    let conflict = ref false in
+    Array.iter
+      (fun hid ->
+        if !conflict then
+          fail ~loc ~check:"lrat.parse" "hint %d after the conflict was already reached" hid;
+        match Hashtbl.find_opt clauses hid with
+        | None -> fail ~loc ~check:"lrat.unknown_hint" "hint %d names no live clause" hid
+        | Some c ->
+          let unassigned = ref 0 and unit_lit = ref 0 and satisfied = ref false in
+          Array.iter
+            (fun l ->
+              match lit_value value l with
+              | 1 -> satisfied := true
+              | 0 ->
+                incr unassigned;
+                unit_lit := l
+              | _ -> ())
+            c;
+          if !satisfied then
+            fail ~loc ~check:"lrat.hint_satisfied"
+              "hint clause %d is satisfied under the assumed assignment" hid
+          else if !unassigned = 0 then conflict := true
+          else if !unassigned = 1 then assign value trail !unit_lit
+          else
+            fail ~loc ~check:"lrat.hint_not_unit"
+              ~hint:"reorder the hints into unit-propagation order"
+              "hint clause %d has %d unassigned literals (expected a unit or a conflict)"
+              hid !unassigned)
+      hints;
+    if not !conflict then
+      fail ~loc ~check:"lrat.incomplete"
+        "hints exhausted without reaching a conflict — the step is not RUP-justified"
+  with Tauto -> ()
+
+let lint_dimacs text =
+  match parse_dimacs text with
+  | exception Fail d -> [ d ]
+  | _, clauses ->
+    if List.exists (fun c -> Array.length c = 0) clauses then
+      [
+        Diag.warning ~check:"dimacs.empty_clause"
+          "formula contains an explicit empty clause (trivially unsatisfiable)";
+      ]
+    else []
+
+let check_strings ~cnf ~lrat =
+  try
+    let nvars, inputs = parse_dimacs cnf in
+    let steps = parse_lrat nvars lrat in
+    let clauses : (int, int array) Hashtbl.t = Hashtbl.create 256 in
+    List.iteri (fun i c -> Hashtbl.add clauses (i + 1) c) inputs;
+    let ninputs = List.length inputs in
+    let value = Array.make (nvars + 1) 0 in
+    let last_id = ref ninputs in
+    let additions = ref 0 and deletions = ref 0 in
+    let empty_derived = ref (List.exists (fun c -> Array.length c = 0) inputs) in
+    List.iter
+      (function
+        | Delete { ids; loc } ->
+          List.iter
+            (fun id ->
+              if not (Hashtbl.mem clauses id) then
+                fail ~loc ~check:"lrat.unknown_hint" "deletion of unknown clause %d" id;
+              Hashtbl.remove clauses id;
+              incr deletions)
+            ids
+        | Add { id; lits; hints; loc } ->
+          if id <= !last_id then
+            fail ~loc ~check:"lrat.id_order" "clause id %d not above the previous id %d" id
+              !last_id;
+          rup ~loc value clauses lits hints;
+          Hashtbl.add clauses id lits;
+          last_id := id;
+          incr additions;
+          if Array.length lits = 0 then empty_derived := true)
+      steps;
+    if not !empty_derived then
+      fail ~check:"lrat.truncated"
+        ~hint:"the tail of the proof is missing — re-export or re-run the solver"
+        "no empty clause derived: the proof does not refute the formula";
+    Ok { input_clauses = ninputs; additions = !additions; deletions = !deletions }
+  with Fail d -> Error d

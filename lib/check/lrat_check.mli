@@ -1,0 +1,35 @@
+(** An independent LRAT-style proof checker.
+
+    Checks a refutation exported by {!Isr_sat.Proof.to_lrat} against the
+    DIMACS rendering of its input clauses ({!Isr_sat.Proof.to_dimacs}) —
+    or any externally produced pair in the same format.  The module
+    shares no code with the solver: it scans signed integers out of the
+    raw text and replays each addition step by reverse unit propagation
+    (assume the negation of the clause, process the hint clauses in
+    order; each must become unit or falsified), which is a different
+    algorithm from both the solver's search and the resolution replay of
+    {!Isr_sat.Proof_check}.
+
+    Accepted line forms, one step per line:
+    - [<id> <lit>* 0 <hint-id>* 0] — clause addition with RUP hints;
+    - [<id> d <id>* 0] — deletion of earlier clauses.
+
+    Input clauses implicitly occupy ids [1 .. #clauses] in file order.
+
+    Diagnostics use checks [dimacs.parse] / [dimacs.out_of_range] for the
+    CNF side and [lrat.parse], [lrat.id_order], [lrat.unknown_hint],
+    [lrat.hint_satisfied], [lrat.hint_not_unit], [lrat.incomplete] (a
+    step whose hints never reach a conflict), [lrat.out_of_range] and
+    [lrat.truncated] (no empty clause derived — the tail of the file is
+    missing) for the proof side. *)
+
+type report = { input_clauses : int; additions : int; deletions : int }
+
+val check_strings : cnf:string -> lrat:string -> (report, Diag.t) Result.t
+(** Returns the first defect found, or a step count summary when the
+    proof genuinely derives the empty clause. *)
+
+val lint_dimacs : string -> Diag.t list
+(** Structural lint of a DIMACS CNF file alone: header/terminator
+    sanity, literal ranges, clause-count agreement, plus a
+    [dimacs.empty_clause] warning. *)

@@ -14,6 +14,9 @@ let create ~man ~solver ~tag ~input_lit =
   { man; solver; tag; input_lit; node_lit = Hashtbl.create 64; const_false = None }
 
 let tag t = t.tag
+let solver t = t.solver
+let man t = t.man
+let fold_nodes t ~init ~f = Hashtbl.fold (fun node l acc -> f acc node l) t.node_lit init
 
 let const_false t =
   match t.const_false with

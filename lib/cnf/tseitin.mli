@@ -30,3 +30,10 @@ val assert_clause : t -> Aig.lit list -> unit
 (** Encodes each literal and adds their disjunction as one clause. *)
 
 val tag : t -> int
+val solver : t -> Solver.t
+val man : t -> Aig.man
+
+val fold_nodes : t -> init:'a -> f:('a -> int -> Lit.t -> 'a) -> 'a
+(** Folds over the node→literal cache in unspecified order (the constant
+    node, when encoded, appears as node 0).  Exposed for the CNF linter
+    of [Isr_check]. *)

@@ -14,7 +14,10 @@
 open Isr_aig
 open Isr_model
 
-type failure = Not_initial | Not_inductive | Not_safe
+type failure = Not_initial | Not_inductive | Not_safe | Resource_out
+(** [Resource_out]: the certification budget (time or conflicts) expired
+    before all three queries were answered — the certificate is neither
+    confirmed nor refuted. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 

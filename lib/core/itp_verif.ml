@@ -66,6 +66,8 @@ let verify ?system ?(limits = Budget.default_limits) model =
                   ~var_map:(Unroll.boundary_map u ~frame:1)
               in
               Verdict.add_itp_nodes stats (Aig.cone_size man i);
+              if Isr_check.Level.paranoid () then
+                Isr_check.Lint_itp.enforce ~what:(Printf.sprintf "itp at k=%d" k) model i;
               i
             in
             let rec inner j r cur =

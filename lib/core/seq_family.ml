@@ -15,6 +15,12 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let charge_itp stats man l = Verdict.add_itp_nodes stats (Aig.cone_size man l)
 
+(* Paranoid sanitizing: every emitted interpolant must be a state
+   predicate — its cone confined to the latch inputs, the shared
+   variables of every cut (see Isr_check.Lint_itp). *)
+let lint_itp ~what model itp =
+  if Isr_check.Level.paranoid () then Isr_check.Lint_itp.enforce ~what model itp
+
 (* Parallel family from a refutation: one interpolant per requested cut,
    all from the same proof (Equation 2).  Explicit [ncuts] keeps the
    family aligned even when a degenerate partition emitted no clause. *)
@@ -29,6 +35,9 @@ let of_refutation ?(system = Itp.McMillan) stats u ~ncuts =
               ~var_map:(Unroll.any_state_map u))
       in
       Array.iter (charge_itp stats model.Model.man) seq;
+      Array.iteri
+        (fun j itp -> lint_itp ~what:(Printf.sprintf "family cut %d" (j + 1)) model itp)
+        seq;
       seq)
 
 let parallel_family ~system stats u ~ncuts = of_refutation ~system stats u ~ncuts
@@ -65,6 +74,7 @@ let serial_step ~system budget stats ?frozen model ~check ~k ~j prev =
         ~var_map:(Unroll.boundary_map u ~frame:1)
     in
     charge_itp stats model.Model.man itp;
+    lint_itp ~what:(Printf.sprintf "serial step j=%d" j) model itp;
     Some itp
   | Solver.Undef -> assert false
 
@@ -106,6 +116,7 @@ let compute ?(system = Itp.McMillan) budget stats ?frozen model ~mode ~check ~k 
           Itp.interpolant ~system proof ~cut:1 ~man ~var_map:(Unroll.boundary_map u ~frame:1)
         in
         charge_itp stats man i1;
+        lint_itp ~what:"serial step j=1" model i1;
         let family = Array.make k Aig.lit_true in
         family.(0) <- i1;
         let rec serial j prev =

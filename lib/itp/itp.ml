@@ -50,6 +50,9 @@ let var_label info ~cut ~system v =
 let interpolant ?info ?(system = McMillan) (p : Proof.t) ~cut ~man ~var_map =
   Isr_obs.Trace.span "itp.extract" ~args:[ ("cut", string_of_int cut) ] @@ fun () ->
   let info = match info with Some i -> i | None -> analyze p in
+  Isr_check_core.Level.check "itp.cut_in_range"
+    (cut >= 1 && cut < info.ntags)
+    ~detail:(fun () -> Printf.sprintf "cut %d outside [1, %d)" cut info.ntags);
   let label v = var_label info ~cut ~system v in
   let map_var v =
     match var_map v with

@@ -1,6 +1,7 @@
 open Isr_sat
 open Isr_aig
 module Tseitin = Isr_cnf.Tseitin
+module Check = Isr_check_core.Level
 
 type t = {
   model : Model.t;
@@ -96,6 +97,17 @@ let add_transition ?(frozen = fun _ -> false) t ~tag =
         end)
   in
   grow t;
+  (* The frame map must stay injective: every state variable of the new
+     frame is fresh, or boundary_map/any_state_map would be ambiguous
+     and interpolation cuts unsound. *)
+  if Check.on () then
+    Array.iter
+      (fun l ->
+        Check.check "unroll.state_vars_fresh"
+          (not (Hashtbl.mem t.var_to_latch (Lit.var l)))
+          ~detail:(fun () ->
+            Printf.sprintf "state variable %d already maps to a latch" (Lit.var l)))
+      next_state;
   t.states.(t.nframes) <- next_state;
   t.nframes <- t.nframes + 1;
   Array.iteri

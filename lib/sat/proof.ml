@@ -59,6 +59,65 @@ let core_tags p =
          match p.steps.(id) with Input { tag; _ } -> Some tag | Derived _ -> None)
   |> List.sort_uniq Int.compare
 
+(* LRAT-style export.  Clauses are renumbered inputs-first: inputs take
+   ids 1..m in step order (matching their position in [to_dimacs]), used
+   derived steps continue from m+1 in step order — antecedents always
+   precede their resolvents, so ids stay strictly increasing.  The RUP
+   hint order for a trivial resolution chain is the reversed chain
+   followed by [first]: assuming the negation of the derived clause,
+   every literal of chain clause i other than its pivot literal is
+   either a literal of the derived clause (assumed false) or the pivot
+   of a later chain position (already propagated false), so each hint
+   propagates its pivot literal and [first] closes the conflict. *)
+
+let to_dimacs p =
+  let buf = Buffer.create 1024 in
+  let ninputs =
+    Array.fold_left
+      (fun n s -> match s with Input _ -> n + 1 | Derived _ -> n)
+      0 p.steps
+  in
+  Printf.bprintf buf "p cnf %d %d\n" p.nvars ninputs;
+  Array.iter
+    (function
+      | Derived _ -> ()
+      | Input { lits; _ } ->
+        Array.iter (fun l -> Printf.bprintf buf "%d " (Lit.to_dimacs l)) lits;
+        Buffer.add_string buf "0\n")
+    p.steps;
+  Buffer.contents buf
+
+let to_lrat p =
+  let n = Array.length p.steps in
+  let newid = Array.make n 0 in
+  let next = ref 0 in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Input _ ->
+        incr next;
+        newid.(i) <- !next
+      | Derived _ -> ())
+    p.steps;
+  let mark = used p in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Derived { lits; first; chain } when mark.(i) ->
+        incr next;
+        newid.(i) <- !next;
+        Printf.bprintf buf "%d" !next;
+        Array.iter (fun l -> Printf.bprintf buf " %d" (Lit.to_dimacs l)) lits;
+        Buffer.add_string buf " 0";
+        for k = Array.length chain - 1 downto 0 do
+          Printf.bprintf buf " %d" newid.(snd chain.(k))
+        done;
+        Printf.bprintf buf " %d 0\n" newid.(first)
+      | _ -> ())
+    p.steps;
+  Buffer.contents buf
+
 let pp_stats fmt p =
   let inputs = ref 0 and derived = ref 0 and chain_len = ref 0 in
   Array.iter

@@ -50,4 +50,19 @@ val core : t -> int list
 val core_tags : t -> int list
 (** Sorted distinct partition tags occurring in the core. *)
 
+val to_dimacs : t -> string
+(** DIMACS CNF rendering of the input clauses.  Clause [i] of the file
+    (1-based) is the [i]-th input step of the proof — the implicit id
+    numbering {!to_lrat} hints refer to. *)
+
+val to_lrat : t -> string
+(** Compact LRAT-style rendering of the refutation: one
+    [<id> <lit>* 0 <hint>* 0] line per {e used} derived step, ids
+    continuing after the input clauses of {!to_dimacs}.  The hints of
+    each step are its reversed resolution chain followed by its first
+    antecedent, which is exactly unit-propagation order, so the export
+    is checkable by reverse unit propagation alone (see
+    [Isr_check.Lrat_check]) with no knowledge of the solver.  Empty when
+    an input clause itself is empty. *)
+
 val pp_stats : Format.formatter -> t -> unit

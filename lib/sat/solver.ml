@@ -1,5 +1,9 @@
 type result = Sat | Unsat | Undef
 
+(* Tiered sanitizer (Off / Fast / Paranoid): named, metered invariant
+   checks replacing bare asserts on the hot paths. *)
+module Check = Isr_check_core.Level
+
 (* A clause doubles as a proof step: input clauses carry a partition tag,
    learned clauses carry their resolution chain. *)
 type clause = {
@@ -149,7 +153,9 @@ let watch s lit cid = Vec.push s.watches.(lit) cid
 
 let enqueue s lit reason =
   let v = Lit.var lit in
-  assert (s.assigns.(v) < 0);
+  Check.check "sat.enqueue_unassigned"
+    (s.assigns.(v) < 0)
+    ~detail:(fun () -> Printf.sprintf "variable %d is already assigned" v);
   s.assigns.(v) <- (lit land 1) lxor 1;
   s.level.(v) <- decision_level s;
   s.reason.(v) <- reason;
@@ -262,7 +268,8 @@ let resolve_level0 s chain =
     if Bytes.get s.mark0 v = '\001' then begin
       Bytes.set s.mark0 v '\000';
       let r = s.reason.(v) in
-      assert (r >= 0);
+      Check.check "sat.level0_has_reason" (r >= 0)
+        ~detail:(fun () -> Printf.sprintf "level-0 variable %d has no reason clause" v);
       chain := (v, r) :: !chain;
       Array.iter
         (fun l ->
@@ -317,7 +324,8 @@ let analyze s confl =
     if !counter = 0 then continue := false
     else begin
       cid := s.reason.(v);
-      assert (!cid >= 0);
+      Check.check "sat.analyze_has_reason" (!cid >= 0)
+        ~detail:(fun () -> Printf.sprintf "trail variable %d has no reason clause" v);
       chain := (v, !cid) :: !chain
     end
   done;
@@ -446,7 +454,7 @@ let record_learnt s lits first chain =
    (via the pending list) so that proof shapes do not depend on
    interleaving clause addition with propagation. *)
 let add_clause s ?(tag = 0) lits =
-  assert (tag >= 0);
+  if tag < 0 then invalid_arg "Solver.add_clause: negative tag";
   if s.ok then begin
     cancel_until s 0;
     s.last_result <- Undef;
@@ -638,9 +646,57 @@ let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
 
 let result_name = function Sat -> "sat" | Unsat -> "unsat" | Undef -> "undef"
 
+let proof s =
+  if s.ok || s.empty_id < 0 then
+    invalid_arg "Solver.proof: instance not proved unconditionally unsatisfiable";
+  let steps =
+    Array.init s.nclauses (fun i ->
+        let c = s.clauses.(i) in
+        if c.first = -1 then Proof.Input { lits = Array.copy c.lits; tag = c.ctag }
+        else Proof.Derived { lits = Array.copy c.lits; first = c.first; chain = c.chain })
+  in
+  { Proof.steps; empty = s.empty_id; nvars = s.nvars }
+
+(* Sanitizer probes at the solve boundary.  Fast checks the answer
+   against the clause database (trail consistency; on Sat, every input
+   clause satisfied).  Paranoid additionally replays the resolution
+   proof behind every unconditional Unsat. *)
+let check_result s r =
+  if Check.on () then begin
+    Check.probe "sat.trail_consistent" (fun () ->
+        let ok = ref true in
+        Vec.iter (fun l -> if lit_val s l <> 1 then ok := false) s.trail;
+        !ok);
+    match r with
+    | Sat ->
+      Check.probe "sat.model_satisfies" (fun () ->
+          let ok = ref true in
+          for i = 0 to s.nclauses - 1 do
+            let c = s.clauses.(i) in
+            if c.first = -1 then begin
+              let sat = ref false in
+              Array.iter (fun l -> if lit_val s l = 1 then sat := true) c.lits;
+              if not !sat then ok := false
+            end
+          done;
+          !ok)
+    | Unsat when s.empty_id >= 0 && Check.paranoid () -> (
+      match Proof_check.check (proof s) with
+      | Ok () -> Check.record "sat.proof_replay"
+      | Error e ->
+        Check.violated "sat.proof_replay"
+          ~detail:(Format.asprintf "%a" Proof_check.pp_error e))
+    | _ -> ()
+  end
+
 (* Each solve is one trace span carrying the search-effort deltas; with
    tracing disabled this is a single flag test on top of the search. *)
 let solve ?assumptions ?conflict_budget s =
+  let solve_core ?assumptions ?conflict_budget s =
+    let r = solve_core ?assumptions ?conflict_budget s in
+    check_result s r;
+    r
+  in
   if not (Isr_obs.Trace.enabled ()) then solve_core ?assumptions ?conflict_budget s
   else begin
     let c0 = s.conflicts and d0 = s.decisions and p0 = s.propagations in
@@ -665,13 +721,8 @@ let unsat_core s =
   if s.last_result <> Unsat then invalid_arg "Solver.unsat_core: last result not Unsat";
   s.core
 
-let proof s =
-  if s.ok || s.empty_id < 0 then
-    invalid_arg "Solver.proof: instance not proved unconditionally unsatisfiable";
-  let steps =
-    Array.init s.nclauses (fun i ->
-        let c = s.clauses.(i) in
-        if c.first = -1 then Proof.Input { lits = Array.copy c.lits; tag = c.ctag }
-        else Proof.Derived { lits = Array.copy c.lits; first = c.first; chain = c.chain })
-  in
-  { Proof.steps; empty = s.empty_id; nvars = s.nvars }
+let iter_input_clauses s f =
+  for i = 0 to s.nclauses - 1 do
+    let c = s.clauses.(i) in
+    if c.first = -1 then f ~tag:c.ctag c.lits
+  done

@@ -56,6 +56,12 @@ val proof : t -> Proof.t
     exists whenever [Unsat] was answered with no assumptions involved).
     @raise Invalid_argument otherwise. *)
 
+val iter_input_clauses : t -> (tag:int -> Lit.t array -> unit) -> unit
+(** Iterates the input (non-learned) clauses in insertion order with
+    their partition tags, as stored after duplicate-literal merging.
+    The array is live watch-ordered storage — do not mutate or retain
+    it.  Used by the CNF linter of [Isr_check]. *)
+
 val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int

@@ -300,6 +300,11 @@ let prop_incremental_equals_batch =
       !ok)
 
 let () =
+  (* The whole solver suite runs under the Paranoid sanitizer: every
+     unconditional UNSAT answer is proof-replayed inside Solver.solve
+     (check "sat.proof_replay"), on top of the explicit Proof_check
+     calls of the individual tests. *)
+  Isr_check_core.Level.set Isr_check_core.Level.Paranoid;
   let qsuite = List.map QCheck_alcotest.to_alcotest
       [ prop_matches_bruteforce; prop_unsat_proof_checks; prop_sat_model_valid;
         prop_assumptions_equal_units; prop_unsat_cores_suffice;
