@@ -59,28 +59,58 @@ let check_arg =
            $(b,fast) (metered invariant probes) or $(b,paranoid) (additionally \
            replays proofs and lints interpolants).")
 
-(* Observability plumbing shared by every command: installs the Chrome
-   sink for the command's whole duration and hands the body a [record]
-   callback streaming per-run JSON lines to the metrics file. *)
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a call-tree span profile after the command: per span path the \
+           call count, total and self wall time, plus the hottest spans by self \
+           time.")
+
+let progress_arg =
+  let modes = [ ("auto", `Auto); ("tty", `Tty); ("plain", `Plain); ("jsonl", `Jsonl) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Auto) (some (enum modes)) None
+    & info [ "progress" ] ~docv:"MODE"
+        ~doc:
+          "Live heartbeats on stderr (suite position, bound/frame advanced, solver \
+           restarts with conflict rates), at most one per second.  $(docv) is \
+           $(b,auto) (TTY single-line rewrite, plain lines when piped), $(b,tty), \
+           $(b,plain) or $(b,jsonl).")
+
+let progress_mode = function
+  | `Auto -> Isr_obs.Progress.auto_mode ()
+  | `Tty -> Isr_obs.Progress.Tty
+  | `Plain -> Isr_obs.Progress.Plain
+  | `Jsonl -> Isr_obs.Progress.Jsonl
+
+(* Observability plumbing shared by every command: installs the span sink
+   (Chrome channel, profile collector, or a tee of both) and the progress
+   reporter for the command's whole duration, and hands the body a
+   [record] callback streaming per-run JSON lines to the metrics file.
+   Every finalizer runs even when an earlier one raises, so a broken
+   trace file cannot leave the metrics channel unflushed. *)
 let open_out_or_die path =
   try open_out path
   with Sys_error msg ->
     prerr_endline ("isr-bench: " ^ msg);
     exit 2
 
-let with_obs ?(check = Isr_check.Off) ~trace ~metrics f =
+let with_obs ?(check = Isr_check.Off) ?(profile = false) ?(progress = None) ~trace
+    ~metrics f =
   Isr_check.Level.set check;
-  let finish_trace =
-    match trace with
-    | None -> fun () -> ()
-    | Some path ->
-      let oc = open_out_or_die path in
-      Isr_obs.Trace.set_sink (Isr_obs.Trace.chrome_channel oc);
-      fun () ->
-        Isr_obs.Trace.flush ();
-        Isr_obs.Trace.clear_sink ();
-        close_out oc
+  let prof = if profile then Some (Isr_obs.Profile.collector ()) else None in
+  let chrome = Option.map open_out_or_die trace in
+  let sink =
+    match (Option.map Isr_obs.Trace.chrome_channel chrome, prof) with
+    | None, None -> None
+    | Some s, None -> Some s
+    | None, Some (s, _) -> Some s
+    | Some a, Some (b, _) -> Some (Isr_obs.Trace.tee a b)
   in
+  Option.iter Isr_obs.Trace.set_sink sink;
   let record, finish_metrics =
     match metrics with
     | None -> ((fun _ -> ()), fun () -> ())
@@ -92,11 +122,28 @@ let with_obs ?(check = Isr_check.Off) ~trace ~metrics f =
           flush oc),
         fun () -> close_out oc )
   in
+  let safe g = try g () with e -> prerr_endline ("isr-bench: " ^ Printexc.to_string e) in
   Fun.protect
     ~finally:(fun () ->
-      finish_trace ();
-      finish_metrics ())
-    (fun () -> f ~record)
+      if sink <> None then begin
+        safe Isr_obs.Trace.flush;
+        safe Isr_obs.Trace.clear_sink
+      end;
+      (match chrome with Some oc -> safe (fun () -> close_out oc) | None -> ());
+      safe finish_metrics)
+    (fun () ->
+      let body () = f ~record in
+      let result =
+        match progress with
+        | None -> body ()
+        | Some m -> Isr_obs.Progress.with_stderr (progress_mode m) body
+      in
+      (match prof with
+      | Some (_, snapshot) ->
+        Isr_obs.Trace.flush ();
+        Format.fprintf out "@.%a@." (fun f n -> Isr_obs.Profile.pp f n) (snapshot ())
+      | None -> ());
+      result)
 
 let entries_for mid_only lst =
   if mid_only then List.filter (fun e -> e.Registry.category = Registry.Mid) lst
@@ -105,8 +152,8 @@ let entries_for mid_only lst =
 (* --- table1 ------------------------------------------------------------- *)
 
 let table1_cmd =
-  let run time bound conflicts mid_only check trace metrics =
-    with_obs ~check ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics profile progress =
+    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
         Isr_exp.Table1.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.table1)
@@ -115,13 +162,13 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
     Term.(
       const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
 
 (* --- fig6 ----------------------------------------------------------------- *)
 
 let fig6_cmd =
-  let run time bound conflicts mid_only check trace metrics =
-    with_obs ~check ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics profile progress =
+    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
         Isr_exp.Fig6.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.fig6)
@@ -130,13 +177,13 @@ let fig6_cmd =
   Cmd.v (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (cactus plot data)")
     Term.(
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
 
 (* --- fig7 ------------------------------------------------------------------ *)
 
 let fig7_cmd =
-  let run time bound conflicts mid_only check trace metrics =
-    with_obs ~check ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics profile progress =
+    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
         Isr_exp.Fig7.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.fig6)
@@ -145,7 +192,7 @@ let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Figure 7 (exact-k vs assume-k scatter)")
     Term.(
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
 
 (* --- ablations --------------------------------------------------------------- *)
 
@@ -231,33 +278,159 @@ let kernels () =
   Format.pp_print_flush out ()
 
 let extended_cmd =
-  let run time bound conflicts check trace metrics =
-    with_obs ~check ~trace ~metrics (fun ~record ->
+  let run time bound conflicts check trace metrics profile progress =
+    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
         Isr_exp.Extended.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v
     (Cmd.info "extended" ~doc:"Beyond the paper: all engines incl. PBA/k-induction/PDR/portfolio")
     Term.(
       const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ profile_arg $ progress_arg)
 
 let abstraction_cmd =
-  let run time bound conflicts check trace metrics =
-    with_obs ~check ~trace ~metrics (fun ~record ->
+  let run time bound conflicts check trace metrics profile progress =
+    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
         Isr_exp.Abstraction.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v (Cmd.info "abstraction" ~doc:"Section V: CBA vs PBA on industrial designs")
     Term.(
       const run $ time_arg 30.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ profile_arg $ progress_arg)
 
 let kernels_cmd =
   Cmd.v (Cmd.info "kernels" ~doc:"Bechamel micro-benchmarks") Term.(const kernels $ const ())
 
+(* --- snapshot / regress -------------------------------------------------------- *)
+
+(* The suite a baseline covers: the mid-size Table I instances under the
+   four paper engines — small enough for CI, representative enough to
+   catch solver or engine slowdowns. *)
+let snapshot_entries () =
+  List.filter (fun e -> e.Registry.category = Registry.Mid) Registry.table1
+
+let snapshot_cmd =
+  let run time bound conflicts check trace metrics repeat out_path progress =
+    with_obs ~check ~progress ~trace ~metrics (fun ~record ->
+        let limits = limits_of ~time ~bound ~conflicts in
+        let entries = snapshot_entries () in
+        let engines = Isr_exp.Table1.engines in
+        let n = List.length entries in
+        let runs =
+          List.concat
+            (List.mapi
+               (fun i entry ->
+                 let rows =
+                   List.init repeat (fun _ ->
+                       Isr_exp.Runner.run_entry
+                         ~progress:
+                           (Isr_exp.Runner.globalize ~index:i ~total:n
+                              Isr_exp.Runner.obs_progress)
+                         ~record ~limits ~engines entry)
+                 in
+                 let first = List.hd rows in
+                 List.mapi
+                   (fun j (er : Isr_exp.Runner.engine_result) ->
+                     let samples =
+                       List.map
+                         (fun row ->
+                           let r = List.nth row.Isr_exp.Runner.results j in
+                           (r.Isr_exp.Runner.verdict, r.Isr_exp.Runner.stats))
+                         rows
+                     in
+                     Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                       ~engine:(Engine.name er.Isr_exp.Runner.engine) samples)
+                   first.Isr_exp.Runner.results)
+               entries)
+        in
+        let store =
+          Isr_exp.Bench_store.make ~suite:"mid" ~repeat ~time_limit:time runs
+        in
+        Isr_exp.Bench_store.save out_path store;
+        Format.fprintf out "wrote %s: %d runs (%d instances x %d engines, repeat %d)@."
+          out_path (List.length runs) n (List.length engines) repeat)
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Samples per (instance, engine) cell; the snapshot keeps the median \
+                and the spread.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_new.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Run the benchmark suite and persist a versioned result snapshot \
+             (median-of-N wall times with spread) for later regression checks")
+    Term.(
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
+      $ metrics_arg $ repeat_arg $ out_arg $ progress_arg)
+
+let regress_cmd =
+  let run baseline current threshold min_delta =
+    let load path =
+      try Isr_exp.Bench_store.load path
+      with Failure msg ->
+        prerr_endline ("isr-bench: " ^ msg);
+        exit 2
+    in
+    let b = load baseline in
+    let c = load current in
+    Format.fprintf out "baseline %s: %d runs; current %s: %d runs@." baseline
+      (List.length b.Isr_exp.Bench_store.runs)
+      current
+      (List.length c.Isr_exp.Bench_store.runs);
+    match Isr_exp.Bench_store.compare_to_baseline ~threshold ~min_delta ~baseline:b c with
+    | [] -> Format.fprintf out "no regressions (threshold %+.0f%%, floor %.3fs)@."
+              (100.0 *. threshold) min_delta
+    | regs ->
+      List.iter
+        (fun r -> Format.fprintf out "%a@." Isr_exp.Bench_store.pp_regression r)
+        regs;
+      Format.fprintf out "%d regression(s)@." (List.length regs);
+      Format.pp_print_flush out ();
+      exit 1
+  in
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"The reference snapshot (e.g. the committed BENCH_seed.json).")
+  in
+  let current_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"The snapshot to gate.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ]
+          ~doc:"Relative slowdown that counts as a regression (0.25 = 25%).")
+  in
+  let min_delta_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "min-delta" ]
+          ~doc:"Absolute slowdown floor [s]; smaller deltas are noise regardless \
+                of the relative threshold.")
+  in
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:"Compare a snapshot against a baseline and exit non-zero when a run \
+             got slower beyond the noise threshold, changed verdict, or vanished")
+    Term.(const run $ baseline_arg $ current_arg $ threshold_arg $ min_delta_arg)
+
 (* --- all (default) ------------------------------------------------------------------ *)
 
-let all time bound conflicts mid_only check trace metrics =
-  with_obs ~check ~trace ~metrics @@ fun ~record ->
+let all time bound conflicts mid_only check trace metrics profile progress =
+  with_obs ~check ~profile ~progress ~trace ~metrics @@ fun ~record ->
   let limits = limits_of ~time ~bound ~conflicts in
   let entries6 = entries_for mid_only Registry.fig6 in
   let entries1 = entries_for mid_only Registry.table1 in
@@ -285,7 +458,7 @@ let all time bound conflicts mid_only check trace metrics =
 let all_term =
   Term.(
     const all $ time_arg 5.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-    $ trace_arg $ metrics_arg)
+    $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
 
 let () =
   let info =
@@ -296,6 +469,7 @@ let () =
       [
         table1_cmd; fig6_cmd; fig7_cmd; ablation_checks_cmd; ablation_alpha_cmd;
         ablation_systems_cmd; abstraction_cmd; extended_cmd; kernels_cmd;
+        snapshot_cmd; regress_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -102,26 +102,79 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a JSON snapshot of the run's metrics registry.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a call-tree span profile after the run: per span path the call \
+           count, total and self wall time, plus the hottest spans by self time.")
+
+let profile_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE"
+        ~doc:"Write the call-tree span profile as nested JSON.")
+
+let progress_mode_enum =
+  [ ("auto", `Auto); ("tty", `Tty); ("plain", `Plain); ("jsonl", `Jsonl) ]
+
+let progress_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some `Auto) (some (enum progress_mode_enum)) None
+    & info [ "progress" ] ~docv:"MODE"
+        ~doc:
+          "Live heartbeats on stderr (bound/frame advanced, refinements, solver \
+           restarts, with conflict/propagation rates), at most one per second. \
+           $(docv) is $(b,auto) (TTY single-line rewrite, plain lines when piped), \
+           $(b,tty), $(b,plain) or $(b,jsonl).")
+
+let progress_mode = function
+  | `Auto -> Isr_obs.Progress.auto_mode ()
+  | `Tty -> Isr_obs.Progress.Tty
+  | `Plain -> Isr_obs.Progress.Plain
+  | `Jsonl -> Isr_obs.Progress.Jsonl
+
+let with_progress opt f =
+  match opt with
+  | None -> f ()
+  | Some m -> Isr_obs.Progress.with_stderr (progress_mode m) f
+
 (* Tracing covers everything between sink installation and [flush];
-   [Fun.protect] keeps the JSON well formed even when the run raises. *)
+   [Fun.protect] keeps the JSON well formed even when the run raises.
+   The profiler rides the same event stream: its collector sink is teed
+   with the Chrome sink when both are requested. *)
 let open_out_or_die path =
   try open_out path
   with Sys_error msg ->
     prerr_endline ("itpseq_mc: " ^ msg);
     exit 2
 
-let with_trace trace_file f =
-  match trace_file with
-  | None -> f ()
-  | Some path ->
-    let oc = open_out_or_die path in
-    Isr_obs.Trace.set_sink (Isr_obs.Trace.chrome_channel oc);
-    Fun.protect
-      ~finally:(fun () ->
-        Isr_obs.Trace.flush ();
-        Isr_obs.Trace.clear_sink ();
-        close_out oc)
-      f
+let with_trace ~trace ~profile f =
+  let prof = if profile then Some (Isr_obs.Profile.collector ()) else None in
+  let chrome = Option.map open_out_or_die trace in
+  let sink =
+    match (Option.map Isr_obs.Trace.chrome_channel chrome, prof) with
+    | None, None -> None
+    | Some s, None -> Some s
+    | None, Some (s, _) -> Some s
+    | Some a, Some (b, _) -> Some (Isr_obs.Trace.tee a b)
+  in
+  let result =
+    match sink with
+    | None -> f ()
+    | Some s ->
+      Isr_obs.Trace.set_sink s;
+      Fun.protect
+        ~finally:(fun () ->
+          Isr_obs.Trace.flush ();
+          Isr_obs.Trace.clear_sink ();
+          Option.iter close_out chrome)
+        f
+  in
+  (result, Option.map (fun (_, snapshot) -> snapshot ()) prof)
 
 let write_metrics metrics_file stats =
   match metrics_file with
@@ -212,7 +265,7 @@ let check_arg =
            lint every emitted interpolant).")
 
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check =
+  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check profile profile_json progress =
     setup_logs verbose;
     Isr_check.Level.set check;
     match load_model ~property file name with
@@ -245,13 +298,30 @@ let verify_term =
         let limits =
           { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
         in
-        let verdict, stats =
-          try with_trace trace (fun () -> Engine.run eng ~limits model)
+        let (verdict, stats), profile_root =
+          try
+            with_trace ~trace ~profile:(profile || profile_json <> None) (fun () ->
+                with_progress progress (fun () -> Engine.run eng ~limits model))
           with Isr_check.Level.Violation { check; detail } ->
             Format.eprintf "sanitizer violation [%s]: %s@." check detail;
             exit 5
         in
         write_metrics metrics stats;
+        (match profile_root with
+        | None -> ()
+        | Some root ->
+          (match profile_json with
+          | Some path ->
+            let oc = open_out_or_die path in
+            output_string oc (Isr_obs.Profile.to_json root);
+            output_char oc '\n';
+            close_out oc
+          | None -> ());
+          if profile then begin
+            (* Keep stdout machine-readable under --json. *)
+            let fmt = if json then Format.err_formatter else Format.std_formatter in
+            Format.fprintf fmt "%a@." (fun f n -> Isr_obs.Profile.pp f n) root
+          end);
         if Isr_check.Level.on () && not json then
           Format.printf "%a@." Isr_check.Level.pp_summary ();
         (* Lift counterexamples of the reduced model back to the original
@@ -326,7 +396,8 @@ let verify_term =
   Term.(
     const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
     $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
-    $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ check_arg)
+    $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ check_arg $ profile_arg
+    $ profile_json_arg $ progress_arg)
 
 let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term
 

@@ -31,6 +31,7 @@ let build_instance ?frozen model ~check ~k =
 
 let check_depth budget stats ?frozen model ~check ~k =
   Verdict.note_bound stats k;
+  Verdict.beat stats ~step:k ~detail:(check_name check) "bmc.bound";
   Isr_obs.Metrics.incr
     (Isr_obs.Metrics.counter (Verdict.registry stats) ("bmc.calls." ^ check_name check));
   Isr_obs.Trace.span "bmc.bound"
@@ -60,6 +61,7 @@ let run_incremental ~check ~limits budget stats model =
       finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
     else begin
       Verdict.note_bound stats k;
+      Verdict.beat stats ~step:k ~detail:(check_name check) "bmc.bound";
       let act, result =
         Isr_obs.Trace.span "bmc.bound"
           ~args:[ ("k", string_of_int k); ("check", check_name check); ("incremental", "1") ]
@@ -93,6 +95,7 @@ let run ?(check = Assume) ?(incremental = false) ?(limits = Budget.default_limit
     Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
+  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
   try
     if incremental && check <> Bound then run_incremental ~check ~limits budget stats model
     else begin

@@ -26,6 +26,21 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
   Isr_obs.Metrics.incr stats.Verdict.c_sat_calls;
   Solver.on_learnt solver
     (Some (fun len -> Isr_obs.Metrics.observe stats.Verdict.h_learnt_len (float_of_int len)));
+  (* Restart-cadence heartbeats.  Deltas are charged to the registry only
+     at slice boundaries, so read the live solver counters here: registry
+     value before this call plus the in-call delta. *)
+  let c_base = Isr_obs.Metrics.value stats.Verdict.c_conflicts
+  and p_base = Isr_obs.Metrics.value stats.Verdict.c_propagations in
+  let sc0 = Solver.num_conflicts solver and sp0 = Solver.num_propagations solver in
+  Solver.on_restart solver
+    (Some
+       (fun n ->
+         if Isr_obs.Progress.enabled () then
+           Isr_obs.Progress.tick ~step:n
+             ~conflicts:(c_base + Solver.num_conflicts solver - sc0)
+             ~propagations:(p_base + Solver.num_propagations solver - sp0)
+             ~learnt:(Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
+             "sat.restart"));
   let charge_from c0 d0 p0 r0 =
     Isr_obs.Metrics.add stats.Verdict.c_conflicts (Solver.num_conflicts solver - c0);
     Isr_obs.Metrics.add stats.Verdict.c_decisions (Solver.num_decisions solver - d0);

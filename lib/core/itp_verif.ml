@@ -34,6 +34,7 @@ let verify ?system ?(limits = Budget.default_limits) model =
     Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
+  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
   try
     (* Depth 0: does a bad state intersect the initial states? *)
     match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
@@ -45,6 +46,7 @@ let verify ?system ?(limits = Budget.default_limits) model =
           finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
         else begin
           Verdict.note_bound stats k;
+          Verdict.beat stats ~step:k "itp.outer";
           (* Exact first iteration: A rooted at the real initial states,
              so a satisfiable answer is a genuine counterexample. *)
           let first =

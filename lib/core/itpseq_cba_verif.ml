@@ -17,6 +17,7 @@ let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
     Verdict.set_abstract_latches stats (Cba.num_frozen cba);
     (v, stats)
   in
+  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
   try
     match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
     | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
@@ -30,6 +31,9 @@ let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
           (* Abstract counterexample loop: extend or refine until the
              abstract instance at this bound is unsatisfiable. *)
           let rec attempt () =
+            Verdict.beat stats ~step:k
+              ~detail:(Printf.sprintf "%d frozen" (Cba.num_frozen cba))
+              "itpseq.outer";
             match
               Isr_obs.Trace.span "itpseq.outer" ~args:[ ("k", string_of_int k) ]
                 (fun () ->
@@ -46,6 +50,9 @@ let verify ?(alpha = 0.5) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
                       Unroll.state_values u ~frame)
                 in
                 Verdict.incr_refinements stats;
+                Verdict.beat stats ~step:k
+                  ~detail:(Printf.sprintf "refined %d" n)
+                  "cba.refine";
                 Isr_obs.Trace.instant "cba.refine"
                   ~args:
                     [

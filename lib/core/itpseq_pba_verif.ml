@@ -30,6 +30,7 @@ let verify ?(alpha = 0.0) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
     (v, stats)
   in
   let mode = if alpha > 0.0 then Seq_family.Serial alpha else Seq_family.Parallel in
+  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
   try
     match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
     | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
@@ -57,6 +58,9 @@ let verify ?(alpha = 0.0) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
             Isr_obs.Trace.instant "pba.core"
               ~args:[ ("k", string_of_int k); ("relevant", string_of_int nrelevant) ];
             let frozen i = not relevant.(i) in
+            Verdict.beat stats ~step:k
+              ~detail:(Printf.sprintf "%d relevant" nrelevant)
+              "itpseq.outer";
             Log.debug (fun m -> m "k=%d: %d relevant latches" k nrelevant);
             let family =
               match

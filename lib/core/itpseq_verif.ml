@@ -16,6 +16,7 @@ let verify ?(mode = Seq_family.Parallel) ?(check = Bmc.Assume) ?system
     Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
+  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
   try
     match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
     | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
@@ -26,7 +27,8 @@ let verify ?(mode = Seq_family.Parallel) ?(check = Bmc.Assume) ?system
       let rec outer k =
         if k > limits.Budget.bound_limit then
           finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
-        else
+        else begin
+          Verdict.beat stats ~step:k "itpseq.outer";
           Isr_obs.Trace.span "itpseq.outer" ~args:[ ("k", string_of_int k) ] (fun () ->
               Seq_family.compute ?system budget stats model ~mode ~check ~k)
           |> function
@@ -60,6 +62,7 @@ let verify ?(mode = Seq_family.Parallel) ?(check = Bmc.Assume) ?system
               end
             in
             sweep 1 s0
+        end
       in
       outer 1
   with

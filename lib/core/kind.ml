@@ -50,11 +50,13 @@ let verify ?(unique = true) ?(limits = Budget.default_limits) model =
     Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
+  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
   try
     let rec loop k =
       if k > limits.Budget.bound_limit then
         finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
-      else
+      else begin
+        Verdict.beat stats ~step:k "kind.step";
         (* Base case: no counterexample of length exactly k (shorter ones
            were excluded at previous iterations). *)
         match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k with
@@ -66,6 +68,7 @@ let verify ?(unique = true) ?(limits = Budget.default_limits) model =
           if step_holds budget stats ~unique model ~k then
             finish (Verdict.Proved { kfp = k; jfp = 0; invariant = None })
           else loop (k + 1)
+      end
     in
     loop 0
   with

@@ -245,6 +245,7 @@ let verify ?(limits = Budget.default_limits) model =
     Verdict.set_time stats (Budget.elapsed budget);
     (v, stats)
   in
+  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
   try
     (* Depth 0: init ∧ bad. *)
     match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
@@ -257,6 +258,7 @@ let verify ?(limits = Budget.default_limits) model =
           ctx.depth <- k;
           grow_deltas ctx (k + 1);
           Verdict.note_bound stats k;
+          Verdict.beat stats ~step:k "pdr.frame";
           (* Drain all bad states out of F_k. *)
           let rec drain () =
             match bad_query ctx k with

@@ -60,6 +60,7 @@ let verify ?(limits = Budget.default_limits) model =
           if rest = [] then remaining else Float.min remaining (share *. limits.Budget.time_limit)
         in
         let member_limits = { limits with Budget.time_limit = slice } in
+        Verdict.beat total ~detail:(member_name member) "portfolio.member";
         let verdict, stats =
           Isr_obs.Trace.span "portfolio.member"
             ~args:[ ("engine", member_name member) ]
@@ -73,4 +74,6 @@ let verify ?(limits = Budget.default_limits) model =
         | Verdict.Unknown _ -> go rest
       end
   in
-  go members
+  (* Members attach their own registries on top of this one; the final
+     detach folds the whole run's GC story into [total]. *)
+  Isr_obs.Resource.with_attached (Verdict.registry total) @@ fun () -> go members

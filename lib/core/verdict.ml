@@ -69,6 +69,14 @@ let set_abstract_latches s n = M.set s.g_frozen_latches (float_of_int n)
 let set_time s t = M.set s.g_time t
 let merge_into ~into s = M.merge ~into:into.metrics s.metrics
 
+(* One progress heartbeat, charged with the run's cumulative search
+   effort.  Reporter-off is the common case: a single flag test. *)
+let beat ?step ?detail s phase =
+  if Isr_obs.Progress.enabled () then
+    Isr_obs.Progress.tick ?step ?detail ~conflicts:(M.value s.c_conflicts)
+      ~propagations:(M.value s.c_propagations)
+      ~learnt:(M.hist_count s.h_learnt_len) phase
+
 let is_proved = function Proved _ -> true | Falsified _ | Unknown _ -> false
 let is_falsified = function Falsified _ -> true | Proved _ | Unknown _ -> false
 
@@ -97,7 +105,10 @@ let pp_stats fmt s =
   Format.fprintf fmt ", %d decisions, %d propagations, %d restarts" (decisions s)
     (propagations s) (restarts s);
   if max_learnt_len s > 0 then
-    Format.fprintf fmt ", max learnt %d" (max_learnt_len s);
+    Format.fprintf fmt ", learnt len mean/med/max %.1f/%.1f/%d"
+      (M.hist_mean s.h_learnt_len)
+      (M.hist_quantile s.h_learnt_len 0.5)
+      (max_learnt_len s);
   if refinements s > 0 then
     Format.fprintf fmt ", %d refinements (%d latches still frozen)" (refinements s)
       (abstract_latches s)

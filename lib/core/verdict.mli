@@ -84,6 +84,11 @@ val incr_refinements : stats -> unit
 val set_abstract_latches : stats -> int -> unit
 val set_time : stats -> float -> unit
 
+val beat : ?step:int -> ?detail:string -> stats -> string -> unit
+(** Post one {!Isr_obs.Progress} heartbeat for this run, carrying the
+    registry's cumulative conflicts/propagations/learnt-clause count.
+    A flag test when no progress reporter is installed. *)
+
 val merge_into : into:stats -> stats -> unit
 (** Registry-wide merge (counters add, gauges max, histograms combine) —
     what the portfolio uses to aggregate member runs. *)

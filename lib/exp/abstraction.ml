@@ -1,4 +1,3 @@
-open Isr_model
 open Isr_core
 open Isr_suite
 
@@ -12,29 +11,36 @@ let run ?(limits = Budget.default_limits) ?entries
     "Abstraction comparison (Section V): SITPSEQ (none) vs ITPSEQCBA vs ITPSEQPBA@.";
   Format.fprintf fmt "%-16s %6s | %-14s | %-24s | %-24s@." "instance" "#FF"
     "plain (t)" "CBA (t refs frozen)" "PBA (t rounds frozen)";
-  List.iter
-    (fun entry ->
-      let model = Registry.build_validated entry in
-      let run_engine engine =
-        let verdict, stats = Engine.run engine ~limits model in
-        record
-          { Runner.bench = entry.Registry.name;
-            engine_name = Engine.name engine; verdict; stats };
-        (verdict, stats)
+  let engines =
+    [
+      Engine.Sitpseq (0.5, Bmc.Exact);
+      Engine.Itpseq_cba (0.5, Bmc.Exact);
+      Engine.Itpseq_pba (0.0, Bmc.Exact);
+    ]
+  in
+  let n = List.length entries in
+  List.iteri
+    (fun i entry ->
+      let row =
+        Runner.run_entry
+          ~progress:(Runner.globalize ~index:i ~total:n Runner.obs_progress)
+          ~record ~limits ~engines entry
+      in
+      let plain_r, cba_r, pba_r =
+        match row.Runner.results with
+        | [ a; b; c ] -> (a, b, c)
+        | _ -> assert false
       in
       let plain =
-        let verdict, stats = run_engine (Engine.Sitpseq (0.5, Bmc.Exact)) in
-        Printf.sprintf "%-14s" (Runner.time_cell verdict stats)
+        Printf.sprintf "%-14s"
+          (Runner.time_cell plain_r.Runner.verdict plain_r.Runner.stats)
       in
-      let abstracted engine =
-        let verdict, stats = run_engine engine in
+      let abstracted ({ verdict; stats; _ } : Runner.engine_result) =
         Printf.sprintf "%8s %5d %7d"
           (Runner.time_cell verdict stats)
           (Verdict.refinements stats) (Verdict.abstract_latches stats)
       in
       Format.fprintf fmt "%-16s %6d | %s | %s | %s@." entry.Registry.name
-        model.Model.num_latches plain
-        (abstracted (Engine.Itpseq_cba (0.5, Bmc.Exact)))
-        (abstracted (Engine.Itpseq_pba (0.0, Bmc.Exact)));
+        row.Runner.ffs plain (abstracted cba_r) (abstracted pba_r);
       Format.pp_print_flush fmt ())
     entries

@@ -1,0 +1,371 @@
+open Isr_core
+
+let schema_version = 1
+
+type run = {
+  bench : string;
+  engine : string;
+  verdict : string;
+  time_median : float;
+  time_spread : float;
+  conflicts : int;
+  sat_calls : int;
+  kfp : int option;
+  jfp : int option;
+}
+
+type t = {
+  schema : int;
+  suite : string;
+  repeat : int;
+  time_limit : float;
+  runs : run list;
+}
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let spread = function
+  | [] -> 0.0
+  | x :: xs ->
+    let lo = List.fold_left Float.min x xs and hi = List.fold_left Float.max x xs in
+    hi -. lo
+
+let verdict_tag = function
+  | Verdict.Proved _ -> "proved"
+  | Verdict.Falsified _ -> "falsified"
+  | Verdict.Unknown _ -> "unknown"
+
+let mk_run ~bench ~engine samples =
+  match samples with
+  | [] -> invalid_arg "Bench_store.mk_run: no samples"
+  | (verdict, stats) :: _ ->
+    let times = List.map (fun (_, s) -> Verdict.time s) samples in
+    {
+      bench;
+      engine;
+      verdict = verdict_tag verdict;
+      time_median = median times;
+      time_spread = spread times;
+      conflicts = Verdict.conflicts stats;
+      sat_calls = Verdict.sat_calls stats;
+      kfp = Verdict.kfp verdict;
+      jfp = Verdict.jfp verdict;
+    }
+
+let make ~suite ~repeat ~time_limit runs =
+  { schema = schema_version; suite; repeat; time_limit; runs }
+
+(* -------------------------------------------------------------------- *)
+(* Printing.                                                            *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"bench\":\"%s\",\"engine\":\"%s\",\"verdict\":\"%s\",\"time_median_s\":%.6f,\"time_spread_s\":%.6f,\"conflicts\":%d,\"sat_calls\":%d"
+       (escape r.bench) (escape r.engine) (escape r.verdict) r.time_median r.time_spread
+       r.conflicts r.sat_calls);
+  (match r.kfp with Some k -> Buffer.add_string b (Printf.sprintf ",\"kfp\":%d" k) | None -> ());
+  (match r.jfp with Some j -> Buffer.add_string b (Printf.sprintf ",\"jfp\":%d" j) | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"schema\": %d,\n  \"suite\": \"%s\",\n  \"repeat\": %d,\n  \"time_limit_s\": %g,\n  \"runs\": [\n"
+       t.schema (escape t.suite) t.repeat t.time_limit);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b (run_to_json r);
+      if i < List.length t.runs - 1 then Buffer.add_char b ',';
+      Buffer.add_char b '\n')
+    t.runs;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))
+
+(* -------------------------------------------------------------------- *)
+(* Parsing: a minimal recursive-descent JSON reader (the toolchain has
+   no JSON library; the dialect written above is all we need, but the
+   reader accepts any standard JSON value).                             *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some '/' -> Buffer.add_char b '/'
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 'b' -> Buffer.add_char b '\b'
+        | Some 'f' -> Buffer.add_char b '\012'
+        | Some 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+          pos := !pos + 4;
+          (* Basic-multilingual-plane only; enough for our own files. *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            J_obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            J_arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> J_bool (literal "true" true)
+    | Some 'f' -> J_bool (literal "false" false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | J_obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let str_field name j =
+  match field name j with
+  | Some (J_str s) -> s
+  | _ -> raise (Parse_error (Printf.sprintf "missing string field %S" name))
+
+let num_field name j =
+  match field name j with
+  | Some (J_num f) -> f
+  | _ -> raise (Parse_error (Printf.sprintf "missing numeric field %S" name))
+
+let opt_int_field name j =
+  match field name j with Some (J_num f) -> Some (int_of_float f) | _ -> None
+
+let run_of_json j =
+  {
+    bench = str_field "bench" j;
+    engine = str_field "engine" j;
+    verdict = str_field "verdict" j;
+    time_median = num_field "time_median_s" j;
+    time_spread = num_field "time_spread_s" j;
+    conflicts = int_of_float (num_field "conflicts" j);
+    sat_calls = int_of_float (num_field "sat_calls" j);
+    kfp = opt_int_field "kfp" j;
+    jfp = opt_int_field "jfp" j;
+  }
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> failwith (Printf.sprintf "Bench_store.load: %s" msg)
+  in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match parse_json contents with
+  | exception Parse_error msg -> failwith (Printf.sprintf "Bench_store.load %s: %s" path msg)
+  | j -> (
+    match field "schema" j with
+    | Some (J_num v) when int_of_float v = schema_version -> (
+      match field "runs" j with
+      | Some (J_arr runs) ->
+        {
+          schema = schema_version;
+          suite = (try str_field "suite" j with Parse_error _ -> "");
+          repeat = (try int_of_float (num_field "repeat" j) with Parse_error _ -> 1);
+          time_limit = (try num_field "time_limit_s" j with Parse_error _ -> 0.0);
+          runs = List.map run_of_json runs;
+        }
+      | _ -> failwith (Printf.sprintf "Bench_store.load %s: no \"runs\" array" path))
+    | Some (J_num v) ->
+      failwith
+        (Printf.sprintf "Bench_store.load %s: unsupported schema %d (expected %d)" path
+           (int_of_float v) schema_version)
+    | _ -> failwith (Printf.sprintf "Bench_store.load %s: no \"schema\" field" path))
+
+(* -------------------------------------------------------------------- *)
+(* Regression gate.                                                     *)
+
+type regression =
+  | Slower of { bench : string; engine : string; base : float; cur : float }
+  | Verdict_changed of { bench : string; engine : string; base : string; cur : string }
+  | Missing of { bench : string; engine : string }
+
+let compare_to_baseline ?(threshold = 0.25) ?(min_delta = 0.05) ~baseline current =
+  let find r =
+    List.find_opt (fun c -> c.bench = r.bench && c.engine = r.engine) current.runs
+  in
+  List.filter_map
+    (fun b ->
+      match find b with
+      | None -> Some (Missing { bench = b.bench; engine = b.engine })
+      | Some c ->
+        if c.verdict <> b.verdict then
+          Some
+            (Verdict_changed
+               { bench = b.bench; engine = b.engine; base = b.verdict; cur = c.verdict })
+        else begin
+          let delta = c.time_median -. b.time_median in
+          (* Noise guards: the relative threshold, an absolute floor for
+             sub-ms-scale runs, and the measured spread of both sides. *)
+          if
+            delta > threshold *. b.time_median
+            && delta > min_delta
+            && delta > b.time_spread +. c.time_spread
+          then
+            Some
+              (Slower
+                 { bench = b.bench; engine = b.engine; base = b.time_median; cur = c.time_median })
+          else None
+        end)
+    baseline.runs
+
+let pp_regression fmt = function
+  | Slower { bench; engine; base; cur } ->
+    Format.fprintf fmt "SLOWER  %s/%s: %.3fs -> %.3fs (%+.0f%%)" bench engine base cur
+      (100.0 *. ((cur /. Float.max base 1e-9) -. 1.0))
+  | Verdict_changed { bench; engine; base; cur } ->
+    Format.fprintf fmt "VERDICT %s/%s: %s -> %s" bench engine base cur
+  | Missing { bench; engine } -> Format.fprintf fmt "MISSING %s/%s" bench engine

@@ -27,16 +27,18 @@ let run ?(limits = Budget.default_limits) ?entries
   Format.fprintf fmt "@.";
   let solved = Array.make (List.length engines) 0 in
   let certified = Array.make (List.length engines) 0 in
-  List.iter
-    (fun entry ->
+  let n = List.length entries in
+  List.iteri
+    (fun ei entry ->
       let model = Registry.build_validated entry in
       Format.fprintf fmt "%-16s" entry.Registry.name;
+      let row =
+        Runner.run_entry
+          ~progress:(Runner.globalize ~index:ei ~total:n Runner.obs_progress)
+          ~record ~limits ~engines entry
+      in
       List.iteri
-        (fun i engine ->
-          let verdict, stats = Engine.run engine ~limits model in
-          record
-            { Runner.bench = entry.Registry.name;
-              engine_name = Engine.name engine; verdict; stats };
+        (fun i ({ verdict; stats; _ } : Runner.engine_result) ->
           (match verdict with Verdict.Unknown _ -> () | _ -> solved.(i) <- solved.(i) + 1);
           let mark =
             match verdict with
@@ -51,7 +53,7 @@ let run ?(limits = Budget.default_limits) ?entries
           Format.fprintf fmt " | %8s %3s %2s%s"
             (Runner.time_cell verdict stats)
             (Runner.kfp_cell verdict) (Runner.jfp_cell verdict) mark)
-        engines;
+        row.Runner.results;
       Format.fprintf fmt "@.";
       Format.pp_print_flush fmt ())
     entries;

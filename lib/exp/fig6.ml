@@ -26,16 +26,12 @@ let run ?(limits = Budget.default_limits) ?entries
       Hashtbl.add times (Engine.name engine) [];
       Hashtbl.add solved (Engine.name engine) 0)
     engines;
+  let rows = Runner.run_suite ~record ~limits ~engines entries in
   List.iter
-    (fun entry ->
-      let model = Registry.build_validated entry in
+    (fun row ->
       List.iter
-        (fun engine ->
+        (fun { Runner.engine; verdict; stats } ->
           let name = Engine.name engine in
-          let verdict, stats = Engine.run engine ~limits model in
-          record
-            { Runner.bench = entry.Registry.name; engine_name = name;
-              verdict; stats };
           let t, ok =
             match verdict with
             | Verdict.Unknown _ -> (limits.Budget.time_limit, false)
@@ -43,8 +39,8 @@ let run ?(limits = Budget.default_limits) ?entries
           in
           Hashtbl.replace times name (t :: Hashtbl.find times name);
           if ok then Hashtbl.replace solved name (Hashtbl.find solved name + 1))
-        engines)
-    entries;
+        row.Runner.results)
+    rows;
   let series =
     List.map
       (fun engine ->

@@ -10,20 +10,25 @@ let run ?(limits = Budget.default_limits) ?entries
   Format.fprintf fmt "%-18s %12s %12s %9s@." "instance" "exact" "assume" "ratio";
   let wins_assume = ref 0 and wins_exact = ref 0 and total = ref 0 in
   let sum_exact = ref 0.0 and sum_assume = ref 0.0 in
-  List.iter
-    (fun entry ->
-      let model = Registry.build_validated entry in
-      let time engine =
-        let verdict, stats = Engine.run engine ~limits model in
-        record
-          { Runner.bench = entry.Registry.name;
-            engine_name = Engine.name engine; verdict; stats };
+  let engines = [ Engine.Itpseq Bmc.Exact; Engine.Itpseq Bmc.Assume ] in
+  let n = List.length entries in
+  List.iteri
+    (fun i entry ->
+      let row =
+        Runner.run_entry
+          ~progress:(Runner.globalize ~index:i ~total:n Runner.obs_progress)
+          ~record ~limits ~engines entry
+      in
+      let time ({ verdict; stats; _ } : Runner.engine_result) =
         match verdict with
         | Verdict.Unknown _ -> limits.Budget.time_limit
         | _ -> Verdict.time stats
       in
-      let te = time (Engine.Itpseq Bmc.Exact) in
-      let ta = time (Engine.Itpseq Bmc.Assume) in
+      let te, ta =
+        match row.Runner.results with
+        | [ re; ra ] -> (time re, time ra)
+        | _ -> assert false
+      in
       incr total;
       sum_exact := !sum_exact +. te;
       sum_assume := !sum_assume +. ta;

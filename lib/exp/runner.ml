@@ -22,6 +22,25 @@ type record = {
   stats : Verdict.stats;
 }
 
+type progress = {
+  p_bench : string;
+  p_engine : string;
+  p_index : int;
+  p_total : int;
+}
+
+(* Default progress sink: forward to the global heartbeat reporter (a
+   no-op without one), so any caller of [run_entry] gets --progress
+   coverage for free. *)
+let obs_progress p =
+  Isr_obs.Progress.tick ~step:(p.p_index + 1) ~total:p.p_total
+    ~detail:(p.p_bench ^ "/" ^ p.p_engine) "suite.run"
+
+(* Lift a per-entry progress (index within the entry's engine list) to a
+   whole-suite one: [index] is the entry's position among [total]. *)
+let globalize ~index ~total progress p =
+  progress { p with p_index = (index * p.p_total) + p.p_index; p_total = total * p.p_total }
+
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in
   String.iter
@@ -61,13 +80,20 @@ let json_of_record r =
        (compact (Isr_obs.Metrics.to_json (Verdict.registry r.stats))));
   Buffer.contents b
 
-let run_entry ?(progress = fun _ -> ()) ?(record = fun _ -> ()) ~limits ~engines
+let run_entry ?(progress = obs_progress) ?(record = fun _ -> ()) ~limits ~engines
     entry =
   let model = Registry.build_validated entry in
+  let total = List.length engines in
   let results =
-    List.map
-      (fun engine ->
-        progress (Printf.sprintf "%s / %s" entry.Registry.name (Engine.name engine));
+    List.mapi
+      (fun i engine ->
+        progress
+          {
+            p_bench = entry.Registry.name;
+            p_engine = Engine.name engine;
+            p_index = i;
+            p_total = total;
+          };
         let verdict, stats = Engine.run engine ~limits model in
         record
           {
@@ -86,8 +112,13 @@ let run_entry ?(progress = fun _ -> ()) ?(record = fun _ -> ()) ~limits ~engines
     results;
   }
 
-let run_suite ?progress ?record ~limits ~engines entries =
-  List.map (run_entry ?progress ?record ~limits ~engines) entries
+let run_suite ?(progress = obs_progress) ?record ~limits ~engines entries =
+  let n = List.length entries in
+  List.mapi
+    (fun i entry ->
+      run_entry ~progress:(globalize ~index:i ~total:n progress) ?record ~limits
+        ~engines entry)
+    entries
 
 let ok_mark entry verdict =
   match verdict with

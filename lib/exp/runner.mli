@@ -30,8 +30,25 @@ val json_of_record : record -> string
 (** A single-line JSON object: bench, engine, verdict tag, kfp/jfp when
     defined, and the full metrics-registry snapshot. *)
 
+type progress = {
+  p_bench : string;   (** registry entry name *)
+  p_engine : string;  (** engine display name *)
+  p_index : int;      (** 0-based run index within the batch *)
+  p_total : int;      (** runs in the batch *)
+}
+(** Announced just {e before} each engine run starts. *)
+
+val obs_progress : progress -> unit
+(** The default progress sink: a ["suite.run"] heartbeat to the global
+    {!Isr_obs.Progress} reporter (no-op when none is installed). *)
+
+val globalize : index:int -> total:int -> (progress -> unit) -> progress -> unit
+(** [globalize ~index ~total sink] rebases a per-entry progress (engine
+    index out of the entry's engine count) to suite-wide coordinates,
+    treating the entry as the [index]-th of [total]. *)
+
 val run_entry :
-  ?progress:(string -> unit) ->
+  ?progress:(progress -> unit) ->
   ?record:(record -> unit) ->
   limits:Budget.limits ->
   engines:Engine.t list ->
@@ -39,7 +56,7 @@ val run_entry :
   row
 
 val run_suite :
-  ?progress:(string -> unit) ->
+  ?progress:(progress -> unit) ->
   ?record:(record -> unit) ->
   limits:Budget.limits ->
   engines:Engine.t list ->

@@ -37,26 +37,28 @@ let run ?(bdd_nodes = 2_000_000) ?(limits = Budget.default_limits) ?entries
   let rule = String.make 170 '-' in
   Format.fprintf fmt "%s@." rule;
   let last_cat = ref Registry.Mid in
-  List.iter
-    (fun entry ->
+  let n = List.length entries in
+  List.iteri
+    (fun i entry ->
       if entry.Registry.category <> !last_cat then begin
         Format.fprintf fmt "%s@." rule;
         last_cat := entry.Registry.category
       end;
       let model = Registry.build_validated entry in
       let (df, tf), (db, tb) = bdd_cells ~bdd_nodes model in
+      let row =
+        Runner.run_entry
+          ~progress:(Runner.globalize ~index:i ~total:n Runner.obs_progress)
+          ~record ~limits ~engines entry
+      in
       let cells =
         List.map
-          (fun engine ->
-            let verdict, stats = Engine.run engine ~limits model in
-            record
-              { Runner.bench = entry.Registry.name;
-                engine_name = Engine.name engine; verdict; stats };
+          (fun ({ verdict; stats; _ } : Runner.engine_result) ->
             Printf.sprintf "%8s %4s %4s%s"
               (Runner.time_cell verdict stats)
               (Runner.kfp_cell verdict) (Runner.jfp_cell verdict)
               (Runner.ok_mark entry verdict))
-          engines
+          row.Runner.results
       in
       Format.fprintf fmt "%-16s %5d %5d | %4s %8s %4s %8s | %s@." entry.Registry.name
         model.Model.num_inputs model.Model.num_latches df tf db tb

@@ -1,6 +1,10 @@
 (** Reproduction of Table I: per-benchmark BDD diameters and times, then
     Time / k{_fp} / j{_fp} for ITP, ITPSEQ, SITPSEQ and ITPSEQCBA. *)
 
+val engines : Isr_core.Engine.t list
+(** The four paper engines of the table, in column order — also the
+    engine set of the bench harness's [snapshot] baselines. *)
+
 val run :
   ?bdd_nodes:int ->
   ?limits:Isr_core.Budget.limits ->

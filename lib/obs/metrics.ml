@@ -6,6 +6,7 @@ let nbuckets = 64
 type histogram = {
   mutable count : int;
   mutable sum : float;
+  mutable min_v : float; (* +infinity when empty *)
   mutable max_v : float;
   buckets : int array; (* length [nbuckets] *)
 }
@@ -41,7 +42,14 @@ let gauge r name =
 let histogram r name =
   match
     register r name (fun () ->
-        H { count = 0; sum = 0.0; max_v = 0.0; buckets = Array.make nbuckets 0 })
+        H
+          {
+            count = 0;
+            sum = 0.0;
+            min_v = Float.infinity;
+            max_v = 0.0;
+            buckets = Array.make nbuckets 0;
+          })
   with
   | H h -> h
   | C _ | G _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
@@ -75,13 +83,54 @@ let bucket_of v =
 let observe h v =
   h.count <- h.count + 1;
   h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
   if v > h.max_v then h.max_v <- v;
   let b = bucket_of v in
   h.buckets.(b) <- h.buckets.(b) + 1
 
 let hist_count h = h.count
 let hist_sum h = h.sum
+let hist_min h = if h.count = 0 then 0.0 else h.min_v
 let hist_max h = h.max_v
+
+let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+(* Quantile estimate from the log-bucketed counts: find the bucket the
+   rank falls into and interpolate linearly inside it.  The bucket edges
+   are tightened by the exact min/max, so one-bucket histograms are
+   exact and the tails never over-shoot. *)
+let hist_quantile h q =
+  if h.count = 0 then 0.0
+  else if Float.is_nan q then invalid_arg "Metrics.hist_quantile: nan"
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int h.count in
+    let rec find i cum =
+      if i >= nbuckets then nbuckets - 1
+      else
+        let cum' = cum + h.buckets.(i) in
+        if float_of_int cum' >= rank && h.buckets.(i) > 0 then i
+        else if cum' >= h.count then i
+        else find (i + 1) cum'
+    in
+    let b = find 0 0 in
+    let below = ref 0 in
+    for i = 0 to b - 1 do
+      below := !below + h.buckets.(i)
+    done;
+    let n = h.buckets.(b) in
+    if n = 0 then hist_min h
+    else begin
+      let lo = if b = 0 then 0.0 else bucket_upper (b - 1) in
+      let hi = bucket_upper b in
+      (* Clamp the edges by the observed extremes. *)
+      let lo = Float.max lo (Float.min (hist_min h) hi) in
+      let hi = Float.min hi (Float.max h.max_v lo) in
+      let frac = (rank -. float_of_int !below) /. float_of_int n in
+      let frac = Float.max 0.0 (Float.min 1.0 frac) in
+      lo +. (frac *. (hi -. lo))
+    end
+  end
 
 let hist_buckets h =
   let acc = ref [] in
@@ -102,6 +151,7 @@ let merge ~into src =
         let dst = histogram into name in
         dst.count <- dst.count + h.count;
         dst.sum <- dst.sum +. h.sum;
+        if h.min_v < dst.min_v then dst.min_v <- h.min_v;
         if h.max_v > dst.max_v then dst.max_v <- h.max_v;
         Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets)
     (names src)

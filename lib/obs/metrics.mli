@@ -42,8 +42,24 @@ val gauge_value : gauge -> float
 val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+val hist_min : histogram -> float
+(** 0 when empty. *)
+
 val hist_max : histogram -> float
 (** 0 when empty. *)
+
+val hist_mean : histogram -> float
+(** Exact mean ([sum/count]); 0 when empty. *)
+
+val hist_quantile : histogram -> float -> float
+(** [hist_quantile h q] estimates the [q]-quantile ([q] clamped to
+    [0,1]) from the bucket counts: the bucket containing rank
+    [q * count] is located and the value interpolated linearly inside
+    it, with the bucket edges tightened by the exact min/max.  The
+    estimate is exact when all observations share a bucket and is
+    otherwise off by at most the width of one power-of-two bucket.
+    0 when empty. *)
 
 val bucket_of : float -> int
 (** The bucket index a value falls into (exposed for tests). *)

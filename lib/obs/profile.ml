@@ -1,0 +1,210 @@
+(* Call-tree profiles folded from span event streams.  The builder keeps
+   one mutable node per (parent, name) pair, so memory is proportional to
+   the shape of the call tree, not to the number of events — a live
+   collector over a million-span bench run stays small. *)
+
+type node = {
+  name : string;
+  calls : int;
+  total : float;
+  self : float;
+  children : node list;
+}
+
+(* --- mutable builder ------------------------------------------------------- *)
+
+type bnode = {
+  bname : string;
+  mutable bcalls : int;
+  mutable btotal : float;
+  mutable border : string list; (* child names, reverse arrival order *)
+  btbl : (string, bnode) Hashtbl.t;
+}
+
+let mk_bnode name = { bname = name; bcalls = 0; btotal = 0.0; border = []; btbl = Hashtbl.create 4 }
+
+type builder = {
+  root : bnode;
+  mutable stack : (bnode * float) list; (* open spans, innermost first *)
+  mutable first_ts : float;
+  mutable last_ts : float;
+  mutable seen : bool;
+}
+
+let create () =
+  { root = mk_bnode "(root)"; stack = []; first_ts = 0.0; last_ts = 0.0; seen = false }
+
+let child_of parent name =
+  match Hashtbl.find_opt parent.btbl name with
+  | Some n -> n
+  | None ->
+    let n = mk_bnode name in
+    Hashtbl.add parent.btbl name n;
+    parent.border <- name :: parent.border;
+    n
+
+let note_ts b ts =
+  if not b.seen then begin
+    b.seen <- true;
+    b.first_ts <- ts
+  end;
+  if ts > b.last_ts then b.last_ts <- ts
+
+let feed b (e : Trace.event) =
+  match e with
+  | Trace.Begin { name; ts; _ } ->
+    note_ts b ts;
+    let parent = match b.stack with (n, _) :: _ -> n | [] -> b.root in
+    let n = child_of parent name in
+    n.bcalls <- n.bcalls + 1;
+    b.stack <- (n, ts) :: b.stack
+  | Trace.End { ts; _ } -> (
+    note_ts b ts;
+    match b.stack with
+    | (n, t0) :: rest ->
+      n.btotal <- n.btotal +. Float.max 0.0 (ts -. t0);
+      b.stack <- rest
+    | [] -> (* stray end: tolerate unbalanced streams *) ())
+  | Trace.Instant { ts; _ } -> note_ts b ts
+
+(* Snapshot: still-open spans are charged provisionally up to the last
+   seen timestamp.  The builder is left untouched, so feeding the real
+   End events later and snapshotting again gives the exact totals. *)
+let snapshot b =
+  let rec freeze bn extra =
+    let children =
+      List.rev_map
+        (fun name ->
+          let c = Hashtbl.find bn.btbl name in
+          (* Distribute pending time to open children of this node: only
+             spans on the current stack matter, and each stack entry's
+             name is unique per parent in [btbl]. *)
+          let c_extra =
+            List.fold_left
+              (fun acc (sn, t0) ->
+                if sn == c then acc +. Float.max 0.0 (b.last_ts -. t0) else acc)
+              0.0 b.stack
+          in
+          freeze c c_extra)
+        bn.border
+    in
+    let children = List.sort (fun a b -> compare b.total a.total) children in
+    let total =
+      if bn == b.root then if b.seen then b.last_ts -. b.first_ts else 0.0
+      else bn.btotal +. extra
+    in
+    let child_total = List.fold_left (fun acc c -> acc +. c.total) 0.0 children in
+    {
+      name = bn.bname;
+      calls = (if bn == b.root then 1 else bn.bcalls);
+      total;
+      self = Float.max 0.0 (total -. child_total);
+      children;
+    }
+  in
+  freeze b.root 0.0
+
+let of_events events =
+  let b = create () in
+  List.iter (feed b) events;
+  snapshot b
+
+let collector () =
+  let b = create () in
+  let sink = { Trace.emit = feed b; flush = (fun () -> ()) } in
+  (sink, fun () -> snapshot b)
+
+let root_total n = n.total
+
+(* --- flat aggregation ------------------------------------------------------ *)
+
+(* Aggregate by span name over the whole tree.  [self] and [calls] sum
+   safely; [total] of a name only counts spans not nested inside another
+   span of the same name, so recursion is not double-charged. *)
+let hot root =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let bucket name =
+    match Hashtbl.find_opt tbl name with
+    | Some b -> b
+    | None ->
+      let b = ref (0, 0.0, 0.0) in
+      Hashtbl.add tbl name b;
+      order := name :: !order;
+      b
+  in
+  let rec walk ancestors n =
+    List.iter
+      (fun (c : node) ->
+        let b = bucket c.name in
+        let calls, total, self = !b in
+        let total' = if List.mem c.name ancestors then total else total +. c.total in
+        b := (calls + c.calls, total', self +. c.self);
+        walk (c.name :: ancestors) c)
+      n.children
+  in
+  walk [] root;
+  let rows =
+    List.rev_map
+      (fun name ->
+        let calls, total, self = !(Hashtbl.find tbl name) in
+        (name, calls, total, self))
+      !order
+  in
+  List.sort (fun (_, _, _, s1) (_, _, _, s2) -> compare s2 s1) rows
+
+(* --- rendering ------------------------------------------------------------- *)
+
+let pct part whole = if whole > 0.0 then 100.0 *. part /. whole else 0.0
+
+let pp ?(top = 12) ?(max_depth = 6) ?(min_frac = 0.002) fmt root =
+  let whole = Float.max root.total 1e-12 in
+  Format.fprintf fmt "profile: wall %.3fs@." root.total;
+  let rec tree depth n =
+    if depth <= max_depth && (n.total >= min_frac *. whole || depth <= 1) then begin
+      Format.fprintf fmt "%s%-*s %9.3fs %5.1f%%  self %8.3fs  x%d@."
+        (String.make (2 * depth) ' ')
+        (Stdlib.max 1 (36 - (2 * depth)))
+        n.name n.total (pct n.total whole) n.self n.calls;
+      List.iter (tree (depth + 1)) n.children
+    end
+  in
+  List.iter (tree 0) root.children;
+  let rows = hot root in
+  if rows <> [] then begin
+    Format.fprintf fmt "hot spans (by self time):@.";
+    List.iteri
+      (fun i (name, calls, total, self) ->
+        if i < top then
+          Format.fprintf fmt "  %-30s self %8.3fs %5.1f%%  total %8.3fs  x%d@." name self
+            (pct self whole) total calls)
+      rows
+  end
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json root =
+  let b = Buffer.create 1024 in
+  let rec emit (n : node) =
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"calls\":%d,\"total_s\":%.6f,\"self_s\":%.6f,\"children\":["
+         (escape n.name) n.calls n.total n.self);
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char b ',';
+        emit c)
+      n.children;
+    Buffer.add_string b "]}"
+  in
+  emit root;
+  Buffer.contents b

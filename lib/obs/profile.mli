@@ -1,0 +1,49 @@
+(** Call-tree profiles over span event streams.
+
+    A profile aggregates spans by call path: every node of the tree is a
+    span name under its parent chain, with a call count, total wall time
+    (children included) and self time (total minus direct children).
+    The root is a synthetic ["(root)"] node whose total is the event
+    window ([last ts - first ts]) — for a run traced end to end this is
+    the run's wall time.
+
+    Build one either from a recorded stream ({!of_events}, e.g. from a
+    {!Trace.memory} sink) or live through {!collector}, a sink that
+    folds events as they arrive (constant memory in the event count;
+    combine with another sink via {!Trace.tee}). *)
+
+type node = {
+  name : string;
+  calls : int;
+  total : float;  (** wall seconds inside this span, children included *)
+  self : float;   (** [total] minus the totals of direct children *)
+  children : node list;  (** sorted by total, descending *)
+}
+
+val of_events : Trace.event list -> node
+(** Fold a recorded stream into a profile.  Unbalanced streams are
+    tolerated: stray [End]s are dropped and spans still open at the end
+    of the stream are charged up to the last seen timestamp. *)
+
+val collector : unit -> Trace.sink * (unit -> node)
+(** A live folding sink and its snapshot function.  Snapshots are cheap
+    and non-destructive: open spans are charged provisionally, and a
+    later snapshot (after more events) supersedes the provisional
+    charge. *)
+
+val root_total : node -> float
+(** The event-window total of a (root) node. *)
+
+val hot : node -> (string * int * float * float) list
+(** Flat per-name aggregation over the whole tree as
+    [(name, calls, total, self)], sorted by self time descending.
+    Self and calls sum across all occurrences; total skips spans nested
+    inside a same-named ancestor, so recursion is not double-charged. *)
+
+val pp : ?top:int -> ?max_depth:int -> ?min_frac:float -> Format.formatter -> node -> unit
+(** Text rendering: the call tree (pruned at [max_depth], default 6, and
+    below [min_frac] of the root total, default 0.2%) followed by the
+    [top] (default 12) hottest span names by self time. *)
+
+val to_json : node -> string
+(** Nested JSON: [{"name","calls","total_s","self_s","children":[...]}]. *)

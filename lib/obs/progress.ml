@@ -1,0 +1,168 @@
+(* Live progress heartbeats.  Engines post ticks (bound advanced, frame
+   pushed, refinement, solver restart) through the global [beat]; an
+   installed reporter rate-limits them to one rendered line per
+   configured interval and renders for the output at hand: single-line
+   rewrite on a TTY, one line per heartbeat when piped, or JSON lines
+   for tooling.  Each accepted heartbeat also samples the GC through
+   [Resource], so memory tracks time in the run's registry. *)
+
+type tick = {
+  phase : string;
+  step : int option;
+  total : int option;
+  detail : string;
+  conflicts : int;
+  propagations : int;
+  learnt : int;
+}
+
+let mk_tick ?step ?total ?(detail = "") ?(conflicts = 0) ?(propagations = 0) ?(learnt = 0)
+    phase =
+  { phase; step; total; detail; conflicts; propagations; learnt }
+
+type mode = Tty | Plain | Jsonl
+
+type reporter = {
+  mode : mode;
+  interval : float;
+  clock : unit -> float;
+  write : string -> unit;
+  t0 : float;
+  mutable last_emit : float; (* negative: nothing emitted yet *)
+  mutable last_conflicts : int;
+  mutable last_time : float;
+  mutable emitted : int;
+  mutable dirty : bool; (* a TTY line is pending termination *)
+}
+
+let make ?(clock = Clock.now) ?(interval = 1.0) ~mode write =
+  let t0 = clock () in
+  {
+    mode;
+    interval;
+    clock;
+    write;
+    t0;
+    last_emit = Float.neg_infinity;
+    last_conflicts = 0;
+    last_time = t0;
+    emitted = 0;
+    dirty = false;
+  }
+
+let emitted r = r.emitted
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* 1234567 -> "1.2M": heartbeats are for eyeballs, the registry keeps
+   the exact numbers. *)
+let human n =
+  if n >= 10_000_000 then Printf.sprintf "%dM" (n / 1_000_000)
+  else if n >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%dk" (n / 1000)
+  else string_of_int n
+
+let render r t now =
+  let elapsed = now -. r.t0 in
+  match r.mode with
+  | Jsonl ->
+    let b = Buffer.create 128 in
+    Buffer.add_string b (Printf.sprintf "{\"t\":%.3f,\"phase\":\"%s\"" elapsed (json_escape t.phase));
+    (match t.step with Some s -> Buffer.add_string b (Printf.sprintf ",\"step\":%d" s) | None -> ());
+    (match t.total with Some s -> Buffer.add_string b (Printf.sprintf ",\"total\":%d" s) | None -> ());
+    if t.detail <> "" then
+      Buffer.add_string b (Printf.sprintf ",\"detail\":\"%s\"" (json_escape t.detail));
+    Buffer.add_string b
+      (Printf.sprintf ",\"conflicts\":%d,\"propagations\":%d,\"learnt\":%d}" t.conflicts
+         t.propagations t.learnt);
+    Buffer.contents b
+  | Tty | Plain ->
+    let b = Buffer.create 128 in
+    Buffer.add_string b (Printf.sprintf "[%6.1fs] %s" elapsed t.phase);
+    (match (t.step, t.total) with
+    | Some s, Some n -> Buffer.add_string b (Printf.sprintf " %d/%d" s n)
+    | Some s, None -> Buffer.add_string b (Printf.sprintf " %d" s)
+    | None, _ -> ());
+    if t.detail <> "" then Buffer.add_string b (" " ^ t.detail);
+    if t.conflicts > 0 then begin
+      Buffer.add_string b (Printf.sprintf "  confl %s" (human t.conflicts));
+      let dt = now -. r.last_time in
+      if dt > 0.0 && t.conflicts >= r.last_conflicts && r.emitted > 0 then
+        Buffer.add_string b
+          (Printf.sprintf " (%s/s)" (human (int_of_float (float_of_int (t.conflicts - r.last_conflicts) /. dt))));
+      if t.propagations > 0 then
+        Buffer.add_string b (Printf.sprintf " prop %s" (human t.propagations));
+      if t.learnt > 0 then Buffer.add_string b (Printf.sprintf " learnt %s" (human t.learnt))
+    end;
+    Buffer.contents b
+
+let write_line r line =
+  match r.mode with
+  | Tty ->
+    r.write ("\r" ^ line ^ "\027[K");
+    r.dirty <- true
+  | Plain | Jsonl -> r.write (line ^ "\n")
+
+let force r t =
+  let now = r.clock () in
+  write_line r (render r t now);
+  r.last_emit <- now;
+  r.last_conflicts <- t.conflicts;
+  r.last_time <- now;
+  r.emitted <- r.emitted + 1;
+  Resource.sample ()
+
+let emit r t =
+  let now = r.clock () in
+  if now -. r.last_emit >= r.interval then begin
+    force r t;
+    true
+  end
+  else false
+
+let finish r =
+  if r.dirty then begin
+    r.write "\n";
+    r.dirty <- false
+  end
+
+(* --- global reporter ------------------------------------------------------- *)
+
+let current : reporter option ref = ref None
+
+let set_reporter r = current := Some r
+let enabled () = !current <> None
+
+let clear_reporter () =
+  (match !current with Some r -> finish r | None -> ());
+  current := None
+
+let beat t = match !current with Some r -> ignore (emit r t) | None -> ()
+
+let tick ?step ?total ?detail ?conflicts ?propagations ?learnt phase =
+  match !current with
+  | None -> ()
+  | Some r ->
+    ignore (emit r (mk_tick ?step ?total ?detail ?conflicts ?propagations ?learnt phase))
+
+(* --- CLI conveniences ------------------------------------------------------ *)
+
+let auto_mode ?(fd = Unix.stderr) () = if Unix.isatty fd then Tty else Plain
+
+let with_stderr ?clock ?interval mode f =
+  let write s =
+    output_string stderr s;
+    flush stderr
+  in
+  set_reporter (make ?clock ?interval ~mode write);
+  Fun.protect ~finally:clear_reporter f

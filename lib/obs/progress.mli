@@ -1,0 +1,89 @@
+(** Rate-limited live progress heartbeats.
+
+    Engines post {!tick}s at natural advancement points — a BMC/ITPSEQ
+    bound finished, a PDR frame pushed, a CBA refinement, a solver
+    restart — each carrying the run's cumulative conflict/propagation/
+    learnt-clause counters.  A reporter (installed globally, like a
+    {!Trace} sink) renders at most one line per [interval] seconds:
+
+    - [Tty]: a single line rewritten in place ([\r] + erase);
+    - [Plain]: one full line per accepted heartbeat (piped output);
+    - [Jsonl]: one JSON object per accepted heartbeat.
+
+    Every accepted heartbeat also calls {!Resource.sample}, so GC
+    gauges advance with the heartbeat cadence even when tracing is off.
+    Without a reporter installed a tick is two loads and a branch. *)
+
+type tick = {
+  phase : string;        (** e.g. ["bmc.bound"], ["pdr.frame"], ["sat.restart"] *)
+  step : int option;     (** bound k, frame number, run index… *)
+  total : int option;    (** when the number of steps is known (suite runs) *)
+  detail : string;       (** free-form, e.g. ["vending11/itpseq"] *)
+  conflicts : int;       (** cumulative, from the run's registry *)
+  propagations : int;
+  learnt : int;
+}
+
+val mk_tick :
+  ?step:int ->
+  ?total:int ->
+  ?detail:string ->
+  ?conflicts:int ->
+  ?propagations:int ->
+  ?learnt:int ->
+  string ->
+  tick
+
+type mode = Tty | Plain | Jsonl
+
+type reporter
+
+val make :
+  ?clock:(unit -> float) -> ?interval:float -> mode:mode -> (string -> unit) -> reporter
+(** [make ~mode write] builds a reporter over a line consumer.  [clock]
+    (default {!Clock.now}) drives the rate limit and elapsed column;
+    [interval] defaults to 1 s. *)
+
+val emit : reporter -> tick -> bool
+(** Render if at least [interval] elapsed since the last rendered
+    heartbeat (the first always renders).  Returns whether it did. *)
+
+val force : reporter -> tick -> unit
+(** Render unconditionally. *)
+
+val finish : reporter -> unit
+(** Terminate a pending TTY line with a newline; no-op otherwise. *)
+
+val emitted : reporter -> int
+(** Heartbeats rendered so far. *)
+
+val set_reporter : reporter -> unit
+val clear_reporter : unit -> unit
+(** [clear_reporter] also {!finish}es the reporter. *)
+
+val enabled : unit -> bool
+
+val beat : tick -> unit
+(** Post to the installed reporter; no-op (and allocation-free apart
+    from the tick itself) without one. *)
+
+val tick :
+  ?step:int ->
+  ?total:int ->
+  ?detail:string ->
+  ?conflicts:int ->
+  ?propagations:int ->
+  ?learnt:int ->
+  string ->
+  unit
+(** [beat] with the tick built in place; does not build anything when no
+    reporter is installed. *)
+
+val auto_mode : ?fd:Unix.file_descr -> unit -> mode
+(** [Tty] when [fd] (default stderr) is a terminal, [Plain] otherwise —
+    the [--progress auto] policy of the CLIs. *)
+
+val with_stderr :
+  ?clock:(unit -> float) -> ?interval:float -> mode -> (unit -> 'a) -> 'a
+(** Installs a stderr-writing reporter for the extent of the callback
+    ({!clear_reporter} runs even on exceptions). *)

@@ -30,6 +30,18 @@ let memory () =
   let sink = { emit = (fun e -> events := e :: !events); flush = (fun () -> ()) } in
   (sink, fun () -> List.rev !events)
 
+let tee a b =
+  {
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }
+
 (* --- Chrome trace-event JSON --------------------------------------------- *)
 
 let escape b s =
@@ -83,20 +95,33 @@ let chrome_event b ~first e =
   | End { ts; args } -> obj "E" ts args
   | Instant { name; ts; args } -> obj "i" ~name ts args
 
+(* Closing the top-level array must be idempotent: [flush] is routinely
+   reached twice (once by the tracing scope, once by a [Fun.protect]
+   finaliser), and a second "]" would corrupt the file.  Events arriving
+   after the close are dropped. *)
 let chrome buf =
   Buffer.add_string buf "[\n";
   let first = ref true in
+  let closed = ref false in
   {
     emit =
       (fun e ->
-        chrome_event buf ~first:!first e;
-        first := false);
-    flush = (fun () -> Buffer.add_string buf "\n]\n");
+        if not !closed then begin
+          chrome_event buf ~first:!first e;
+          first := false
+        end);
+    flush =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          Buffer.add_string buf "\n]\n"
+        end);
   }
 
 let chrome_channel oc =
   let buf = Buffer.create 256 in
   let sink = chrome buf in
+  let closed = ref false in
   {
     emit =
       (fun e ->
@@ -107,19 +132,35 @@ let chrome_channel oc =
         end);
     flush =
       (fun () ->
-        sink.flush ();
-        Buffer.output_buffer oc buf;
-        Buffer.clear buf;
-        Stdlib.flush oc);
+        if not !closed then begin
+          closed := true;
+          sink.flush ();
+          Buffer.output_buffer oc buf;
+          Buffer.clear buf;
+          Stdlib.flush oc
+        end);
   }
 
 (* --- emission -------------------------------------------------------------- *)
 
+(* Called at every span boundary while tracing is enabled; Resource
+   hooks GC sampling in here.  Kept out of the disabled fast path. *)
+let boundary_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let set_boundary_hook f = boundary_hook := f
+let clear_boundary_hook () = boundary_hook := fun () -> ()
+
 let begin_span ?(args = []) name =
-  if !on then !current.emit (Begin { name; ts = Clock.now (); args })
+  if !on then begin
+    !boundary_hook ();
+    !current.emit (Begin { name; ts = Clock.now (); args })
+  end
 
 let end_span ?(args = []) () =
-  if !on then !current.emit (End { ts = Clock.now (); args })
+  if !on then begin
+    !boundary_hook ();
+    !current.emit (End { ts = Clock.now (); args })
+  end
 
 let instant ?(args = []) name =
   if !on then !current.emit (Instant { name; ts = Clock.now (); args })

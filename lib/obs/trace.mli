@@ -28,13 +28,19 @@ val memory : unit -> sink * (unit -> event list)
 (** An in-memory sink and a function returning the events recorded so
     far, in emission order. *)
 
+val tee : sink -> sink -> sink
+(** Every event (and flush) goes to both sinks, left first — e.g. a
+    Chrome file and a live {!Profile} collector from the same run. *)
+
 val chrome : Buffer.t -> sink
-(** Renders Chrome trace-event JSON into the buffer; [flush] closes the
-    top-level array (the sink must not be used afterwards). *)
+(** Renders Chrome trace-event JSON into the buffer; the first [flush]
+    closes the top-level array, further flushes are no-ops and events
+    emitted after the close are dropped. *)
 
 val chrome_channel : out_channel -> sink
-(** Streams Chrome trace-event JSON to the channel; [flush] closes the
-    array and flushes the channel. *)
+(** Streams Chrome trace-event JSON to the channel; the first [flush]
+    closes the array and flushes the channel, further flushes are
+    no-ops (the channel is never written again). *)
 
 val set_sink : sink -> unit
 (** Installs a sink and enables tracing (unless it is {!null}). *)
@@ -62,3 +68,9 @@ val begin_span : ?args:args -> string -> unit
 val end_span : ?args:args -> unit -> unit
 (** Explicit bracket for call sites where a function wrapper does not
     fit; the caller owns the pairing discipline. *)
+
+val set_boundary_hook : (unit -> unit) -> unit
+val clear_boundary_hook : unit -> unit
+(** A callback invoked at every span begin/end while tracing is enabled
+    (never on the disabled fast path).  {!Resource} uses it to sample
+    the GC at span boundaries; last installer wins. *)

@@ -40,6 +40,7 @@ type t = {
   mutable learnt_count : int;
   mutable max_learnt_len : int;
   mutable learnt_cb : (int -> unit) option; (* observes each learned-clause length *)
+  mutable restart_cb : (int -> unit) option; (* observes each restart (cumulative count) *)
   mutable seen : Bytes.t;              (* conflict-analysis scratch *)
   mutable mark0 : Bytes.t;             (* level-0 elimination scratch *)
   pending : Vec.t;                     (* clause ids to re-examine at solve start *)
@@ -74,6 +75,7 @@ let create () =
     learnt_count = 0;
     max_learnt_len = 0;
     learnt_cb = None;
+    restart_cb = None;
     seen = Bytes.make 16 '\000';
     mark0 = Bytes.make 16 '\000';
     pending = Vec.create ();
@@ -88,6 +90,7 @@ let num_learnt s = s.learnt_count
 let max_learnt_len s = s.max_learnt_len
 let num_clauses s = s.nclauses
 let on_learnt s cb = s.learnt_cb <- cb
+let on_restart s cb = s.restart_cb <- cb
 
 let grow_vars s n =
   let cap = Array.length s.assigns in
@@ -610,6 +613,7 @@ let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
       then begin
         incr restarts;
         s.restarts <- s.restarts + 1;
+        (match s.restart_cb with Some cb -> cb s.restarts | None -> ());
         conflicts_this_restart := 0;
         limit := restart_base * luby !restarts;
         cancel_until s nassumptions

@@ -76,3 +76,8 @@ val on_learnt : t -> (int -> unit) option -> unit
 (** Installs (or clears) an observer called with the length of every
     clause learned from a conflict — the hook behind the per-call
     learned-clause-length histogram of {!Isr_obs.Metrics}. *)
+
+val on_restart : t -> (int -> unit) option -> unit
+(** Installs (or clears) an observer called with the cumulative restart
+    count at every restart — the hook behind the ["sat.restart"]
+    progress heartbeat. *)

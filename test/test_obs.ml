@@ -141,6 +141,83 @@ let test_merge () =
   (* Source unchanged. *)
   Alcotest.(check int) "src intact" 3 (Metrics.value (Metrics.counter b "n"))
 
+let test_hist_mean_quantile () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "h" in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Metrics.hist_mean h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Metrics.hist_quantile h 0.5);
+  (* Constant distribution: the min/max clamp makes every quantile exact. *)
+  List.iter (Metrics.observe h) [ 4.0; 4.0; 4.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "constant mean" 4.0 (Metrics.hist_mean h);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "constant q=%g" q)
+        4.0 (Metrics.hist_quantile h q))
+    [ 0.0; 0.25; 0.5; 1.0 ];
+  (* 1..8: exact mean and endpoints, monotone interpolation in between. *)
+  let h2 = Metrics.histogram r "h2" in
+  List.iter (fun v -> Metrics.observe h2 (float_of_int v)) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Alcotest.(check (float 1e-9)) "mean 1..8" 4.5 (Metrics.hist_mean h2);
+  Alcotest.(check (float 1e-9)) "q0 is min" 1.0 (Metrics.hist_quantile h2 0.0);
+  Alcotest.(check (float 1e-9)) "q1 is max" 8.0 (Metrics.hist_quantile h2 1.0);
+  Alcotest.(check (float 1e-9)) "median" 4.0 (Metrics.hist_quantile h2 0.5);
+  let qs = List.map (Metrics.hist_quantile h2) [ 0.0; 0.1; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
+  Alcotest.(check bool) "monotone" true (List.sort compare qs = qs);
+  List.iter
+    (fun q ->
+      let v = Metrics.hist_quantile h2 q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%g within [min,max]" q)
+        true
+        (v >= 1.0 && v <= 8.0))
+    [ 0.05; 0.33; 0.66; 0.95 ];
+  (* Out-of-range ranks clamp; nan is refused. *)
+  Alcotest.(check (float 1e-9)) "q<0 clamps" 1.0 (Metrics.hist_quantile h2 (-3.0));
+  Alcotest.(check (float 1e-9)) "q>1 clamps" 8.0 (Metrics.hist_quantile h2 2.0);
+  Alcotest.check_raises "nan refused" (Invalid_argument "Metrics.hist_quantile: nan")
+    (fun () -> ignore (Metrics.hist_quantile h2 Float.nan))
+
+let test_merge_edge_cases () =
+  (* Merging an empty registry is a no-op, whatever the destination. *)
+  let a = Metrics.create () in
+  Metrics.merge ~into:a (Metrics.create ());
+  Alcotest.(check (list string)) "empty into empty" [] (Metrics.names a);
+  Metrics.add (Metrics.counter a "n") 2;
+  Metrics.merge ~into:a (Metrics.create ());
+  Alcotest.(check int) "empty into populated" 2 (Metrics.value (Metrics.counter a "n"));
+  (* Merging into an empty registry copies everything... *)
+  let src = Metrics.create () in
+  Metrics.add (Metrics.counter src "c") 3;
+  Metrics.set (Metrics.gauge src "g") 2.5;
+  List.iter (Metrics.observe (Metrics.histogram src "h")) [ 1.0; 100.0 ];
+  let dst = Metrics.create () in
+  Metrics.merge ~into:dst src;
+  Alcotest.(check int) "counter copied" 3 (Metrics.value (Metrics.counter dst "c"));
+  Alcotest.(check (float 0.0)) "gauge copied" 2.5 (Metrics.gauge_value (Metrics.gauge dst "g"));
+  (* ...and a second merge doubles counters and histograms but keeps the
+     gauge maximum. *)
+  Metrics.merge ~into:dst src;
+  Alcotest.(check int) "counter doubled" 6 (Metrics.value (Metrics.counter dst "c"));
+  Alcotest.(check (float 0.0)) "gauge max kept" 2.5 (Metrics.gauge_value (Metrics.gauge dst "g"));
+  let h = Metrics.histogram dst "h" in
+  Alcotest.(check int) "hist count doubled" 4 (Metrics.hist_count h);
+  (* The bucket-wise sums survive the derived statistics: min/max carry
+     over from the sources, so the quantile endpoints stay exact. *)
+  Alcotest.(check (float 0.0)) "merged min" 1.0 (Metrics.hist_min h);
+  Alcotest.(check (float 0.0)) "merged max" 100.0 (Metrics.hist_max h);
+  Alcotest.(check (float 1e-9)) "merged q0" 1.0 (Metrics.hist_quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "merged q1" 100.0 (Metrics.hist_quantile h 1.0);
+  Alcotest.(check (float 1e-9)) "merged mean" 50.5 (Metrics.hist_mean h);
+  (* Disjoint histograms combine bucket-wise. *)
+  let x = Metrics.create () and y = Metrics.create () in
+  List.iter (Metrics.observe (Metrics.histogram x "l")) [ 1.0; 1.0 ];
+  Metrics.observe (Metrics.histogram y "l") 8.0;
+  Metrics.merge ~into:x y;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket-wise" [ (1.0, 2); (8.0, 1) ]
+    (Metrics.hist_buckets (Metrics.histogram x "l"))
+
 (* --- a small JSON parser for the parse-back tests ------------------------- *)
 
 type json =
@@ -343,7 +420,11 @@ let test_chrome_channel_file () =
           Trace.flush ();
           Trace.clear_sink ();
           close_out oc)
-        (fun () -> Trace.span "s" (fun () -> ()));
+        (fun () ->
+          Trace.span "s" (fun () -> ());
+          (* The finaliser above flushes again: both paths are routinely
+             reached, and the second close must not emit a second "]". *)
+          Trace.flush ());
       let text = In_channel.with_open_text path In_channel.input_all in
       match parse_json text with
       | Jlist [ b; e ] ->
@@ -366,6 +447,261 @@ let test_metrics_json () =
     Alcotest.(check (float 0.0)) "le" 8.0 (jnum (member_exn "le" b));
     Alcotest.(check (float 0.0)) "n" 1.0 (jnum (member_exn "n" b))
   | _ -> Alcotest.fail "expected one bucket"
+
+let test_chrome_flush_idempotent () =
+  let buf = Buffer.create 256 in
+  Trace.set_sink (Trace.chrome buf);
+  Fun.protect ~finally:Trace.clear_sink (fun () ->
+      Trace.span "s" (fun () -> Trace.instant "i");
+      Trace.flush ();
+      let first = Buffer.contents buf in
+      (match parse_json first with
+      | Jlist l -> Alcotest.(check int) "three events" 3 (List.length l)
+      | _ -> Alcotest.fail "expected an array");
+      Trace.flush ();
+      Alcotest.(check string) "second flush is a no-op" first (Buffer.contents buf);
+      Trace.instant "late";
+      Trace.flush ();
+      Alcotest.(check string) "events after close are dropped" first (Buffer.contents buf))
+
+(* --- profiles -------------------------------------------------------------- *)
+
+let ev_b name ts = Trace.Begin { name; ts; args = [] }
+let ev_e ts = Trace.End { ts; args = [] }
+
+let find_child name (n : Profile.node) =
+  match List.find_opt (fun (c : Profile.node) -> c.Profile.name = name) n.Profile.children with
+  | Some c -> c
+  | None -> Alcotest.failf "no child %s under %s" name n.Profile.name
+
+let test_profile_tree () =
+  let root =
+    Profile.of_events
+      [
+        ev_b "a" 0.0;
+        ev_b "b" 1.0;
+        ev_e 3.0;
+        ev_b "b" 4.0;
+        ev_e 6.0;
+        ev_e 8.0;
+        ev_b "c" 8.5;
+        ev_e 9.5;
+      ]
+  in
+  Alcotest.(check string) "root name" "(root)" root.Profile.name;
+  (* The acceptance bar: root total tracks the event window within 5%
+     (here it is exact by construction). *)
+  let wall = 9.5 in
+  Alcotest.(check bool) "root total within 5% of wall" true
+    (Float.abs (Profile.root_total root -. wall) <= 0.05 *. wall);
+  Alcotest.(check (float 1e-9)) "root total exact" 9.5 (Profile.root_total root);
+  let a = find_child "a" root and c = find_child "c" root in
+  Alcotest.(check int) "a calls" 1 a.Profile.calls;
+  Alcotest.(check (float 1e-9)) "a total" 8.0 a.Profile.total;
+  (* Self excludes children: 8 s minus two 2 s calls of b. *)
+  Alcotest.(check (float 1e-9)) "a self" 4.0 a.Profile.self;
+  let bn = find_child "b" a in
+  Alcotest.(check int) "b calls merged" 2 bn.Profile.calls;
+  Alcotest.(check (float 1e-9)) "b total" 4.0 bn.Profile.total;
+  Alcotest.(check (float 1e-9)) "b self" 4.0 bn.Profile.self;
+  Alcotest.(check (float 1e-9)) "c total" 1.0 c.Profile.total;
+  (* Root self is the untraced gap (8.0 .. 8.5). *)
+  Alcotest.(check (float 1e-9)) "root self" 0.5 root.Profile.self;
+  (match root.Profile.children with
+  | [ x; y ] ->
+    Alcotest.(check string) "hottest child first" "a" x.Profile.name;
+    Alcotest.(check string) "then c" "c" y.Profile.name
+  | l -> Alcotest.failf "expected two root children, got %d" (List.length l));
+  (* The invariant the renderer relies on: total = self + children,
+     everywhere in the tree. *)
+  let rec invariant (n : Profile.node) =
+    let child_total =
+      List.fold_left (fun acc (ch : Profile.node) -> acc +. ch.Profile.total) 0.0 n.Profile.children
+    in
+    Alcotest.(check (float 1e-9))
+      (n.Profile.name ^ ": self + children = total")
+      n.Profile.total
+      (n.Profile.self +. child_total);
+    List.iter invariant n.Profile.children
+  in
+  invariant root
+
+let test_profile_hot () =
+  (* f calls itself: self times sum, but the total of the inner call must
+     not be double-charged into f's flat total. *)
+  let root =
+    Profile.of_events
+      [
+        ev_b "f" 0.0;
+        ev_b "g" 1.0;
+        ev_e 2.0;
+        ev_b "f" 2.0;
+        ev_e 5.0;
+        ev_e 6.0;
+        ev_b "g" 6.0;
+        ev_e 7.0;
+      ]
+  in
+  match Profile.hot root with
+  | [ (n1, c1, t1, s1); (n2, c2, t2, s2) ] ->
+    Alcotest.(check string) "hottest by self" "f" n1;
+    Alcotest.(check int) "f calls" 2 c1;
+    Alcotest.(check (float 1e-9)) "f total skips recursion" 6.0 t1;
+    Alcotest.(check (float 1e-9)) "f self sums" 5.0 s1;
+    Alcotest.(check string) "g second" "g" n2;
+    Alcotest.(check int) "g calls" 2 c2;
+    Alcotest.(check (float 1e-9)) "g total" 2.0 t2;
+    Alcotest.(check (float 1e-9)) "g self" 2.0 s2
+  | l -> Alcotest.failf "expected two hot rows, got %d" (List.length l)
+
+let test_profile_collector () =
+  let sink, snapshot = Profile.collector () in
+  sink.Trace.emit (ev_b "a" 0.0);
+  sink.Trace.emit (ev_b "b" 1.0);
+  (* Open spans are charged provisionally up to the last timestamp... *)
+  let s1 = snapshot () in
+  Alcotest.(check (float 1e-9)) "provisional a" 1.0 (find_child "a" s1).Profile.total;
+  sink.Trace.emit (ev_e 2.0);
+  sink.Trace.emit (ev_e 5.0);
+  (* ...and a later snapshot supersedes the provisional charge. *)
+  let s2 = snapshot () in
+  let a = find_child "a" s2 in
+  Alcotest.(check (float 1e-9)) "final a" 5.0 a.Profile.total;
+  Alcotest.(check (float 1e-9)) "final b" 1.0 (find_child "b" a).Profile.total;
+  Alcotest.(check int) "single call" 1 a.Profile.calls;
+  Alcotest.(check (float 1e-9)) "window" 5.0 (Profile.root_total s2)
+
+let test_profile_json () =
+  let root = Profile.of_events [ ev_b "a" 0.0; ev_b "b" 0.25; ev_e 0.75; ev_e 1.0 ] in
+  let j = parse_json (Profile.to_json root) in
+  Alcotest.(check string) "root name" "(root)" (jstr (member_exn "name" j));
+  Alcotest.(check (float 1e-6)) "root total" 1.0 (jnum (member_exn "total_s" j));
+  match member_exn "children" j with
+  | Jlist [ a ] -> (
+    Alcotest.(check string) "child name" "a" (jstr (member_exn "name" a));
+    Alcotest.(check (float 1e-6)) "a self" 0.5 (jnum (member_exn "self_s" a));
+    match member_exn "children" a with
+    | Jlist [ b ] ->
+      Alcotest.(check (float 1e-6)) "b total" 0.5 (jnum (member_exn "total_s" b))
+    | _ -> Alcotest.fail "expected one grandchild")
+  | _ -> Alcotest.fail "expected one child"
+
+(* --- progress heartbeats --------------------------------------------------- *)
+
+let test_progress_rate_limit () =
+  let now = ref 0.0 in
+  let lines = ref [] in
+  let r =
+    Progress.make
+      ~clock:(fun () -> !now)
+      ~interval:1.0 ~mode:Progress.Plain
+      (fun s -> lines := s :: !lines)
+  in
+  let t = Progress.mk_tick ~step:1 ~conflicts:100 "bmc.bound" in
+  Alcotest.(check bool) "first heartbeat renders" true (Progress.emit r t);
+  now := 0.4;
+  Alcotest.(check bool) "within interval suppressed" false (Progress.emit r t);
+  now := 0.999;
+  Alcotest.(check bool) "still suppressed" false (Progress.emit r t);
+  now := 1.0;
+  Alcotest.(check bool) "renders at the interval" true (Progress.emit r t);
+  now := 1.5;
+  Progress.force r t;
+  Alcotest.(check int) "emitted" 3 (Progress.emitted r);
+  Alcotest.(check int) "one line per render" 3 (List.length !lines);
+  now := 1.6;
+  Alcotest.(check bool) "force resets the limiter" false (Progress.emit r t)
+
+let test_progress_jsonl () =
+  let now = ref 10.0 in
+  let lines = ref [] in
+  let r =
+    Progress.make
+      ~clock:(fun () -> !now)
+      ~mode:Progress.Jsonl
+      (fun s -> lines := s :: !lines)
+  in
+  now := 12.5;
+  Progress.force r
+    (Progress.mk_tick ~step:3 ~total:8 ~detail:"vending11/itpseq" ~conflicts:1234
+       ~propagations:9999 ~learnt:55 "suite.run");
+  match !lines with
+  | [ line ] ->
+    let j = parse_json (String.trim line) in
+    Alcotest.(check (float 1e-6)) "elapsed" 2.5 (jnum (member_exn "t" j));
+    Alcotest.(check string) "phase" "suite.run" (jstr (member_exn "phase" j));
+    Alcotest.(check (float 0.0)) "step" 3.0 (jnum (member_exn "step" j));
+    Alcotest.(check (float 0.0)) "total" 8.0 (jnum (member_exn "total" j));
+    Alcotest.(check string) "detail" "vending11/itpseq" (jstr (member_exn "detail" j));
+    Alcotest.(check (float 0.0)) "conflicts" 1234.0 (jnum (member_exn "conflicts" j));
+    Alcotest.(check (float 0.0)) "propagations" 9999.0 (jnum (member_exn "propagations" j));
+    Alcotest.(check (float 0.0)) "learnt" 55.0 (jnum (member_exn "learnt" j))
+  | l -> Alcotest.failf "expected one JSON line, got %d" (List.length l)
+
+let test_progress_tty_finish () =
+  let now = ref 0.0 in
+  let buf = Buffer.create 64 in
+  let r = Progress.make ~clock:(fun () -> !now) ~mode:Progress.Tty (Buffer.add_string buf) in
+  Progress.force r (Progress.mk_tick ~step:2 "pdr.frame");
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "rewrites in place" true (String.length s > 0 && s.[0] = '\r');
+  Alcotest.(check bool) "no newline while pending" false (String.contains s '\n');
+  Progress.finish r;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "finish terminates the line" true (s.[String.length s - 1] = '\n');
+  let len = Buffer.length buf in
+  Progress.finish r;
+  Alcotest.(check int) "finish is idempotent" len (Buffer.length buf)
+
+let test_progress_global () =
+  Alcotest.(check bool) "disabled by default" false (Progress.enabled ());
+  Progress.tick "ignored" (* must be a silent no-op without a reporter *);
+  let now = ref 0.0 in
+  let lines = ref [] in
+  Progress.set_reporter
+    (Progress.make
+       ~clock:(fun () -> !now)
+       ~interval:1.0 ~mode:Progress.Plain
+       (fun s -> lines := s :: !lines));
+  Fun.protect ~finally:Progress.clear_reporter (fun () ->
+      Alcotest.(check bool) "enabled with reporter" true (Progress.enabled ());
+      Progress.tick ~step:1 "bmc.bound";
+      now := 0.1;
+      Progress.tick ~step:2 "bmc.bound";
+      Alcotest.(check int) "global ticks rate-limited" 1 (List.length !lines));
+  Alcotest.(check bool) "disabled after clear" false (Progress.enabled ())
+
+(* --- resource sampling ----------------------------------------------------- *)
+
+let test_resource_sampling () =
+  Alcotest.(check bool) "nothing attached" false (Resource.attached ());
+  Resource.sample () (* no-op without an attachment *);
+  let r = Metrics.create () in
+  Resource.with_attached r (fun () ->
+      Alcotest.(check bool) "attached inside" true (Resource.attached ());
+      (* Small blocks, so the allocation actually goes through the minor
+         heap (large arrays go straight to the major heap). *)
+      ignore (Sys.opaque_identity (List.init 1000 (fun i -> (i, i))));
+      Resource.sample ());
+  Alcotest.(check bool) "detached after" false (Resource.attached ());
+  let names = Metrics.names r in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+    [
+      "gc.heap_words";
+      "gc.peak_heap_words";
+      "gc.minor_words";
+      "gc.minor_collections";
+      "gc.major_collections";
+      "gc.minor_alloc_rate";
+    ];
+  Alcotest.(check bool) "live heap measured" true
+    (Metrics.gauge_value (Metrics.gauge r "gc.heap_words") > 0.0);
+  Alcotest.(check bool) "peak >= current" true
+    (Metrics.gauge_value (Metrics.gauge r "gc.peak_heap_words")
+    >= Metrics.gauge_value (Metrics.gauge r "gc.heap_words"));
+  Alcotest.(check bool) "minor allocation counted" true
+    (Metrics.value (Metrics.counter r "gc.minor_words") > 0)
 
 (* --- end to end ----------------------------------------------------------- *)
 
@@ -433,13 +769,32 @@ let () =
           Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
           Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
           Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "hist mean and quantile" `Quick test_hist_mean_quantile;
+          Alcotest.test_case "merge edge cases" `Quick test_merge_edge_cases;
         ] );
       ( "json",
         [
           Alcotest.test_case "chrome trace parse-back" `Quick test_chrome_json;
           Alcotest.test_case "chrome channel file" `Quick test_chrome_channel_file;
           Alcotest.test_case "metrics snapshot" `Quick test_metrics_json;
+          Alcotest.test_case "chrome flush idempotent" `Quick test_chrome_flush_idempotent;
         ] );
+      ( "profile",
+        [
+          Alcotest.test_case "call tree from events" `Quick test_profile_tree;
+          Alcotest.test_case "hot spans and recursion" `Quick test_profile_hot;
+          Alcotest.test_case "live collector snapshots" `Quick test_profile_collector;
+          Alcotest.test_case "json parse-back" `Quick test_profile_json;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "rate limit with fake clock" `Quick test_progress_rate_limit;
+          Alcotest.test_case "jsonl parse-back" `Quick test_progress_jsonl;
+          Alcotest.test_case "tty line termination" `Quick test_progress_tty_finish;
+          Alcotest.test_case "global reporter" `Quick test_progress_global;
+        ] );
+      ( "resource",
+        [ Alcotest.test_case "gc sampling" `Quick test_resource_sampling ] );
       ( "integration",
         [
           Alcotest.test_case "engine span structure" `Slow test_engine_span_structure;
