@@ -427,6 +427,112 @@ let regress_cmd =
              got slower beyond the noise threshold, changed verdict, or vanished")
     Term.(const run $ baseline_arg $ current_arg $ threshold_arg $ min_delta_arg)
 
+(* --- par (sequential vs racing portfolio) ------------------------------------------- *)
+
+(* Instances where the sequential portfolio pays for its early members
+   (eijkring12 and hamming8: BMC burns its whole slice while k-induction
+   proves instantly — racing buys the slice back) next to easy ones
+   where both modes should tie. *)
+let par_default_benches = [ "eijkring12"; "hamming8"; "peterson"; "vending11" ]
+
+let par_cmd =
+  let run time bound conflicts jobs names repeat out_path check trace metrics progress =
+    with_obs ~check ~progress ~trace ~metrics (fun ~record:_ ->
+        let limits = limits_of ~time ~bound ~conflicts in
+        let names = if names = [] then par_default_benches else names in
+        let entries =
+          List.map
+            (fun n ->
+              match Registry.find n with
+              | Some e -> e
+              | None ->
+                prerr_endline
+                  (Printf.sprintf "isr-bench: no benchmark named %S" n);
+                exit 2)
+            names
+        in
+        let median times =
+          let a = List.sort compare times in
+          List.nth a (List.length a / 2)
+        in
+        let disagreements = ref 0 in
+        Format.fprintf out "%-12s %-10s %-10s %9s %9s %8s@." "bench" "seq" "par"
+          "seq[s]" "par[s]" "speedup";
+        let runs =
+          List.concat_map
+            (fun (entry : Registry.entry) ->
+              let model = Registry.build_validated entry in
+              let seq = List.init repeat (fun _ -> Portfolio.verify ~limits model) in
+              let par =
+                List.init repeat (fun _ -> Isr_par.portfolio ~jobs ~limits model)
+              in
+              let describe = function
+                | Verdict.Proved _ -> "pass"
+                | Verdict.Falsified _ -> "fail"
+                | Verdict.Unknown _ -> "unknown"
+              in
+              let sv = fst (List.hd seq) and pv = fst (List.hd par) in
+              (* All engines are sound, so sequential and raced runs must
+                 agree on pass/fail; count any divergence and gate on it. *)
+              if
+                Verdict.is_proved sv <> Verdict.is_proved pv
+                || Verdict.is_falsified sv <> Verdict.is_falsified pv
+              then incr disagreements;
+              let t_of rs = median (List.map (fun (_, s) -> Verdict.time s) rs) in
+              let ts = t_of seq and tp = t_of par in
+              Format.fprintf out "%-12s %-10s %-10s %9.3f %9.3f %7.2fx@."
+                entry.Registry.name (describe sv) (describe pv) ts tp
+                (if tp > 0.0 then ts /. tp else Float.nan);
+              [
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"portfolio-seq" seq;
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"portfolio-par" par;
+              ])
+            entries
+        in
+        let store = Isr_exp.Bench_store.make ~suite:"par" ~repeat ~time_limit:time runs in
+        Isr_exp.Bench_store.save out_path store;
+        Format.fprintf out "wrote %s: %d runs (%d instances, repeat %d)@." out_path
+          (List.length runs) (List.length entries) repeat;
+        if !disagreements > 0 then begin
+          Format.fprintf out "%d verdict disagreement(s) between modes@." !disagreements;
+          Format.pp_print_flush out ();
+          exit 3
+        end)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Domains to race ($(b,0) = the machine's recommended count).")
+  in
+  let names_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ] ~docv:"BENCH"
+          ~doc:"Benchmark to include (repeatable); default: a safe mid-size set.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"N" ~doc:"Samples per (instance, mode) cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_par.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "par"
+       ~doc:"Race the parallel portfolio against the sequential schedule on the \
+             same instances, check the verdicts agree, and persist both sides as \
+             a snapshot")
+    Term.(
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ jobs_arg $ names_arg
+      $ repeat_arg $ out_arg $ check_arg $ trace_arg $ metrics_arg $ progress_arg)
+
 (* --- all (default) ------------------------------------------------------------------ *)
 
 let all time bound conflicts mid_only check trace metrics profile progress =
@@ -469,7 +575,7 @@ let () =
       [
         table1_cmd; fig6_cmd; fig7_cmd; ablation_checks_cmd; ablation_alpha_cmd;
         ablation_systems_cmd; abstraction_cmd; extended_cmd; kernels_cmd;
-        snapshot_cmd; regress_cmd;
+        snapshot_cmd; regress_cmd; par_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -249,6 +249,18 @@ let certify_arg =
     & info [ "certify" ]
         ~doc:"On PASS, re-check the inductive invariant with independent SAT calls.")
 
+let par_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "par"; "j" ] ~docv:"N"
+        ~doc:
+          "Race the work across $(docv) OCaml domains (default: the machine's \
+           recommended domain count). With the portfolio engine, members race and \
+           the first definitive verdict cancels the rest; with the bmc engines, \
+           bounds are probed in parallel. Other engines ignore the flag and run \
+           sequentially.")
+
 let check_arg =
   let level_conv =
     Arg.conv
@@ -265,7 +277,7 @@ let check_arg =
            lint every emitted interpolant).")
 
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check profile profile_json progress =
+  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check profile profile_json progress par =
     setup_logs verbose;
     Isr_check.Level.set check;
     match load_model ~property file name with
@@ -298,10 +310,29 @@ let verify_term =
         let limits =
           { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
         in
+        let run_engine () =
+          match (eng, par) with
+          | _, None -> Engine.run eng ~limits model
+          | Engine.Portfolio, Some jobs ->
+            (* Same "engine" root span as the sequential path, so traces
+               and profiles keep one shape across modes. *)
+            Isr_obs.Trace.span "engine"
+              ~args:[ ("engine", Engine.name eng); ("model", model.Model.name) ]
+              (fun () -> Isr_par.portfolio ~jobs ~limits model)
+          | Engine.Bmc_only check, Some jobs ->
+            Isr_obs.Trace.span "engine"
+              ~args:[ ("engine", Engine.name eng); ("model", model.Model.name) ]
+              (fun () -> Isr_par.bmc ~check ~jobs ~limits model)
+          | _, Some _ ->
+            Logs.warn (fun m ->
+                m "--par applies to the portfolio and bmc engines; running %s sequentially"
+                  (Engine.name eng));
+            Engine.run eng ~limits model
+        in
         let (verdict, stats), profile_root =
           try
             with_trace ~trace ~profile:(profile || profile_json <> None) (fun () ->
-                with_progress progress (fun () -> Engine.run eng ~limits model))
+                with_progress progress run_engine)
           with Isr_check.Level.Violation { check; detail } ->
             Format.eprintf "sanitizer violation [%s]: %s@." check detail;
             exit 5
@@ -397,7 +428,7 @@ let verify_term =
     const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
     $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
     $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ check_arg $ profile_arg
-    $ profile_json_arg $ progress_arg)
+    $ profile_json_arg $ progress_arg $ par_arg)
 
 let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term
 

@@ -19,27 +19,35 @@ let paranoid () = !state = Paranoid
 
 (* One registry for the whole process: the level itself is global, and
    check counts are diagnostics, not per-run results.  Handles are cached
-   by name so a probe costs two counter bumps, not a registry lookup. *)
+   by name so a probe costs two counter bumps, not a registry lookup.
+   Registration is mutex-protected because sanitized engines race across
+   domains in the parallel portfolio; the bumps themselves are plain
+   writes (a lost diagnostic count is benign, a corrupted Hashtbl is
+   not). *)
 let registry = ref (Isr_obs.Metrics.create ())
 let handles : (string, Isr_obs.Metrics.counter * Isr_obs.Metrics.counter) Hashtbl.t =
   Hashtbl.create 64
 
+let lock = Mutex.create ()
+
 let reset_metrics () =
-  registry := Isr_obs.Metrics.create ();
-  Hashtbl.reset handles
+  Mutex.protect lock (fun () ->
+      registry := Isr_obs.Metrics.create ();
+      Hashtbl.reset handles)
 
 let metrics () = !registry
 
 let counters name =
-  match Hashtbl.find_opt handles name with
-  | Some cs -> cs
-  | None ->
-    let cs =
-      ( Isr_obs.Metrics.counter !registry ("check." ^ name ^ ".pass"),
-        Isr_obs.Metrics.counter !registry ("check." ^ name ^ ".fail") )
-    in
-    Hashtbl.add handles name cs;
-    cs
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt handles name with
+      | Some cs -> cs
+      | None ->
+        let cs =
+          ( Isr_obs.Metrics.counter !registry ("check." ^ name ^ ".pass"),
+            Isr_obs.Metrics.counter !registry ("check." ^ name ^ ".fail") )
+        in
+        Hashtbl.add handles name cs;
+        cs)
 
 let record name = Isr_obs.Metrics.incr (fst (counters name))
 

@@ -4,15 +4,48 @@ type limits = { time_limit : float; conflict_limit : int; bound_limit : int }
 
 let default_limits = { time_limit = 60.0; conflict_limit = 2_000_000; bound_limit = 200 }
 
-type t = { l : limits; t0 : float; mutable conflicts_left : int }
-
 exception Out_of_time
 exception Out_of_conflicts
+exception Cancelled
 
-let start l = { l; t0 = Isr_obs.Clock.now (); conflicts_left = l.conflict_limit }
+(* Ambient cancel token.  The parallel portfolio runner needs every
+   budget created inside a worker domain to observe its race's cancel
+   flag, without threading a parameter through every engine signature —
+   so the token lives in domain-local storage and [start] captures
+   whatever is current.  Sequential runs never set one and pay nothing
+   beyond an option check. *)
+let cancel_key : bool Atomic.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_cancel c = Domain.DLS.set cancel_key c
+let current_cancel () = Domain.DLS.get cancel_key
+
+let with_cancel c f =
+  let old = current_cancel () in
+  set_cancel (Some c);
+  Fun.protect ~finally:(fun () -> set_cancel old) f
+
+type t = {
+  l : limits;
+  t0 : float;
+  mutable conflicts_left : int;
+  cancel : bool Atomic.t option;
+}
+
+let start l =
+  { l;
+    t0 = Isr_obs.Clock.now ();
+    conflicts_left = l.conflict_limit;
+    cancel = current_cancel ();
+  }
+
 let limits b = b.l
 let elapsed b = Isr_obs.Clock.now () -. b.t0
-let check_time b = if elapsed b > b.l.time_limit then raise Out_of_time
+let cancelled b = match b.cancel with Some c -> Atomic.get c | None -> false
+
+let check_time b =
+  if cancelled b then raise Cancelled;
+  if elapsed b > b.l.time_limit then raise Out_of_time
 
 (* Solve in slices so the deadline is honoured mid-search: the solver is
    resumable after an exhausted conflict budget. *)
@@ -26,6 +59,14 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
   Isr_obs.Metrics.incr stats.Verdict.c_sat_calls;
   Solver.on_learnt solver
     (Some (fun len -> Isr_obs.Metrics.observe stats.Verdict.h_learnt_len (float_of_int len)));
+  (* Both the deadline and a race's cancel token must stop the search
+     mid-slice, not after up to 20k more conflicts: the solver polls this
+     every few hundred conflicts / decisions (and every [poll_props]
+     propagations, for conflict-light searches) and bails with [Undef],
+     which the slice loop turns into [Out_of_time] or [Cancelled] via
+     [check_time]. *)
+  Solver.set_interrupt solver
+    (Some (fun () -> cancelled b || elapsed b > b.l.time_limit));
   (* Restart-cadence heartbeats.  Deltas are charged to the registry only
      at slice boundaries, so read the live solver counters here: registry
      value before this call plus the in-call delta. *)
@@ -72,7 +113,18 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
       ("clauses", string_of_int (Solver.num_clauses solver));
     ]
   in
-  Isr_obs.Trace.span "sat.call" ~end_args (fun () ->
-      let r = go () in
-      res := r;
-      r)
+  (* The observers capture this call's registry and counter baselines;
+     left installed they would keep charging a stale registry from the
+     next call (or a later engine's), and on the raising paths the next
+     caller would inherit them silently — always strip them on the way
+     out, normal return or not. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Solver.on_learnt solver None;
+      Solver.on_restart solver None;
+      Solver.set_interrupt solver None)
+    (fun () ->
+      Isr_obs.Trace.span "sat.call" ~end_args (fun () ->
+          let r = go () in
+          res := r;
+          r))

@@ -22,15 +22,39 @@ val limits : t -> limits
 exception Out_of_time
 exception Out_of_conflicts
 
+exception Cancelled
+(** Raised (from {!check_time} and from inside {!solve}) when the
+    ambient cancel token is set: another portfolio member already
+    answered.  Deliberately distinct from {!Out_of_time} /
+    {!Out_of_conflicts} so that engines' resource-exhaustion handlers
+    do not swallow it — it propagates to the parallel runner. *)
+
+val with_cancel : bool Atomic.t -> (unit -> 'a) -> 'a
+(** [with_cancel c f] runs [f] with [c] as the current domain's cancel
+    token: every budget {!start}ed inside captures [c] and aborts with
+    {!Cancelled} once [c] reads [true].  The previous token is restored
+    when [f] returns or raises.  Tokens are domain-local — install one
+    inside each worker domain, not before spawning. *)
+
+val set_cancel : bool Atomic.t option -> unit
+(** Imperative form of {!with_cancel} (no scoping); [None] clears. *)
+
+val current_cancel : unit -> bool Atomic.t option
+(** The calling domain's current cancel token, if any. *)
+
 val check_time : t -> unit
-(** @raise Out_of_time when the deadline passed. *)
+(** @raise Cancelled when the captured cancel token is set.
+    @raise Out_of_time when the deadline passed. *)
 
 val solve : ?assumptions:Lit.t list -> t -> Verdict.stats -> Solver.t -> Solver.result
 (** Runs the solver under the remaining conflict budget, charging one
     SAT call plus the conflict/decision/propagation/restart deltas and
     the learned-clause lengths to the [stats] registry, inside a
-    ["sat.call"] trace span.
+    ["sat.call"] trace span.  Whatever the outcome, the solver's
+    [on_learnt] / [on_restart] / interrupt hooks are cleared on return —
+    they capture this call's registry and must not leak into the next.
     @raise Out_of_conflicts when the pool is exhausted
-    @raise Out_of_time when the deadline passed before the call. *)
+    @raise Out_of_time when the deadline passed before the call
+    @raise Cancelled when the ambient cancel token was set. *)
 
 val elapsed : t -> float

@@ -72,7 +72,7 @@ let verify ?(alpha = 0.0) ?(check = Bmc.Exact) ?(limits = Budget.default_limits)
                 (* Cannot happen — the abstract instance contains the
                    whole unsat core of the concrete one — but stay safe:
                    extract the family from the concrete refutation. *)
-                Seq_family.of_refutation stats u ~ncuts:k
+                Seq_family.of_refutation budget stats u ~ncuts:k
             in
             let cols =
               Array.init k (fun idx ->

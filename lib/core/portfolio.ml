@@ -1,5 +1,7 @@
+type member = [ `Randsim | `Bmc | `Kind | `Pdr | `Itp | `Itpseq_cba ]
+
 (* Time shares per member; the tail members inherit whatever is left. *)
-let members =
+let members : (float * member) list =
   [
     (0.02, `Randsim);
     (0.13, `Bmc);
@@ -45,6 +47,7 @@ let verify ?(limits = Budget.default_limits) model =
   let t0 = Isr_obs.Clock.now () in
   let elapsed () = Isr_obs.Clock.now () -. t0 in
   let total = Verdict.mk_stats () in
+  let winner = ref "none" in
   let rec go = function
     | [] ->
       Verdict.set_time total (elapsed ());
@@ -69,11 +72,18 @@ let verify ?(limits = Budget.default_limits) model =
         Verdict.merge_into ~into:total stats;
         match verdict with
         | Verdict.Proved _ | Verdict.Falsified _ ->
+          winner := member_name member;
           Verdict.set_time total (elapsed ());
           (verdict, total)
         | Verdict.Unknown _ -> go rest
       end
   in
   (* Members attach their own registries on top of this one; the final
-     detach folds the whole run's GC story into [total]. *)
-  Isr_obs.Resource.with_attached (Verdict.registry total) @@ fun () -> go members
+     detach folds the whole run's GC story into [total].  The same
+     ["portfolio"]/["winner"] span shape as the parallel racer, so
+     traces from either mode read alike. *)
+  Isr_obs.Trace.span "portfolio"
+    ~args:[ ("mode", "sequential") ]
+    ~end_args:(fun () -> [ ("winner", !winner) ])
+    (fun () ->
+      Isr_obs.Resource.with_attached (Verdict.registry total) @@ fun () -> go members)

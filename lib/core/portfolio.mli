@@ -10,4 +10,20 @@
 
 open Isr_model
 
+type member = [ `Randsim | `Bmc | `Kind | `Pdr | `Itp | `Itpseq_cba ]
+
+val members : (float * member) list
+(** The portfolio in sequential running order, each with its share of
+    the total time budget (the tail member inherits the remainder).
+    [Isr_par] races exactly this list, ignoring the shares. *)
+
+val member_name : member -> string
+
+val run_member : member -> limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
+(** Runs one member under its own limits: the building block shared by
+    the sequential schedule below and the parallel racer. *)
+
 val verify : ?limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
+(** The sequential schedule: members in order, first definitive verdict
+    wins, unused time rolls over.  The enclosing ["portfolio"] span
+    records the deciding member as its ["winner"] argument. *)

@@ -23,14 +23,19 @@ let lint_itp ~what model itp =
 
 (* Parallel family from a refutation: one interpolant per requested cut,
    all from the same proof (Equation 2).  Explicit [ncuts] keeps the
-   family aligned even when a degenerate partition emitted no clause. *)
-let of_refutation ?(system = Itp.McMillan) stats u ~ncuts =
+   family aligned even when a degenerate partition emitted no clause.
+   Extraction can dwarf a conflict slice on big proofs, so the deadline
+   (and the cancel token) is re-checked between cuts — the overshoot is
+   bounded by one cut, not one family. *)
+let of_refutation ?(system = Itp.McMillan) budget stats u ~ncuts =
   let model = Unroll.model u in
   Isr_obs.Trace.span "itpseq.family" ~args:[ ("ncuts", string_of_int ncuts) ] (fun () ->
+      Budget.check_time budget;
       let proof = Solver.proof (Unroll.solver u) in
       let info = Itp.analyze proof in
       let seq =
         Array.init ncuts (fun j ->
+            Budget.check_time budget;
             Itp.interpolant ~info ~system proof ~cut:(j + 1) ~man:model.Model.man
               ~var_map:(Unroll.any_state_map u))
       in
@@ -40,7 +45,8 @@ let of_refutation ?(system = Itp.McMillan) stats u ~ncuts =
         seq;
       seq)
 
-let parallel_family ~system stats u ~ncuts = of_refutation ~system stats u ~ncuts
+let parallel_family ~system budget stats u ~ncuts =
+  of_refutation ~system budget stats u ~ncuts
 
 (* One serial step (Definition 3): a fresh instance
      I_{j-1}(V^0) ∧ [p(V^0)] ∧ T ∧ … ∧ ¬p(V^last)
@@ -68,6 +74,7 @@ let serial_step ~system budget stats ?frozen model ~check ~k ~j prev =
   match Budget.solve budget stats (Unroll.solver u) with
   | Solver.Sat -> None
   | Solver.Unsat ->
+    Budget.check_time budget;
     let proof = Solver.proof (Unroll.solver u) in
     let itp =
       Itp.interpolant ~system proof ~cut:1 ~man:model.Model.man
@@ -93,7 +100,7 @@ let serial_tail ~system budget stats ?frozen model ~check ~k ~ns prev =
   Unroll.assert_circuit u ~frame:len ~tag:(len + 1) model.Model.bad;
   match Budget.solve budget stats (Unroll.solver u) with
   | Solver.Sat -> None
-  | Solver.Unsat -> Some (of_refutation ~system stats u ~ncuts:len)
+  | Solver.Unsat -> Some (of_refutation ~system budget stats u ~ncuts:len)
   | Solver.Undef -> assert false
 
 let compute ?(system = Itp.McMillan) budget stats ?frozen model ~mode ~check ~k =
@@ -103,14 +110,15 @@ let compute ?(system = Itp.McMillan) budget stats ?frozen model ~mode ~check ~k 
   | `Unsat u -> (
     let man = model.Model.man in
     match mode with
-    | Parallel -> `Family (parallel_family ~system stats u ~ncuts:k)
+    | Parallel -> `Family (parallel_family ~system budget stats u ~ncuts:k)
     | Serial alpha ->
       let ns = int_of_float (alpha *. float_of_int (k + 1)) in
       let ns = max 0 (min ns k) in
-      if ns = 0 then `Family (parallel_family ~system stats u ~ncuts:k)
+      if ns = 0 then `Family (parallel_family ~system budget stats u ~ncuts:k)
       else begin
         (* I_1 comes from the refutation we already own: the j = 1 serial
            instance is the BMC instance itself. *)
+        Budget.check_time budget;
         let proof = Solver.proof (Unroll.solver u) in
         let i1 =
           Itp.interpolant ~system proof ~cut:1 ~man ~var_map:(Unroll.boundary_map u ~frame:1)
@@ -133,14 +141,14 @@ let compute ?(system = Itp.McMillan) budget stats ?frozen model ~mode ~check ~k 
           (* An over-approximate prefix made the instance satisfiable:
              fall back to the all-parallel family (Section IV-C). *)
           Log.debug (fun m -> m "serial saturation at k=%d: parallel fallback" k);
-          `Family (parallel_family ~system stats u ~ncuts:k)
+          `Family (parallel_family ~system budget stats u ~ncuts:k)
         | Some prev ->
           if ns = k then `Family family
           else (
             match serial_tail ~system budget stats ?frozen model ~check ~k ~ns prev with
             | None ->
               Log.debug (fun m -> m "serial tail saturated at k=%d: parallel fallback" k);
-              `Family (parallel_family ~system stats u ~ncuts:k)
+              `Family (parallel_family ~system budget stats u ~ncuts:k)
             | Some tail ->
               Array.blit tail 0 family ns (k - ns);
               `Family family)

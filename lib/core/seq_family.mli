@@ -19,12 +19,17 @@ val mode_name : mode -> string
 
 val of_refutation :
   ?system:Isr_itp.Itp.system ->
+  Budget.t ->
   Verdict.stats ->
   Unroll.t ->
   ncuts:int ->
   Aig.lit array
 (** Parallel family straight from an unrolling whose solver already
-    answered Unsat (Equation 2): one interpolant per cut [1..ncuts]. *)
+    answered Unsat (Equation 2): one interpolant per cut [1..ncuts].
+    Re-checks the deadline (and the ambient cancel token) between cuts,
+    so extraction over a large proof cannot overshoot the budget by more
+    than one cut — may raise {!Budget.Out_of_time} or
+    {!Budget.Cancelled}. *)
 
 val compute :
   ?system:Isr_itp.Itp.system ->

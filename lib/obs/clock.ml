@@ -1,9 +1,17 @@
 let t0 = Unix.gettimeofday ()
-let last = ref 0.0
+
+(* Monotonicity guard shared by every domain: a stale read only makes
+   the CAS-free update a no-op, so concurrent callers still observe a
+   non-decreasing clock. *)
+let last = Atomic.make 0.0
 
 let now () =
   let t = Unix.gettimeofday () -. t0 in
-  if t > !last then last := t;
-  !last
+  let l = Atomic.get last in
+  if t > l then begin
+    Atomic.set last t;
+    t
+  end
+  else l
 
 let now_us () = now () *. 1e6

@@ -25,14 +25,26 @@ let mk_bnode name = { bname = name; bcalls = 0; btotal = 0.0; border = []; btbl 
 
 type builder = {
   root : bnode;
-  mutable stack : (bnode * float) list; (* open spans, innermost first *)
+  (* One stack of open spans per emitting domain (innermost first):
+     parallel runs interleave events from several domains in a single
+     stream, and folding them through one stack would pair begins with
+     the wrong ends.  Each domain's sub-tree hangs off the shared root. *)
+  stacks : (int, (bnode * float) list) Hashtbl.t;
   mutable first_ts : float;
   mutable last_ts : float;
   mutable seen : bool;
 }
 
 let create () =
-  { root = mk_bnode "(root)"; stack = []; first_ts = 0.0; last_ts = 0.0; seen = false }
+  {
+    root = mk_bnode "(root)";
+    stacks = Hashtbl.create 4;
+    first_ts = 0.0;
+    last_ts = 0.0;
+    seen = false;
+  }
+
+let stack_of b tid = Option.value ~default:[] (Hashtbl.find_opt b.stacks tid)
 
 let child_of parent name =
   match Hashtbl.find_opt parent.btbl name with
@@ -52,18 +64,19 @@ let note_ts b ts =
 
 let feed b (e : Trace.event) =
   match e with
-  | Trace.Begin { name; ts; _ } ->
+  | Trace.Begin { name; ts; tid; _ } ->
     note_ts b ts;
-    let parent = match b.stack with (n, _) :: _ -> n | [] -> b.root in
+    let stack = stack_of b tid in
+    let parent = match stack with (n, _) :: _ -> n | [] -> b.root in
     let n = child_of parent name in
     n.bcalls <- n.bcalls + 1;
-    b.stack <- (n, ts) :: b.stack
-  | Trace.End { ts; _ } -> (
+    Hashtbl.replace b.stacks tid ((n, ts) :: stack)
+  | Trace.End { ts; tid; _ } -> (
     note_ts b ts;
-    match b.stack with
+    match stack_of b tid with
     | (n, t0) :: rest ->
       n.btotal <- n.btotal +. Float.max 0.0 (ts -. t0);
-      b.stack <- rest
+      Hashtbl.replace b.stacks tid rest
     | [] -> (* stray end: tolerate unbalanced streams *) ())
   | Trace.Instant { ts; _ } -> note_ts b ts
 
@@ -77,13 +90,16 @@ let snapshot b =
         (fun name ->
           let c = Hashtbl.find bn.btbl name in
           (* Distribute pending time to open children of this node: only
-             spans on the current stack matter, and each stack entry's
+             spans on the open stacks matter, and each stack entry's
              name is unique per parent in [btbl]. *)
           let c_extra =
-            List.fold_left
-              (fun acc (sn, t0) ->
-                if sn == c then acc +. Float.max 0.0 (b.last_ts -. t0) else acc)
-              0.0 b.stack
+            Hashtbl.fold
+              (fun _ stack acc ->
+                List.fold_left
+                  (fun acc (sn, t0) ->
+                    if sn == c then acc +. Float.max 0.0 (b.last_ts -. t0) else acc)
+                  acc stack)
+              b.stacks 0.0
           in
           freeze c c_extra)
         bn.border

@@ -28,6 +28,7 @@ type reporter = {
   clock : unit -> float;
   write : string -> unit;
   t0 : float;
+  lock : Mutex.t; (* ticks arrive from every racing domain *)
   mutable last_emit : float; (* negative: nothing emitted yet *)
   mutable last_conflicts : int;
   mutable last_time : float;
@@ -43,6 +44,7 @@ let make ?(clock = Clock.now) ?(interval = 1.0) ~mode write =
     clock;
     write;
     t0;
+    lock = Mutex.create ();
     last_emit = Float.neg_infinity;
     last_conflicts = 0;
     last_time = t0;
@@ -113,7 +115,7 @@ let write_line r line =
     r.dirty <- true
   | Plain | Jsonl -> r.write (line ^ "\n")
 
-let force r t =
+let force_unlocked r t =
   let now = r.clock () in
   write_line r (render r t now);
   r.last_emit <- now;
@@ -122,19 +124,23 @@ let force r t =
   r.emitted <- r.emitted + 1;
   Resource.sample ()
 
+let force r t = Mutex.protect r.lock (fun () -> force_unlocked r t)
+
 let emit r t =
-  let now = r.clock () in
-  if now -. r.last_emit >= r.interval then begin
-    force r t;
-    true
-  end
-  else false
+  Mutex.protect r.lock (fun () ->
+      let now = r.clock () in
+      if now -. r.last_emit >= r.interval then begin
+        force_unlocked r t;
+        true
+      end
+      else false)
 
 let finish r =
-  if r.dirty then begin
-    r.write "\n";
-    r.dirty <- false
-  end
+  Mutex.protect r.lock (fun () ->
+      if r.dirty then begin
+        r.write "\n";
+        r.dirty <- false
+      end)
 
 (* --- global reporter ------------------------------------------------------- *)
 

@@ -2,9 +2,12 @@
    run's metrics registry so memory joins time as a first-class signal.
    Attachment is a stack — a portfolio member's run nests inside the
    portfolio's — and samples always land in the innermost registry.
-   While at least one registry is attached, a Trace boundary hook
-   samples at every span begin/end; heartbeat reporters call [sample]
-   on their own cadence. *)
+   The stack is domain-local: each racing domain attaches its own run's
+   registry and samples its own GC counters, so parallel members never
+   write into each other's books.  While at least one registry is
+   attached anywhere (an atomic count across domains), a Trace boundary
+   hook samples at every span begin/end; heartbeat reporters call
+   [sample] on their own cadence. *)
 
 module M = Metrics
 
@@ -24,9 +27,12 @@ type handles = {
   mutable last_major : int;
 }
 
-let attached_stack : handles list ref = ref []
+let attached_stack : handles list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
-let attached () = !attached_stack <> []
+(* Domains with a non-empty stack; governs the global boundary hook. *)
+let active = Atomic.make 0
+
+let attached () = Domain.DLS.get attached_stack <> []
 
 (* [Gc.quick_stat] only accounts minor words up to the last minor
    collection; [Gc.minor_words] also counts the live arena, which is
@@ -71,21 +77,27 @@ let sample_into h =
   if dt > 0.0 then M.set h.g_rate ((mw -. h.base_minor_words) /. dt)
 
 let sample () =
-  match !attached_stack with [] -> () | h :: _ -> sample_into h
+  match Domain.DLS.get attached_stack with [] -> () | h :: _ -> sample_into h
 
+(* The hook itself samples the calling domain's innermost registry; the
+   atomic count only decides whether any hook is worth installing.  The
+   install/clear races at the 0↔1 edge are benign: the worst case is a
+   missed (or spurious, no-op) boundary sample. *)
 let attach ?clock reg =
-  let was_empty = !attached_stack = [] in
-  attached_stack := mk ?clock reg :: !attached_stack;
-  if was_empty then Trace.set_boundary_hook sample;
+  let stack = Domain.DLS.get attached_stack in
+  Domain.DLS.set attached_stack (mk ?clock reg :: stack);
+  if stack = [] && Atomic.fetch_and_add active 1 = 0 then
+    Trace.set_boundary_hook sample;
   sample ()
 
 let detach () =
-  (match !attached_stack with
+  match Domain.DLS.get attached_stack with
   | [] -> ()
   | h :: rest ->
     sample_into h;
-    attached_stack := rest);
-  if !attached_stack = [] then Trace.clear_boundary_hook ()
+    Domain.DLS.set attached_stack rest;
+    if rest = [] && Atomic.fetch_and_add active (-1) = 1 then
+      Trace.clear_boundary_hook ()
 
 let with_attached ?clock reg f =
   attach ?clock reg;

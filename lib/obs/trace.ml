@@ -1,9 +1,9 @@
 type args = (string * string) list
 
 type event =
-  | Begin of { name : string; ts : float; args : args }
-  | End of { ts : float; args : args }
-  | Instant of { name : string; ts : float; args : args }
+  | Begin of { name : string; ts : float; tid : int; args : args }
+  | End of { ts : float; tid : int; args : args }
+  | Instant of { name : string; ts : float; tid : int; args : args }
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
@@ -14,6 +14,15 @@ let null = { emit = ignore; flush = (fun () -> ()) }
 let current = ref null
 let on = ref false
 
+(* One emission lock for every installed sink: spans may be emitted from
+   several domains at once (the parallel portfolio), and the sinks —
+   Chrome buffers, the memory sink, profile collectors — are plain
+   mutable structures.  The lock is only ever taken when a sink is
+   installed, so the disabled fast path stays lock-free. *)
+let lock = Mutex.create ()
+
+let event_tid () = (Domain.self () :> int)
+
 let set_sink s =
   current := s;
   on := s != null
@@ -23,7 +32,7 @@ let clear_sink () =
   on := false
 
 let enabled () = !on
-let flush () = !current.flush ()
+let flush () = Mutex.protect lock (fun () -> !current.flush ())
 
 let memory () =
   let events = ref [] in
@@ -74,10 +83,15 @@ let add_args b args =
 
 let chrome_event b ~first e =
   if not first then Buffer.add_string b ",\n";
-  let obj ph ?name ts args =
+  (* The emitting domain becomes the Chrome thread id, so the parallel
+     portfolio renders as one lane per domain instead of one garbled
+     lane of interleaved begins/ends. *)
+  let obj ph ?name ~tid ts args =
     Buffer.add_string b "{\"ph\":\"";
     Buffer.add_string b ph;
-    Buffer.add_string b "\",\"pid\":1,\"tid\":1,\"ts\":";
+    Buffer.add_string b "\",\"pid\":1,\"tid\":";
+    Buffer.add_string b (string_of_int (tid + 1));
+    Buffer.add_string b ",\"ts\":";
     Buffer.add_string b (Printf.sprintf "%.1f" (ts *. 1e6));
     (match name with
     | Some n ->
@@ -91,9 +105,9 @@ let chrome_event b ~first e =
     Buffer.add_char b '}'
   in
   match e with
-  | Begin { name; ts; args } -> obj "B" ~name ts args
-  | End { ts; args } -> obj "E" ts args
-  | Instant { name; ts; args } -> obj "i" ~name ts args
+  | Begin { name; ts; tid; args } -> obj "B" ~name ~tid ts args
+  | End { ts; tid; args } -> obj "E" ~tid ts args
+  | Instant { name; ts; tid; args } -> obj "i" ~name ~tid ts args
 
 (* Closing the top-level array must be idempotent: [flush] is routinely
    reached twice (once by the tracing scope, once by a [Fun.protect]
@@ -144,26 +158,30 @@ let chrome_channel oc =
 (* --- emission -------------------------------------------------------------- *)
 
 (* Called at every span boundary while tracing is enabled; Resource
-   hooks GC sampling in here.  Kept out of the disabled fast path. *)
+   hooks GC sampling in here.  Kept out of the disabled fast path, and
+   outside the emission lock: the hook samples the calling domain's own
+   attached registry. *)
 let boundary_hook : (unit -> unit) ref = ref (fun () -> ())
 
 let set_boundary_hook f = boundary_hook := f
 let clear_boundary_hook () = boundary_hook := fun () -> ()
 
+let emit e = Mutex.protect lock (fun () -> !current.emit e)
+
 let begin_span ?(args = []) name =
   if !on then begin
     !boundary_hook ();
-    !current.emit (Begin { name; ts = Clock.now (); args })
+    emit (Begin { name; ts = Clock.now (); tid = event_tid (); args })
   end
 
 let end_span ?(args = []) () =
   if !on then begin
     !boundary_hook ();
-    !current.emit (End { ts = Clock.now (); args })
+    emit (End { ts = Clock.now (); tid = event_tid (); args })
   end
 
 let instant ?(args = []) name =
-  if !on then !current.emit (Instant { name; ts = Clock.now (); args })
+  if !on then emit (Instant { name; ts = Clock.now (); tid = event_tid (); args })
 
 let span ?args ?end_args name f =
   if not !on then f ()

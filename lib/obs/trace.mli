@@ -10,14 +10,23 @@
     Span arguments are pre-rendered [(key, value)] string pairs; end
     arguments are supplied as a thunk that only runs when tracing is
     enabled, so instrumentation sites pay nothing for building counter
-    deltas in the common disabled case. *)
+    deltas in the common disabled case.
+
+    Emission is domain-safe: events may arrive from several domains at
+    once (the parallel portfolio) and are serialised through one
+    emission lock, so sinks never see concurrent [emit] calls.
+    Installing or clearing a sink, by contrast, is a single-domain
+    affair — do it before spawning workers. *)
 
 type args = (string * string) list
 
 type event =
-  | Begin of { name : string; ts : float; args : args }
-  | End of { ts : float; args : args }
-  | Instant of { name : string; ts : float; args : args }
+  | Begin of { name : string; ts : float; tid : int; args : args }
+  | End of { ts : float; tid : int; args : args }
+  | Instant of { name : string; ts : float; tid : int; args : args }
+(** [tid] is the integer id of the emitting domain ({!Domain.self}); the
+    Chrome sink renders one lane per domain and {!Profile} keeps one
+    span stack per domain, so parallel runs stay well nested. *)
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 

@@ -1,0 +1,188 @@
+open Isr_core
+open Isr_model
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Round-robin partition of the portfolio across [jobs] domains, keeping
+   the sequential order (cheap members first) inside each group so a
+   2-way race still tries random simulation before PDR. *)
+let partition jobs members =
+  let groups = Array.make jobs [] in
+  List.iteri (fun i m -> groups.(i mod jobs) <- m :: groups.(i mod jobs)) members;
+  Array.to_list (Array.map List.rev groups) |> List.filter (fun g -> g <> [])
+
+let unknown_of_outcomes outcomes fallback =
+  (* Prefer the most "retriable" reason, mirroring how the sequential
+     schedule reports: a deadline beats a conflict pool beats a bound
+     cap. *)
+  let worst =
+    List.fold_left
+      (fun acc v ->
+        match (acc, v) with
+        | Some Verdict.Time_limit, _ -> acc
+        | _, Verdict.Unknown Verdict.Time_limit -> Some Verdict.Time_limit
+        | Some (Verdict.Conflict_limit as r), _ -> Some r
+        | _, Verdict.Unknown (Verdict.Conflict_limit as r) -> Some r
+        | _, Verdict.Unknown (Verdict.Bound_limit _ as r) -> Some r
+        | acc, _ -> acc)
+      None outcomes
+  in
+  match worst with Some r -> r | None -> fallback
+
+let portfolio_race ~jobs ~limits ~members model =
+  let t0 = Isr_obs.Clock.now () in
+  let cancel = Atomic.make false in
+  let winner : (Portfolio.member * Verdict.t) option Atomic.t = Atomic.make None in
+  (* Each racer gets the whole wall-clock budget: the race trades cores
+     for latency, it does not split the deadline. *)
+  let run_one member =
+    Isr_obs.Trace.span "portfolio.member"
+      ~args:[ ("engine", Portfolio.member_name member); ("mode", "parallel") ]
+      (fun () -> Portfolio.run_member member ~limits model)
+  in
+  let worker group () =
+    Budget.with_cancel cancel @@ fun () ->
+    List.filter_map
+      (fun member ->
+        if Atomic.get cancel then None
+        else
+          match run_one member with
+          | exception Budget.Cancelled -> None
+          | verdict, stats ->
+            (match verdict with
+            | Verdict.Proved _ | Verdict.Falsified _ ->
+              if Atomic.compare_and_set winner None (Some (member, verdict)) then
+                Atomic.set cancel true
+            | Verdict.Unknown _ -> ());
+            Some (verdict, stats))
+      group
+  in
+  let total = Verdict.mk_stats () in
+  Isr_obs.Trace.span "portfolio"
+    ~args:[ ("mode", "parallel"); ("jobs", string_of_int jobs) ]
+    ~end_args:(fun () ->
+      [
+        ("winner",
+         match Atomic.get winner with
+         | Some (m, _) -> Portfolio.member_name m
+         | None -> "none");
+      ])
+  @@ fun () ->
+  Isr_obs.Resource.with_attached (Verdict.registry total) @@ fun () ->
+  let domains = List.map (fun g -> Domain.spawn (worker g)) (partition jobs members) in
+  let outcomes = List.concat_map Domain.join domains in
+  List.iter (fun (_, stats) -> Verdict.merge_into ~into:total stats) outcomes;
+  Verdict.set_time total (Isr_obs.Clock.now () -. t0);
+  match Atomic.get winner with
+  | Some (_, verdict) -> (verdict, total)
+  | None ->
+    ( Verdict.Unknown (unknown_of_outcomes (List.map fst outcomes) Verdict.Time_limit),
+      total )
+
+let portfolio ?(jobs = 0) ?(limits = Budget.default_limits) model =
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let members = List.map snd Portfolio.members in
+  let jobs = min jobs (List.length members) in
+  if jobs = 1 then
+    (* One domain racing nobody would give every member the whole
+       deadline in turn — strictly worse than the sequential slice
+       schedule, so fall back to it. *)
+    Portfolio.verify ~limits model
+  else portfolio_race ~jobs ~limits ~members model
+
+(* Bound-parallel BMC probes.
+
+   Bounds are handed out from one atomic counter, so they are attempted
+   in strictly increasing order across the workers.  When some probe
+   comes back satisfiable, its trace is depth-minimised ([Sim.first_bad])
+   and published as [best]; from then on no new bound >= best is started,
+   and in-flight probes that published a current bound >= best are
+   cancelled through their per-worker token.  Probes at bounds < best
+   keep running: the minimal counterexample depth d* satisfies the exact
+   formulation at bound d* <= best, and that bound was dispatched before
+   best was found — so the minimum over the collected results is the
+   true minimal depth, exactly as in sequential deepening.  Races on
+   [best]/[current] are benign: at worst a doomed probe runs to
+   completion, never a wrong verdict. *)
+let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?(limits = Budget.default_limits) model =
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let jobs = max 1 (min jobs (limits.Budget.bound_limit + 1)) in
+  let t0 = Isr_obs.Clock.now () in
+  let next = Atomic.make 0 in
+  let best = Atomic.make max_int in
+  let tokens = Array.init jobs (fun _ -> Atomic.make false) in
+  let current = Array.init jobs (fun _ -> Atomic.make max_int) in
+  let publish depth i =
+    let rec shrink () =
+      let b = Atomic.get best in
+      if depth < b && not (Atomic.compare_and_set best b depth) then shrink ()
+    in
+    shrink ();
+    let b = Atomic.get best in
+    Array.iteri
+      (fun j c -> if j <> i && Atomic.get c >= b then Atomic.set tokens.(j) true)
+      current
+  in
+  let worker i () =
+    Budget.with_cancel tokens.(i) @@ fun () ->
+    let budget = Budget.start limits in
+    let stats = Verdict.mk_stats () in
+    let found = ref [] in
+    let reason = ref None in
+    (try
+       let rec loop () =
+         let k = Atomic.fetch_and_add next 1 in
+         if k > limits.Budget.bound_limit then reason := Some (Verdict.Bound_limit limits.Budget.bound_limit)
+         else if k >= Atomic.get best then ()
+         else begin
+           Atomic.set current.(i) k;
+           (match Bmc.check_depth budget stats model ~check ~k with
+           | `Sat u ->
+             let tr = Unroll.trace u in
+             let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
+             found := (depth, tr) :: !found;
+             publish depth i
+           | `Unsat _ -> ());
+           Atomic.set current.(i) max_int;
+           loop ()
+         end
+       in
+       loop ()
+     with
+    | Budget.Out_of_time -> reason := Some Verdict.Time_limit
+    | Budget.Out_of_conflicts -> reason := Some Verdict.Conflict_limit
+    | Budget.Cancelled -> ());
+    Atomic.set current.(i) max_int;
+    (!found, !reason, stats)
+  in
+  let total = Verdict.mk_stats () in
+  Isr_obs.Trace.span "bmc.par"
+    ~args:
+      [
+        ("check", Bmc.check_name check);
+        ("jobs", string_of_int jobs);
+        ("mode", "parallel");
+      ]
+    ~end_args:(fun () ->
+      [
+        ("best",
+         let b = Atomic.get best in
+         if b = max_int then "none" else string_of_int b);
+      ])
+  @@ fun () ->
+  Isr_obs.Resource.with_attached (Verdict.registry total) @@ fun () ->
+  let domains = List.init jobs (fun i -> Domain.spawn (worker i)) in
+  let results = List.map Domain.join domains in
+  List.iter (fun (_, _, stats) -> Verdict.merge_into ~into:total stats) results;
+  Verdict.set_time total (Isr_obs.Clock.now () -. t0);
+  let sats = List.concat_map (fun (found, _, _) -> found) results in
+  match List.sort (fun (d, _) (d', _) -> compare d d') sats with
+  | (depth, trace) :: _ -> (Verdict.Falsified { depth; trace }, total)
+  | [] ->
+    let reasons = List.filter_map (fun (_, r, _) -> r) results in
+    let reason =
+      if List.mem Verdict.Time_limit reasons then Verdict.Time_limit
+      else if List.mem Verdict.Conflict_limit reasons then Verdict.Conflict_limit
+      else Verdict.Bound_limit limits.Budget.bound_limit
+    in
+    (Verdict.Unknown reason, total)

@@ -1,5 +1,23 @@
 type cnf = { nvars : int; clauses : Lit.t list list }
 
+(* DIMACS in the wild separates tokens with runs of spaces and tabs, and
+   CRLF files leave a '\r' glued to the last token of every line; split
+   on all three so such files do not fail with "not an integer". *)
+let is_sep = function ' ' | '\t' | '\r' -> true | _ -> false
+
+let tokens line =
+  let n = String.length line in
+  let rec skip i = if i < n && is_sep line.[i] then skip (i + 1) else i in
+  let rec word i = if i < n && not (is_sep line.[i]) then word (i + 1) else i in
+  let rec go i acc =
+    let i = skip i in
+    if i >= n then List.rev acc
+    else
+      let j = word i in
+      go j (String.sub line i (j - i) :: acc)
+  in
+  go 0 []
+
 let parse_string text =
   let lines = String.split_on_char '\n' text in
   let nvars = ref (-1) in
@@ -26,7 +44,7 @@ let parse_string text =
         else if line.[0] = 'p' then begin
           if !nvars >= 0 then fail "duplicate header"
           else
-            match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+            match tokens line with
             | [ "p"; "cnf"; v; c ] -> (
               match (int_of_string_opt v, int_of_string_opt c) with
               | Some v, Some c when v >= 0 && c >= 0 ->
@@ -36,10 +54,7 @@ let parse_string text =
             | _ -> fail "malformed problem line"
         end
         else if !nvars < 0 then fail "clause before header"
-        else
-          String.split_on_char ' ' line
-          |> List.filter (fun s -> s <> "")
-          |> List.iter handle_token)
+        else List.iter handle_token (tokens line))
     lines;
   match !error with
   | Some msg -> Error msg

@@ -41,6 +41,7 @@ type t = {
   mutable max_learnt_len : int;
   mutable learnt_cb : (int -> unit) option; (* observes each learned-clause length *)
   mutable restart_cb : (int -> unit) option; (* observes each restart (cumulative count) *)
+  mutable interrupt : (unit -> bool) option; (* polled during search; true aborts to Undef *)
   mutable seen : Bytes.t;              (* conflict-analysis scratch *)
   mutable mark0 : Bytes.t;             (* level-0 elimination scratch *)
   pending : Vec.t;                     (* clause ids to re-examine at solve start *)
@@ -76,6 +77,7 @@ let create () =
     max_learnt_len = 0;
     learnt_cb = None;
     restart_cb = None;
+    interrupt = None;
     seen = Bytes.make 16 '\000';
     mark0 = Bytes.make 16 '\000';
     pending = Vec.create ();
@@ -91,6 +93,9 @@ let max_learnt_len s = s.max_learnt_len
 let num_clauses s = s.nclauses
 let on_learnt s cb = s.learnt_cb <- cb
 let on_restart s cb = s.restart_cb <- cb
+let set_interrupt s cb = s.interrupt <- cb
+
+let interrupted s = match s.interrupt with Some f -> f () | None -> false
 
 let grow_vars s n =
   let cap = Array.length s.assigns in
@@ -558,6 +563,11 @@ let luby x =
 
 let restart_base = 100
 
+(* Interrupt polls also ride the propagation counter: a conflict-light,
+   propagation-heavy search can go seconds between conflict or decision
+   polls, and the deadline check in Budget rides the same hook. *)
+let poll_props = 100_000
+
 let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
   cancel_until s 0;
   s.core <- [];
@@ -577,7 +587,10 @@ let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
     let restarts = ref 0 in
     let conflicts_this_restart = ref 0 in
     let limit = ref (restart_base * luby 0) in
-    let res = ref None in
+    let props_poll = ref (s.propagations + poll_props) in
+    (* Poll once up front: a pre-cancelled solver must not start a
+       search that only conflicts can interrupt. *)
+    let res = ref (if interrupted s then Some Undef else None) in
     while !res = None do
       let confl = propagate s in
       if confl >= 0 then begin
@@ -602,7 +615,17 @@ let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
             res := Some Unsat
           end;
           decay_activities s;
-          if s.conflicts - budget_start >= conflict_budget then begin
+          (* The interrupt poll rides the conflict counter (every 256
+             conflicts) so a cancelled race loser stops well within one
+             conflict slice without a closure call per conflict. *)
+          if
+            s.conflicts - budget_start >= conflict_budget
+            || ((s.conflicts land 255 = 0 || s.propagations >= !props_poll)
+               && begin
+                    props_poll := s.propagations + poll_props;
+                    interrupted s
+                  end)
+          then begin
             cancel_until s 0;
             res := Some Undef
           end
@@ -631,6 +654,17 @@ let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
           s.core <- analyze_assumptions s p;
           res := Some Unsat
       end
+      else if
+        ((s.decisions land 4095 = 0 && s.decisions > 0)
+        || s.propagations >= !props_poll)
+        && begin
+             (* Conflict-light searches (heavy propagation, few
+                conflicts) still observe cancellation through the
+                decision and propagation counters. *)
+             props_poll := s.propagations + poll_props;
+             interrupted s
+           end
+      then res := Some Undef
       else begin
         let v = pick_branch_var s in
         if v < 0 then res := Some Sat

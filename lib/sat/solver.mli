@@ -81,3 +81,15 @@ val on_restart : t -> (int -> unit) option -> unit
 (** Installs (or clears) an observer called with the cumulative restart
     count at every restart — the hook behind the ["sat.restart"]
     progress heartbeat. *)
+
+val set_interrupt : t -> (unit -> bool) option -> unit
+(** Installs (or clears) a cooperative-cancellation poll.  The search
+    consults it at solve entry and every few hundred conflicts (plus a
+    coarser decision cadence, and a propagation-count cadence so even
+    conflict-light, propagation-heavy searches poll every few
+    milliseconds); when it returns [true], {!solve} answers [Undef]
+    exactly as for an exhausted conflict budget — the solver stays
+    resumable.  The hook behind {!Isr_core.Budget}'s deadline and
+    cancel token: deadlines are honoured mid-slice and race losers in
+    the parallel portfolio stop within one conflict slice of the
+    winner. *)

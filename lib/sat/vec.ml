@@ -12,8 +12,11 @@ let set v i x =
   Array.unsafe_set v.a i x
 
 let grow v =
+  (* The backing array can be empty (e.g. [of_array [||]]); doubling 0
+     stays 0 forever and the subsequent unsafe_set writes out of bounds,
+     so clamp the new capacity to at least 1. *)
   let cap = Array.length v.a in
-  let a' = Array.make (2 * cap) 0 in
+  let a' = Array.make (max 1 (2 * cap)) 0 in
   Array.blit v.a 0 a' 0 v.n;
   v.a <- a'
 
@@ -43,7 +46,11 @@ let iter f v =
   done
 
 let to_array v = Array.sub v.a 0 v.n
-let of_array a = { a = Array.copy a; n = Array.length a }
+
+let of_array a =
+  let n = Array.length a in
+  if n = 0 then create ~cap:1 ()
+  else { a = Array.copy a; n }
 
 let mem v x =
   let rec loop i = i < v.n && (v.a.(i) = x || loop (i + 1)) in

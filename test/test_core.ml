@@ -273,6 +273,43 @@ let test_resource_limits () =
   | Verdict.Unknown (Verdict.Bound_limit 3), _ -> ()
   | v, _ -> Alcotest.failf "bound limit: %a" Verdict.pp v
 
+(* Regression: [Budget.solve] used to leave its [on_learnt]/[on_restart]
+   observers installed after returning or raising, so a later direct
+   [Solver.solve] on the same solver kept charging the stale registry of
+   a finished call. *)
+let test_budget_callbacks_cleared () =
+  let open Isr_sat in
+  (* Pigeonhole php(5): needs well over the 50-conflict budget below. *)
+  let n = 5 in
+  let var p h = (p * n) + h in
+  let s = Solver.create () in
+  for _ = 1 to (n + 1) * n do
+    ignore (Solver.new_var s)
+  done;
+  for p = 0 to n do
+    Solver.add_clause s (List.init n (fun h -> Lit.pos (var p h)))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Solver.add_clause s [ Lit.neg (Lit.pos (var p1 h)); Lit.neg (Lit.pos (var p2 h)) ]
+      done
+    done
+  done;
+  let stats = Verdict.mk_stats () in
+  let tiny = { Budget.time_limit = 30.0; conflict_limit = 50; bound_limit = 60 } in
+  let budget = Budget.start tiny in
+  (match Budget.solve budget stats s with
+  | exception Budget.Out_of_conflicts -> ()
+  | _ -> Alcotest.fail "expected conflict exhaustion");
+  let observed = Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len in
+  Alcotest.(check bool) "some clauses learnt" true (observed > 0);
+  (* Finishing the refutation outside the budget layer learns many more
+     clauses; none of them may reach the finished call's registry. *)
+  Alcotest.(check bool) "refutes" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check int) "observer was cleared" observed
+    (Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
+
 let () =
   Alcotest.run "isr_core"
     [
@@ -282,6 +319,10 @@ let () =
           Alcotest.test_case "falsification" `Slow test_bmc_falsification;
           Alcotest.test_case "incremental agrees" `Slow test_bmc_incremental_agrees;
           Alcotest.test_case "resource limits" `Quick test_resource_limits;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "observers cleared" `Quick test_budget_callbacks_cleared;
         ] );
       ( "cross-checks",
         [

@@ -466,8 +466,8 @@ let test_chrome_flush_idempotent () =
 
 (* --- profiles -------------------------------------------------------------- *)
 
-let ev_b name ts = Trace.Begin { name; ts; args = [] }
-let ev_e ts = Trace.End { ts; args = [] }
+let ev_b name ts = Trace.Begin { name; ts; tid = 0; args = [] }
+let ev_e ts = Trace.End { ts; tid = 0; args = [] }
 
 let find_child name (n : Profile.node) =
   match List.find_opt (fun (c : Profile.node) -> c.Profile.name = name) n.Profile.children with

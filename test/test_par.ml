@@ -1,0 +1,130 @@
+(* The parallel runner: raced verdicts must agree with the sequential
+   portfolio (and with the ground truth), bound-parallel BMC must report
+   the same minimal depth as sequential deepening, and losers must
+   observe cancellation promptly instead of running to their deadline. *)
+
+open Isr_core
+open Isr_model
+open Isr_suite
+
+let limits =
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+
+let entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "no benchmark %s" name
+
+(* Small instances covering both verdicts; the sequential engine tests
+   already close all of these within the limits. *)
+let race_names = [ "amba2g3"; "traffic6"; "vending7bug"; "fifo2bug"; "hamming6bug" ]
+
+let test_race_agrees () =
+  List.iter
+    (fun name ->
+      let e = entry name in
+      let model = Registry.build_validated e in
+      let seq, _ = Portfolio.verify ~limits model in
+      let par, stats = Isr_par.portfolio ~jobs:4 ~limits model in
+      Alcotest.(check bool)
+        (name ^ ": proved agree") (Verdict.is_proved seq) (Verdict.is_proved par);
+      Alcotest.(check bool)
+        (name ^ ": falsified agree")
+        (Verdict.is_falsified seq) (Verdict.is_falsified par);
+      (* And both match the generator's ground truth. *)
+      (match (e.Registry.expected, par) with
+      | Registry.Safe, Verdict.Proved _ -> ()
+      | Registry.Unsafe d, Verdict.Falsified { depth; trace } ->
+        Alcotest.(check int) (name ^ ": minimal depth") d depth;
+        Alcotest.(check bool) (name ^ ": trace replays") true
+          (Sim.check_trace model trace)
+      | _, v -> Alcotest.failf "%s: raced verdict %a" name Verdict.pp v);
+      (* The workers' registries were merged at join. *)
+      Alcotest.(check bool) (name ^ ": stats merged") true (Verdict.sat_calls stats > 0))
+    race_names
+
+let test_bmc_par_depth () =
+  List.iter
+    (fun name ->
+      let e = entry name in
+      let model = Registry.build_validated e in
+      match (Bmc.run ~check:Bmc.Exact ~limits model, Isr_par.bmc ~jobs:4 ~limits model) with
+      | (Verdict.Falsified { depth = ds; _ }, _), (Verdict.Falsified { depth = dp; trace }, _)
+        ->
+        Alcotest.(check int) (name ^ ": same depth") ds dp;
+        Alcotest.(check bool) (name ^ ": trace replays") true
+          (Sim.check_trace model trace)
+      | (vs, _), (vp, _) ->
+        Alcotest.failf "%s: seq %a vs par %a" name Verdict.pp vs Verdict.pp vp)
+    [ "vending7bug"; "traffic5bug"; "prodcons6bug" ]
+
+(* A pre-set token aborts before any search is attempted. *)
+let test_cancel_preset () =
+  let token = Atomic.make true in
+  match
+    Budget.with_cancel token (fun () ->
+        let b = Budget.start limits in
+        Budget.check_time b)
+  with
+  | exception Budget.Cancelled -> ()
+  | () -> Alcotest.fail "expected Cancelled"
+
+(* A racing loser must stop within a conflict slice of the token being
+   set, not at its deadline: refuting php(9) takes far longer than the
+   handful of milliseconds we allow before cancelling. *)
+let test_cancel_mid_search () =
+  let n = 9 in
+  let var p h = (p * n) + h in
+  let open Isr_sat in
+  let token = Atomic.make false in
+  let worker () =
+    Budget.with_cancel token @@ fun () ->
+    let s = Solver.create () in
+    for _ = 1 to (n + 1) * n do
+      ignore (Solver.new_var s)
+    done;
+    for p = 0 to n do
+      Solver.add_clause s (List.init n (fun h -> Lit.pos (var p h)))
+    done;
+    for h = 0 to n - 1 do
+      for p1 = 0 to n do
+        for p2 = p1 + 1 to n do
+          Solver.add_clause s
+            [ Lit.neg (Lit.pos (var p1 h)); Lit.neg (Lit.pos (var p2 h)) ]
+        done
+      done
+    done;
+    let b = Budget.start { limits with Budget.time_limit = 600.0 } in
+    let stats = Verdict.mk_stats () in
+    match Budget.solve b stats s with
+    | exception Budget.Cancelled -> `Cancelled
+    | r -> `Finished r
+  in
+  let t0 = Isr_obs.Clock.now () in
+  let d = Domain.spawn worker in
+  Unix.sleepf 0.05;
+  Atomic.set token true;
+  let outcome = Domain.join d in
+  let elapsed = Isr_obs.Clock.now () -. t0 in
+  (match outcome with
+  | `Cancelled -> ()
+  | `Finished _ -> Alcotest.fail "php(9) refuted before cancellation?");
+  (* Generous bound: one poll interval is a few hundred conflicts, far
+     under a second even on a slow machine. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stopped promptly (%.2fs)" elapsed)
+    true (elapsed < 10.0)
+
+let () =
+  Alcotest.run "isr_par"
+    [
+      ( "portfolio",
+        [ Alcotest.test_case "race agrees with sequential" `Slow test_race_agrees ] );
+      ( "bmc",
+        [ Alcotest.test_case "bound-parallel depth" `Slow test_bmc_par_depth ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "preset token" `Quick test_cancel_preset;
+          Alcotest.test_case "mid-search" `Quick test_cancel_mid_search;
+        ] );
+    ]

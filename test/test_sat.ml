@@ -159,6 +159,52 @@ let test_contradictory_assumptions () =
   Alcotest.(check bool) "core = both phases" true
     (List.mem x core && List.mem (Lit.neg x) core)
 
+(* Regression: an always-true interrupt aborts the search with [Undef]
+   even with no conflict budget, and clearing it resumes normally —
+   the cancellation hook behind the parallel portfolio. *)
+let test_interrupt () =
+  (* php(7): thousands of conflicts, so the every-256-conflicts poll
+     fires many times mid-search. *)
+  let nv, cls = pigeonhole 7 in
+  let s = Solver.create () in
+  for _ = 1 to nv do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s c) cls;
+  Solver.set_interrupt s (Some (fun () -> true));
+  Alcotest.(check bool) "interrupted at entry" true (Solver.solve s = Solver.Undef);
+  (* A counting poll flips to true mid-search: the solver must stop at
+     its next poll, well before the refutation completes. *)
+  let polls = ref 0 in
+  Solver.set_interrupt s
+    (Some
+       (fun () ->
+         incr polls;
+         !polls > 2));
+  Alcotest.(check bool) "interrupted mid-search" true (Solver.solve s = Solver.Undef);
+  Solver.set_interrupt s None;
+  Alcotest.(check bool) "resumes to unsat" true (Solver.solve s = Solver.Unsat)
+
+(* --- vectors ---------------------------------------------------------- *)
+
+(* Regression: [of_array [||]] used to produce a zero-capacity backing
+   array, and [grow] doubled 0 to 0 forever — the first push then wrote
+   out of bounds. *)
+let test_vec_empty_grows () =
+  let v = Vec.of_array [||] in
+  Alcotest.(check int) "empty" 0 (Vec.size v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "pushed" 100 (Vec.size v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "element" i (Vec.get v i)
+  done;
+  let w = Vec.of_array [| 7 |] in
+  Vec.push w 8;
+  Alcotest.(check int) "kept" 7 (Vec.get w 0);
+  Alcotest.(check int) "appended" 8 (Vec.get w 1)
+
 (* --- literals --------------------------------------------------------- *)
 
 let test_lit_roundtrip () =
@@ -197,6 +243,23 @@ let test_dimacs_comments () =
   | Ok cnf ->
     Alcotest.(check int) "nvars" 2 cnf.Dimacs.nvars;
     Alcotest.(check int) "nclauses" 2 (List.length cnf.Dimacs.clauses)
+
+(* Regression: the tokenizer split on single spaces only, so tabs, runs
+   of blanks, and the '\r' a CRLF file leaves on every line all failed
+   with "not an integer". *)
+let test_dimacs_separators () =
+  let reference = "p cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let tabs = "p\tcnf 3 2\n1\t-2  0\n 2 \t 3 0\n" in
+  let crlf = "c generated on windows\r\np cnf 3 2\r\n1 -2 0\r\n2 3 0\r\n" in
+  match
+    ( Dimacs.parse_string reference,
+      Dimacs.parse_string tabs,
+      Dimacs.parse_string crlf )
+  with
+  | Ok r, Ok t, Ok c ->
+    Alcotest.(check bool) "tabs parse alike" true (t = r);
+    Alcotest.(check bool) "crlf parses alike" true (c = r)
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Alcotest.failf "parse: %s" e
 
 (* --- property tests --------------------------------------------------- *)
 
@@ -326,13 +389,16 @@ let () =
           Alcotest.test_case "incremental" `Quick test_incremental;
           Alcotest.test_case "assumptions" `Quick test_assumptions_basic;
           Alcotest.test_case "contradictory assumptions" `Quick test_contradictory_assumptions;
+          Alcotest.test_case "interrupt" `Quick test_interrupt;
         ] );
       ("lit", [ Alcotest.test_case "roundtrips" `Quick test_lit_roundtrip ]);
+      ("vec", [ Alcotest.test_case "empty vector grows" `Quick test_vec_empty_grows ]);
       ( "dimacs",
         [
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "errors" `Quick test_dimacs_errors;
           Alcotest.test_case "comments" `Quick test_dimacs_comments;
+          Alcotest.test_case "separators" `Quick test_dimacs_separators;
         ] );
       ("properties", qsuite);
     ]
