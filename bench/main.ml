@@ -13,7 +13,8 @@ open Isr_suite
 let out = Format.std_formatter
 
 let limits_of ~time ~bound ~conflicts =
-  { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
+  { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound;
+    reduce = Isr_sat.Solver.default_reduce }
 
 let time_arg default =
   Arg.(value & opt float default & info [ "time" ] ~doc:"Per-run time limit [s].")
@@ -533,6 +534,139 @@ let par_cmd =
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ jobs_arg $ names_arg
       $ repeat_arg $ out_arg $ check_arg $ trace_arg $ metrics_arg $ progress_arg)
 
+(* --- reduce (learnt-database reduction off vs on) ----------------------------------- *)
+
+(* Long BMC refutation runs: thousands of learnt clauses accumulate over
+   a deep unrolling, which is where the learnt-database reduction either
+   pays (smaller live heap, same verdict) or doesn't.  Incremental
+   assume-k keeps one solver across all depths, so its learnt database
+   actually grows past the reduction trigger — the per-depth solvers of
+   plain BMC are discarded too young to ever reach it. *)
+let reduce_default_benches = [ "eijkring12"; "hamming8" ]
+
+let reduce_cmd =
+  let run time bound conflicts names repeat out_path check trace metrics progress =
+    with_obs ~check ~progress ~trace ~metrics (fun ~record:_ ->
+        let base = limits_of ~time ~bound ~conflicts in
+        let limits_off =
+          { base with
+            Budget.reduce = { Isr_sat.Solver.default_reduce with enabled = false } }
+        in
+        let names = if names = [] then reduce_default_benches else names in
+        let entries =
+          List.map
+            (fun n ->
+              match Registry.find n with
+              | Some e -> e
+              | None ->
+                prerr_endline
+                  (Printf.sprintf "isr-bench: no benchmark named %S" n);
+                exit 2)
+            names
+        in
+        let median xs =
+          let a = List.sort compare xs in
+          List.nth a (List.length a / 2)
+        in
+        let peak_mb (stats : Verdict.stats) =
+          let words =
+            Isr_obs.Metrics.gauge_value
+              (Isr_obs.Metrics.gauge (Verdict.registry stats) "gc.peak_heap_words")
+          in
+          words *. float_of_int (Sys.word_size / 8) /. 1048576.0
+        in
+        let disagreements = ref 0 in
+        Format.fprintf out "%-12s %-9s %-9s %8s %8s %7s %7s %9s %9s %8s@." "bench" "off"
+          "on" "off[s]" "on[s]" "off[k]" "on[k]" "off[MB]" "on[MB]" "reduces";
+        let runs =
+          List.concat_map
+            (fun (entry : Registry.entry) ->
+              let model = Registry.build_validated entry in
+              (* Compact before each sample: the major heap does not give
+                 words back between runs of one process, so without this
+                 the second mode would inherit the first mode's peak. *)
+              let sample limits =
+                Gc.compact ();
+                Bmc.run ~check:Bmc.Assume ~incremental:true ~limits model
+              in
+              let off = List.init repeat (fun _ -> sample limits_off) in
+              let on = List.init repeat (fun _ -> sample base) in
+              let describe = function
+                | Verdict.Proved _ -> "pass"
+                | Verdict.Falsified _ -> "fail"
+                | Verdict.Unknown _ -> "unknown"
+              in
+              let ov = fst (List.hd off) and nv = fst (List.hd on) in
+              (* Reduction must never flip a verdict — it only forgets
+                 derived clauses, never inputs. *)
+              if
+                Verdict.is_proved ov <> Verdict.is_proved nv
+                || Verdict.is_falsified ov <> Verdict.is_falsified nv
+              then incr disagreements;
+              let t_of rs = median (List.map (fun (_, s) -> Verdict.time s) rs) in
+              let m_of rs = median (List.map (fun (_, s) -> peak_mb s) rs) in
+              (* Deadline-bounded runs tie on wall time by construction;
+                 the bound reached is the real progress measure (a deeper
+                 unrolling also legitimately costs more heap). *)
+              let k_of rs =
+                median (List.map (fun (_, s) -> Verdict.last_bound s) rs)
+              in
+              let reduces =
+                List.fold_left
+                  (fun acc (_, s) -> max acc (Verdict.db_reduces s))
+                  0 on
+              in
+              Format.fprintf out "%-12s %-9s %-9s %8.3f %8.3f %7d %7d %9.1f %9.1f %8d@."
+                entry.Registry.name (describe ov) (describe nv) (t_of off) (t_of on)
+                (k_of off) (k_of on) (m_of off) (m_of on) reduces;
+              [
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"bmc-assume-inc-noreduce" off;
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"bmc-assume-inc-reduce" on;
+              ])
+            entries
+        in
+        let store =
+          Isr_exp.Bench_store.make ~suite:"reduce" ~repeat ~time_limit:time runs
+        in
+        Isr_exp.Bench_store.save out_path store;
+        Format.fprintf out "wrote %s: %d runs (%d instances, repeat %d)@." out_path
+          (List.length runs) (List.length entries) repeat;
+        if !disagreements > 0 then begin
+          Format.fprintf out "%d verdict disagreement(s) between modes@." !disagreements;
+          Format.pp_print_flush out ();
+          exit 3
+        end)
+  in
+  let names_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ] ~docv:"BENCH"
+          ~doc:
+            "Benchmark to include (repeatable); default: long-running BMC \
+             refutations.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"N" ~doc:"Samples per (instance, mode) cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_reduce.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Run long BMC refutations with the learnt-database reduction disabled \
+             and enabled, compare wall time and peak major-heap size, check the \
+             verdicts agree, and persist both sides as a snapshot")
+    Term.(
+      const run $ time_arg 30.0 $ bound_arg $ conflicts_arg $ names_arg $ repeat_arg
+      $ out_arg $ check_arg $ trace_arg $ metrics_arg $ progress_arg)
+
 (* --- all (default) ------------------------------------------------------------------ *)
 
 let all time bound conflicts mid_only check trace metrics profile progress =
@@ -575,7 +709,7 @@ let () =
       [
         table1_cmd; fig6_cmd; fig7_cmd; ablation_checks_cmd; ablation_alpha_cmd;
         ablation_systems_cmd; abstraction_cmd; extended_cmd; kernels_cmd;
-        snapshot_cmd; regress_cmd; par_cmd;
+        snapshot_cmd; regress_cmd; par_cmd; reduce_cmd;
       ]
   in
   exit (Cmd.eval group)

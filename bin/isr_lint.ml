@@ -24,7 +24,11 @@ let read_file path =
    bad cone is audited clause by clause either way. *)
 let exercise model ~bound ~budget =
   let ds = ref [] in
-  let u = Unroll.create model in
+  (* Deliberately aggressive learnt-database reduction: lint instances
+     are tiny, so the default trigger would never fire and the
+     deletion-aware LRAT path ([d] lines, strict checker semantics)
+     would go unexercised. *)
+  let u = Unroll.create ~reduce:{ Solver.default_reduce with base = 10 } model in
   Unroll.assert_init u ~tag:1;
   for _ = 1 to bound do
     Unroll.add_transition u ~tag:1

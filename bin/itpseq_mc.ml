@@ -261,6 +261,23 @@ let par_arg =
            bounds are probed in parallel. Other engines ignore the flag and run \
            sequentially.")
 
+let no_reduce_arg =
+  Arg.(
+    value & flag
+    & info [ "no-reduce" ]
+        ~doc:
+          "Disable learnt-clause database reduction: keep every learned clause in \
+           memory for the whole run (the pre-reduction behaviour).")
+
+let reduce_base_arg =
+  Arg.(
+    value
+    & opt int Isr_sat.Solver.default_reduce.base
+    & info [ "reduce-base" ] ~docv:"N"
+        ~doc:
+          "First live-learnt-clause threshold of the database reduction schedule \
+           (grows geometrically afterwards).")
+
 let check_arg =
   let level_conv =
     Arg.conv
@@ -277,7 +294,7 @@ let check_arg =
            lint every emitted interpolant).")
 
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check profile profile_json progress par =
+  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check profile profile_json progress par no_reduce reduce_base =
     setup_logs verbose;
     Isr_check.Level.set check;
     match load_model ~property file name with
@@ -308,7 +325,15 @@ let verify_term =
           else model
         in
         let limits =
-          { Budget.time_limit = time; conflict_limit = conflicts; bound_limit = bound }
+          { Budget.time_limit = time;
+            conflict_limit = conflicts;
+            bound_limit = bound;
+            reduce =
+              { Isr_sat.Solver.default_reduce with
+                enabled = not no_reduce;
+                base = reduce_base;
+              };
+          }
         in
         let run_engine () =
           match (eng, par) with
@@ -428,7 +453,7 @@ let verify_term =
     const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
     $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
     $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ check_arg $ profile_arg
-    $ profile_json_arg $ progress_arg $ par_arg)
+    $ profile_json_arg $ progress_arg $ par_arg $ no_reduce_arg $ reduce_base_arg)
 
 let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term
 

@@ -16,7 +16,7 @@ let engines =
   ]
 
 let limits =
-  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce }
 
 let () =
   Format.printf "%-14s" "design";

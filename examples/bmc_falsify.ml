@@ -9,7 +9,7 @@ open Isr_model
 open Isr_suite
 
 let limits =
-  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 40 }
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 40; reduce = Isr_sat.Solver.default_reduce }
 
 let () =
   let model = Circuits.vending ~price:7 ~buggy:true in

@@ -10,7 +10,7 @@ open Isr_core
 open Isr_suite
 
 let limits =
-  { Budget.time_limit = 60.0; conflict_limit = 5_000_000; bound_limit = 80 }
+  { Budget.time_limit = 60.0; conflict_limit = 5_000_000; bound_limit = 80; reduce = Isr_sat.Solver.default_reduce }
 
 let () =
   let core = Circuits.counter_mod ~bits:5 ~modulus:24 in

@@ -12,7 +12,7 @@ open Isr_core
 open Isr_suite
 
 let limits =
-  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce }
 
 let engines =
   [

@@ -11,7 +11,7 @@ open Isr_suite
 module Reach = Isr_bdd.Reach
 
 let limits =
-  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 80 }
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 80; reduce = Isr_sat.Solver.default_reduce }
 
 let dia = function
   | { Reach.diameter = Some d; _ } -> string_of_int d

@@ -11,7 +11,7 @@ open Isr_core
 open Isr_suite
 
 let limits =
-  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 80 }
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 80; reduce = Isr_sat.Solver.default_reduce }
 
 let () =
   (* The enable-gated token ring: an adversarial environment may stall

@@ -1,8 +1,18 @@
 open Isr_sat
 
-type limits = { time_limit : float; conflict_limit : int; bound_limit : int }
+type limits = {
+  time_limit : float;
+  conflict_limit : int;
+  bound_limit : int;
+  reduce : Solver.reduce_policy;
+}
 
-let default_limits = { time_limit = 60.0; conflict_limit = 2_000_000; bound_limit = 200 }
+let default_limits =
+  { time_limit = 60.0;
+    conflict_limit = 2_000_000;
+    bound_limit = 200;
+    reduce = Solver.default_reduce;
+  }
 
 exception Out_of_time
 exception Out_of_conflicts
@@ -57,6 +67,10 @@ let slice = 20_000
    "sat.call" span (the per-slice "sat.solve" spans nest inside it). *)
 let solve ?assumptions b (stats : Verdict.stats) solver =
   Isr_obs.Metrics.incr stats.Verdict.c_sat_calls;
+  (* The reduction policy is a formulation-level knob carried by the
+     limits; re-applying an unchanged policy keeps the solver's
+     geometric schedule running. *)
+  Solver.set_reduce solver b.l.reduce;
   Solver.on_learnt solver
     (Some (fun len -> Isr_obs.Metrics.observe stats.Verdict.h_learnt_len (float_of_int len)));
   (* Both the deadline and a race's cancel token must stop the search
@@ -82,6 +96,20 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
              ~propagations:(p_base + Solver.num_propagations solver - sp0)
              ~learnt:(Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
              "sat.restart"));
+  (* Database reductions: charge the registry and post a heartbeat with
+     the same cumulative-effort convention as the restart one. *)
+  Solver.on_reduce solver
+    (Some
+       (fun ~kept ~deleted ->
+         ignore deleted;
+         Isr_obs.Metrics.incr stats.Verdict.c_db_reduce;
+         Isr_obs.Metrics.set stats.Verdict.g_db_kept (float_of_int kept);
+         if Isr_obs.Progress.enabled () then
+           Isr_obs.Progress.tick ~step:kept
+             ~conflicts:(c_base + Solver.num_conflicts solver - sc0)
+             ~propagations:(p_base + Solver.num_propagations solver - sp0)
+             ~learnt:(Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
+             "sat.db.reduce"));
   let charge_from c0 d0 p0 r0 =
     Isr_obs.Metrics.add stats.Verdict.c_conflicts (Solver.num_conflicts solver - c0);
     Isr_obs.Metrics.add stats.Verdict.c_decisions (Solver.num_decisions solver - d0);
@@ -122,7 +150,14 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
     ~finally:(fun () ->
       Solver.on_learnt solver None;
       Solver.on_restart solver None;
-      Solver.set_interrupt solver None)
+      Solver.on_reduce solver None;
+      Solver.set_interrupt solver None;
+      (* Proof-store gauges track the largest log the run grew (gauges
+         keep the maximum on merge; [set_max] keeps it across calls). *)
+      Isr_obs.Metrics.set_max stats.Verdict.g_proof_steps
+        (float_of_int (Solver.proof_steps solver));
+      Isr_obs.Metrics.set_max stats.Verdict.g_proof_bytes
+        (float_of_int (Solver.proof_bytes solver)))
     (fun () ->
       Isr_obs.Trace.span "sat.call" ~end_args (fun () ->
           let r = go () in

@@ -9,10 +9,14 @@ type limits = {
   time_limit : float;      (** wall-clock seconds ({!Isr_obs.Clock}), [infinity] = none *)
   conflict_limit : int;    (** total conflicts across all SAT calls *)
   bound_limit : int;       (** largest BMC bound to attempt *)
+  reduce : Solver.reduce_policy;
+      (** learnt-database reduction policy, re-applied to the solver at
+          every {!solve} (a formulation-level knob: each engine builds
+          its limits once and every SAT call under them inherits it) *)
 }
 
 val default_limits : limits
-(** 60 s, 2 million conflicts, bound 200. *)
+(** 60 s, 2 million conflicts, bound 200, {!Isr_sat.Solver.default_reduce}. *)
 
 type t
 
@@ -48,10 +52,14 @@ val check_time : t -> unit
 
 val solve : ?assumptions:Lit.t list -> t -> Verdict.stats -> Solver.t -> Solver.result
 (** Runs the solver under the remaining conflict budget, charging one
-    SAT call plus the conflict/decision/propagation/restart deltas and
-    the learned-clause lengths to the [stats] registry, inside a
-    ["sat.call"] trace span.  Whatever the outcome, the solver's
-    [on_learnt] / [on_restart] / interrupt hooks are cleared on return —
+    SAT call plus the conflict/decision/propagation/restart deltas, the
+    learned-clause lengths and the database-reduction events
+    (["sat.db.reduce"] / ["sat.db.kept"]) to the [stats] registry,
+    inside a ["sat.call"] trace span; on the way out the ["proof.steps"]
+    / ["proof.bytes"] gauges are refreshed from the solver's proof log.
+    The limits' {!Isr_sat.Solver.reduce_policy} is installed at call
+    entry.  Whatever the outcome, the solver's [on_learnt] /
+    [on_restart] / [on_reduce] / interrupt hooks are cleared on return —
     they capture this call's registry and must not leak into the next.
     @raise Out_of_conflicts when the pool is exhausted
     @raise Out_of_time when the deadline passed before the call

@@ -16,6 +16,10 @@ type stats = {
   c_propagations : M.counter;
   c_restarts : M.counter;
   h_learnt_len : M.histogram;
+  c_db_reduce : M.counter;
+  g_db_kept : M.gauge;
+  g_proof_steps : M.gauge;
+  g_proof_bytes : M.gauge;
   c_itp_nodes : M.counter;
   h_itp_size : M.histogram;
   g_last_bound : M.gauge;
@@ -36,6 +40,10 @@ let mk_stats () =
     c_propagations = M.counter m "sat.propagations";
     c_restarts = M.counter m "sat.restarts";
     h_learnt_len = M.histogram m "sat.learnt_len";
+    c_db_reduce = M.counter m "sat.db.reduce";
+    g_db_kept = M.gauge m "sat.db.kept";
+    g_proof_steps = M.gauge m "proof.steps";
+    g_proof_bytes = M.gauge m "proof.bytes";
     c_itp_nodes = M.counter m "itp.nodes";
     h_itp_size = M.histogram m "itp.size";
     g_last_bound = M.gauge m "bmc.last_bound";
@@ -52,6 +60,8 @@ let decisions s = M.value s.c_decisions
 let propagations s = M.value s.c_propagations
 let restarts s = M.value s.c_restarts
 let max_learnt_len s = int_of_float (M.hist_max s.h_learnt_len)
+let db_reduces s = M.value s.c_db_reduce
+let proof_steps s = int_of_float (M.gauge_value s.g_proof_steps)
 let itp_nodes s = M.value s.c_itp_nodes
 let last_bound s = int_of_float (M.gauge_value s.g_last_bound)
 let refinements s = M.value s.c_refinements
@@ -109,6 +119,12 @@ let pp_stats fmt s =
       (M.hist_mean s.h_learnt_len)
       (M.hist_quantile s.h_learnt_len 0.5)
       (max_learnt_len s);
+  if db_reduces s > 0 then
+    Format.fprintf fmt ", %d db reductions (%d learnt kept)" (db_reduces s)
+      (int_of_float (M.gauge_value s.g_db_kept));
+  if proof_steps s > 0 then
+    Format.fprintf fmt ", %d proof steps (~%d bytes)" (proof_steps s)
+      (int_of_float (M.gauge_value s.g_proof_bytes));
   if refinements s > 0 then
     Format.fprintf fmt ", %d refinements (%d latches still frozen)" (refinements s)
       (abstract_latches s)

@@ -42,6 +42,10 @@ type stats = {
   c_propagations : Isr_obs.Metrics.counter;
   c_restarts : Isr_obs.Metrics.counter;
   h_learnt_len : Isr_obs.Metrics.histogram;
+  c_db_reduce : Isr_obs.Metrics.counter;
+  g_db_kept : Isr_obs.Metrics.gauge;
+  g_proof_steps : Isr_obs.Metrics.gauge;
+  g_proof_bytes : Isr_obs.Metrics.gauge;
   c_itp_nodes : Isr_obs.Metrics.counter;
   h_itp_size : Isr_obs.Metrics.histogram;
   g_last_bound : Isr_obs.Metrics.gauge;
@@ -66,6 +70,14 @@ val decisions : stats -> int
 val propagations : stats -> int
 val restarts : stats -> int
 val max_learnt_len : stats -> int
+
+val db_reduces : stats -> int
+(** Learnt-database reductions across all SAT calls of the run. *)
+
+val proof_steps : stats -> int
+(** Proof-log steps of the largest solver the run touched (gauges keep
+    the maximum on merge). *)
+
 val itp_nodes : stats -> int
 val last_bound : stats -> int
 val refinements : stats -> int

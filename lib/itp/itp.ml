@@ -23,7 +23,7 @@ let analyze (p : Proof.t) =
   let ntags = ref 0 in
   Array.iter
     (function
-      | Proof.Derived _ -> ()
+      | Proof.Derived _ | Proof.Trimmed -> ()
       | Proof.Input { lits; tag } ->
         if tag < 1 then invalid_arg "Itp.analyze: input clause with tag < 1";
         ntags := max !ntags tag;
@@ -71,6 +71,9 @@ let interpolant ?info ?(system = McMillan) (p : Proof.t) ~cut ~man ~var_map =
         if not info.used.(id) then Aig.lit_false
         else
           match step with
+          (* Trimmed steps are never used: the guard above already
+             returned for them. *)
+          | Proof.Trimmed -> Aig.lit_false
           | Proof.Input { lits; tag } ->
             if tag <= cut then
               (* A-clause: disjunction of its b-labeled literals. *)

@@ -15,8 +15,9 @@ type t = {
 
 let fresh_lit t = Lit.pos (Solver.new_var t)
 
-let create model =
+let create ?reduce model =
   let solver = Solver.create () in
+  (match reduce with Some p -> Solver.set_reduce solver p | None -> ());
   let nl = model.Model.num_latches in
   let state0 = Array.init nl (fun _ -> fresh_lit solver) in
   let t =
@@ -55,7 +56,7 @@ let grow t =
   end
 
 let pi_frame t frame =
-  if frame < 0 || frame >= t.nframes then invalid_arg "Unroll.pi_lit: no such frame";
+  if frame < 0 || frame >= t.nframes then invalid_arg "Unroll.pi_frame: no such frame";
   match t.pis.(frame) with
   | Some a -> a
   | None ->
@@ -88,10 +89,12 @@ let add_transition ?(frozen = fun _ -> false) t ~tag =
           let enc = Tseitin.lit ctx t.model.Model.next.(i) in
           let v = fresh_lit t.solver in
           (* Attribute the two equality clauses to the latch: proof-based
-             abstraction keys on which of them reach the unsat core. *)
-          Hashtbl.replace t.clause_to_latch (Solver.num_clauses t.solver) i;
+             abstraction keys on which of them reach the unsat core.
+             Keyed on stable proof-log ids — database slots shift when
+             the learnt database is reduced. *)
+          Hashtbl.replace t.clause_to_latch (Solver.next_step_id t.solver) i;
           Solver.add_clause t.solver ~tag [ Lit.neg v; enc ];
-          Hashtbl.replace t.clause_to_latch (Solver.num_clauses t.solver) i;
+          Hashtbl.replace t.clause_to_latch (Solver.next_step_id t.solver) i;
           Solver.add_clause t.solver ~tag [ v; Lit.neg enc ];
           v
         end)

@@ -18,7 +18,10 @@ open Isr_aig
 
 type t
 
-val create : Model.t -> t
+(** Allocates the unrolling and its solver.  [reduce] overrides the
+    solver's learnt-database reduction policy at creation (the budget
+    layer re-applies the run's policy at every solve). *)
+val create : ?reduce:Solver.reduce_policy -> Model.t -> t
 val model : t -> Model.t
 val solver : t -> Solver.t
 
@@ -62,10 +65,11 @@ val any_state_map : t -> int -> Aig.lit option
     sequence. *)
 
 val latch_of_clause : t -> int -> int option
-(** When the clause id denotes one of the state-equality clauses emitted
-    by {!add_transition}, the index of the latch it constrains.  Used by
-    proof-based abstraction to read relevant latches off an unsat
-    core. *)
+(** When the clause id — a stable proof-log step id, the id space of
+    {!Isr_sat.Proof.core} — denotes one of the state-equality clauses
+    emitted by {!add_transition}, the index of the latch it constrains.
+    Used by proof-based abstraction to read relevant latches off an
+    unsat core. *)
 
 val trace : t -> Trace.t
 (** Extracts the primary-input assignment per frame from a satisfiable

@@ -1,17 +1,26 @@
 type step =
   | Input of { lits : Lit.t array; tag : int }
   | Derived of { lits : Lit.t array; first : int; chain : (int * int) array }
+  | Trimmed
 
-type t = { steps : step array; empty : int; nvars : int }
+type t = {
+  steps : step array;
+  empty : int;
+  nvars : int;
+  deletions : (int * int) array;
+}
 
 let lits p id =
-  match p.steps.(id) with Input { lits; _ } | Derived { lits; _ } -> lits
+  match p.steps.(id) with
+  | Input { lits; _ } | Derived { lits; _ } -> lits
+  | Trimmed -> invalid_arg "Proof.lits: trimmed step"
 
-let tag p id = match p.steps.(id) with Input { tag; _ } -> Some tag | Derived _ -> None
+let tag p id =
+  match p.steps.(id) with Input { tag; _ } -> Some tag | Derived _ | Trimmed -> None
 
 let max_tag p =
   Array.fold_left
-    (fun acc s -> match s with Input { tag; _ } -> max acc tag | Derived _ -> acc)
+    (fun acc s -> match s with Input { tag; _ } -> max acc tag | Derived _ | Trimmed -> acc)
     0 p.steps
 
 let fold_inorder f p =
@@ -37,7 +46,7 @@ let used p =
   for id = n - 1 downto 0 do
     if mark.(id) then
       match p.steps.(id) with
-      | Input _ -> ()
+      | Input _ | Trimmed -> ()
       | Derived { first; chain; _ } ->
         mark.(first) <- true;
         Array.iter (fun (_, aid) -> mark.(aid) <- true) chain
@@ -49,14 +58,14 @@ let core p =
   let acc = ref [] in
   for id = Array.length p.steps - 1 downto 0 do
     if mark.(id) then
-      match p.steps.(id) with Input _ -> acc := id :: !acc | Derived _ -> ()
+      match p.steps.(id) with Input _ -> acc := id :: !acc | Derived _ | Trimmed -> ()
   done;
   !acc
 
 let core_tags p =
   core p
   |> List.filter_map (fun id ->
-         match p.steps.(id) with Input { tag; _ } -> Some tag | Derived _ -> None)
+         match p.steps.(id) with Input { tag; _ } -> Some tag | Derived _ | Trimmed -> None)
   |> List.sort_uniq Int.compare
 
 (* LRAT-style export.  Clauses are renumbered inputs-first: inputs take
@@ -74,13 +83,13 @@ let to_dimacs p =
   let buf = Buffer.create 1024 in
   let ninputs =
     Array.fold_left
-      (fun n s -> match s with Input _ -> n + 1 | Derived _ -> n)
+      (fun n s -> match s with Input _ -> n + 1 | Derived _ | Trimmed -> n)
       0 p.steps
   in
   Printf.bprintf buf "p cnf %d %d\n" p.nvars ninputs;
   Array.iter
     (function
-      | Derived _ -> ()
+      | Derived _ | Trimmed -> ()
       | Input { lits; _ } ->
         Array.iter (fun l -> Printf.bprintf buf "%d " (Lit.to_dimacs l)) lits;
         Buffer.add_string buf "0\n")
@@ -97,14 +106,37 @@ let to_lrat p =
       | Input _ ->
         incr next;
         newid.(i) <- !next
-      | Derived _ -> ())
+      | Derived _ | Trimmed -> ())
     p.steps;
   let mark = used p in
   let buf = Buffer.create 1024 in
+  (* Deletion events are interleaved at their recorded positions: all
+     events with [pos <= i] are flushed before step [i]'s addition line.
+     A deleted clause was created before its deletion ([id < pos]), so
+     any used clause named by a flushed event already carries its new
+     id; events naming trimmed clauses are dropped (the checker never
+     saw an addition to delete). *)
+  let dels = p.deletions in
+  let di = ref 0 in
+  let flush_deletions upto =
+    let ids = ref [] in
+    while !di < Array.length dels && fst dels.(!di) <= upto do
+      let id = snd dels.(!di) in
+      if newid.(id) > 0 then ids := newid.(id) :: !ids;
+      incr di
+    done;
+    match List.rev !ids with
+    | [] -> ()
+    | ids ->
+      Printf.bprintf buf "%d d" !next;
+      List.iter (fun id -> Printf.bprintf buf " %d" id) ids;
+      Buffer.add_string buf " 0\n"
+  in
   Array.iteri
     (fun i s ->
       match s with
       | Derived { lits; first; chain } when mark.(i) ->
+        flush_deletions i;
         incr next;
         newid.(i) <- !next;
         Printf.bprintf buf "%d" !next;
@@ -118,14 +150,38 @@ let to_lrat p =
     p.steps;
   Buffer.contents buf
 
-let pp_stats fmt p =
-  let inputs = ref 0 and derived = ref 0 and chain_len = ref 0 in
+let bytes_estimate p =
+  let words = ref 0 in
   Array.iter
-    (function
-      | Input _ -> incr inputs
+    (fun s ->
+      words :=
+        !words
+        +
+        match s with
+        | Input { lits; _ } -> Array.length lits + 3
+        | Derived { lits; chain; _ } -> Array.length lits + (2 * Array.length chain) + 4
+        | Trimmed -> 1)
+    p.steps;
+  8 * (!words + (2 * Array.length p.deletions))
+
+let pp_stats fmt p =
+  let inputs = ref 0 and derived = ref 0 and trimmed = ref 0 and chain_len = ref 0 in
+  let used_inputs = ref 0 and used_derived = ref 0 in
+  let mark = used p in
+  Array.iteri
+    (fun id s ->
+      match s with
+      | Input _ ->
+        incr inputs;
+        if mark.(id) then incr used_inputs
       | Derived { chain; _ } ->
         incr derived;
-        chain_len := !chain_len + Array.length chain)
+        if mark.(id) then incr used_derived;
+        chain_len := !chain_len + Array.length chain
+      | Trimmed -> incr trimmed)
     p.steps;
-  Format.fprintf fmt "proof: %d inputs, %d derived, %d resolutions, empty=%d" !inputs
-    !derived !chain_len p.empty
+  Format.fprintf fmt
+    "proof: %d/%d inputs used, %d/%d derived used (%d trimmed), %d deletions, %d \
+     resolutions, ~%d bytes, empty=%d"
+    !used_inputs !inputs !used_derived (!derived + !trimmed) !trimmed
+    (Array.length p.deletions) !chain_len (bytes_estimate p) p.empty

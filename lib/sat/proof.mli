@@ -8,22 +8,41 @@
     clause [first], each [(pivot, id)] pair resolves the running resolvent
     with clause [id] on variable [pivot].  The final resolvent equals the
     derived clause (as a set of literals).  The last step of the proof
-    derives the empty clause. *)
+    derives the empty clause.
+
+    Proofs are reconstructed on demand from the solver's append-only
+    {!Proof_log}.  Reconstruction normally {e trims}: derived steps not
+    reachable from the empty clause come back as {!Trimmed} placeholders
+    (ids stay stable, payloads are dropped).  Input steps are always
+    materialized — interpolation labels variables by their occurrences
+    across {e all} input clauses, so inputs must survive trimming even
+    when unused.  [deletions] records the clause-database deletion events
+    of the originating solve, interleaved into {!to_lrat} as [d] lines. *)
 
 type step =
   | Input of { lits : Lit.t array; tag : int }
       (** An original clause with its partition tag (0 when untagged). *)
   | Derived of { lits : Lit.t array; first : int; chain : (int * int) array }
       (** A learned clause: [chain] is an array of [(pivot_var, clause_id)]. *)
+  | Trimmed
+      (** A derived step outside the used cone, elided by reconstruction.
+          Never an antecedent of any materialized step. *)
 
 type t = {
   steps : step array;  (** indexed by clause id *)
   empty : int;         (** id of the (derived or input) empty clause *)
   nvars : int;         (** number of variables in the instance *)
+  deletions : (int * int) array;
+      (** Database deletion events in log order: [(pos, id)] says clause
+          [id] was deleted from the solver's clause database when [pos]
+          steps existed — i.e. between the creation of steps [pos - 1]
+          and [pos].  Deleted clauses remain valid proof steps (the log
+          is append-only); the events only gate {!to_lrat}'s [d] lines. *)
 }
 
 val lits : t -> int -> Lit.t array
-(** Literals of the clause with the given id. *)
+(** Literals of the clause with the given id.
+    @raise Invalid_argument on a {!Trimmed} step. *)
 
 val tag : t -> int -> int option
 (** Partition tag of an input clause, [None] for derived clauses. *)
@@ -40,7 +59,7 @@ val used : t -> bool array
 (** Clause ids reachable from the empty clause through antecedent edges —
     the part of the proof that actually derives unsatisfiability.
     Solvers log every learned clause, so typically much of the proof is
-    unused. *)
+    unused.  {!Trimmed} steps are never used. *)
 
 val core : t -> int list
 (** Ids of the {e input} clauses in the used part: the unsatisfiable
@@ -56,13 +75,28 @@ val to_dimacs : t -> string
     numbering {!to_lrat} hints refer to. *)
 
 val to_lrat : t -> string
-(** Compact LRAT-style rendering of the refutation: one
+(** Compact LRAT rendering of the refutation: one
     [<id> <lit>* 0 <hint>* 0] line per {e used} derived step, ids
     continuing after the input clauses of {!to_dimacs}.  The hints of
     each step are its reversed resolution chain followed by its first
     antecedent, which is exactly unit-propagation order, so the export
     is checkable by reverse unit propagation alone (see
-    [Isr_check.Lrat_check]) with no knowledge of the solver.  Empty when
-    an input clause itself is empty. *)
+    [Isr_check.Lrat_check]) with no knowledge of the solver.
+
+    Database {!deletions} are interleaved as [<id> d <id>* 0] lines at
+    their recorded positions (events whose clause was trimmed, or that
+    fall after the last used step, are dropped).  A deleted clause is by
+    construction never a hint of a later step — the solver can only
+    resolve against clauses still in its database — so the export
+    checks under strict deletion semantics.  Empty when an input clause
+    itself is empty. *)
+
+val bytes_estimate : t -> int
+(** Estimated in-memory footprint of the materialized steps in bytes
+    (literals, chains and per-step headers; {!Trimmed} steps count one
+    word).  The quantity behind the ["proof.bytes"] gauge. *)
 
 val pp_stats : Format.formatter -> t -> unit
+(** One line with used-vs-total step counts, resolution count, the
+    {!bytes_estimate} and the empty-clause id, so trimming wins show up
+    in [--trace] output. *)

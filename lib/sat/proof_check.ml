@@ -34,6 +34,10 @@ let check (p : Proof.t) =
         (fun ~get id step ->
           match step with
           | Proof.Input { lits; _ } -> set_of_lits lits
+          (* A trimmed step is outside the used cone, so no materialized
+             step resolves against it; give it an empty attribute (any
+             accidental reference would fail the resolution replay). *)
+          | Proof.Trimmed -> Lset.empty
           | Proof.Derived { lits; first; chain } ->
             let res =
               Array.fold_left

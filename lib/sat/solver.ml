@@ -4,33 +4,47 @@ type result = Sat | Unsat | Undef
    checks replacing bare asserts on the hot paths. *)
 module Check = Isr_check_core.Level
 
-(* A clause doubles as a proof step: input clauses carry a partition tag,
-   learned clauses carry their resolution chain. *)
+(* The in-memory clause database holds only what propagation and the
+   reduction heuristics need; proof payloads (tags, resolution chains,
+   deletion events) live in the append-only [Proof_log].  [cid] is the
+   clause's stable proof-log step id — database slots compact on
+   [reduce_db], proof ids never move. *)
 type clause = {
-  cid : int;
+  cid : int;                   (* proof-log step id (stable) *)
   lits : Lit.t array;
-  ctag : int;                  (* partition tag; -1 for learned clauses *)
-  first : int;                 (* first antecedent id; -1 for inputs *)
-  chain : (int * int) array;   (* (pivot var, antecedent id) *)
+  learnt : bool;
+  mutable lbd : int;           (* glue: distinct decision levels at learn time *)
+  mutable act : float;         (* clause activity for the reduction sort *)
 }
+
+type reduce_policy = {
+  enabled : bool;
+  base : int;       (* live-learnt threshold for the first reduction *)
+  growth : float;   (* geometric multiplier applied after each reduction *)
+  keep_lbd : int;   (* clauses with lbd <= keep_lbd are never deleted *)
+}
+
+let default_reduce = { enabled = true; base = 4000; growth = 1.3; keep_lbd = 2 }
 
 type t = {
   mutable nvars : int;
-  mutable clauses : clause array;      (* by id *)
+  mutable clauses : clause array;      (* by database slot; compacts on reduce *)
   mutable nclauses : int;
-  mutable watches : Vec.t array;       (* literal -> clause ids *)
+  mutable watches : Vec.t array;       (* literal -> clause slots *)
   mutable assigns : int array;         (* var -> -1 unknown / 0 false / 1 true *)
   mutable level : int array;           (* var -> decision level *)
-  mutable reason : int array;          (* var -> clause id or -1 *)
+  mutable reason : int array;          (* var -> clause slot or -1 *)
   mutable phase : Bytes.t;             (* var -> saved phase *)
   mutable activity : float array;
   mutable var_inc : float;
+  mutable cla_inc : float;             (* clause-activity increment *)
+  log : Proof_log.t;                   (* append-only proof store *)
   trail : Vec.t;                       (* assigned literals, in order *)
   trail_lim : Vec.t;                   (* trail size at each decision *)
   mutable qhead : int;
   order : Heap.t;
   mutable ok : bool;                   (* false once unconditionally unsat *)
-  mutable empty_id : int;              (* id of the empty clause, or -1 *)
+  mutable empty_id : int;              (* proof id of the empty clause, or -1 *)
   mutable last_result : result;
   mutable core : Lit.t list;           (* assumption core of the last Unsat *)
   mutable conflicts : int;
@@ -38,16 +52,23 @@ type t = {
   mutable propagations : int;
   mutable restarts : int;
   mutable learnt_count : int;
+  mutable live_learnt : int;           (* learnt clauses currently in the database *)
+  mutable reduces : int;               (* completed database reductions *)
+  mutable policy : reduce_policy;
+  mutable reduce_limit : int;          (* next live-learnt threshold *)
   mutable max_learnt_len : int;
   mutable learnt_cb : (int -> unit) option; (* observes each learned-clause length *)
   mutable restart_cb : (int -> unit) option; (* observes each restart (cumulative count) *)
+  mutable reduce_cb : (kept:int -> deleted:int -> unit) option;
+      (* observes each database reduction *)
   mutable interrupt : (unit -> bool) option; (* polled during search; true aborts to Undef *)
   mutable seen : Bytes.t;              (* conflict-analysis scratch *)
   mutable mark0 : Bytes.t;             (* level-0 elimination scratch *)
-  pending : Vec.t;                     (* clause ids to re-examine at solve start *)
+  mutable lbd_mark : Bytes.t;          (* level-indexed LBD scratch *)
+  pending : Vec.t;                     (* clause slots to re-examine at solve start *)
 }
 
-let dummy_clause = { cid = -1; lits = [||]; ctag = -1; first = -1; chain = [||] }
+let dummy_clause = { cid = -1; lits = [||]; learnt = false; lbd = 0; act = 0.0 }
 
 let create () =
   {
@@ -61,6 +82,8 @@ let create () =
     phase = Bytes.make 16 '\000';
     activity = Array.make 16 0.0;
     var_inc = 1.0;
+    cla_inc = 1.0;
+    log = Proof_log.create ();
     trail = Vec.create ();
     trail_lim = Vec.create ();
     qhead = 0;
@@ -74,12 +97,18 @@ let create () =
     propagations = 0;
     restarts = 0;
     learnt_count = 0;
+    live_learnt = 0;
+    reduces = 0;
+    policy = default_reduce;
+    reduce_limit = default_reduce.base;
     max_learnt_len = 0;
     learnt_cb = None;
     restart_cb = None;
+    reduce_cb = None;
     interrupt = None;
     seen = Bytes.make 16 '\000';
     mark0 = Bytes.make 16 '\000';
+    lbd_mark = Bytes.make 17 '\000';
     pending = Vec.create ();
   }
 
@@ -89,11 +118,29 @@ let num_decisions s = s.decisions
 let num_propagations s = s.propagations
 let num_restarts s = s.restarts
 let num_learnt s = s.learnt_count
+let num_live_learnt s = s.live_learnt
+let num_reduces s = s.reduces
 let max_learnt_len s = s.max_learnt_len
 let num_clauses s = s.nclauses
+let next_step_id s = Proof_log.n_steps s.log
+let proof_steps s = Proof_log.n_steps s.log
+let proof_bytes s = Proof_log.bytes s.log
 let on_learnt s cb = s.learnt_cb <- cb
 let on_restart s cb = s.restart_cb <- cb
+let on_reduce s cb = s.reduce_cb <- cb
 let set_interrupt s cb = s.interrupt <- cb
+
+let set_reduce s p =
+  if p.base <= 0 then invalid_arg "Solver.set_reduce: base must be positive";
+  if p.growth < 1.0 then invalid_arg "Solver.set_reduce: growth must be >= 1";
+  (* Re-applying the current policy (every budgeted call does) must not
+     reset the geometric schedule mid-run. *)
+  if p <> s.policy then begin
+    s.policy <- p;
+    s.reduce_limit <- p.base
+  end
+
+let reduce_policy s = s.policy
 
 let interrupted s = match s.interrupt with Some f -> f () | None -> false
 
@@ -117,6 +164,10 @@ let grow_vars s n =
     s.phase <- grow_bytes s.phase;
     s.seen <- grow_bytes s.seen;
     s.mark0 <- grow_bytes s.mark0;
+    (* Level-indexed: levels range over 0..nvars inclusive. *)
+    let lbd' = Bytes.make (cap' + 1) '\000' in
+    Bytes.blit s.lbd_mark 0 lbd' 0 (Bytes.length s.lbd_mark);
+    s.lbd_mark <- lbd';
     let act' = Array.make cap' 0.0 in
     Array.blit s.activity 0 act' 0 cap;
     s.activity <- act';
@@ -154,10 +205,12 @@ let push_clause s c =
     Array.blit s.clauses 0 a 0 s.nclauses;
     s.clauses <- a
   end;
-  s.clauses.(s.nclauses) <- c;
-  s.nclauses <- s.nclauses + 1
+  let slot = s.nclauses in
+  s.clauses.(slot) <- c;
+  s.nclauses <- slot + 1;
+  slot
 
-let watch s lit cid = Vec.push s.watches.(lit) cid
+let watch s lit slot = Vec.push s.watches.(lit) slot
 
 let enqueue s lit reason =
   let v = Lit.var lit in
@@ -171,8 +224,8 @@ let enqueue s lit reason =
 
 exception Conflict of int
 
-(* Two-watched-literal propagation; returns the id of a conflicting clause
-   or -1. *)
+(* Two-watched-literal propagation; returns the slot of a conflicting
+   clause or -1. *)
 let propagate s =
   try
     while s.qhead < Vec.size s.trail do
@@ -184,8 +237,8 @@ let propagate s =
       let n = Vec.size ws in
       let j = ref 0 in
       for i = 0 to n - 1 do
-        let cid = Vec.get ws i in
-        let c = s.clauses.(cid) in
+        let slot = Vec.get ws i in
+        let c = s.clauses.(slot) in
         let lits = c.lits in
         (* Ensure the false literal sits at position 1. *)
         if lits.(0) = false_lit then begin
@@ -194,7 +247,7 @@ let propagate s =
         end;
         if lit_val s lits.(0) = 1 then begin
           (* Clause already satisfied: keep the watch. *)
-          Vec.set ws !j cid;
+          Vec.set ws !j slot;
           incr j
         end
         else begin
@@ -207,11 +260,11 @@ let propagate s =
           if k >= 0 then begin
             lits.(1) <- lits.(k);
             lits.(k) <- false_lit;
-            watch s lits.(1) cid
+            watch s lits.(1) slot
           end
           else begin
             (* Unit or conflicting: the watch stays. *)
-            Vec.set ws !j cid;
+            Vec.set ws !j slot;
             incr j;
             if lit_val s lits.(0) = 0 then begin
               (* Conflict: salvage the remaining watches, then abort. *)
@@ -221,18 +274,19 @@ let propagate s =
               done;
               Vec.shrink ws !j;
               s.qhead <- Vec.size s.trail;
-              raise (Conflict cid)
+              raise (Conflict slot)
             end
-            else enqueue s lits.(0) cid
+            else enqueue s lits.(0) slot
           end
         end
       done;
       Vec.shrink ws !j
     done;
     -1
-  with Conflict cid -> cid
+  with Conflict slot -> slot
 
 let var_decay = 1.0 /. 0.95
+let cla_decay = 1.0 /. 0.999
 
 let bump_var s v =
   s.activity.(v) <- s.activity.(v) +. s.var_inc;
@@ -245,7 +299,19 @@ let bump_var s v =
   end;
   Heap.decrease s.order v
 
-let decay_activities s = s.var_inc <- s.var_inc *. var_decay
+let bump_clause s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    for i = 0 to s.nclauses - 1 do
+      let c' = s.clauses.(i) in
+      if c'.learnt then c'.act <- c'.act *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_activities s =
+  s.var_inc <- s.var_inc *. var_decay;
+  s.cla_inc <- s.cla_inc *. cla_decay
 
 let cancel_until s lvl =
   if decision_level s > lvl then begin
@@ -263,10 +329,31 @@ let cancel_until s lvl =
     s.qhead <- Vec.size s.trail
   end
 
+(* Glue (LBD) of a clause: distinct non-root decision levels among its
+   literals, at least 1.  Called before the backjump so every literal
+   still carries its conflict-time level. *)
+let compute_lbd s lits =
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(Lit.var l) in
+      if lv > 0 && Bytes.get s.lbd_mark lv = '\000' then begin
+        Bytes.set s.lbd_mark lv '\001';
+        incr n
+      end)
+    lits;
+  Array.iter
+    (fun l ->
+      let lv = s.level.(Lit.var l) in
+      if lv > 0 then Bytes.set s.lbd_mark lv '\000')
+    lits;
+  max 1 !n
+
 (* Append to [chain] the resolutions eliminating every marked level-0
    variable from the virtual resolvent.  Walks the level-0 trail segment
    backwards: a reason clause only mentions literals assigned earlier, so a
-   single sweep eliminates everything in valid resolution order. *)
+   single sweep eliminates everything in valid resolution order.  Chain
+   entries carry proof-log ids, not database slots. *)
 let resolve_level0 s chain =
   let bound =
     if Vec.size s.trail_lim > 0 then Vec.get s.trail_lim 0 else Vec.size s.trail
@@ -278,7 +365,7 @@ let resolve_level0 s chain =
       let r = s.reason.(v) in
       Check.check "sat.level0_has_reason" (r >= 0)
         ~detail:(fun () -> Printf.sprintf "level-0 variable %d has no reason clause" v);
-      chain := (v, r) :: !chain;
+      chain := (v, s.clauses.(r).cid) :: !chain;
       Array.iter
         (fun l ->
           let w = Lit.var l in
@@ -288,7 +375,8 @@ let resolve_level0 s chain =
   done
 
 (* First-UIP conflict analysis.  Returns the learned clause (asserting
-   literal first), the backjump level, and the resolution chain. *)
+   literal first), the backjump level, and the resolution chain over
+   proof-log ids (in resolution order). *)
 let analyze s confl =
   let cur_level = decision_level s in
   let learnt = ref [] in
@@ -297,10 +385,11 @@ let analyze s confl =
   let counter = ref 0 in
   let p = ref (-1) in
   let idx = ref (Vec.size s.trail - 1) in
-  let cid = ref confl in
+  let slot = ref confl in
   let continue = ref true in
   while !continue do
-    let c = s.clauses.(!cid) in
+    let c = s.clauses.(!slot) in
+    if c.learnt then bump_clause s c;
     Array.iter
       (fun q ->
         (* Skip the pivot occurrence: reason clauses contain the literal
@@ -331,10 +420,10 @@ let analyze s confl =
     decr counter;
     if !counter = 0 then continue := false
     else begin
-      cid := s.reason.(v);
-      Check.check "sat.analyze_has_reason" (!cid >= 0)
+      slot := s.reason.(v);
+      Check.check "sat.analyze_has_reason" (!slot >= 0)
         ~detail:(fun () -> Printf.sprintf "trail variable %d has no reason clause" v);
-      chain := (v, !cid) :: !chain
+      chain := (v, s.clauses.(!slot).cid) :: !chain
     end
   done;
   (* Local clause minimization (Sörensson): a literal is redundant when
@@ -373,7 +462,7 @@ let analyze s confl =
         in
         if removable then begin
           Hashtbl.remove in_clause v;
-          chain := (v, r) :: !chain;
+          chain := (v, s.clauses.(r).cid) :: !chain;
           Array.iter
             (fun l ->
               let w = Lit.var l in
@@ -391,18 +480,19 @@ let analyze s confl =
   let learnt_lits = Lit.neg !p :: !learnt in
   List.iter (fun q -> Bytes.set s.seen (Lit.var q) '\000') original_learnt;
   let bt_level = List.fold_left (fun acc q -> max acc s.level.(Lit.var q)) 0 !learnt in
-  (Array.of_list learnt_lits, bt_level, confl, Array.of_list (List.rev !chain))
+  (Array.of_list learnt_lits, bt_level, s.clauses.(confl).cid, List.rev !chain)
 
 (* Conflict whose literals are all false at decision level 0: derive the
-   empty clause and mark the instance unconditionally unsatisfiable. *)
+   empty clause and mark the instance unconditionally unsatisfiable.
+   The empty clause is a proof-log step only — it never enters the
+   clause database (nothing watches or resolves against it). *)
 let analyze_final s confl =
   let chain = ref [] in
   Array.iter (fun q -> Bytes.set s.mark0 (Lit.var q) '\001') s.clauses.(confl).lits;
   resolve_level0 s chain;
-  let cid = s.nclauses in
-  push_clause s
-    { cid; lits = [||]; ctag = -1; first = confl; chain = Array.of_list (List.rev !chain) };
-  s.empty_id <- cid;
+  s.empty_id <-
+    Proof_log.add_derived s.log ~lits:[||] ~first:s.clauses.(confl).cid
+      ~chain:(List.rev !chain);
   s.ok <- false;
   s.core <- []
 
@@ -435,13 +525,14 @@ let analyze_assumptions s p =
   Bytes.set s.seen v0 '\000';
   !core
 
-let record_learnt s lits first chain =
-  let cid = s.nclauses in
+let record_learnt s lits ~lbd first chain =
+  let cid = Proof_log.add_derived s.log ~lits ~first ~chain in
   s.learnt_count <- s.learnt_count + 1;
+  s.live_learnt <- s.live_learnt + 1;
   let len = Array.length lits in
   if len > s.max_learnt_len then s.max_learnt_len <- len;
   (match s.learnt_cb with None -> () | Some f -> f len);
-  push_clause s { cid; lits; ctag = -1; first; chain };
+  let slot = push_clause s { cid; lits; learnt = true; lbd; act = s.cla_inc } in
   if Array.length lits >= 2 then begin
     (* lits.(0) is the asserting literal; the second watch must be the
        highest-level other literal so the invariant survives backjumps. *)
@@ -452,10 +543,92 @@ let record_learnt s lits first chain =
     let tmp = lits.(1) in
     lits.(1) <- lits.(!best);
     lits.(!best) <- tmp;
-    watch s lits.(0) cid;
-    watch s lits.(1) cid
+    watch s lits.(0) slot;
+    watch s lits.(1) slot
   end;
-  cid
+  slot
+
+(* MiniSat-style learnt-database reduction.  Deletion candidates are the
+   live learnt clauses that are neither binary, nor glue (lbd <=
+   keep_lbd), nor locked as some assigned variable's reason; the worst
+   half by (lbd desc, activity asc) is dropped.  Deletions are recorded
+   in the proof log (for LRAT [d] lines), the clause array compacts, and
+   reasons, the pending list and every watch list are rebuilt on the new
+   slots — proof ids are untouched.  Safe at any decision level: the
+   watched-positions-0/1 invariant holds for every clause of length >= 2,
+   so watch lists can be reconstructed from scratch. *)
+let reduce_db s =
+  let locked = Array.make s.nclauses false in
+  Vec.iter
+    (fun l ->
+      let r = s.reason.(Lit.var l) in
+      if r >= 0 then locked.(r) <- true)
+    s.trail;
+  let cand = ref [] in
+  for i = 0 to s.nclauses - 1 do
+    let c = s.clauses.(i) in
+    if c.learnt && Array.length c.lits > 2 && c.lbd > s.policy.keep_lbd && not locked.(i)
+    then cand := i :: !cand
+  done;
+  let cand = Array.of_list !cand in
+  Array.sort
+    (fun a b ->
+      let ca = s.clauses.(a) and cb = s.clauses.(b) in
+      if ca.lbd <> cb.lbd then compare cb.lbd ca.lbd else compare ca.act cb.act)
+    cand;
+  let ndelete = Array.length cand / 2 in
+  if ndelete > 0 then begin
+    let dead = Array.make s.nclauses false in
+    for k = 0 to ndelete - 1 do
+      let slot = cand.(k) in
+      dead.(slot) <- true;
+      Proof_log.delete s.log s.clauses.(slot).cid
+    done;
+    (* Compact the database and remap every stored slot. *)
+    let map = Array.make s.nclauses (-1) in
+    let j = ref 0 in
+    for i = 0 to s.nclauses - 1 do
+      if not dead.(i) then begin
+        s.clauses.(!j) <- s.clauses.(i);
+        map.(i) <- !j;
+        incr j
+      end
+    done;
+    for i = !j to s.nclauses - 1 do
+      s.clauses.(i) <- dummy_clause
+    done;
+    s.nclauses <- !j;
+    Vec.iter
+      (fun l ->
+        let v = Lit.var l in
+        let r = s.reason.(v) in
+        if r >= 0 then begin
+          let r' = map.(r) in
+          Check.check "sat.reduce_keeps_reasons" (r' >= 0)
+            ~detail:(fun () -> Printf.sprintf "reason of variable %d was deleted" v);
+          s.reason.(v) <- r'
+        end)
+      s.trail;
+    for i = 0 to Vec.size s.pending - 1 do
+      Vec.set s.pending i map.(Vec.get s.pending i)
+    done;
+    Array.iter Vec.clear s.watches;
+    for i = 0 to s.nclauses - 1 do
+      let c = s.clauses.(i) in
+      if Array.length c.lits >= 2 then begin
+        watch s c.lits.(0) i;
+        watch s c.lits.(1) i
+      end
+    done;
+    s.live_learnt <- s.live_learnt - ndelete;
+    s.reduces <- s.reduces + 1;
+    match s.reduce_cb with
+    | Some f -> f ~kept:s.live_learnt ~deleted:ndelete
+    | None -> ()
+  end;
+  (* Grow the threshold even when nothing was deletable, so an
+     all-glue/all-locked database does not retrigger every conflict. *)
+  s.reduce_limit <- int_of_float (float_of_int s.reduce_limit *. s.policy.growth) + 1
 
 (* Adding clauses is allowed at any time; the solver backtracks to the
    root level first.  Unit consequences are deferred to the next solve
@@ -480,13 +653,13 @@ let add_clause s ?(tag = 0) lits =
             invalid_arg "Solver.add_clause: unknown variable")
         lits;
       let arr = Array.of_list lits in
-      let cid = s.nclauses in
-      push_clause s { cid; lits = arr; ctag = tag; first = -1; chain = [||] };
+      let cid = Proof_log.add_input s.log ~tag arr in
+      let slot = push_clause s { cid; lits = arr; learnt = false; lbd = 0; act = 0.0 } in
       match Array.length arr with
       | 0 ->
         s.ok <- false;
         s.empty_id <- cid
-      | 1 -> Vec.push s.pending cid
+      | 1 -> Vec.push s.pending slot
       | _ ->
         (* Watch two non-false literals when possible (under the current
            root-level assignment); when fewer exist, the clause is unit
@@ -507,9 +680,9 @@ let add_clause s ?(tag = 0) lits =
              end
            done
          with Exit -> ());
-        watch s arr.(0) cid;
-        watch s arr.(1) cid;
-        if !pos < 2 then Vec.push s.pending cid
+        watch s arr.(0) slot;
+        watch s arr.(1) slot;
+        if !pos < 2 then Vec.push s.pending slot
     end
   end
 
@@ -520,25 +693,25 @@ let flush_pending s =
   let kept = ref [] in
   let failed = ref false in
   Vec.iter
-    (fun cid ->
+    (fun slot ->
       if not !failed then begin
-        let lits = s.clauses.(cid).lits in
+        let lits = s.clauses.(slot).lits in
         let nonfalse = ref [] in
         Array.iter (fun l -> if lit_val s l <> 0 then nonfalse := l :: !nonfalse) lits;
         match !nonfalse with
         | [] ->
-          analyze_final s cid;
+          analyze_final s slot;
           failed := true
         | [ l ] ->
-          if lit_val s l = -1 then enqueue s l cid;
+          if lit_val s l = -1 then enqueue s l slot;
           (* A root-level assignment never goes away: once satisfied (or
              enqueued) the clause needs no further attention. *)
           ()
-        | _ -> kept := cid :: !kept
+        | _ -> kept := slot :: !kept
       end)
     s.pending;
   Vec.clear s.pending;
-  List.iter (fun cid -> Vec.push s.pending cid) (List.rev !kept);
+  List.iter (fun slot -> Vec.push s.pending slot) (List.rev !kept);
   not !failed
 
 let pick_branch_var s =
@@ -602,19 +775,24 @@ let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
         end
         else begin
           let lits, bt_level, first, chain = analyze s confl in
+          (* Glue is read off conflict-time levels, before the backjump
+             unassigns the asserting literal. *)
+          let lbd = compute_lbd s lits in
           (* Never backjump into the middle of the assumption prefix
              without replaying it: cancelling to [bt_level] is safe since
              the decision loop re-installs assumptions by level. *)
           cancel_until s bt_level;
-          let cid = record_learnt s lits first chain in
-          if lit_val s lits.(0) = -1 then enqueue s lits.(0) cid
+          let slot = record_learnt s lits ~lbd first chain in
+          if lit_val s lits.(0) = -1 then enqueue s lits.(0) slot
           else if lit_val s lits.(0) = 0 then begin
             (* Can only happen when the asserting literal is false at the
                root level: unconditionally unsat. *)
-            analyze_final s cid;
+            analyze_final s slot;
             res := Some Unsat
           end;
           decay_activities s;
+          if !res = None && s.policy.enabled && s.live_learnt > s.reduce_limit then
+            reduce_db s;
           (* The interrupt poll rides the conflict counter (every 256
              conflicts) so a cancelled race loser stops well within one
              conflict slice without a closure call per conflict. *)
@@ -684,21 +862,16 @@ let solve_core ?(assumptions = []) ?(conflict_budget = max_int) s =
 
 let result_name = function Sat -> "sat" | Unsat -> "unsat" | Undef -> "undef"
 
-let proof s =
+let proof ?(trim = true) s =
   if s.ok || s.empty_id < 0 then
     invalid_arg "Solver.proof: instance not proved unconditionally unsatisfiable";
-  let steps =
-    Array.init s.nclauses (fun i ->
-        let c = s.clauses.(i) in
-        if c.first = -1 then Proof.Input { lits = Array.copy c.lits; tag = c.ctag }
-        else Proof.Derived { lits = Array.copy c.lits; first = c.first; chain = c.chain })
-  in
-  { Proof.steps; empty = s.empty_id; nvars = s.nvars }
+  Proof_log.to_proof ~trim s.log ~empty:s.empty_id ~nvars:s.nvars
 
 (* Sanitizer probes at the solve boundary.  Fast checks the answer
    against the clause database (trail consistency; on Sat, every input
    clause satisfied).  Paranoid additionally replays the resolution
-   proof behind every unconditional Unsat. *)
+   proof behind every unconditional Unsat — on the trimmed
+   reconstruction, so the proof-log round-trip is validated too. *)
 let check_result s r =
   if Check.on () then begin
     Check.probe "sat.trail_consistent" (fun () ->
@@ -711,7 +884,7 @@ let check_result s r =
           let ok = ref true in
           for i = 0 to s.nclauses - 1 do
             let c = s.clauses.(i) in
-            if c.first = -1 then begin
+            if not c.learnt then begin
               let sat = ref false in
               Array.iter (fun l -> if lit_val s l = 1 then sat := true) c.lits;
               if not !sat then ok := false
@@ -762,5 +935,5 @@ let unsat_core s =
 let iter_input_clauses s f =
   for i = 0 to s.nclauses - 1 do
     let c = s.clauses.(i) in
-    if c.first = -1 then f ~tag:c.ctag c.lits
+    if not c.learnt then f ~tag:(Proof_log.tag s.log c.cid) c.lits
   done

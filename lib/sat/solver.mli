@@ -4,19 +4,38 @@
     tag used by interpolation) and {!solve} may be called repeatedly,
     optionally under {e assumptions}.  On an unsatisfiable answer under
     assumptions, {!unsat_core} names the involved assumption subset; on
-    an unconditionally unsatisfiable instance, {!proof} returns the full
+    an unconditionally unsatisfiable instance, {!proof} returns the
     resolution proof.  On [Sat], {!value} reads the model.
 
     Implementation notes: two-watched-literal propagation, first-UIP
     clause learning, VSIDS branching with phase saving, Luby restarts.
-    Learned clauses are never deleted so that every proof antecedent stays
-    available — instances produced by bounded model checking at our scale
-    stay well within memory. *)
+    The clause database is decoupled from the proof: resolution chains,
+    input tags and deletion events live in an append-only {!Proof_log},
+    while the in-memory database keeps only literals plus the LBD and
+    activity scores driving MiniSat-style learnt-clause deletion
+    ({!reduce_policy}).  Deleting a learnt clause from the database
+    never loses a proof antecedent — the log is append-only and
+    {!proof} reconstructs (and trims) the proof from it on demand. *)
 
 type t
 
 type result = Sat | Unsat | Undef
 (** [Undef] is returned only when a conflict budget is exhausted. *)
+
+type reduce_policy = {
+  enabled : bool;
+  base : int;       (** live-learnt threshold for the first reduction *)
+  growth : float;   (** geometric multiplier applied after each reduction *)
+  keep_lbd : int;   (** clauses with [lbd <= keep_lbd] are never deleted *)
+}
+(** Learnt-database reduction policy.  When the number of live learnt
+    clauses exceeds the current threshold, the worst half of the
+    deletable ones — not binary, not glue, not locked as a reason — is
+    deleted (ordered by LBD, ties broken by clause activity) and the
+    threshold grows geometrically. *)
+
+val default_reduce : reduce_policy
+(** Reduction enabled, [base = 4000], [growth = 1.3], [keep_lbd = 2]. *)
 
 val create : unit -> t
 
@@ -35,7 +54,7 @@ val solve : ?assumptions:Lit.t list -> ?conflict_budget:int -> t -> result
 (** Runs the search under the given assumption literals (installed as the
     first decisions).  [conflict_budget] bounds the number of conflicts
     explored; when exhausted the solver answers [Undef] and a later call
-    resumes with all learned clauses retained. *)
+    resumes with all live learned clauses retained. *)
 
 val value : t -> int -> bool
 (** [value s v] is the model value of variable [v].  Only meaningful
@@ -51,10 +70,20 @@ val unsat_core : t -> Lit.t list
     unsatisfiable.
     @raise Invalid_argument when the last result was not [Unsat]. *)
 
-val proof : t -> Proof.t
+val proof : ?trim:bool -> t -> Proof.t
 (** The resolution proof of {e unconditional} unsatisfiability (a proof
-    exists whenever [Unsat] was answered with no assumptions involved).
+    exists whenever [Unsat] was answered with no assumptions involved),
+    reconstructed from the append-only proof log.  With [trim] (the
+    default), derived steps outside the used cone come back as
+    {!Proof.Trimmed}; inputs are always materialized.
     @raise Invalid_argument otherwise. *)
+
+val next_step_id : t -> int
+(** The proof-log id the next added clause will receive.  This is the
+    {e stable} id space of {!Proof.t}, {!Proof.core} and
+    {!iter_input_clauses} — unlike database slots it never shifts when
+    the learnt database is reduced.  [Isr_model.Unroll] keys its
+    clause-to-latch map on it. *)
 
 val iter_input_clauses : t -> (tag:int -> Lit.t array -> unit) -> unit
 (** Iterates the input (non-learned) clauses in insertion order with
@@ -62,15 +91,40 @@ val iter_input_clauses : t -> (tag:int -> Lit.t array -> unit) -> unit
     The array is live watch-ordered storage — do not mutate or retain
     it.  Used by the CNF linter of [Isr_check]. *)
 
+val set_reduce : t -> reduce_policy -> unit
+(** Installs the learnt-database reduction policy.  Re-installing the
+    current policy is a no-op (the geometric schedule keeps running);
+    installing a different one restarts the schedule at [base].
+    @raise Invalid_argument when [base <= 0] or [growth < 1]. *)
+
+val reduce_policy : t -> reduce_policy
+
 val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
 val num_restarts : t -> int
+
 val num_learnt : t -> int
+(** Cumulative count of clauses learned from conflicts. *)
+
+val num_live_learnt : t -> int
+(** Learnt clauses currently in the database (learned minus deleted). *)
+
+val num_reduces : t -> int
+(** Completed learnt-database reductions. *)
+
 val max_learnt_len : t -> int
 (** Longest learned clause so far (0 before any conflict). *)
 
 val num_clauses : t -> int
+(** Current size of the clause database (inputs plus live learnt). *)
+
+val proof_steps : t -> int
+(** Steps appended to the proof log so far — the ["proof.steps"] gauge. *)
+
+val proof_bytes : t -> int
+(** Current footprint of the proof log in bytes — the ["proof.bytes"]
+    gauge. *)
 
 val on_learnt : t -> (int -> unit) option -> unit
 (** Installs (or clears) an observer called with the length of every
@@ -81,6 +135,12 @@ val on_restart : t -> (int -> unit) option -> unit
 (** Installs (or clears) an observer called with the cumulative restart
     count at every restart — the hook behind the ["sat.restart"]
     progress heartbeat. *)
+
+val on_reduce : t -> (kept:int -> deleted:int -> unit) option -> unit
+(** Installs (or clears) an observer called after every learnt-database
+    reduction with the number of live learnt clauses kept and the number
+    deleted — the hook behind the ["sat.db.reduce"] / ["sat.db.kept"]
+    metrics. *)
 
 val set_interrupt : t -> (unit -> bool) option -> unit
 (** Installs (or clears) a cooperative-cancellation poll.  The search

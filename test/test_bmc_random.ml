@@ -102,7 +102,7 @@ let explicit_analysis (nexts, bad, inits) max_depth =
   done;
   Array.map (fun states -> List.exists bad_at states) frontier
 
-let limits = { Budget.time_limit = 20.0; conflict_limit = 200_000; bound_limit = 20 }
+let limits = { Budget.time_limit = 20.0; conflict_limit = 200_000; bound_limit = 20; reduce = Isr_sat.Solver.default_reduce }
 
 let print_circuit (nexts, bad, inits) =
   let rec pe = function

@@ -76,7 +76,7 @@ let test_certify_not_safe () =
 let test_certify_resource_out () =
   let model, b0, b1 = counter_model () in
   let inv = Aig.not_ (Aig.and_ model.Model.man b0 b1) in
-  let limits = { Budget.time_limit = -1.0; conflict_limit = max_int; bound_limit = 1 } in
+  let limits = { Budget.time_limit = -1.0; conflict_limit = max_int; bound_limit = 1; reduce = Isr_sat.Solver.default_reduce } in
   Alcotest.check certify_result "expired budget reports Resource_out"
     (Error Certify.Resource_out)
     (Certify.check ~limits model inv)
@@ -168,6 +168,41 @@ let test_lrat_bogus_hint () =
     Isr_check.Lrat_check.check_strings ~cnf:(Proof.to_dimacs proof) ~lrat:"3 0 99 0\n"
   with
   | Ok _ -> Alcotest.fail "bogus hint accepted"
+  | Error d -> Alcotest.(check string) "check name" "lrat.unknown_hint" d.Diag.check
+
+(* A reducing solver interleaves [d] lines into the export; the checker
+   must enforce them (drop the clauses) and still accept the proof. *)
+let test_lrat_deletions_roundtrip () =
+  let nvars, clauses = pigeonhole 5 in
+  let s = Solver.create () in
+  Solver.set_reduce s { Solver.enabled = true; base = 30; growth = 1.1; keep_lbd = 2 };
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s c) clauses;
+  Alcotest.(check bool) "php 5 unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "reductions fired" true (Solver.num_reduces s > 0);
+  let proof = Solver.proof s in
+  Alcotest.(check bool) "proof records deletions" true
+    (Array.length proof.Proof.deletions > 0);
+  match roundtrip proof with
+  | Error d -> Alcotest.failf "LRAT with deletions rejected: %a" Diag.pp d
+  | Ok r ->
+    Alcotest.(check bool) "export carries d lines" true
+      (r.Isr_check.Lrat_check.deletions > 0)
+
+(* Seeded defect: a proof that deletes a clause and then cites it as a
+   hint.  Strict deletion semantics must reject the later step — a
+   checker that ignores [d] lines would accept it. *)
+let test_lrat_deleted_hint_rejected () =
+  let cnf = "p cnf 1 2\n1 0\n-1 0\n" in
+  let sound = "3 0 1 2 0\n" in
+  (match Isr_check.Lrat_check.check_strings ~cnf ~lrat:sound with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "control proof rejected: %a" Diag.pp d);
+  let defective = "2 d 2 0\n3 0 1 2 0\n" in
+  match Isr_check.Lrat_check.check_strings ~cnf ~lrat:defective with
+  | Ok _ -> Alcotest.fail "deleted clause accepted as a hint"
   | Error d -> Alcotest.(check string) "check name" "lrat.unknown_hint" d.Diag.check
 
 (* --- seeded artifact defects ------------------------------------------ *)
@@ -355,6 +390,8 @@ let () =
           Alcotest.test_case "unroll round-trip" `Quick test_lrat_unroll;
           Alcotest.test_case "truncated proof rejected" `Quick test_lrat_truncated;
           Alcotest.test_case "bogus hint rejected" `Quick test_lrat_bogus_hint;
+          Alcotest.test_case "deletions round-trip" `Quick test_lrat_deletions_roundtrip;
+          Alcotest.test_case "deleted hint rejected" `Quick test_lrat_deleted_hint_rejected;
         ] );
       ( "lint",
         [

@@ -8,7 +8,7 @@ open Isr_core
 open Isr_suite
 
 let limits =
-  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+  { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce }
 
 let engines =
   [
@@ -260,7 +260,7 @@ let test_l2s_liveness () =
 let test_resource_limits () =
   let e = entry "rether16" in
   let model = Registry.build_validated e in
-  let tiny = { Budget.time_limit = 30.0; conflict_limit = 5; bound_limit = 60 } in
+  let tiny = { Budget.time_limit = 30.0; conflict_limit = 5; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce } in
   (match Engine.run Engine.Itp ~limits:tiny model with
   | Verdict.Unknown _, _ -> ()
   | Verdict.Falsified { depth; trace }, _ ->
@@ -268,7 +268,7 @@ let test_resource_limits () =
     Alcotest.(check int) "depth" 16 depth;
     Alcotest.(check bool) "replays" true (Sim.check_trace model trace)
   | v, _ -> Alcotest.failf "tiny budget: %a" Verdict.pp v);
-  let short = { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 3 } in
+  let short = { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 3; reduce = Isr_sat.Solver.default_reduce } in
   match Engine.run (Engine.Itpseq Bmc.Assume) ~limits:short model with
   | Verdict.Unknown (Verdict.Bound_limit 3), _ -> ()
   | v, _ -> Alcotest.failf "bound limit: %a" Verdict.pp v
@@ -297,7 +297,7 @@ let test_budget_callbacks_cleared () =
     done
   done;
   let stats = Verdict.mk_stats () in
-  let tiny = { Budget.time_limit = 30.0; conflict_limit = 50; bound_limit = 60 } in
+  let tiny = { Budget.time_limit = 30.0; conflict_limit = 50; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce } in
   let budget = Budget.start tiny in
   (match Budget.solve budget stats s with
   | exception Budget.Out_of_conflicts -> ()

@@ -5,7 +5,7 @@ open Isr_core
 open Isr_suite
 
 let limits =
-  { Budget.time_limit = 20.0; conflict_limit = 1_000_000; bound_limit = 50 }
+  { Budget.time_limit = 20.0; conflict_limit = 1_000_000; bound_limit = 50; reduce = Isr_sat.Solver.default_reduce }
 
 let small_entries names = List.filter_map Registry.find names
 

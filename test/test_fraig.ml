@@ -76,7 +76,7 @@ let test_sweep_verdicts () =
         let m = Isr_suite.Registry.build_validated e in
         let swept = Fraig.sweep_model m in
         let limits =
-          { Isr_core.Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+          { Isr_core.Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce }
         in
         let v1, _ = Isr_core.Engine.run (Isr_core.Engine.Itpseq Isr_core.Bmc.Assume) ~limits m in
         let v2, _ =

@@ -393,6 +393,36 @@ let test_unroll_state_values () =
       (Unroll.state_values u ~frame:2)
   | _ -> Alcotest.fail "expected sat"
 
+(* Frame and index bounds: out-of-range accesses must fail loudly (and
+   name the offending accessor), never read a stale or foreign frame. *)
+let test_unroll_bounds () =
+  let m = gated_counter ~bits:3 ~target:3 () in
+  let u = Unroll.create m in
+  Unroll.assert_init u ~tag:1;
+  Unroll.add_transition u ~tag:2;
+  Alcotest.(check int) "two frames allocated" 2 (Unroll.nframes u);
+  (* In-range accesses succeed, including the last frame. *)
+  ignore (Unroll.state_lit u ~frame:1 2);
+  ignore (Unroll.pi_lit u ~frame:1 0);
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  (match Unroll.state_lit u ~frame:2 0 with
+  | exception Invalid_argument msg ->
+    Alcotest.(check string) "state_lit names itself" "Unroll.state_lit: no such frame" msg
+  | _ -> Alcotest.fail "state_lit past the last frame: expected Invalid_argument");
+  (match Unroll.pi_lit u ~frame:2 0 with
+  | exception Invalid_argument msg ->
+    Alcotest.(check string) "pi_lit goes through pi_frame" "Unroll.pi_frame: no such frame"
+      msg
+  | _ -> Alcotest.fail "pi_lit past the last frame: expected Invalid_argument");
+  expect_invalid "state_lit negative frame" (fun () -> Unroll.state_lit u ~frame:(-1) 0);
+  expect_invalid "pi_lit negative frame" (fun () -> Unroll.pi_lit u ~frame:(-1) 0);
+  expect_invalid "state_lit latch out of range" (fun () -> Unroll.state_lit u ~frame:0 3);
+  expect_invalid "pi_lit input out of range" (fun () -> Unroll.pi_lit u ~frame:0 1)
+
 let () =
   Alcotest.run "isr_model"
     [
@@ -432,5 +462,6 @@ let () =
           Alcotest.test_case "counter bmc" `Quick test_unroll_counter;
           Alcotest.test_case "gated bmc" `Quick test_unroll_gated;
           Alcotest.test_case "state values" `Quick test_unroll_state_values;
+          Alcotest.test_case "frame and index bounds" `Quick test_unroll_bounds;
         ] );
     ]

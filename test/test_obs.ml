@@ -716,7 +716,7 @@ let test_engine_span_structure () =
   in
   let model = Isr_suite.Registry.build_validated entry in
   let limits =
-    { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60 }
+    { Budget.time_limit = 30.0; conflict_limit = 2_000_000; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce }
   in
   let events =
     with_memory_sink (fun events ->

@@ -185,6 +185,42 @@ let test_interrupt () =
   Solver.set_interrupt s None;
   Alcotest.(check bool) "resumes to unsat" true (Solver.solve s = Solver.Unsat)
 
+(* --- learnt-database reduction ---------------------------------------- *)
+
+(* An aggressive policy so php(6) — thousands of conflicts — triggers
+   many reductions inside one solve. *)
+let test_reduce_fires () =
+  let nv, cls = pigeonhole 6 in
+  let s = Solver.create () in
+  Solver.set_reduce s { Solver.enabled = true; base = 30; growth = 1.1; keep_lbd = 2 };
+  let deleted_total = ref 0 in
+  Solver.on_reduce s
+    (Some (fun ~kept:_ ~deleted -> deleted_total := !deleted_total + deleted));
+  for _ = 1 to nv do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s c) cls;
+  Alcotest.(check bool) "php 6 unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "reductions fired" true (Solver.num_reduces s > 0);
+  Alcotest.(check bool) "observer saw deletions" true (!deleted_total > 0);
+  let p = Solver.proof s in
+  Alcotest.(check int) "every deletion logged" !deleted_total
+    (Array.length p.Proof.deletions);
+  (* The trimmed proof must still replay: reduction may only forget
+     clauses the refutation does not need. *)
+  match Proof_check.check p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "proof after reduction: %a" Proof_check.pp_error e
+
+let test_set_reduce_validates () =
+  let s = Solver.create () in
+  (match Solver.set_reduce s { Solver.default_reduce with base = 0 } with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "base 0 accepted");
+  match Solver.set_reduce s { Solver.default_reduce with growth = 0.5 } with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "growth below 1 accepted"
+
 (* --- vectors ---------------------------------------------------------- *)
 
 (* Regression: [of_array [||]] used to produce a zero-capacity backing
@@ -342,6 +378,25 @@ let prop_unsat_cores_suffice =
         && not (brute_force nvars (clauses @ List.map (fun l -> [ l ]) core))
       | _ -> true)
 
+(* The most aggressive legal policy: reduce after every conflict, keep
+   nothing by glue.  Verdicts and proofs must be unaffected — reduction
+   only drops clauses that are neither reasons nor needed inputs. *)
+let prop_reduce_preserves_verdicts =
+  QCheck2.Test.make ~count:300 ~name:"aggressive reduction preserves verdicts"
+    ~print:print_cnf gen_cnf (fun (nvars, clauses) ->
+      let s = Solver.create () in
+      Solver.set_reduce s { Solver.enabled = true; base = 1; growth = 1.0; keep_lbd = 0 };
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (fun c -> Solver.add_clause s c) clauses;
+      let r = Solver.solve s in
+      (r = Solver.Sat) = brute_force nvars clauses
+      &&
+      match r with
+      | Solver.Unsat -> Proof_check.check (Solver.proof s) = Ok ()
+      | _ -> true)
+
 let prop_incremental_equals_batch =
   QCheck2.Test.make ~count:300 ~name:"incremental = from-scratch" ~print:print_cnf gen_cnf
     (fun (nvars, clauses) ->
@@ -371,7 +426,7 @@ let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
       [ prop_matches_bruteforce; prop_unsat_proof_checks; prop_sat_model_valid;
         prop_assumptions_equal_units; prop_unsat_cores_suffice;
-        prop_incremental_equals_batch ]
+        prop_reduce_preserves_verdicts; prop_incremental_equals_batch ]
   in
   Alcotest.run "isr_sat"
     [
@@ -390,6 +445,8 @@ let () =
           Alcotest.test_case "assumptions" `Quick test_assumptions_basic;
           Alcotest.test_case "contradictory assumptions" `Quick test_contradictory_assumptions;
           Alcotest.test_case "interrupt" `Quick test_interrupt;
+          Alcotest.test_case "database reduction" `Quick test_reduce_fires;
+          Alcotest.test_case "reduce policy validation" `Quick test_set_reduce_validates;
         ] );
       ("lit", [ Alcotest.test_case "roundtrips" `Quick test_lit_roundtrip ]);
       ("vec", [ Alcotest.test_case "empty vector grows" `Quick test_vec_empty_grows ]);
