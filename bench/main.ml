@@ -45,6 +45,26 @@ let metrics_arg =
           "Write one JSON line per engine run (benchmark, engine, verdict, full \
            metrics-registry snapshot).")
 
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"DIR"
+        ~doc:
+          "Append every engine run to the persistent run ledger rooted at $(docv): \
+           instance fingerprint, engine, config, verdict, depths and the metrics \
+           snapshot.  Inspect with $(b,isr_obs) ls/show/diff.")
+
+(* The run-configuration fingerprint stored with each ledger entry, so
+   cross-run diffs can tell apart budget changes from engine changes. *)
+let config_of ~time ~bound ~conflicts =
+  Isr_obs.Ledger.fingerprint
+    [
+      ("time", Printf.sprintf "%g" time);
+      ("bound", string_of_int bound);
+      ("conflicts", string_of_int conflicts);
+    ]
+
 let check_arg =
   let level_conv =
     Arg.conv
@@ -99,8 +119,8 @@ let open_out_or_die path =
     prerr_endline ("isr-bench: " ^ msg);
     exit 2
 
-let with_obs ?(check = Isr_check.Off) ?(profile = false) ?(progress = None) ~trace
-    ~metrics f =
+let with_obs ?(check = Isr_check.Off) ?(profile = false) ?(progress = None)
+    ?(ledger = None) ?(config = "") ~trace ~metrics f =
   Isr_check.Level.set check;
   let prof = if profile then Some (Isr_obs.Profile.collector ()) else None in
   let chrome = Option.map open_out_or_die trace in
@@ -122,6 +142,20 @@ let with_obs ?(check = Isr_check.Off) ?(profile = false) ?(progress = None) ~tra
           output_char oc '\n';
           flush oc),
         fun () -> close_out oc )
+  in
+  let record =
+    match ledger with
+    | None -> record
+    | Some dir ->
+      let lg =
+        try Isr_obs.Ledger.open_ dir
+        with Sys_error msg ->
+          prerr_endline ("isr-bench: " ^ msg);
+          exit 2
+      in
+      fun r ->
+        record r;
+        ignore (Isr_exp.Runner.ledger_record ~config lg r)
   in
   let safe g = try g () with e -> prerr_endline ("isr-bench: " ^ Printexc.to_string e) in
   Fun.protect
@@ -153,8 +187,9 @@ let entries_for mid_only lst =
 (* --- table1 ------------------------------------------------------------- *)
 
 let table1_cmd =
-  let run time bound conflicts mid_only check trace metrics profile progress =
-    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics ledger profile progress =
+    with_obs ~check ~profile ~progress ~ledger
+      ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics (fun ~record ->
         Isr_exp.Table1.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.table1)
@@ -163,13 +198,14 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
     Term.(
       const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-      $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
+      $ trace_arg $ metrics_arg $ ledger_arg $ profile_arg $ progress_arg)
 
 (* --- fig6 ----------------------------------------------------------------- *)
 
 let fig6_cmd =
-  let run time bound conflicts mid_only check trace metrics profile progress =
-    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics ledger profile progress =
+    with_obs ~check ~profile ~progress ~ledger
+      ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics (fun ~record ->
         Isr_exp.Fig6.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.fig6)
@@ -178,13 +214,14 @@ let fig6_cmd =
   Cmd.v (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (cactus plot data)")
     Term.(
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-      $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
+      $ trace_arg $ metrics_arg $ ledger_arg $ profile_arg $ progress_arg)
 
 (* --- fig7 ------------------------------------------------------------------ *)
 
 let fig7_cmd =
-  let run time bound conflicts mid_only check trace metrics profile progress =
-    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
+  let run time bound conflicts mid_only check trace metrics ledger profile progress =
+    with_obs ~check ~profile ~progress ~ledger
+      ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics (fun ~record ->
         Isr_exp.Fig7.run
           ~limits:(limits_of ~time ~bound ~conflicts)
           ~entries:(entries_for mid_only Registry.fig6)
@@ -193,7 +230,7 @@ let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Figure 7 (exact-k vs assume-k scatter)")
     Term.(
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-      $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
+      $ trace_arg $ metrics_arg $ ledger_arg $ profile_arg $ progress_arg)
 
 (* --- ablations --------------------------------------------------------------- *)
 
@@ -279,25 +316,27 @@ let kernels () =
   Format.pp_print_flush out ()
 
 let extended_cmd =
-  let run time bound conflicts check trace metrics profile progress =
-    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
+  let run time bound conflicts check trace metrics ledger profile progress =
+    with_obs ~check ~profile ~progress ~ledger
+      ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics (fun ~record ->
         Isr_exp.Extended.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v
     (Cmd.info "extended" ~doc:"Beyond the paper: all engines incl. PBA/k-induction/PDR/portfolio")
     Term.(
       const run $ time_arg 20.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
-      $ metrics_arg $ profile_arg $ progress_arg)
+      $ metrics_arg $ ledger_arg $ profile_arg $ progress_arg)
 
 let abstraction_cmd =
-  let run time bound conflicts check trace metrics profile progress =
-    with_obs ~check ~profile ~progress ~trace ~metrics (fun ~record ->
+  let run time bound conflicts check trace metrics ledger profile progress =
+    with_obs ~check ~profile ~progress ~ledger
+      ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics (fun ~record ->
         Isr_exp.Abstraction.run ~limits:(limits_of ~time ~bound ~conflicts) ~record ~out ())
   in
   Cmd.v (Cmd.info "abstraction" ~doc:"Section V: CBA vs PBA on industrial designs")
     Term.(
       const run $ time_arg 30.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
-      $ metrics_arg $ profile_arg $ progress_arg)
+      $ metrics_arg $ ledger_arg $ profile_arg $ progress_arg)
 
 let kernels_cmd =
   Cmd.v (Cmd.info "kernels" ~doc:"Bechamel micro-benchmarks") Term.(const kernels $ const ())
@@ -311,8 +350,9 @@ let snapshot_entries () =
   List.filter (fun e -> e.Registry.category = Registry.Mid) Registry.table1
 
 let snapshot_cmd =
-  let run time bound conflicts check trace metrics repeat out_path progress =
-    with_obs ~check ~progress ~trace ~metrics (fun ~record ->
+  let run time bound conflicts check trace metrics ledger repeat out_path progress =
+    with_obs ~check ~progress ~ledger
+      ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics (fun ~record ->
         let limits = limits_of ~time ~bound ~conflicts in
         let entries = snapshot_entries () in
         let engines = Isr_exp.Table1.engines in
@@ -370,14 +410,14 @@ let snapshot_cmd =
              (median-of-N wall times with spread) for later regression checks")
     Term.(
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
-      $ metrics_arg $ repeat_arg $ out_arg $ progress_arg)
+      $ metrics_arg $ ledger_arg $ repeat_arg $ out_arg $ progress_arg)
 
 let regress_cmd =
   let run baseline current threshold min_delta =
     let load path =
       try Isr_exp.Bench_store.load path
-      with Failure msg ->
-        prerr_endline ("isr-bench: " ^ msg);
+      with Isr_exp.Bench_store.Corrupt { path; what } ->
+        prerr_endline (Printf.sprintf "isr-bench: %s: %s" path what);
         exit 2
     in
     let b = load baseline in
@@ -669,8 +709,10 @@ let reduce_cmd =
 
 (* --- all (default) ------------------------------------------------------------------ *)
 
-let all time bound conflicts mid_only check trace metrics profile progress =
-  with_obs ~check ~profile ~progress ~trace ~metrics @@ fun ~record ->
+let all time bound conflicts mid_only check trace metrics ledger profile progress =
+  with_obs ~check ~profile ~progress ~ledger
+    ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics
+  @@ fun ~record ->
   let limits = limits_of ~time ~bound ~conflicts in
   let entries6 = entries_for mid_only Registry.fig6 in
   let entries1 = entries_for mid_only Registry.table1 in
@@ -698,7 +740,7 @@ let all time bound conflicts mid_only check trace metrics profile progress =
 let all_term =
   Term.(
     const all $ time_arg 5.0 $ bound_arg $ conflicts_arg $ mid_only_arg $ check_arg
-    $ trace_arg $ metrics_arg $ profile_arg $ progress_arg)
+    $ trace_arg $ metrics_arg $ ledger_arg $ profile_arg $ progress_arg)
 
 let () =
   let info =

@@ -1,0 +1,444 @@
+(* Cross-run analytics over the persistent run ledger and the structured
+   search-event streams.
+
+     isr_obs ls                           # runs recorded so far
+     isr_obs show r0003                   # one entry in full
+     isr_obs diff r0003 r0007             # metric deltas, depths, profile
+     isr_obs tail events.jsonl            # human-readable event stream
+     isr_obs explain-race events.jsonl    # who won the race, and why
+     isr_obs export events.jsonl -o t.json  # Chrome trace of the stream *)
+
+open Cmdliner
+module J = Isr_obs.Json
+module L = Isr_obs.Ledger
+module E = Isr_obs.Event
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("isr_obs: " ^ msg); exit 2) fmt
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt string "isr-ledger"
+    & info [ "ledger" ] ~docv:"DIR"
+        ~doc:"Run-ledger directory (as written by --ledger elsewhere).")
+
+let load_entries dir =
+  let lg = L.open_ dir in
+  match L.load lg with
+  | exception Failure msg -> die "%s" msg
+  | entries -> (lg, entries)
+
+let find_entry entries id =
+  match List.find_opt (fun e -> e.L.id = id) entries with
+  | Some e -> e
+  | None -> die "no run %S in the ledger (try `isr_obs ls`)" id
+
+let depth_cell = function Some d -> string_of_int d | None -> "-"
+
+(* --- ls ------------------------------------------------------------------ *)
+
+let ls_cmd =
+  let run dir =
+    let _, entries = load_entries dir in
+    if entries = [] then print_endline "(empty ledger)"
+    else begin
+      Printf.printf "%-6s %-20s %-16s %-14s %-10s %8s %5s %5s  %s\n" "id" "time"
+        "instance" "engine" "verdict" "wall[s]" "kfp" "jfp" "events";
+      List.iter
+        (fun e ->
+          Printf.printf "%-6s %-20s %-16s %-14s %-10s %8.3f %5s %5s  %s\n" e.L.id e.L.time
+            e.L.instance e.L.engine e.L.verdict e.L.wall_s (depth_cell e.L.kfp)
+            (depth_cell e.L.jfp)
+            (Option.value ~default:"-" e.L.events_path))
+        entries
+    end;
+    0
+  in
+  Cmd.v (Cmd.info "ls" ~doc:"List the runs recorded in the ledger")
+    Term.(const run $ ledger_arg)
+
+(* --- show ----------------------------------------------------------------- *)
+
+let show_cmd =
+  let run dir id =
+    let lg, entries = load_entries dir in
+    let e = find_entry entries id in
+    Printf.printf "run       %s  (%s)\n" e.L.id e.L.time;
+    Printf.printf "instance  %s%s\n" e.L.instance
+      (if e.L.instance_hash <> "" then Printf.sprintf "  [hash %s]" e.L.instance_hash
+       else "");
+    Printf.printf "engine    %s\n" e.L.engine;
+    if e.L.config <> "" then Printf.printf "config    %s\n" e.L.config;
+    Printf.printf "verdict   %s  (kfp %s, jfp %s)\n" e.L.verdict (depth_cell e.L.kfp)
+      (depth_cell e.L.jfp);
+    Printf.printf "wall      %.3f s\n" e.L.wall_s;
+    Printf.printf "effort    %d conflicts, %d sat calls, %d itp nodes\n" e.L.conflicts
+      e.L.sat_calls e.L.itp_nodes;
+    Option.iter (fun p -> Printf.printf "events    %s\n" (L.resolve lg p)) e.L.events_path;
+    Option.iter (fun p -> Printf.printf "profile   %s\n" (L.resolve lg p)) e.L.profile_path;
+    if e.L.metrics_json <> "" then begin
+      print_endline "metrics:";
+      match J.parse e.L.metrics_json with
+      | exception J.Parse_error msg -> Printf.printf "  (unreadable: %s)\n" msg
+      | J.Obj kvs ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | J.Num f -> Printf.printf "  %-28s %s\n" k (J.float_ f)
+            | J.Obj _ as h ->
+              let count = Option.value ~default:0 (J.opt_int_field "count" h) in
+              let max_v =
+                match J.field "max" h with Some (J.Num m) -> m | _ -> 0.0
+              in
+              Printf.printf "  %-28s count=%d max=%s\n" k count (J.float_ max_v)
+            | _ -> ())
+          kvs
+      | _ -> print_endline "  (not an object)"
+    end;
+    0
+  in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN") in
+  Cmd.v (Cmd.info "show" ~doc:"Show one ledger entry in full")
+    Term.(const run $ ledger_arg $ id_arg)
+
+(* --- diff ------------------------------------------------------------------ *)
+
+(* Flatten a metrics snapshot to comparable scalars: counters and gauges
+   by name, histograms by their count. *)
+let scalars_of_metrics json =
+  if json = "" then []
+  else
+    match J.parse json with
+    | exception J.Parse_error _ -> []
+    | J.Obj kvs ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | J.Num f -> Some (k, f)
+          | J.Obj _ as h ->
+            Option.map (fun c -> (k ^ ".count", float_of_int c)) (J.opt_int_field "count" h)
+          | _ -> None)
+        kvs
+    | _ -> []
+
+(* Flatten a profile tree to span-path -> (calls, total_s, self_s). *)
+let rec flatten_profile prefix j acc =
+  match j with
+  | J.Obj _ ->
+    let name = Option.value ~default:"?" (J.opt_str_field "name" j) in
+    let path = if prefix = "" then name else prefix ^ "/" ^ name in
+    let self = match J.field "self_s" j with Some (J.Num f) -> f | _ -> 0.0 in
+    let acc = (path, self) :: acc in
+    (match J.field "children" j with
+    | Some (J.Arr cs) -> List.fold_left (fun acc c -> flatten_profile path c acc) acc cs
+    | _ -> acc)
+  | _ -> acc
+
+let load_profile path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> (
+    match J.parse (String.trim text) with
+    | exception J.Parse_error _ -> None
+    | j -> Some (flatten_profile "" j []))
+
+let pct base delta = if base <> 0.0 then Printf.sprintf "%+.1f%%" (100.0 *. delta /. base) else "new"
+
+let diff_cmd =
+  let run dir top a_id b_id =
+    let lg, entries = load_entries dir in
+    let a = find_entry entries a_id and b = find_entry entries b_id in
+    Printf.printf "diff %s (%s/%s) -> %s (%s/%s)\n" a.L.id a.L.instance a.L.engine b.L.id
+      b.L.instance b.L.engine;
+    if a.L.instance_hash <> "" && a.L.instance_hash = b.L.instance_hash then
+      Printf.printf "instance: identical property cone [hash %s]\n" a.L.instance_hash
+    else if a.L.instance_hash <> "" && b.L.instance_hash <> "" then
+      Printf.printf "instance: DIFFERENT property cones (%s vs %s)\n" a.L.instance_hash
+        b.L.instance_hash;
+    if a.L.config <> b.L.config then
+      Printf.printf "config:   %s -> %s\n" a.L.config b.L.config;
+    Printf.printf "verdict:  %s -> %s%s\n" a.L.verdict b.L.verdict
+      (if a.L.verdict <> b.L.verdict then "  (CHANGED)" else "");
+    let depth name x y =
+      match (x, y) with
+      | Some x, Some y ->
+        Printf.printf "%s:      %d -> %d%s\n" name x y
+          (if x <> y then Printf.sprintf "  (%+d)" (y - x) else "")
+      | _ -> Printf.printf "%s:      %s -> %s\n" name (depth_cell x) (depth_cell y)
+    in
+    depth "kfp" a.L.kfp b.L.kfp;
+    depth "jfp" a.L.jfp b.L.jfp;
+    Printf.printf "wall:     %.3f s -> %.3f s  (%s)\n" a.L.wall_s b.L.wall_s
+      (pct a.L.wall_s (b.L.wall_s -. a.L.wall_s));
+    (* Metric deltas, largest relative movement first. *)
+    let ma = scalars_of_metrics a.L.metrics_json
+    and mb = scalars_of_metrics b.L.metrics_json in
+    let deltas =
+      List.filter_map
+        (fun (k, va) ->
+          match List.assoc_opt k mb with
+          | Some vb when va <> vb ->
+            let rel = if va <> 0.0 then Float.abs ((vb -. va) /. va) else infinity in
+            Some (k, va, vb, rel)
+          | _ -> None)
+        ma
+      |> List.sort (fun (_, _, _, r1) (_, _, _, r2) -> compare r2 r1)
+    in
+    if deltas <> [] then begin
+      Printf.printf "metric deltas (top %d of %d changed):\n" (min top (List.length deltas))
+        (List.length deltas);
+      List.iteri
+        (fun i (k, va, vb, _) ->
+          if i < top then
+            Printf.printf "  %-32s %14s -> %-14s %s\n" k (J.float_ va) (J.float_ vb)
+              (pct va (vb -. va)))
+        deltas
+    end
+    else print_endline "metric deltas: none";
+    (* Profile diff when both runs dumped one. *)
+    (match (a.L.profile_path, b.L.profile_path) with
+    | Some pa, Some pb -> (
+      match (load_profile (L.resolve lg pa), load_profile (L.resolve lg pb)) with
+      | Some fa, Some fb ->
+        let moved =
+          List.filter_map
+            (fun (path, sa) ->
+              match List.assoc_opt path fb with
+              | Some sb when Float.abs (sb -. sa) > 1e-6 -> Some (path, sa, sb)
+              | _ -> None)
+            fa
+          |> List.sort (fun (_, a1, b1) (_, a2, b2) ->
+                 compare (Float.abs (b2 -. a2)) (Float.abs (b1 -. a1)))
+        in
+        if moved <> [] then begin
+          Printf.printf "profile deltas (self time, top %d):\n" (min top (List.length moved));
+          List.iteri
+            (fun i (path, sa, sb) ->
+              if i < top then
+                Printf.printf "  %-40s %8.3fs -> %8.3fs\n" path sa sb)
+            moved
+        end
+      | _ -> print_endline "profile: present but unreadable on one side")
+    | _ -> ());
+    if a.L.verdict <> b.L.verdict then 1 else 0
+  in
+  let a_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_A") in
+  let b_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"RUN_B") in
+  let top_arg =
+    Arg.(value & opt int 12 & info [ "top" ] ~docv:"N" ~doc:"Rows per delta table.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two ledger runs: verdicts, convergence depths, metric and \
+             profile deltas (exits 1 when the verdict changed)")
+    Term.(const run $ ledger_arg $ top_arg $ a_arg $ b_arg)
+
+(* --- tail ------------------------------------------------------------------ *)
+
+let pp_event (e : E.t) =
+  let payload =
+    match e.E.kind with
+    | E.Restart { conflicts; decisions; learnt } ->
+      Printf.sprintf "restart       conflicts=%d decisions=%d learnt=%d" conflicts decisions
+        learnt
+    | E.Reduce { kept; dropped; lbd } ->
+      let glue = Array.fold_left ( + ) 0 (Array.sub lbd 0 (min 3 (Array.length lbd))) in
+      Printf.sprintf "db.reduce     kept=%d dropped=%d glue<=2=%d" kept dropped glue
+    | E.Itp_cut { cut; support; nodes } ->
+      Printf.sprintf "itp.cut %-5d support=%d nodes=%d" cut support nodes
+    | E.Phase { phase; step; detail } ->
+      Printf.sprintf "phase         %s%s%s" phase
+        (if step >= 0 then Printf.sprintf " %d" step else "")
+        (if detail <> "" then " " ^ detail else "")
+    | E.Spawn { worker; engines } -> Printf.sprintf "spawn         w%d [%s]" worker engines
+    | E.Dispatch { worker; bound } -> Printf.sprintf "dispatch      w%d bound=%d" worker bound
+    | E.Cancel { worker; cause; by } ->
+      Printf.sprintf "cancel        w%d by=w%d cause=%s" worker by
+        (match cause with
+        | E.Race_won -> "winner-verdict"
+        | E.Deadline -> "deadline"
+        | E.Min_depth -> "minimised-depth")
+    | E.Verdict { worker; verdict } -> Printf.sprintf "VERDICT       w%d %s" worker verdict
+  in
+  Printf.printf "[%10.4f] d%-3d %s\n" e.E.ts e.E.dom payload
+
+let tail_cmd =
+  let run follow path =
+    let ic = try open_in path with Sys_error msg -> die "%s" msg in
+    let rec loop () =
+      match input_line ic with
+      | line ->
+        (if String.trim line <> "" then
+           match J.parse line with
+           | exception J.Parse_error _ -> ()
+           | j -> Option.iter pp_event (E.event_of_json j));
+        loop ()
+      | exception End_of_file ->
+        if follow then begin
+          flush stdout;
+          Unix.sleepf 0.2;
+          loop ()
+        end
+    in
+    loop ();
+    close_in ic;
+    0
+  in
+  let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"EVENTS") in
+  let follow_arg =
+    Arg.(value & flag & info [ "f"; "follow" ] ~doc:"Keep polling for new events.")
+  in
+  Cmd.v
+    (Cmd.info "tail" ~doc:"Render an event JSONL stream human-readably (optionally live)")
+    Term.(const run $ follow_arg $ path_arg)
+
+(* --- explain-race ------------------------------------------------------------- *)
+
+let cause_text = function
+  | E.Race_won -> "cancelled by the winner's verdict"
+  | E.Deadline -> "its budget (deadline or conflicts) expired"
+  | E.Min_depth -> "a shallower counterexample made its bound doomed"
+
+(* Reconstruct the portfolio/bound-parallel story from the merged stream
+   alone: who was spawned on what, who published the verdict, and the
+   first causal cancellation edge of every other worker. *)
+let explain events =
+  let spawns =
+    List.filter_map
+      (function
+        | { E.kind = E.Spawn { worker; engines }; _ } as e -> Some (worker, engines, e)
+        | _ -> None)
+      events
+  in
+  if spawns = [] then begin
+    print_endline "no worker lifecycle in this stream (not a --par run?)";
+    1
+  end
+  else begin
+    let t0 =
+      List.fold_left (fun acc e -> Float.min acc e.E.ts) infinity events
+    in
+    Printf.printf "%d workers spawned:\n" (List.length spawns);
+    List.iter
+      (fun (worker, engines, e) ->
+        let dispatches =
+          List.length
+            (List.filter
+               (function
+                 | { E.kind = E.Dispatch { worker = w; _ }; _ } -> w = worker
+                 | _ -> false)
+               events)
+        in
+        Printf.printf "  w%d  [%s]  spawned at +%.4fs%s\n" worker engines (e.E.ts -. t0)
+          (if dispatches > 0 then Printf.sprintf ", %d bound(s) dispatched" dispatches
+           else ""))
+      spawns;
+    let verdicts =
+      List.filter_map
+        (function
+          | { E.kind = E.Verdict { worker; verdict }; _ } as e -> Some (worker, verdict, e)
+          | _ -> None)
+        events
+    in
+    (* The verdict that stands is the LAST one published: bound-parallel
+       BMC lets workers below a found depth keep minimising, and each
+       shallower counterexample supersedes the previous publication.
+       A portfolio race publishes exactly once. *)
+    (match List.rev verdicts with
+    | [] -> print_endline "no verdict was published (every worker exhausted its budget)"
+    | (w, verdict, e) :: superseded ->
+      List.iter
+        (fun (worker, verdict, e') ->
+          Printf.printf "w%d published %s at +%.4fs (superseded by a shallower one)\n"
+            worker verdict (e'.E.ts -. t0))
+        (List.rev superseded);
+      Printf.printf "winner: w%d published %s at +%.4fs\n" w verdict (e.E.ts -. t0));
+    List.iter
+      (fun (worker, _, _) ->
+        let cancels =
+          List.filter_map
+            (function
+              | { E.kind = E.Cancel { worker = w; cause; by }; _ } as e when w = worker ->
+                Some (cause, by, e)
+              | _ -> None)
+            events
+        in
+        match cancels with
+        | (cause, by, e) :: _ ->
+          Printf.printf "  w%d: %s (edge from w%d at +%.4fs)\n" worker (cause_text cause) by
+            (e.E.ts -. t0)
+        | [] ->
+          if
+            not
+              (List.exists
+                 (function
+                   | { E.kind = E.Verdict { worker = w; _ }; _ } -> w = worker
+                   | _ -> false)
+                 events)
+          then Printf.printf "  w%d: finished on its own (no cancellation recorded)\n" worker)
+      spawns;
+    0
+  end
+
+let explain_cmd =
+  let run dir run_id path =
+    let path =
+      match (path, run_id) with
+      | Some p, None -> p
+      | None, Some id ->
+        let lg, entries = load_entries dir in
+        let e = find_entry entries id in
+        (match e.L.events_path with
+        | Some p -> L.resolve lg p
+        | None -> die "run %s has no event stream recorded" id)
+      | Some _, Some _ -> die "give either EVENTS or --run, not both"
+      | None, None -> die "give an EVENTS file or --run ID"
+    in
+    match E.read_jsonl path with
+    | exception Failure msg -> die "%s" msg
+    | events -> explain events
+  in
+  let path_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"EVENTS") in
+  let run_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run" ] ~docv:"RUN" ~doc:"Take the event stream of this ledger run.")
+  in
+  Cmd.v
+    (Cmd.info "explain-race"
+       ~doc:"Reconstruct a parallel race from its merged event stream: who won, \
+             and why every other worker stopped")
+    Term.(const run $ ledger_arg $ run_arg $ path_arg)
+
+(* --- export -------------------------------------------------------------------- *)
+
+let export_cmd =
+  let run path out =
+    match E.read_jsonl path with
+    | exception Failure msg -> die "%s" msg
+    | events ->
+      let oc = try open_out out with Sys_error msg -> die "%s" msg in
+      output_string oc (E.to_chrome events);
+      close_out oc;
+      Printf.printf "wrote %s: %d events\n" out (List.length events);
+      0
+  in
+  let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"EVENTS") in
+  let out_arg =
+    Arg.(
+      value & opt string "events.trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Chrome trace output path.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Convert an event JSONL stream to Chrome trace-event JSON (one lane per \
+             domain; open in Perfetto)")
+    Term.(const run $ path_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "isr_obs" ~version:"1.0.0"
+      ~doc:"Run-ledger and search-event analytics for the itpseq model checker"
+  in
+  exit (Cmd.eval' (Cmd.group info [ ls_cmd; show_cmd; diff_cmd; tail_cmd; explain_cmd; export_cmd ]))

@@ -102,6 +102,28 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a JSON snapshot of the run's metrics registry.")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Record the structured search-event stream (restarts, clause-database \
+           reductions, interpolant cuts, phase transitions, parallel-race \
+           lifecycle) and write it as JSON lines to $(docv).  Analyse with \
+           $(b,isr_obs) tail/explain-race/export.")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"DIR"
+        ~doc:
+          "Append this run to the persistent run ledger rooted at $(docv) \
+           (instance fingerprint, engine, config, verdict, depths, metrics \
+           snapshot and the event stream).  Inspect with $(b,isr_obs) \
+           ls/show/diff.")
+
 let profile_arg =
   Arg.(
     value & flag
@@ -294,7 +316,7 @@ let check_arg =
            lint every emitted interpolant).")
 
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics check profile profile_json progress par no_reduce reduce_base =
+  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics events ledger check profile profile_json progress par no_reduce reduce_base =
     setup_logs verbose;
     Isr_check.Level.set check;
     match load_model ~property file name with
@@ -354,10 +376,21 @@ let verify_term =
                   (Engine.name eng));
             Engine.run eng ~limits model
         in
+        (* The event recorder covers exactly the engine run; it is
+           installed whenever either consumer (--events, --ledger) wants
+           the stream. *)
+        let recorder =
+          if events <> None || ledger <> None then Some (Isr_obs.Event.recorder ())
+          else None
+        in
+        Option.iter Isr_obs.Event.set_recorder recorder;
         let (verdict, stats), profile_root =
           try
-            with_trace ~trace ~profile:(profile || profile_json <> None) (fun () ->
-                with_progress progress run_engine)
+            Fun.protect
+              ~finally:(fun () -> if recorder <> None then Isr_obs.Event.clear_recorder ())
+              (fun () ->
+                with_trace ~trace ~profile:(profile || profile_json <> None) (fun () ->
+                    with_progress progress run_engine))
           with Isr_check.Level.Violation { check; detail } ->
             Format.eprintf "sanitizer violation [%s]: %s@." check detail;
             exit 5
@@ -388,6 +421,78 @@ let verify_term =
             (Verdict.Falsified { depth; trace = Coi.lift_trace r trace }, original)
           | v, _ -> (v, model)
         in
+        (* Export the event stream and/or the ledger entry pointing at it. *)
+        let write_events path r =
+          let oc = open_out_or_die path in
+          Isr_obs.Event.write_jsonl r oc;
+          close_out oc
+        in
+        let open_ledger dir =
+          try Isr_obs.Ledger.open_ dir
+          with Sys_error msg ->
+            prerr_endline ("itpseq_mc: " ^ msg);
+            exit 2
+        in
+        let ledger_t = Option.map open_ledger ledger in
+        let stored_events =
+          match recorder with
+          | None -> None
+          | Some r -> (
+            match (events, ledger_t) with
+            | Some f, _ ->
+              write_events f r;
+              Some f
+            | None, Some lg ->
+              (* No explicit file: park the stream inside the ledger's
+                 events/ directory, keyed by instance and wall clock. *)
+              let rel =
+                Printf.sprintf "events/%s-%d.jsonl" model.Model.name
+                  (int_of_float (Unix.gettimeofday () *. 1000.0))
+              in
+              write_events (Isr_obs.Ledger.resolve lg rel) r;
+              Some rel
+            | None, None -> None)
+        in
+        (match ledger_t with
+        | None -> ()
+        | Some lg ->
+          let compact s = String.concat " " (String.split_on_char '\n' s) in
+          let entry =
+            {
+              Isr_obs.Ledger.id = "";
+              time = "";
+              instance = model.Model.name;
+              instance_hash = Isr_fraig.Fraig.property_hash model;
+              engine = Engine.name eng;
+              config =
+                Isr_obs.Ledger.fingerprint
+                  [
+                    ("time", Printf.sprintf "%g" time);
+                    ("bound", string_of_int bound);
+                    ("conflicts", string_of_int conflicts);
+                    ("par",
+                     match par with None -> "seq" | Some 0 -> "auto" | Some j -> string_of_int j);
+                  ];
+              verdict =
+                (match verdict with
+                | Verdict.Proved _ -> "proved"
+                | Verdict.Falsified _ -> "falsified"
+                | Verdict.Unknown _ -> "unknown");
+              kfp = Verdict.kfp verdict;
+              jfp = Verdict.jfp verdict;
+              wall_s = Verdict.time stats;
+              conflicts = Verdict.conflicts stats;
+              sat_calls = Verdict.sat_calls stats;
+              itp_nodes = Verdict.itp_nodes stats;
+              metrics_json = compact (Isr_obs.Metrics.to_json (Verdict.registry stats));
+              events_path = stored_events;
+              profile_path = profile_json;
+            }
+          in
+          let stored = Isr_obs.Ledger.append lg entry in
+          if not json then
+            Format.printf "ledger: %s @@ %s@." stored.Isr_obs.Ledger.id
+              (Isr_obs.Ledger.dir lg));
         if not json then
           Format.printf "%s: %a@.stats: %a@." (Engine.name eng) Verdict.pp verdict
             Verdict.pp_stats stats;
@@ -452,7 +557,8 @@ let verify_term =
   Term.(
     const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
     $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
-    $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ check_arg $ profile_arg
+    $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ events_arg $ ledger_arg
+    $ check_arg $ profile_arg
     $ profile_json_arg $ progress_arg $ par_arg $ no_reduce_arg $ reduce_base_arg)
 
 let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term

@@ -95,13 +95,20 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
              ~conflicts:(c_base + Solver.num_conflicts solver - sc0)
              ~propagations:(p_base + Solver.num_propagations solver - sp0)
              ~learnt:(Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
-             "sat.restart"));
+             "sat.restart";
+         if Isr_obs.Event.enabled () then
+           Isr_obs.Event.emit
+             (Isr_obs.Event.Restart
+                {
+                  conflicts = c_base + Solver.num_conflicts solver - sc0;
+                  decisions = Solver.num_decisions solver;
+                  learnt = Solver.num_live_learnt solver;
+                })));
   (* Database reductions: charge the registry and post a heartbeat with
      the same cumulative-effort convention as the restart one. *)
   Solver.on_reduce solver
     (Some
-       (fun ~kept ~deleted ->
-         ignore deleted;
+       (fun ~kept ~deleted ~lbd ->
          Isr_obs.Metrics.incr stats.Verdict.c_db_reduce;
          Isr_obs.Metrics.set stats.Verdict.g_db_kept (float_of_int kept);
          if Isr_obs.Progress.enabled () then
@@ -109,7 +116,9 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
              ~conflicts:(c_base + Solver.num_conflicts solver - sc0)
              ~propagations:(p_base + Solver.num_propagations solver - sp0)
              ~learnt:(Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
-             "sat.db.reduce"));
+             "sat.db.reduce";
+         if Isr_obs.Event.enabled () then
+           Isr_obs.Event.emit (Isr_obs.Event.Reduce { kept; dropped = deleted; lbd })));
   let charge_from c0 d0 p0 r0 =
     Isr_obs.Metrics.add stats.Verdict.c_conflicts (Solver.num_conflicts solver - c0);
     Isr_obs.Metrics.add stats.Verdict.c_decisions (Solver.num_decisions solver - d0);

@@ -13,7 +13,15 @@ let src = Logs.Src.create "isr.seq_family" ~doc:"interpolation sequence extracti
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let charge_itp stats man l = Verdict.add_itp_nodes stats (Aig.cone_size man l)
+(* Charge one extracted interpolant to the run's metrics, and — when a
+   recorder is listening — log the per-cut extraction event (support
+   width and cone size are the paper's two interpolant-size measures). *)
+let charge_itp ?(cut = 1) stats man l =
+  let nodes = Aig.cone_size man l in
+  Verdict.add_itp_nodes stats nodes;
+  if Isr_obs.Event.enabled () then
+    Isr_obs.Event.emit
+      (Isr_obs.Event.Itp_cut { cut; support = List.length (Aig.support man l); nodes })
 
 (* Paranoid sanitizing: every emitted interpolant must be a state
    predicate — its cone confined to the latch inputs, the shared
@@ -39,7 +47,7 @@ let of_refutation ?(system = Itp.McMillan) budget stats u ~ncuts =
             Itp.interpolant ~info ~system proof ~cut:(j + 1) ~man:model.Model.man
               ~var_map:(Unroll.any_state_map u))
       in
-      Array.iter (charge_itp stats model.Model.man) seq;
+      Array.iteri (fun j itp -> charge_itp ~cut:(j + 1) stats model.Model.man itp) seq;
       Array.iteri
         (fun j itp -> lint_itp ~what:(Printf.sprintf "family cut %d" (j + 1)) model itp)
         seq;
@@ -80,7 +88,7 @@ let serial_step ~system budget stats ?frozen model ~check ~k ~j prev =
       Itp.interpolant ~system proof ~cut:1 ~man:model.Model.man
         ~var_map:(Unroll.boundary_map u ~frame:1)
     in
-    charge_itp stats model.Model.man itp;
+    charge_itp ~cut:j stats model.Model.man itp;
     lint_itp ~what:(Printf.sprintf "serial step j=%d" j) model itp;
     Some itp
   | Solver.Undef -> assert false

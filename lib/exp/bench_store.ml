@@ -64,19 +64,7 @@ let make ~suite ~repeat ~time_limit runs =
 (* -------------------------------------------------------------------- *)
 (* Printing.                                                            *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Isr_obs.Json.escape
 
 let run_to_json r =
   let b = Buffer.create 256 in
@@ -112,218 +100,90 @@ let save path t =
     (fun () -> output_string oc (to_json t))
 
 (* -------------------------------------------------------------------- *)
-(* Parsing: a minimal recursive-descent JSON reader (the toolchain has
-   no JSON library; the dialect written above is all we need, but the
-   reader accepts any standard JSON value).                             *)
+(* Parsing: on the shared Isr_obs.Json reader.  A baseline file feeds the
+   regression gate, so a corrupt one must fail loudly and typed — never
+   load a NaN median that every float comparison then waves through.    *)
 
-type json =
-  | J_null
-  | J_bool of bool
-  | J_num of float
-  | J_str of string
-  | J_arr of json list
-  | J_obj of (string * json) list
+exception Corrupt of { path : string; what : string }
 
-exception Parse_error of string
+let () =
+  Printexc.register_printer (function
+    | Corrupt { path; what } -> Some (Printf.sprintf "Bench_store.Corrupt(%s: %s)" path what)
+    | _ -> None)
 
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal lit v =
-    let l = String.length lit in
-    if !pos + l <= n && String.sub s !pos l = lit then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" lit)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some '"' -> Buffer.add_char b '"'
-        | Some '\\' -> Buffer.add_char b '\\'
-        | Some '/' -> Buffer.add_char b '/'
-        | Some 'n' -> Buffer.add_char b '\n'
-        | Some 't' -> Buffer.add_char b '\t'
-        | Some 'r' -> Buffer.add_char b '\r'
-        | Some 'b' -> Buffer.add_char b '\b'
-        | Some 'f' -> Buffer.add_char b '\012'
-        | Some 'u' ->
-          if !pos + 4 >= n then fail "truncated \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
-          pos := !pos + 4;
-          (* Basic-multilingual-plane only; enough for our own files. *)
-          if code < 0x80 then Buffer.add_char b (Char.chr code)
-          else Buffer.add_char b '?'
-        | _ -> fail "bad escape");
-        advance ();
-        go ()
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        J_obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            J_obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        J_arr []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            J_arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-      end
-    | Some '"' -> J_str (parse_string ())
-    | Some 't' -> J_bool (literal "true" true)
-    | Some 'f' -> J_bool (literal "false" false)
-    | Some 'n' -> literal "null" J_null
-    | Some _ -> J_num (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+module J = Isr_obs.Json
 
-let field name = function
-  | J_obj kvs -> List.assoc_opt name kvs
-  | _ -> None
+let corrupt path fmt = Printf.ksprintf (fun what -> raise (Corrupt { path; what })) fmt
 
-let str_field name j =
-  match field name j with
-  | Some (J_str s) -> s
-  | _ -> raise (Parse_error (Printf.sprintf "missing string field %S" name))
+let str_field path name j =
+  match J.field name j with
+  | Some (J.Str s) -> s
+  | _ -> corrupt path "missing string field %S" name
 
-let num_field name j =
-  match field name j with
-  | Some (J_num f) -> f
-  | _ -> raise (Parse_error (Printf.sprintf "missing numeric field %S" name))
+let num_field path name j =
+  match J.field name j with
+  | Some (J.Num f) -> f
+  | _ -> corrupt path "missing numeric field %S" name
 
 let opt_int_field name j =
-  match field name j with Some (J_num f) -> Some (int_of_float f) | _ -> None
+  match J.field name j with Some (J.Num f) -> Some (int_of_float f) | _ -> None
 
-let run_of_json j =
+(* A usable wall-time summary is a finite non-negative number; NaN,
+   infinities and negatives all mean the file was mangled (or written by
+   a buggy harness) and would silently defeat the gate's comparisons. *)
+let time_field path ~bench name j =
+  let f = num_field path name j in
+  if Float.is_nan f then corrupt path "%s: %S is NaN" bench name;
+  if not (Float.is_finite f) then corrupt path "%s: %S is infinite" bench name;
+  if f < 0.0 then corrupt path "%s: %S is negative (%g)" bench name f;
+  f
+
+let count_field path ~bench name j =
+  let f = num_field path name j in
+  if not (Float.is_finite f) || f < 0.0 then
+    corrupt path "%s: %S is not a non-negative count" bench name;
+  int_of_float f
+
+let run_of_json path j =
+  let bench = str_field path "bench" j in
   {
-    bench = str_field "bench" j;
-    engine = str_field "engine" j;
-    verdict = str_field "verdict" j;
-    time_median = num_field "time_median_s" j;
-    time_spread = num_field "time_spread_s" j;
-    conflicts = int_of_float (num_field "conflicts" j);
-    sat_calls = int_of_float (num_field "sat_calls" j);
+    bench;
+    engine = str_field path "engine" j;
+    verdict = str_field path "verdict" j;
+    time_median = time_field path ~bench "time_median_s" j;
+    time_spread = time_field path ~bench "time_spread_s" j;
+    conflicts = count_field path ~bench "conflicts" j;
+    sat_calls = count_field path ~bench "sat_calls" j;
     kfp = opt_int_field "kfp" j;
     jfp = opt_int_field "jfp" j;
   }
 
 let load path =
-  let ic =
-    try open_in_bin path
-    with Sys_error msg -> failwith (Printf.sprintf "Bench_store.load: %s" msg)
-  in
   let contents =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg -> corrupt path "%s" msg
   in
-  match parse_json contents with
-  | exception Parse_error msg -> failwith (Printf.sprintf "Bench_store.load %s: %s" path msg)
+  match J.parse contents with
+  | exception J.Parse_error msg -> corrupt path "%s" msg
   | j -> (
-    match field "schema" j with
-    | Some (J_num v) when int_of_float v = schema_version -> (
-      match field "runs" j with
-      | Some (J_arr runs) ->
+    match J.field "schema" j with
+    | Some (J.Num v) when int_of_float v = schema_version -> (
+      match J.field "runs" j with
+      | Some (J.Arr runs) ->
         {
           schema = schema_version;
-          suite = (try str_field "suite" j with Parse_error _ -> "");
-          repeat = (try int_of_float (num_field "repeat" j) with Parse_error _ -> 1);
-          time_limit = (try num_field "time_limit_s" j with Parse_error _ -> 0.0);
-          runs = List.map run_of_json runs;
+          suite =
+            (match J.field "suite" j with Some (J.Str s) -> s | _ -> "");
+          repeat =
+            (match J.field "repeat" j with Some (J.Num f) -> int_of_float f | _ -> 1);
+          time_limit =
+            (match J.field "time_limit_s" j with Some (J.Num f) -> f | _ -> 0.0);
+          runs = List.map (run_of_json path) runs;
         }
-      | _ -> failwith (Printf.sprintf "Bench_store.load %s: no \"runs\" array" path))
-    | Some (J_num v) ->
-      failwith
-        (Printf.sprintf "Bench_store.load %s: unsupported schema %d (expected %d)" path
-           (int_of_float v) schema_version)
-    | _ -> failwith (Printf.sprintf "Bench_store.load %s: no \"schema\" field" path))
+      | _ -> corrupt path "no \"runs\" array")
+    | Some (J.Num v) ->
+      corrupt path "unsupported schema %d (expected %d)" (int_of_float v) schema_version
+    | _ -> corrupt path "no \"schema\" field")
 
 (* -------------------------------------------------------------------- *)
 (* Regression gate.                                                     *)

@@ -8,9 +8,12 @@
     baseline) and {!compare_to_baseline} turns two snapshots into a list
     of regressions for the [bench regress] exit gate.
 
-    The JSON dialect is self-contained — no external parser — and
+    The JSON dialect is read with the shared {!Isr_obs.Json} parser and
     {!load} rejects files whose [schema] field it does not understand,
-    so old readers fail loudly rather than misread new files. *)
+    so old readers fail loudly rather than misread new files.  Loading
+    also validates the numbers it will later compare: a NaN, infinite or
+    negative median/spread raises {!Corrupt} instead of silently
+    disarming the regression gate (every [<] against NaN is false). *)
 
 open Isr_core
 
@@ -57,9 +60,14 @@ val to_json : t -> string
 
 val save : string -> t -> unit
 
+exception Corrupt of { path : string; what : string }
+(** A snapshot file that must not be trusted: unreadable, malformed
+    JSON, missing/ill-typed fields, an unsupported [schema], or
+    non-finite / negative timing summaries. *)
+
 val load : string -> t
-(** @raise Failure on unreadable files, malformed JSON, or an
-    unsupported [schema]. *)
+(** @raise Corrupt when the file cannot be loaded safely (see
+    {!Corrupt}). *)
 
 type regression =
   | Slower of { bench : string; engine : string; base : float; cur : float }

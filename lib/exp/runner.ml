@@ -18,6 +18,7 @@ type row = {
 type record = {
   bench : string;
   engine_name : string;
+  instance_hash : string;
   verdict : Verdict.t;
   stats : Verdict.stats;
 }
@@ -41,20 +42,7 @@ let obs_progress p =
 let globalize ~index ~total progress p =
   progress { p with p_index = (index * p.p_total) + p.p_index; p_total = total * p.p_total }
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Isr_obs.Json.escape
 
 let verdict_tag = function
   | Verdict.Proved _ -> "proved"
@@ -66,6 +54,8 @@ let json_of_record r =
   Buffer.add_string b
     (Printf.sprintf "{\"bench\":\"%s\",\"engine\":\"%s\",\"verdict\":\"%s\""
        (json_escape r.bench) (json_escape r.engine_name) (verdict_tag r.verdict));
+  if r.instance_hash <> "" then
+    Buffer.add_string b (Printf.sprintf ",\"hash\":\"%s\"" r.instance_hash);
   (match Verdict.kfp r.verdict with
   | Some k -> Buffer.add_string b (Printf.sprintf ",\"kfp\":%d" k)
   | None -> ());
@@ -80,9 +70,36 @@ let json_of_record r =
        (compact (Isr_obs.Metrics.to_json (Verdict.registry r.stats))));
   Buffer.contents b
 
+(* Project one run record into the persistent ledger.  The metrics
+   snapshot is collapsed to one line so the ledger stays greppable. *)
+let ledger_record ?(config = "") ?events_path ?profile_path ledger r =
+  let compact s = String.concat " " (String.split_on_char '\n' s) in
+  Isr_obs.Ledger.append ledger
+    {
+      Isr_obs.Ledger.id = "";
+      time = "";
+      instance = r.bench;
+      instance_hash = r.instance_hash;
+      engine = r.engine_name;
+      config;
+      verdict = verdict_tag r.verdict;
+      kfp = Verdict.kfp r.verdict;
+      jfp = Verdict.jfp r.verdict;
+      wall_s = Verdict.time r.stats;
+      conflicts = Verdict.conflicts r.stats;
+      sat_calls = Verdict.sat_calls r.stats;
+      itp_nodes = Verdict.itp_nodes r.stats;
+      metrics_json = compact (Isr_obs.Metrics.to_json (Verdict.registry r.stats));
+      events_path;
+      profile_path;
+    }
+
 let run_entry ?(progress = obs_progress) ?(record = fun _ -> ()) ~limits ~engines
     entry =
   let model = Registry.build_validated entry in
+  (* One semantic fingerprint per instance: every record of this entry
+     keys to the same ledger bucket, whatever the engine. *)
+  let instance_hash = Isr_fraig.Fraig.property_hash model in
   let total = List.length engines in
   let results =
     List.mapi
@@ -99,6 +116,7 @@ let run_entry ?(progress = obs_progress) ?(record = fun _ -> ()) ~limits ~engine
           {
             bench = entry.Registry.name;
             engine_name = Engine.name engine;
+            instance_hash;
             verdict;
             stats;
           };

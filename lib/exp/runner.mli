@@ -20,6 +20,10 @@ type row = {
 type record = {
   bench : string;
   engine_name : string;
+  instance_hash : string;
+      (** semantic fingerprint of the property cone
+          ({!Isr_fraig.Fraig.property_hash}), shared by every engine run
+          on the same instance *)
   verdict : Verdict.t;
   stats : Verdict.stats;
 }
@@ -29,6 +33,16 @@ type record = {
 val json_of_record : record -> string
 (** A single-line JSON object: bench, engine, verdict tag, kfp/jfp when
     defined, and the full metrics-registry snapshot. *)
+
+val ledger_record :
+  ?config:string ->
+  ?events_path:string ->
+  ?profile_path:string ->
+  Isr_obs.Ledger.t ->
+  record ->
+  Isr_obs.Ledger.entry
+(** Append one run record to the persistent ledger ([--ledger] in the
+    bench harness); returns the stored entry with its assigned id. *)
 
 type progress = {
   p_bench : string;   (** registry entry name *)

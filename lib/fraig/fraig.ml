@@ -142,3 +142,83 @@ let sweep_model ?(rounds = 8) ?(conflict_budget = 10_000) (m : Model.t) =
     bad;
     name = m.Model.name ^ "_fraig";
   }
+
+(* --- semantic instance fingerprint ---------------------------------------- *)
+
+(* xorshift64*: deterministic per-(round, input) pattern words, so the
+   hash never depends on any global RNG state. *)
+let pattern_word ~round ~input =
+  let x = ref (Int64.of_int (((round + 1) * 0x9e3779b9) lxor ((input + 1) * 0x85ebca6b))) in
+  if !x = 0L then x := 0x2545f4914f6cdd1dL;
+  let step () =
+    x := Int64.logxor !x (Int64.shift_left !x 13);
+    x := Int64.logxor !x (Int64.shift_right_logical !x 7);
+    x := Int64.logxor !x (Int64.shift_left !x 17)
+  in
+  step ();
+  step ();
+  step ();
+  !x
+
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv acc word =
+  let acc = Int64.logxor acc word in
+  Int64.mul acc fnv_prime
+
+let property_hash ?(rounds = 8) (m : Model.t) =
+  let man = m.Model.man in
+  let latch_of_input i = i - m.Model.num_inputs in
+  (* Cone of influence: latches reachable from [bad] through the
+     next-state functions, to a fixpoint.  Everything outside it cannot
+     affect the property and must not affect the hash. *)
+  let needed = Array.make m.Model.num_latches false in
+  let frontier = ref [] in
+  let note_input i =
+    if i >= m.Model.num_inputs then begin
+      let l = latch_of_input i in
+      if not needed.(l) then begin
+        needed.(l) <- true;
+        frontier := l :: !frontier
+      end
+    end
+  in
+  List.iter note_input (Aig.support man m.Model.bad);
+  let rec close () =
+    match !frontier with
+    | [] -> ()
+    | l :: rest ->
+      frontier := rest;
+      List.iter note_input (Aig.support man m.Model.next.(l));
+      close ()
+  in
+  close ();
+  (* Sequential 64-pattern simulation from the initial state: latch
+     words start broadcast to the initial values, primary inputs get
+     fresh deterministic patterns every round. *)
+  let state = Array.make m.Model.num_latches 0L in
+  for l = 0 to m.Model.num_latches - 1 do
+    state.(l) <- (if m.Model.init.(l) then -1L else 0L)
+  done;
+  let h = ref fnv_offset in
+  (* Seed with the shape of the cone so e.g. an empty cone of a
+     constant-true property still hashes distinctly per latch count. *)
+  h := fnv !h (Int64.of_int m.Model.num_latches);
+  h := fnv !h (Int64.of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 needed));
+  for round = 0 to rounds - 1 do
+    let env i =
+      if i < m.Model.num_inputs then pattern_word ~round ~input:i
+      else state.(latch_of_input i)
+    in
+    h := fnv !h (Aig.eval64 man env m.Model.bad);
+    let state' = Array.make m.Model.num_latches 0L in
+    for l = 0 to m.Model.num_latches - 1 do
+      if needed.(l) then begin
+        state'.(l) <- Aig.eval64 man env m.Model.next.(l);
+        h := fnv !h state'.(l)
+      end
+    done;
+    Array.blit state' 0 state 0 m.Model.num_latches
+  done;
+  Printf.sprintf "%016Lx" !h

@@ -22,3 +22,15 @@ val sweep_model : ?rounds:int -> ?conflict_budget:int -> Model.t -> Model.t
     default 8).  The result is sequentially identical: same inputs, same
     latches (same order and initial values), equivalent next-state and
     bad functions. *)
+
+val property_hash : ?rounds:int -> Model.t -> string
+(** Semantic instance fingerprint of the property cone, as a 16-digit
+    hex string: the cone of influence of [bad] is closed over the
+    next-state functions, then simulated sequentially for [rounds]
+    64-pattern steps (default 8) from the initial state under
+    deterministic pseudo-random inputs, folding the bad-signal and
+    needed-latch signatures of every step into one word.  Invariant
+    under node renumbering and structural rewrites that preserve the
+    cone's behaviour (it is computed from simulation semantics, not node
+    identity), so re-encoded copies of one instance key to the same
+    ledger bucket. *)

@@ -1,0 +1,383 @@
+(* Packed search-event recorder; see the .mli for the model.
+
+   On-the-wire layout (per-domain int buffers): each record is
+     [code; ts_ns; payload...]
+   with a fixed payload arity per code (the Reduce LBD snapshot is
+   length-prefixed).  Strings are interned into one shared table, so a
+   phase name costs one int per event no matter how often it fires. *)
+
+let schema_version = 1
+
+type cause = Race_won | Deadline | Min_depth
+
+type kind =
+  | Restart of { conflicts : int; decisions : int; learnt : int }
+  | Reduce of { kept : int; dropped : int; lbd : int array }
+  | Itp_cut of { cut : int; support : int; nodes : int }
+  | Phase of { phase : string; step : int; detail : string }
+  | Spawn of { worker : int; engines : string }
+  | Dispatch of { worker : int; bound : int }
+  | Cancel of { worker : int; cause : cause; by : int }
+  | Verdict of { worker : int; verdict : string }
+
+type t = { ts : float; dom : int; seq : int; kind : kind }
+
+let cause_name = function
+  | Race_won -> "winner"
+  | Deadline -> "deadline"
+  | Min_depth -> "min-depth"
+
+let cause_of_name = function
+  | "winner" -> Some Race_won
+  | "deadline" -> Some Deadline
+  | "min-depth" -> Some Min_depth
+  | _ -> None
+
+let cause_code = function Race_won -> 0 | Deadline -> 1 | Min_depth -> 2
+let cause_of_code = function 0 -> Race_won | 1 -> Deadline | _ -> Min_depth
+
+(* --- recording --------------------------------------------------------- *)
+
+type buf = { mutable a : int array; mutable len : int }
+
+let mk_buf () = { a = Array.make 256 0; len = 0 }
+
+let push b x =
+  if b.len = Array.length b.a then begin
+    let a' = Array.make (2 * b.len) 0 in
+    Array.blit b.a 0 a' 0 b.len;
+    b.a <- a'
+  end;
+  b.a.(b.len) <- x;
+  b.len <- b.len + 1
+
+type recorder = {
+  mutable strings : string array; (* id -> string *)
+  mutable nstrings : int;
+  ids : (string, int) Hashtbl.t;
+  bufs : (int, buf) Hashtbl.t; (* domain id -> packed stream *)
+  mutable nevents : int;
+  lock : Mutex.t;
+}
+
+let recorder () =
+  {
+    strings = Array.make 16 "";
+    nstrings = 0;
+    ids = Hashtbl.create 16;
+    bufs = Hashtbl.create 4;
+    nevents = 0;
+    lock = Mutex.create ();
+  }
+
+(* Call under [r.lock]. *)
+let intern r s =
+  match Hashtbl.find_opt r.ids s with
+  | Some id -> id
+  | None ->
+    if r.nstrings = Array.length r.strings then begin
+      let a' = Array.make (2 * r.nstrings) "" in
+      Array.blit r.strings 0 a' 0 r.nstrings;
+      r.strings <- a'
+    end;
+    let id = r.nstrings in
+    r.strings.(id) <- s;
+    r.nstrings <- id + 1;
+    Hashtbl.add r.ids s id;
+    id
+
+let buf_of r dom =
+  match Hashtbl.find_opt r.bufs dom with
+  | Some b -> b
+  | None ->
+    let b = mk_buf () in
+    Hashtbl.add r.bufs dom b;
+    b
+
+(* Nanosecond timestamps keep the packed stream all-int without losing
+   clock resolution (the process clock starts at 0, so 63 bits last
+   centuries). *)
+let ns_of_ts ts = int_of_float (ts *. 1e9)
+let ts_of_ns ns = float_of_int ns *. 1e-9
+
+let current : recorder option ref = ref None
+let on = ref false
+
+let set_recorder r =
+  current := Some r;
+  on := true
+
+let clear_recorder () =
+  current := None;
+  on := false
+
+let enabled () = !on
+
+let emit kind =
+  match !current with
+  | None -> ()
+  | Some r ->
+    let ts = Clock.now () in
+    let dom = (Domain.self () :> int) in
+    Mutex.protect r.lock (fun () ->
+        let b = buf_of r dom in
+        let str s = intern r s in
+        push b
+          (match kind with
+          | Restart _ -> 0
+          | Reduce _ -> 1
+          | Itp_cut _ -> 2
+          | Phase _ -> 3
+          | Spawn _ -> 4
+          | Dispatch _ -> 5
+          | Cancel _ -> 6
+          | Verdict _ -> 7);
+        push b (ns_of_ts ts);
+        (match kind with
+        | Restart { conflicts; decisions; learnt } ->
+          push b conflicts;
+          push b decisions;
+          push b learnt
+        | Reduce { kept; dropped; lbd } ->
+          push b kept;
+          push b dropped;
+          push b (Array.length lbd);
+          Array.iter (push b) lbd
+        | Itp_cut { cut; support; nodes } ->
+          push b cut;
+          push b support;
+          push b nodes
+        | Phase { phase; step; detail } ->
+          push b (str phase);
+          push b step;
+          push b (str detail)
+        | Spawn { worker; engines } ->
+          push b worker;
+          push b (str engines)
+        | Dispatch { worker; bound } ->
+          push b worker;
+          push b bound
+        | Cancel { worker; cause; by } ->
+          push b worker;
+          push b (cause_code cause);
+          push b by
+        | Verdict { worker; verdict } ->
+          push b worker;
+          push b (str verdict));
+        r.nevents <- r.nevents + 1)
+
+let count r = Mutex.protect r.lock (fun () -> r.nevents)
+
+(* --- decoding and deterministic merge ----------------------------------- *)
+
+let decode_domain r dom (b : buf) =
+  let s id = r.strings.(id) in
+  let out = ref [] in
+  let seq = ref 0 in
+  let i = ref 0 in
+  while !i < b.len do
+    let code = b.a.(!i) and ts = ts_of_ns b.a.(!i + 1) in
+    let p = !i + 2 in
+    let kind, next =
+      match code with
+      | 0 ->
+        ( Restart
+            { conflicts = b.a.(p); decisions = b.a.(p + 1); learnt = b.a.(p + 2) },
+          p + 3 )
+      | 1 ->
+        let n = b.a.(p + 2) in
+        ( Reduce
+            { kept = b.a.(p); dropped = b.a.(p + 1); lbd = Array.sub b.a (p + 3) n },
+          p + 3 + n )
+      | 2 ->
+        (Itp_cut { cut = b.a.(p); support = b.a.(p + 1); nodes = b.a.(p + 2) }, p + 3)
+      | 3 ->
+        ( Phase { phase = s b.a.(p); step = b.a.(p + 1); detail = s b.a.(p + 2) },
+          p + 3 )
+      | 4 -> (Spawn { worker = b.a.(p); engines = s b.a.(p + 1) }, p + 2)
+      | 5 -> (Dispatch { worker = b.a.(p); bound = b.a.(p + 1) }, p + 2)
+      | 6 ->
+        ( Cancel { worker = b.a.(p); cause = cause_of_code b.a.(p + 1); by = b.a.(p + 2) },
+          p + 3 )
+      | 7 -> (Verdict { worker = b.a.(p); verdict = s b.a.(p + 1) }, p + 2)
+      | c -> invalid_arg (Printf.sprintf "Event.decode: bad code %d" c)
+    in
+    out := { ts; dom; seq = !seq; kind } :: !out;
+    incr seq;
+    i := next
+  done;
+  List.rev !out
+
+(* Merged order is a pure function of the recording: (ts, dom, seq) is a
+   total order — seq breaks ties inside a domain (the clock is
+   monotonic but not strictly), dom breaks ties across domains. *)
+let events r =
+  Mutex.protect r.lock (fun () ->
+      let streams =
+        Hashtbl.fold (fun dom b acc -> decode_domain r dom b :: acc) r.bufs []
+      in
+      List.sort
+        (fun a b ->
+          if a.ts <> b.ts then compare a.ts b.ts
+          else if a.dom <> b.dom then compare a.dom b.dom
+          else compare a.seq b.seq)
+        (List.concat streams))
+
+(* --- JSONL --------------------------------------------------------------- *)
+
+let json_of_event e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ts\":%.6f,\"dom\":%d,\"seq\":%d,\"ev\":" e.ts e.dom e.seq);
+  (match e.kind with
+  | Restart { conflicts; decisions; learnt } ->
+    Buffer.add_string b
+      (Printf.sprintf "\"restart\",\"conflicts\":%d,\"decisions\":%d,\"learnt\":%d"
+         conflicts decisions learnt)
+  | Reduce { kept; dropped; lbd } ->
+    Buffer.add_string b
+      (Printf.sprintf "\"reduce\",\"kept\":%d,\"dropped\":%d,\"lbd\":[" kept dropped);
+    Array.iteri
+      (fun i n ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int n))
+      lbd;
+    Buffer.add_char b ']'
+  | Itp_cut { cut; support; nodes } ->
+    Buffer.add_string b
+      (Printf.sprintf "\"itp.cut\",\"cut\":%d,\"support\":%d,\"nodes\":%d" cut support
+         nodes)
+  | Phase { phase; step; detail } ->
+    Buffer.add_string b (Printf.sprintf "\"phase\",\"phase\":%s" (Json.quote phase));
+    if step >= 0 then Buffer.add_string b (Printf.sprintf ",\"step\":%d" step);
+    if detail <> "" then
+      Buffer.add_string b (Printf.sprintf ",\"detail\":%s" (Json.quote detail))
+  | Spawn { worker; engines } ->
+    Buffer.add_string b
+      (Printf.sprintf "\"spawn\",\"worker\":%d,\"engines\":%s" worker
+         (Json.quote engines))
+  | Dispatch { worker; bound } ->
+    Buffer.add_string b (Printf.sprintf "\"dispatch\",\"worker\":%d,\"bound\":%d" worker bound)
+  | Cancel { worker; cause; by } ->
+    Buffer.add_string b
+      (Printf.sprintf "\"cancel\",\"worker\":%d,\"cause\":\"%s\",\"by\":%d" worker
+         (cause_name cause) by)
+  | Verdict { worker; verdict } ->
+    Buffer.add_string b
+      (Printf.sprintf "\"verdict\",\"worker\":%d,\"verdict\":%s" worker
+         (Json.quote verdict)));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let write_jsonl r oc =
+  output_string oc
+    (Printf.sprintf "{\"stream\":\"isr-events\",\"schema\":%d}\n" schema_version);
+  List.iter
+    (fun e ->
+      output_string oc (json_of_event e);
+      output_char oc '\n')
+    (events r)
+
+let event_of_json j =
+  match Json.field "ev" j with
+  | None -> None
+  | Some (Json.Str ev) -> (
+    let num name = int_of_float (Json.num_field name j) in
+    let onum name = Option.value ~default:(-1) (Json.opt_int_field name j) in
+    let ostr name = Option.value ~default:"" (Json.opt_str_field name j) in
+    let kind =
+      match ev with
+      | "restart" ->
+        Some
+          (Restart
+             { conflicts = num "conflicts"; decisions = num "decisions"; learnt = num "learnt" })
+      | "reduce" ->
+        let lbd =
+          match Json.field "lbd" j with
+          | Some (Json.Arr xs) ->
+            Array.of_list
+              (List.filter_map
+                 (function Json.Num f -> Some (int_of_float f) | _ -> None)
+                 xs)
+          | _ -> [||]
+        in
+        Some (Reduce { kept = num "kept"; dropped = num "dropped"; lbd })
+      | "itp.cut" ->
+        Some (Itp_cut { cut = num "cut"; support = num "support"; nodes = num "nodes" })
+      | "phase" ->
+        Some (Phase { phase = Json.str_field "phase" j; step = onum "step"; detail = ostr "detail" })
+      | "spawn" -> Some (Spawn { worker = num "worker"; engines = ostr "engines" })
+      | "dispatch" -> Some (Dispatch { worker = num "worker"; bound = num "bound" })
+      | "cancel" -> (
+        match cause_of_name (Json.str_field "cause" j) with
+        | Some cause -> Some (Cancel { worker = num "worker"; cause; by = num "by" })
+        | None -> None)
+      | "verdict" ->
+        Some (Verdict { worker = num "worker"; verdict = Json.str_field "verdict" j })
+      | _ -> None
+    in
+    match kind with
+    | Some kind ->
+      Some { ts = Json.num_field "ts" j; dom = num "dom"; seq = onum "seq"; kind }
+    | None -> None)
+  | Some _ -> None
+
+let read_jsonl path =
+  let ic =
+    try open_in path with Sys_error msg -> failwith ("Event.read_jsonl: " ^ msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             match Json.parse line with
+             | exception Json.Parse_error _ -> ()
+             | j -> (
+               match Json.field "stream" j with
+               | Some (Json.Str "isr-events") ->
+                 let v = int_of_float (Json.num_field "schema" j) in
+                 if v <> schema_version then
+                   failwith
+                     (Printf.sprintf
+                        "Event.read_jsonl %s: unsupported schema %d (expected %d)" path v
+                        schema_version)
+               | _ -> (
+                 match event_of_json j with Some e -> out := e :: !out | None -> ()))
+           end
+         done
+       with End_of_file -> ());
+      List.rev !out)
+
+(* --- Chrome export --------------------------------------------------------- *)
+
+let chrome_name = function
+  | Restart _ -> "restart"
+  | Reduce _ -> "db.reduce"
+  | Itp_cut { cut; _ } -> Printf.sprintf "itp.cut %d" cut
+  | Phase { phase; step; _ } ->
+    if step >= 0 then Printf.sprintf "%s %d" phase step else phase
+  | Spawn { worker; _ } -> Printf.sprintf "spawn w%d" worker
+  | Dispatch { worker; bound } -> Printf.sprintf "w%d: bound %d" worker bound
+  | Cancel { worker; cause; _ } ->
+    Printf.sprintf "cancel w%d (%s)" worker (cause_name cause)
+  | Verdict { worker; verdict } -> Printf.sprintf "w%d wins: %s" worker verdict
+
+let to_chrome evs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"s\":\"t\",\"name\":%s,\"args\":{\"json\":%s}}"
+           (e.dom + 1) (e.ts *. 1e6)
+           (Json.quote (chrome_name e.kind))
+           (Json.quote (json_of_event e))))
+    evs;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -1,0 +1,236 @@
+let escape_to b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  escape_to b s;
+  Buffer.contents b
+
+let quote s = "\"" ^ escape s ^ "\""
+
+let float_ v =
+  (* JSON numbers: no NaN, no infinities, no trailing garbage. *)
+  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+(* --- reading ---------------------------------------------------------- *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some '/' -> Buffer.add_char b '/'
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 'b' -> Buffer.add_char b '\b'
+        | Some 'f' -> Buffer.add_char b '\012'
+        | Some 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let code =
+            match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some c -> c
+            | None -> fail "bad \\u escape"
+          in
+          pos := !pos + 4;
+          (* Basic-multilingual-plane only; enough for our own files. *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> Bool (literal "true" true)
+    | Some 'f' -> Bool (literal "false" false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let render v =
+  let b = Buffer.create 128 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> Buffer.add_string b (float_ f)
+    | Str s ->
+      Buffer.add_char b '"';
+      escape_to b s;
+      Buffer.add_char b '"'
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          go x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_to b k;
+          Buffer.add_string b "\":";
+          go x)
+        kvs;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+let field name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let str_field name j =
+  match field name j with
+  | Some (Str s) -> s
+  | _ -> raise (Parse_error (Printf.sprintf "missing string field %S" name))
+
+let num_field name j =
+  match field name j with
+  | Some (Num f) -> f
+  | _ -> raise (Parse_error (Printf.sprintf "missing numeric field %S" name))
+
+let opt_str_field name j =
+  match field name j with Some (Str s) -> Some s | _ -> None
+
+let opt_int_field name j =
+  match field name j with Some (Num f) -> Some (int_of_float f) | _ -> None

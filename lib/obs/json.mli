@@ -1,0 +1,60 @@
+(** Shared JSON primitives for every textual sink of the repo.
+
+    Four sibling modules (metrics, profile, progress, trace) plus the
+    bench store and the suite runner each grew a hand-rolled string
+    escaper; this module is the single replacement.  It also carries the
+    minimal recursive-descent reader the persistent stores (bench
+    snapshots, the run ledger, event JSONL streams) parse themselves
+    back with — the toolchain has no JSON library, and the dialect we
+    write is small.
+
+    Escaping covers the full C0 range: the double quote, the backslash
+    and every control character below 0x20 (with the conventional short
+    forms for newline, tab, carriage return, backspace and form feed)
+    are escaped, so no sink can emit a raw control byte into a JSON
+    document again. *)
+
+val escape_to : Buffer.t -> string -> unit
+(** Append [s] to the buffer with all JSON-significant characters
+    escaped (no surrounding quotes). *)
+
+val escape : string -> string
+(** [escape s] is the escaped copy of [s] (no surrounding quotes). *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes. *)
+
+val float_ : float -> string
+(** JSON-safe float rendering: integral values print without an
+    exponent or trailing garbage; NaN and infinities — which JSON
+    cannot represent — print as [0] rather than corrupting the
+    document. *)
+
+(* --- reading -------------------------------------------------------- *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one complete JSON value; trailing garbage is an error.
+    @raise Parse_error on malformed input. *)
+
+val render : t -> string
+(** Compact single-line rendering; [render (parse s)] is semantically
+    [s] (whitespace and number formatting normalised). *)
+
+(* Accessors shared by the stores.  The [field] form is total; the typed
+   forms raise {!Parse_error} naming the missing or mistyped field. *)
+
+val field : string -> t -> t option
+val str_field : string -> t -> string
+val num_field : string -> t -> float
+val opt_str_field : string -> t -> string option
+val opt_int_field : string -> t -> int option

@@ -102,6 +102,10 @@ let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 let hist_quantile h q =
   if h.count = 0 then 0.0
   else if Float.is_nan q then invalid_arg "Metrics.hist_quantile: nan"
+    (* The extremes are tracked exactly — pin them rather than trust the
+       interpolation's clamping to land there. *)
+  else if q <= 0.0 then hist_min h
+  else if q >= 1.0 then h.max_v
   else begin
     let q = Float.max 0.0 (Float.min 1.0 q) in
     let rank = q *. float_of_int h.count in
@@ -156,23 +160,8 @@ let merge ~into src =
         Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets)
     (names src)
 
-let float_json v =
-  (* JSON numbers: no infinities, no trailing garbage. *)
-  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
-  else Printf.sprintf "%g" v
-
-let escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let float_json = Json.float_
+let escape = Json.escape
 
 let to_json r =
   let b = Buffer.create 512 in

@@ -59,7 +59,9 @@ val hist_quantile : histogram -> float -> float
     it, with the bucket edges tightened by the exact min/max.  The
     estimate is exact when all observations share a bucket and is
     otherwise off by at most the width of one power-of-two bucket.
-    0 when empty. *)
+    Pinned at the tracked extremes: [q <= 0] returns the exact minimum
+    and [q >= 1] the exact maximum.  0 when empty.
+    @raise Invalid_argument when [q] is NaN. *)
 
 val bucket_of : float -> int
 (** The bucket index a value falls into (exposed for tests). *)

@@ -197,17 +197,7 @@ let pp ?(top = 12) ?(max_depth = 6) ?(min_frac = 0.002) fmt root =
       rows
   end
 
-let escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Json.escape
 
 let to_json root =
   let b = Buffer.create 1024 in

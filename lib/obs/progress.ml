@@ -54,17 +54,7 @@ let make ?(clock = Clock.now) ?(interval = 1.0) ~mode write =
 
 let emitted r = r.emitted
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Json.escape
 
 (* 1234567 -> "1.2M": heartbeats are for eyeballs, the registry keeps
    the exact numbers. *)

@@ -29,10 +29,17 @@ let unknown_of_outcomes outcomes fallback =
   in
   match worst with Some r -> r | None -> fallback
 
+let verdict_tag = function
+  | Verdict.Proved _ -> "proved"
+  | Verdict.Falsified { depth; _ } -> Printf.sprintf "falsified(d=%d)" depth
+  | Verdict.Unknown _ -> "unknown"
+
 let portfolio_race ~jobs ~limits ~members model =
   let t0 = Isr_obs.Clock.now () in
   let cancel = Atomic.make false in
   let winner : (Portfolio.member * Verdict.t) option Atomic.t = Atomic.make None in
+  let groups = partition jobs members in
+  let ngroups = List.length groups in
   (* Each racer gets the whole wall-clock budget: the race trades cores
      for latency, it does not split the deadline. *)
   let run_one member =
@@ -40,22 +47,50 @@ let portfolio_race ~jobs ~limits ~members model =
       ~args:[ ("engine", Portfolio.member_name member); ("mode", "parallel") ]
       (fun () -> Portfolio.run_member member ~limits model)
   in
-  let worker group () =
+  (* Lifecycle events carry the logical worker index [w], not the domain
+     id: domain ids vary across replays, worker indices do not, so the
+     merged stream's race story is reproducible.  The winning worker
+     emits its own verdict plus one causal cancellation edge per loser;
+     a worker that exhausts its whole slate without a verdict records a
+     deadline self-edge. *)
+  let worker w group () =
     Budget.with_cancel cancel @@ fun () ->
-    List.filter_map
-      (fun member ->
-        if Atomic.get cancel then None
-        else
-          match run_one member with
-          | exception Budget.Cancelled -> None
-          | verdict, stats ->
-            (match verdict with
-            | Verdict.Proved _ | Verdict.Falsified _ ->
-              if Atomic.compare_and_set winner None (Some (member, verdict)) then
-                Atomic.set cancel true
-            | Verdict.Unknown _ -> ());
-            Some (verdict, stats))
-      group
+    if Isr_obs.Event.enabled () then
+      Isr_obs.Event.emit
+        (Isr_obs.Event.Spawn
+           { worker = w; engines = String.concat "+" (List.map Portfolio.member_name group) });
+    let i_won = ref false in
+    let outs =
+      List.filter_map
+        (fun member ->
+          if Atomic.get cancel then None
+          else
+            match run_one member with
+            | exception Budget.Cancelled -> None
+            | verdict, stats ->
+              (match verdict with
+              | Verdict.Proved _ | Verdict.Falsified _ ->
+                if Atomic.compare_and_set winner None (Some (member, verdict)) then begin
+                  Atomic.set cancel true;
+                  i_won := true;
+                  if Isr_obs.Event.enabled () then begin
+                    Isr_obs.Event.emit
+                      (Isr_obs.Event.Verdict { worker = w; verdict = verdict_tag verdict });
+                    for j = 0 to ngroups - 1 do
+                      if j <> w then
+                        Isr_obs.Event.emit
+                          (Isr_obs.Event.Cancel { worker = j; cause = Isr_obs.Event.Race_won; by = w })
+                    done
+                  end
+                end
+              | Verdict.Unknown _ -> ());
+              Some (verdict, stats))
+        group
+    in
+    if Isr_obs.Event.enabled () && (not !i_won) && not (Atomic.get cancel) then
+      Isr_obs.Event.emit
+        (Isr_obs.Event.Cancel { worker = w; cause = Isr_obs.Event.Deadline; by = w });
+    outs
   in
   let total = Verdict.mk_stats () in
   Isr_obs.Trace.span "portfolio"
@@ -69,7 +104,7 @@ let portfolio_race ~jobs ~limits ~members model =
       ])
   @@ fun () ->
   Isr_obs.Resource.with_attached (Verdict.registry total) @@ fun () ->
-  let domains = List.map (fun g -> Domain.spawn (worker g)) (partition jobs members) in
+  let domains = List.mapi (fun w g -> Domain.spawn (worker w g)) groups in
   let outcomes = List.concat_map Domain.join domains in
   List.iter (fun (_, stats) -> Verdict.merge_into ~into:total stats) outcomes;
   Verdict.set_time total (Isr_obs.Clock.now () -. t0);
@@ -119,12 +154,23 @@ let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?(limits = Budget.default_limits) model
     in
     shrink ();
     let b = Atomic.get best in
+    if Isr_obs.Event.enabled () then
+      Isr_obs.Event.emit
+        (Isr_obs.Event.Verdict { worker = i; verdict = Printf.sprintf "falsified(d=%d)" depth });
     Array.iteri
-      (fun j c -> if j <> i && Atomic.get c >= b then Atomic.set tokens.(j) true)
+      (fun j c ->
+        if j <> i && Atomic.get c >= b then begin
+          Atomic.set tokens.(j) true;
+          if Isr_obs.Event.enabled () then
+            Isr_obs.Event.emit
+              (Isr_obs.Event.Cancel { worker = j; cause = Isr_obs.Event.Min_depth; by = i })
+        end)
       current
   in
   let worker i () =
     Budget.with_cancel tokens.(i) @@ fun () ->
+    if Isr_obs.Event.enabled () then
+      Isr_obs.Event.emit (Isr_obs.Event.Spawn { worker = i; engines = "bmc" });
     let budget = Budget.start limits in
     let stats = Verdict.mk_stats () in
     let found = ref [] in
@@ -136,6 +182,8 @@ let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?(limits = Budget.default_limits) model
          else if k >= Atomic.get best then ()
          else begin
            Atomic.set current.(i) k;
+           if Isr_obs.Event.enabled () then
+             Isr_obs.Event.emit (Isr_obs.Event.Dispatch { worker = i; bound = k });
            (match Bmc.check_depth budget stats model ~check ~k with
            | `Sat u ->
              let tr = Unroll.trace u in
@@ -149,8 +197,16 @@ let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?(limits = Budget.default_limits) model
        in
        loop ()
      with
-    | Budget.Out_of_time -> reason := Some Verdict.Time_limit
-    | Budget.Out_of_conflicts -> reason := Some Verdict.Conflict_limit
+    | Budget.Out_of_time ->
+      reason := Some Verdict.Time_limit;
+      if Isr_obs.Event.enabled () then
+        Isr_obs.Event.emit
+          (Isr_obs.Event.Cancel { worker = i; cause = Isr_obs.Event.Deadline; by = i })
+    | Budget.Out_of_conflicts ->
+      reason := Some Verdict.Conflict_limit;
+      if Isr_obs.Event.enabled () then
+        Isr_obs.Event.emit
+          (Isr_obs.Event.Cancel { worker = i; cause = Isr_obs.Event.Deadline; by = i })
     | Budget.Cancelled -> ());
     Atomic.set current.(i) max_int;
     (!found, !reason, stats)

@@ -59,7 +59,7 @@ type t = {
   mutable max_learnt_len : int;
   mutable learnt_cb : (int -> unit) option; (* observes each learned-clause length *)
   mutable restart_cb : (int -> unit) option; (* observes each restart (cumulative count) *)
-  mutable reduce_cb : (kept:int -> deleted:int -> unit) option;
+  mutable reduce_cb : (kept:int -> deleted:int -> lbd:int array -> unit) option;
       (* observes each database reduction *)
   mutable interrupt : (unit -> bool) option; (* polled during search; true aborts to Undef *)
   mutable seen : Bytes.t;              (* conflict-analysis scratch *)
@@ -623,7 +623,16 @@ let reduce_db s =
     s.live_learnt <- s.live_learnt - ndelete;
     s.reduces <- s.reduces + 1;
     match s.reduce_cb with
-    | Some f -> f ~kept:s.live_learnt ~deleted:ndelete
+    | Some f ->
+      (* LBD distribution of the surviving learnt clauses, capped at the
+         last bucket; only computed when someone is listening. *)
+      let lbd = Array.make 16 0 in
+      let top = Array.length lbd - 1 in
+      for i = 0 to s.nclauses - 1 do
+        let c = s.clauses.(i) in
+        if c.learnt then lbd.(min c.lbd top) <- lbd.(min c.lbd top) + 1
+      done;
+      f ~kept:s.live_learnt ~deleted:ndelete ~lbd
     | None -> ()
   end;
   (* Grow the threshold even when nothing was deletable, so an

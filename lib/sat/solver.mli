@@ -136,11 +136,14 @@ val on_restart : t -> (int -> unit) option -> unit
     count at every restart — the hook behind the ["sat.restart"]
     progress heartbeat. *)
 
-val on_reduce : t -> (kept:int -> deleted:int -> unit) option -> unit
+val on_reduce : t -> (kept:int -> deleted:int -> lbd:int array -> unit) option -> unit
 (** Installs (or clears) an observer called after every learnt-database
-    reduction with the number of live learnt clauses kept and the number
-    deleted — the hook behind the ["sat.db.reduce"] / ["sat.db.kept"]
-    metrics. *)
+    reduction with the number of live learnt clauses kept, the number
+    deleted, and a snapshot of the surviving clauses' LBD distribution
+    ([lbd.(i)] counts survivors of glue [i], last bucket saturating) —
+    the hook behind the ["sat.db.reduce"] / ["sat.db.kept"] metrics and
+    the [db.reduce] search event.  The snapshot is only computed when an
+    observer is installed. *)
 
 val set_interrupt : t -> (unit -> bool) option -> unit
 (** Installs (or clears) a cooperative-cancellation poll.  The search

@@ -151,12 +151,25 @@ let test_bench_load_errors () =
       (fun () ->
         match B.load path with
         | _ -> Alcotest.failf "%s: load should have failed" label
-        | exception Failure _ -> ())
+        | exception B.Corrupt _ -> ())
   in
   expect_failure "future schema rejected" (write_tmp "{\"schema\": 99, \"runs\": []}");
   expect_failure "missing schema rejected" (write_tmp "{\"runs\": []}");
   expect_failure "malformed json rejected" (write_tmp "{\"schema\": 1, \"runs\": [");
   expect_failure "missing file rejected" "/nonexistent/isr_bench.json";
+  (* Timing summaries the regression gate would mis-compare must be
+     rejected typed, not waved through: NaN makes every [<] false. *)
+  let run_with median spread =
+    Printf.sprintf
+      "{\"schema\": 1, \"runs\": [{\"bench\":\"a\",\"engine\":\"e\",\"verdict\":\"proved\",\"time_median_s\":%s,\"time_spread_s\":%s,\"conflicts\":1,\"sat_calls\":1}]}"
+      median spread
+  in
+  expect_failure "infinite median rejected" (write_tmp (run_with "1e400" "0.0"));
+  expect_failure "negative median rejected" (write_tmp (run_with "-0.5" "0.0"));
+  expect_failure "negative spread rejected" (write_tmp (run_with "0.5" "-1.0"));
+  expect_failure "negative conflicts rejected"
+    (write_tmp
+       "{\"schema\": 1, \"runs\": [{\"bench\":\"a\",\"engine\":\"e\",\"verdict\":\"proved\",\"time_median_s\":1.0,\"time_spread_s\":0.0,\"conflicts\":-3,\"sat_calls\":1}]}");
   (* A well-formed file may omit the optional header fields. *)
   let path = write_tmp "{\"schema\": 1, \"runs\": []}" in
   Fun.protect

@@ -753,6 +753,261 @@ let test_engine_span_structure () =
     (has_chain (fun c ->
          match c with "sat.solve" :: rest -> List.mem "sat.call" rest | _ -> false))
 
+(* --- shared json helper ---------------------------------------------------- *)
+
+(* Satellite of the escaper dedupe: the one shared escaper must cover the
+   whole C0 range, and what it writes the shared reader must take back. *)
+let test_json_escape_c0 () =
+  let all = String.init 0x20 Char.chr ^ "\"\\plain text" in
+  let e = Json.escape all in
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "no raw control byte in escaped form" true (Char.code c >= 0x20))
+    e;
+  (match Json.parse ("\"" ^ e ^ "\"") with
+  | Json.Str s -> Alcotest.(check string) "C0 round trip" all s
+  | _ -> Alcotest.fail "expected a string");
+  Alcotest.(check string) "quote wraps" "\"a\\nb\"" (Json.quote "a\nb")
+
+let test_json_parse_render () =
+  let src = "{\"a\":[1,2.5,null,true,\"x\\ty\"],\"b\":{\"c\":-3}}" in
+  let j = Json.parse src in
+  Alcotest.(check string) "render is canonical" src (Json.render j);
+  Alcotest.(check string) "render.parse fixpoint" (Json.render j)
+    (Json.render (Json.parse (Json.render j)));
+  (match Json.parse "\"\\u0007\"" with
+  | Json.Str s -> Alcotest.(check string) "u-escape decoded" "\007" s
+  | _ -> Alcotest.fail "expected a string");
+  Alcotest.check_raises "trailing garbage rejected" (Json.Parse_error "trailing garbage at offset 5")
+    (fun () -> ignore (Json.parse "null x"));
+  Alcotest.(check string) "float_ kills nan" "0" (Json.float_ Float.nan);
+  Alcotest.(check string) "float_ kills inf" "0" (Json.float_ Float.infinity);
+  Alcotest.(check string) "float_ integral" "42" (Json.float_ 42.0)
+
+(* --- quantile pinning -------------------------------------------------------- *)
+
+let test_quantile_pinned () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "q" in
+  Alcotest.(check (float 0.0)) "empty at q=0" 0.0 (Metrics.hist_quantile h 0.0);
+  Alcotest.(check (float 0.0)) "empty at q=1" 0.0 (Metrics.hist_quantile h 1.0);
+  List.iter (Metrics.observe h) [ 3.0; 17.0; 1000.0; 5.5 ];
+  Alcotest.(check (float 0.0)) "q=0 is the exact min" 3.0 (Metrics.hist_quantile h 0.0);
+  Alcotest.(check (float 0.0)) "q=1 is the exact max" 1000.0 (Metrics.hist_quantile h 1.0);
+  Alcotest.(check (float 0.0)) "q<0 clamps to min" 3.0 (Metrics.hist_quantile h (-0.5));
+  Alcotest.(check (float 0.0)) "q>1 clamps to max" 1000.0 (Metrics.hist_quantile h 1.5);
+  let mid = Metrics.hist_quantile h 0.5 in
+  Alcotest.(check bool) "interior stays inside the extremes" true (mid >= 3.0 && mid <= 1000.0);
+  Alcotest.check_raises "NaN quantile rejected"
+    (Invalid_argument "Metrics.hist_quantile: nan") (fun () ->
+      ignore (Metrics.hist_quantile h Float.nan))
+
+(* --- event stream ------------------------------------------------------------ *)
+
+let with_recorder f =
+  let r = Event.recorder () in
+  Event.set_recorder r;
+  Fun.protect ~finally:Event.clear_recorder (fun () -> f r)
+
+let all_kinds =
+  [
+    Event.Restart { conflicts = 120; decisions = 4500; learnt = 37 };
+    Event.Reduce { kept = 20; dropped = 15; lbd = [| 0; 3; 9; 8 |] };
+    Event.Itp_cut { cut = 4; support = 12; nodes = 311 };
+    Event.Phase { phase = "itpseq.outer"; step = 3; detail = "k=5" };
+    Event.Phase { phase = "cba"; step = -1; detail = "" };
+    Event.Spawn { worker = 1; engines = "bmc+itp" };
+    Event.Dispatch { worker = 1; bound = 17 };
+    Event.Cancel { worker = 0; cause = Event.Race_won; by = 1 };
+    Event.Cancel { worker = 2; cause = Event.Deadline; by = 2 };
+    Event.Cancel { worker = 3; cause = Event.Min_depth; by = 1 };
+    Event.Verdict { worker = 1; verdict = "proved" };
+  ]
+
+let test_event_roundtrip () =
+  Alcotest.(check bool) "disabled by default" false (Event.enabled ());
+  Event.emit (Event.Phase { phase = "ignored"; step = -1; detail = "" });
+  with_recorder (fun r ->
+      Alcotest.(check bool) "enabled with recorder" true (Event.enabled ());
+      List.iter Event.emit all_kinds;
+      Alcotest.(check int) "count" (List.length all_kinds) (Event.count r);
+      let evs = Event.events r in
+      Alcotest.(check int) "decoded all" (List.length all_kinds) (List.length evs);
+      (* Single domain: merged order is emission order, and every packed
+         payload survives the int-buffer encoding bit-for-bit. *)
+      Alcotest.(check bool) "kinds in order" true
+        (List.for_all2 (fun k e -> k = e.Event.kind) all_kinds evs);
+      List.iter
+        (fun e ->
+          match Event.event_of_json (Json.parse (Event.json_of_event e)) with
+          | None -> Alcotest.fail "event line did not parse back"
+          | Some e' ->
+            Alcotest.(check bool) "kind round-trips through JSONL" true
+              (e.Event.kind = e'.Event.kind);
+            Alcotest.(check int) "dom round-trips" e.Event.dom e'.Event.dom;
+            Alcotest.(check int) "seq round-trips" e.Event.seq e'.Event.seq;
+            Alcotest.(check bool) "ts close" true (Float.abs (e.Event.ts -. e'.Event.ts) < 1e-5))
+        evs);
+  Alcotest.(check bool) "disabled after clear" false (Event.enabled ())
+
+let test_event_jsonl_file () =
+  with_recorder (fun r ->
+      List.iter Event.emit all_kinds;
+      let path = Filename.temp_file "isr_events" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Out_channel.with_open_text path (fun oc -> Event.write_jsonl r oc);
+          let evs = Event.read_jsonl path in
+          Alcotest.(check int) "read back everything" (List.length all_kinds)
+            (List.length evs);
+          Alcotest.(check bool) "kinds preserved" true
+            (List.for_all2 (fun k e -> k = e.Event.kind) all_kinds evs)));
+  (* A future schema version must fail loudly, not be misread. *)
+  let path = Filename.temp_file "isr_events" ".jsonl" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "{\"stream\":\"isr-events\",\"schema\":99}\n");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Event.read_jsonl path with
+      | _ -> Alcotest.fail "future schema should be rejected"
+      | exception Failure _ -> ())
+
+let test_event_chrome () =
+  with_recorder (fun r ->
+      List.iter Event.emit all_kinds;
+      match Json.parse (Event.to_chrome (Event.events r)) with
+      | Json.Arr rows ->
+        Alcotest.(check int) "one trace row per event" (List.length all_kinds)
+          (List.length rows);
+        List.iter
+          (fun row ->
+            Alcotest.(check (option string)) "instant phase" (Some "i")
+              (Json.opt_str_field "ph" row))
+          rows
+      | _ -> Alcotest.fail "chrome export is not a JSON array")
+
+(* The deterministic-merge contract: decoding is a pure function of the
+   recorded buffers — two reads give the identical sequence — and the
+   per-domain sub-order is emission order even when domains interleave. *)
+let test_event_merge_deterministic () =
+  with_recorder (fun r ->
+      let domains =
+        List.init 4 (fun w ->
+            Domain.spawn (fun () ->
+                for i = 0 to 24 do
+                  Event.emit (Event.Dispatch { worker = w; bound = i })
+                done))
+      in
+      List.iter Domain.join domains;
+      let evs = Event.events r and evs' = Event.events r in
+      Alcotest.(check int) "all events decoded" 100 (List.length evs);
+      Alcotest.(check bool) "two decodes are identical" true (evs = evs');
+      let key e = (e.Event.ts, e.Event.dom, e.Event.seq) in
+      Alcotest.(check bool) "merged order is sorted by (ts, dom, seq)" true
+        (List.sort (fun a b -> compare (key a) (key b)) evs = evs);
+      (* Within a domain: seq ascending and bounds in emission order. *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let prev = Option.value ~default:(-1) (Hashtbl.find_opt tbl e.Event.dom) in
+          Alcotest.(check bool) "per-domain seq ascending" true (e.Event.seq > prev);
+          (match e.Event.kind with
+          | Event.Dispatch { bound; _ } ->
+            Alcotest.(check int) "per-domain payload order preserved" (prev + 1) bound
+          | _ -> Alcotest.fail "unexpected kind");
+          Hashtbl.replace tbl e.Event.dom e.Event.seq)
+        evs)
+
+(* --- ledger -------------------------------------------------------------------- *)
+
+let with_ledger_dir f =
+  let dir = Filename.temp_file "isr_ledger" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let sample_entry ?(instance = "amba2g3") ?(engine = "itpseq") ?(verdict = "proved") () =
+  {
+    Ledger.id = "";
+    time = "";
+    instance;
+    instance_hash = "00ff00ff00ff00ff";
+    engine;
+    config = Ledger.fingerprint [ ("time", "60"); ("bound", "200") ];
+    verdict;
+    kfp = Some 7;
+    jfp = Some 3;
+    wall_s = 1.25;
+    conflicts = 1234;
+    sat_calls = 56;
+    itp_nodes = 789;
+    metrics_json = "{\"sat.conflicts\":1234,\"engine.time_s\":1.25}";
+    events_path = Some "events/amba2g3-1.jsonl";
+    profile_path = None;
+  }
+
+let test_ledger_append_load () =
+  with_ledger_dir (fun dir ->
+      let lg = Ledger.open_ dir in
+      let e1 = Ledger.append lg (sample_entry ()) in
+      let e2 = Ledger.append lg (sample_entry ~engine:"kind" ~verdict:"unknown" ()) in
+      Alcotest.(check string) "first id" "r0001" e1.Ledger.id;
+      Alcotest.(check string) "second id" "r0002" e2.Ledger.id;
+      Alcotest.(check bool) "time stamped" true (String.length e1.Ledger.time > 0);
+      (* Reopen cold: ids continue, and everything round-trips. *)
+      let lg' = Ledger.open_ dir in
+      let e3 = Ledger.append lg' (sample_entry ~instance:"oski1" ()) in
+      Alcotest.(check string) "id continues after reopen" "r0003" e3.Ledger.id;
+      let entries = Ledger.load lg' in
+      Alcotest.(check int) "all entries load" 3 (List.length entries);
+      let first = List.hd entries in
+      Alcotest.(check bool) "entry round-trips" true (first = e1);
+      (match Ledger.find lg' "r0002" with
+      | Some e -> Alcotest.(check string) "find by id" "kind" e.Ledger.engine
+      | None -> Alcotest.fail "r0002 not found");
+      Alcotest.(check (option Alcotest.string)) "find miss" None
+        (Option.map (fun e -> e.Ledger.id) (Ledger.find lg' "r9999"));
+      Alcotest.(check string) "relative path resolves under the root"
+        (Filename.concat dir "events/x.jsonl")
+        (Ledger.resolve lg' "events/x.jsonl");
+      Alcotest.(check string) "absolute path passes through" "/tmp/abs.jsonl"
+        (Ledger.resolve lg' "/tmp/abs.jsonl"))
+
+let test_ledger_fingerprint () =
+  Alcotest.(check string) "sorted and joined" "bound=200 par=4 time=60"
+    (Ledger.fingerprint [ ("time", "60"); ("par", "4"); ("bound", "200") ]);
+  Alcotest.(check string) "order-insensitive"
+    (Ledger.fingerprint [ ("a", "1"); ("b", "2") ])
+    (Ledger.fingerprint [ ("b", "2"); ("a", "1") ])
+
+let test_ledger_robustness () =
+  with_ledger_dir (fun dir ->
+      let lg = Ledger.open_ dir in
+      ignore (Ledger.append lg (sample_entry ()));
+      (* A torn write (partial line) must not take the store down. *)
+      let oc = open_out_gen [ Open_append ] 0o644 (Filename.concat dir "ledger.jsonl") in
+      output_string oc "{\"id\":\"r99";
+      close_out oc;
+      ignore (Ledger.append lg (sample_entry ~engine:"bmc" ()));
+      let entries = Ledger.load lg in
+      Alcotest.(check int) "torn line skipped, good lines kept" 2 (List.length entries));
+  (* A ledger written by a future schema must be rejected. *)
+  with_ledger_dir (fun dir ->
+      let lg = Ledger.open_ dir in
+      Out_channel.with_open_text (Filename.concat dir "ledger.jsonl") (fun oc ->
+          output_string oc "{\"store\":\"isr-ledger\",\"schema\":99}\n");
+      match Ledger.load lg with
+      | _ -> Alcotest.fail "future ledger schema should be rejected"
+      | exception Failure _ -> ())
+
 let () =
   Alcotest.run "isr_obs"
     [
@@ -771,6 +1026,7 @@ let () =
           Alcotest.test_case "merge" `Quick test_merge;
           Alcotest.test_case "hist mean and quantile" `Quick test_hist_mean_quantile;
           Alcotest.test_case "merge edge cases" `Quick test_merge_edge_cases;
+          Alcotest.test_case "quantile pinned at extremes" `Quick test_quantile_pinned;
         ] );
       ( "json",
         [
@@ -778,6 +1034,22 @@ let () =
           Alcotest.test_case "chrome channel file" `Quick test_chrome_channel_file;
           Alcotest.test_case "metrics snapshot" `Quick test_metrics_json;
           Alcotest.test_case "chrome flush idempotent" `Quick test_chrome_flush_idempotent;
+          Alcotest.test_case "shared escaper covers C0" `Quick test_json_escape_c0;
+          Alcotest.test_case "parse/render round trip" `Quick test_json_parse_render;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "pack/decode round trip" `Quick test_event_roundtrip;
+          Alcotest.test_case "jsonl file round trip" `Quick test_event_jsonl_file;
+          Alcotest.test_case "chrome export" `Quick test_event_chrome;
+          Alcotest.test_case "deterministic multi-domain merge" `Quick
+            test_event_merge_deterministic;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "append, reopen, load, find" `Quick test_ledger_append_load;
+          Alcotest.test_case "config fingerprint" `Quick test_ledger_fingerprint;
+          Alcotest.test_case "torn lines and future schema" `Quick test_ledger_robustness;
         ] );
       ( "profile",
         [

@@ -115,6 +115,118 @@ let test_cancel_mid_search () =
     (Printf.sprintf "stopped promptly (%.2fs)" elapsed)
     true (elapsed < 10.0)
 
+(* --- event stream of a real race --------------------------------------------- *)
+
+module Event = Isr_obs.Event
+
+(* The race's lifecycle, projected out of the merged stream: spawns,
+   cancellations with their causal edges, published verdicts. *)
+let lifecycle evs =
+  List.filter_map
+    (fun e ->
+      match e.Event.kind with
+      | Event.Spawn { worker; engines } -> Some (`Spawn (worker, engines))
+      | Event.Cancel { worker; cause; by } -> Some (`Cancel (worker, cause, by))
+      | Event.Verdict { worker; verdict } -> Some (`Verdict (worker, verdict))
+      | _ -> None)
+    evs
+
+let record_race f =
+  let r = Event.recorder () in
+  Event.set_recorder r;
+  let result = Fun.protect ~finally:Event.clear_recorder f in
+  (result, Event.events r)
+
+(* Replaying the same portfolio race must tell the same story: the same
+   workers spawned on the same engine groups, a winner that published the
+   same verdict, and every Race_won cancellation edge pointing at that
+   winner.  (Which worker wins may differ between replays — that's the
+   race — but the record must stay internally causal each time.) *)
+let test_race_event_story () =
+  let model = Registry.build_validated (entry "amba2g3") in
+  let story () =
+    let (verdict, _), evs = record_race (fun () -> Isr_par.portfolio ~jobs:4 ~limits model) in
+    (* The merged stream is sorted by (ts, dom, seq). *)
+    let key e = (e.Event.ts, e.Event.dom, e.Event.seq) in
+    Alcotest.(check bool) "merged stream sorted" true
+      (List.sort (fun a b -> compare (key a) (key b)) evs = evs);
+    let life = lifecycle evs in
+    let spawns =
+      List.filter_map (function `Spawn (w, e) -> Some (w, e) | _ -> None) life
+    in
+    let winner =
+      match List.filter_map (function `Verdict (w, v) -> Some (w, v) | _ -> None) life with
+      | [] -> Alcotest.fail "no verdict event in a decided race"
+      | (w, v) :: _ -> (w, v)
+    in
+    List.iter
+      (function
+        | `Cancel (w, Event.Race_won, by) ->
+          Alcotest.(check int) "cancel edge points at the winner" (fst winner) by;
+          Alcotest.(check bool) "winner is not cancelled by itself" true (w <> by)
+        | _ -> ())
+      life;
+    (* Every spawned loser has an explanation: a cancellation edge or a
+       budget expiry of its own. *)
+    List.iter
+      (fun (w, _) ->
+        if w <> fst winner then
+          Alcotest.(check bool)
+            (Printf.sprintf "worker %d's stop is explained" w)
+            true
+            (List.exists (function `Cancel (w', _, _) -> w' = w | _ -> false) life))
+      spawns;
+    (verdict, List.sort compare spawns, snd winner)
+  in
+  let v1, spawns1, tag1 = story () in
+  let v2, spawns2, tag2 = story () in
+  Alcotest.(check bool) "replay: same verdict" true
+    (Verdict.is_proved v1 = Verdict.is_proved v2
+    && Verdict.is_falsified v1 = Verdict.is_falsified v2);
+  Alcotest.(check bool) "replay: same worker/engine groups" true (spawns1 = spawns2);
+  Alcotest.(check string) "replay: same published verdict tag" tag1 tag2
+
+(* Bound-parallel BMC: the counterexample's publisher is the [by] edge of
+   every Min_depth cancellation, and dispatch events cover every bound up
+   to the found depth. *)
+let test_bmc_event_story () =
+  let model = Registry.build_validated (entry "vending7bug") in
+  let (verdict, _), evs = record_race (fun () -> Isr_par.bmc ~jobs:4 ~limits model) in
+  let depth =
+    match verdict with
+    | Verdict.Falsified { depth; _ } -> depth
+    | v -> Alcotest.failf "expected a counterexample, got %a" Verdict.pp v
+  in
+  let life = lifecycle evs in
+  (* The standing verdict is the last published one: earlier, deeper
+     counterexamples are superseded by the minimisation. *)
+  let publishers =
+    List.filter_map (function `Verdict (w, v) -> Some (w, v) | _ -> None) life
+  in
+  (match List.rev publishers with
+  | [] -> Alcotest.fail "no verdict event"
+  | (_, v) :: _ ->
+    Alcotest.(check string) "final publication names the minimal depth"
+      (Printf.sprintf "falsified(d=%d)" depth) v);
+  List.iter
+    (function
+      | `Cancel (_, Event.Min_depth, by) ->
+        Alcotest.(check bool) "min-depth edge comes from a publisher" true
+          (List.mem_assoc by publishers)
+      | _ -> ())
+    life;
+  let dispatched =
+    List.filter_map
+      (fun e ->
+        match e.Event.kind with Event.Dispatch { bound; _ } -> Some bound | _ -> None)
+      evs
+  in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (Printf.sprintf "bound %d was dispatched" b) true
+        (List.mem b dispatched))
+    (List.init (depth + 1) Fun.id)
+
 let () =
   Alcotest.run "isr_par"
     [
@@ -122,6 +234,12 @@ let () =
         [ Alcotest.test_case "race agrees with sequential" `Slow test_race_agrees ] );
       ( "bmc",
         [ Alcotest.test_case "bound-parallel depth" `Slow test_bmc_par_depth ] );
+      ( "events",
+        [
+          Alcotest.test_case "portfolio race story replays" `Slow test_race_event_story;
+          Alcotest.test_case "bound-parallel cancellation edges" `Slow
+            test_bmc_event_story;
+        ] );
       ( "cancellation",
         [
           Alcotest.test_case "preset token" `Quick test_cancel_preset;

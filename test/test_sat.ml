@@ -194,8 +194,16 @@ let test_reduce_fires () =
   let s = Solver.create () in
   Solver.set_reduce s { Solver.enabled = true; base = 30; growth = 1.1; keep_lbd = 2 };
   let deleted_total = ref 0 in
+  let lbd_snapshots = ref 0 in
+  let lbd_mismatches = ref 0 in
   Solver.on_reduce s
-    (Some (fun ~kept:_ ~deleted -> deleted_total := !deleted_total + deleted));
+    (Some
+       (fun ~kept ~deleted ~lbd ->
+         deleted_total := !deleted_total + deleted;
+         incr lbd_snapshots;
+         (* The survivor snapshot must account for every kept learnt
+            clause. *)
+         if Array.fold_left ( + ) 0 lbd <> kept then incr lbd_mismatches));
   for _ = 1 to nv do
     ignore (Solver.new_var s)
   done;
@@ -203,6 +211,8 @@ let test_reduce_fires () =
   Alcotest.(check bool) "php 6 unsat" true (Solver.solve s = Solver.Unsat);
   Alcotest.(check bool) "reductions fired" true (Solver.num_reduces s > 0);
   Alcotest.(check bool) "observer saw deletions" true (!deleted_total > 0);
+  Alcotest.(check bool) "lbd snapshots delivered" true (!lbd_snapshots > 0);
+  Alcotest.(check int) "every lbd snapshot sums to kept" 0 !lbd_mismatches;
   let p = Solver.proof s in
   Alcotest.(check int) "every deletion logged" !deleted_total
     (Array.length p.Proof.deletions);
