@@ -574,6 +574,156 @@ let par_cmd =
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ jobs_arg $ names_arg
       $ repeat_arg $ out_arg $ check_arg $ trace_arg $ metrics_arg $ progress_arg)
 
+(* --- preprocess (static analysis off vs on) ----------------------------------------- *)
+
+let preprocess_cmd =
+  let run time bound conflicts mode names mid_only repeat out_path check trace metrics progress =
+    with_obs ~check ~progress ~trace ~metrics (fun ~record:_ ->
+        let limits = limits_of ~time ~bound ~conflicts in
+        let entries =
+          match names with
+          | [] -> entries_for mid_only Registry.fig6
+          | names ->
+            List.map
+              (fun n ->
+                match Registry.find n with
+                | Some e -> e
+                | None ->
+                  prerr_endline (Printf.sprintf "isr-bench: no benchmark named %S" n);
+                  exit 2)
+              names
+        in
+        let median xs =
+          let a = List.sort compare xs in
+          List.nth a (List.length a / 2)
+        in
+        let describe = function
+          | Verdict.Proved _ -> "pass"
+          | Verdict.Falsified _ -> "fail"
+          | Verdict.Unknown _ -> "unknown"
+        in
+        let disagreements = ref 0 in
+        Format.fprintf out "%-16s %-8s %-8s %7s %7s %6s %6s %8s %8s %8s@." "bench" "raw"
+          "ana" "ands" "ands'" "lat" "lat'" "raw[s]" "ana[s]" "speedup";
+        let runs =
+          List.concat_map
+            (fun (entry : Registry.entry) ->
+              let model = Registry.build_validated entry in
+              (* One analyzed sample: the pipeline runs inside the timed
+                 region, so the snapshot charges its cost honestly; a
+                 trivial verdict skips the portfolio, and counterexamples
+                 are lifted and replay-checked on the original. *)
+              let sample_analyzed () =
+                let t0 = Isr_obs.Clock.now () in
+                let r = Isr_analyze.run ~mode model in
+                let verdict, stats =
+                  match r.Isr_analyze.verdict with
+                  | Some (Isr_analyze.Safe { invariant }) ->
+                    ( Verdict.Proved { kfp = 0; jfp = 0; invariant = Some invariant },
+                      Verdict.mk_stats () )
+                  | Some (Isr_analyze.Unsafe { trace }) ->
+                    ( Verdict.Falsified { depth = Trace.depth trace; trace },
+                      Verdict.mk_stats () )
+                  | None -> (
+                    match Portfolio.verify ~limits r.Isr_analyze.model with
+                    | Verdict.Falsified { depth; trace }, s ->
+                      (Verdict.Falsified { depth; trace = r.Isr_analyze.lift trace }, s)
+                    | out -> out)
+                in
+                Verdict.set_time stats (Isr_obs.Clock.now () -. t0);
+                (r, (verdict, stats))
+              in
+              let raw = List.init repeat (fun _ -> Portfolio.verify ~limits model) in
+              let analyzed = List.init repeat (fun _ -> sample_analyzed ()) in
+              let r = fst (List.hd analyzed) in
+              let analyzed = List.map snd analyzed in
+              let rv = fst (List.hd raw) and av = fst (List.hd analyzed) in
+              (* The analyzer only rewrites under certificate, so whenever
+                 both sides conclude they must agree on pass/fail — and a
+                 lifted counterexample must replay on the original design.
+                 An unknown on one side is a resource question, not a
+                 soundness one (preprocessing routinely turns a timeout
+                 into a proof), so it never counts as a flip. *)
+              let conclusive v = Verdict.is_proved v || Verdict.is_falsified v in
+              if conclusive rv && conclusive av && Verdict.is_proved rv <> Verdict.is_proved av
+              then begin
+                incr disagreements;
+                Format.fprintf out "%-16s VERDICT FLIP: %s -> %s@." entry.Registry.name
+                  (describe rv) (describe av)
+              end;
+              (match av with
+              | Verdict.Falsified { trace; _ } when not (Sim.check_trace model trace) ->
+                incr disagreements;
+                Format.fprintf out "%-16s lifted trace does NOT replay@." entry.Registry.name
+              | _ -> ());
+              let t_of rs = median (List.map (fun (_, s) -> Verdict.time s) rs) in
+              let tr = t_of raw and ta = t_of analyzed in
+              Format.fprintf out "%-16s %-8s %-8s %7d %7d %6d %6d %8.3f %8.3f %7.2fx@."
+                entry.Registry.name (describe rv) (describe av)
+                (Model.num_ands r.Isr_analyze.original)
+                (Model.num_ands r.Isr_analyze.model)
+                r.Isr_analyze.original.Model.num_latches
+                r.Isr_analyze.model.Model.num_latches tr ta
+                (if ta > 0.0 then tr /. ta else Float.nan);
+              [
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"portfolio-raw" raw;
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"portfolio-analyzed" analyzed;
+              ])
+            entries
+        in
+        let store =
+          Isr_exp.Bench_store.make ~suite:"preprocess" ~repeat ~time_limit:time runs
+        in
+        Isr_exp.Bench_store.save out_path store;
+        Format.fprintf out "wrote %s: %d runs (%d instances, repeat %d)@." out_path
+          (List.length runs) (List.length entries) repeat;
+        if !disagreements > 0 then begin
+          Format.fprintf out "%d verdict disagreement(s) between modes@." !disagreements;
+          Format.pp_print_flush out ();
+          exit 3
+        end)
+  in
+  let mode_arg =
+    let mode_conv =
+      Arg.conv
+        ( (fun s -> Result.map_error (fun e -> `Msg e) (Isr_analyze.mode_of_string s)),
+          fun fmt m -> Format.pp_print_string fmt (Isr_analyze.mode_to_string m) )
+    in
+    Arg.(
+      value & opt mode_conv Isr_analyze.Full
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Analyzer pass selection: fast or full.")
+  in
+  let names_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ] ~docv:"BENCH"
+          ~doc:"Benchmark to include (repeatable); default: the whole Figure 6 suite.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"N" ~doc:"Samples per (instance, mode) cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_analyze.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "preprocess"
+       ~doc:"Run the portfolio with and without the certified static-analysis \
+             pipeline on the same instances, check the verdicts agree (lifted \
+             counterexamples must replay on the original), report per-instance \
+             node/latch reductions and wall-clock deltas, and persist both sides \
+             as a snapshot")
+    Term.(
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ mode_arg $ names_arg
+      $ mid_only_arg $ repeat_arg $ out_arg $ check_arg $ trace_arg $ metrics_arg
+      $ progress_arg)
+
 (* --- reduce (learnt-database reduction off vs on) ----------------------------------- *)
 
 (* Long BMC refutation runs: thousands of learnt clauses accumulate over
@@ -751,7 +901,7 @@ let () =
       [
         table1_cmd; fig6_cmd; fig7_cmd; ablation_checks_cmd; ablation_alpha_cmd;
         ablation_systems_cmd; abstraction_cmd; extended_cmd; kernels_cmd;
-        snapshot_cmd; regress_cmd; par_cmd; reduce_cmd;
+        snapshot_cmd; regress_cmd; par_cmd; preprocess_cmd; reduce_cmd;
       ]
   in
   exit (Cmd.eval group)

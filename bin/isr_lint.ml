@@ -176,6 +176,86 @@ let run level files cnf suite shared_inputs bound budget =
   Format.printf "@.";
   if !violations > 0 then 2 else if !errors > 0 then 1 else 0
 
+(* --- analyze: the certified preprocessing pipeline as a linter -------- *)
+
+let load_models path =
+  if not (Sys.file_exists path) then
+    Error [ Diag.error ~check:"lint.io" ~loc:path "no such file" ]
+  else
+    match String.lowercase_ascii (Filename.extension path) with
+    | ".aag" | ".aig" -> (
+      match Aiger.parse_string_multi ~name:path (read_file path) with
+      | Ok ms -> Ok ms
+      | Error msg -> Error [ Diag.error ~check:"aig.parse" ~loc:path msg ])
+    | ".isl" -> (
+      match Isr_isl.Isl.parse_file path with
+      | Ok ms -> Ok ms
+      | Error msg -> Error [ Diag.error ~check:"isl.parse" ~loc:path msg ])
+    | ".btor" | ".btor2" -> (
+      match Isr_btor.Btor2.parse_file path with
+      | Ok ms -> Ok ms
+      | Error msg -> Error [ Diag.error ~check:"btor.parse" ~loc:path msg ])
+    | ext ->
+      Error
+        [
+          Diag.errorf ~check:"lint.unknown_format" ~loc:path
+            ~hint:"static analysis reads netlists: .aag .aig .isl .btor .btor2"
+            "unrecognized model extension %S" ext;
+        ]
+
+let analyze_run level mode files suite =
+  Check.set level;
+  let errors = ref 0 and warnings = ref 0 and violations = ref 0 in
+  let report label ds =
+    List.iter
+      (fun d ->
+        if Diag.is_error d then incr errors else incr warnings;
+        Format.printf "%s: %a@." label Diag.pp d)
+      ds
+  in
+  let analyze_model label model =
+    try
+      let r = Isr_analyze.run ~mode model in
+      Format.printf "%s:@.%a@." label Isr_analyze.pp_summary r;
+      report label r.Isr_analyze.diags
+    with Check.Violation { check; detail } ->
+      incr violations;
+      Format.printf "%s: violation [%s] %s@." label check detail
+  in
+  List.iter
+    (fun path ->
+      match load_models path with
+      | Error ds -> report path ds
+      | Ok models -> List.iter (analyze_model path) models)
+    files;
+  let entries =
+    match suite with
+    | None -> []
+    | Some "all" -> Isr_suite.Registry.fig6
+    | Some name -> (
+      match Isr_suite.Registry.find name with
+      | Some e -> [ e ]
+      | None ->
+        report ("suite:" ^ name)
+          [ Diag.error ~check:"lint.usage" "unknown suite entry" ];
+        [])
+  in
+  List.iter
+    (fun e ->
+      let label = "suite:" ^ e.Isr_suite.Registry.name in
+      match Isr_suite.Registry.build_validated e with
+      | model -> analyze_model label model
+      | exception Invalid_argument msg ->
+        report label [ Diag.error ~check:"aig.support" msg ])
+    entries;
+  Format.printf "isr_lint analyze: %d error%s, %d warning%s" !errors
+    (if !errors = 1 then "" else "s")
+    !warnings
+    (if !warnings = 1 then "" else "s");
+  if Check.on () then Format.printf " (%a)" Check.pp_summary ();
+  Format.printf "@.";
+  if !violations > 0 then 2 else if !errors > 0 then 1 else 0
+
 let level_arg =
   let level_conv =
     Arg.conv
@@ -222,12 +302,39 @@ let budget_arg =
     value & opt int 20_000
     & info [ "conflicts" ] ~docv:"N" ~doc:"Conflict budget per exercise solve.")
 
-let () =
-  let cmd =
-    Cmd.v
-      (Cmd.info "isr_lint" ~doc:"Lint verification artifacts and check proofs")
-      Term.(
-        const run $ level_arg $ files_arg $ cnf_arg $ suite_arg $ shared_arg $ bound_arg
-        $ budget_arg)
+let mode_arg =
+  let mode_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Isr_analyze.mode_of_string s)),
+        fun fmt m -> Format.pp_print_string fmt (Isr_analyze.mode_to_string m) )
   in
-  exit (Cmd.eval' cmd)
+  Arg.(
+    value
+    & opt mode_conv Isr_analyze.Full
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Pass selection: $(b,fast) (constant propagation, dangling-logic \
+           removal, cone-of-influence) or $(b,full) (additionally SAT sweeping; \
+           the default — lint runs are offline).")
+
+let lint_term =
+  Term.(
+    const run $ level_arg $ files_arg $ cnf_arg $ suite_arg $ shared_arg $ bound_arg
+    $ budget_arg)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the certified static-analysis pipeline over models and report \
+          per-pass diagnostics (stuck-at latches, dropped logic, semantic \
+          merges) and reduction statistics.  Exit codes follow lint: 0 clean, \
+          1 error diagnostics, 2 sanitizer violation.")
+    Term.(const analyze_run $ level_arg $ mode_arg $ files_arg $ suite_arg)
+
+let () =
+  let info = Cmd.info "isr_lint" ~doc:"Lint verification artifacts and check proofs" in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default:lint_term info
+          [ Cmd.v (Cmd.info "lint" ~doc:"Lint artifacts (the default)") lint_term; analyze_cmd ]))

@@ -195,6 +195,20 @@ let diff_cmd =
         deltas
     end
     else print_endline "metric deltas: none";
+    (* Metrics present on one side only — e.g. the analyze.* reduction
+       gauges when exactly one run used the static analyzer. *)
+    let one_sided label id xs ys =
+      let only = List.filter (fun (k, _) -> List.assoc_opt k ys = None) xs in
+      if only <> [] then begin
+        Printf.printf "metrics only in %s (%s, %d):\n" id label (List.length only);
+        List.iteri
+          (fun i (k, v) ->
+            if i < top then Printf.printf "  %-32s %14s\n" k (J.float_ v))
+          only
+      end
+    in
+    one_sided "removed" a.L.id ma mb;
+    one_sided "added" b.L.id mb ma;
     (* Profile diff when both runs dumped one. *)
     (match (a.L.profile_path, b.L.profile_path) with
     | Some pa, Some pb -> (
@@ -259,6 +273,9 @@ let pp_event (e : E.t) =
         | E.Deadline -> "deadline"
         | E.Min_depth -> "minimised-depth")
     | E.Verdict { worker; verdict } -> Printf.sprintf "VERDICT       w%d %s" worker verdict
+    | E.Analyze { pass; ands_before; ands_after; latches_before; latches_after } ->
+      Printf.sprintf "analyze       %s ands=%d->%d latches=%d->%d" pass ands_before
+        ands_after latches_before latches_after
   in
   Printf.printf "[%10.4f] d%-3d %s\n" e.E.ts e.E.dom payload
 

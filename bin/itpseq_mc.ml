@@ -259,6 +259,25 @@ let fraig_arg =
     value & flag
     & info [ "fraig" ] ~doc:"Apply SAT sweeping (merge equivalent logic) first.")
 
+let analyze_arg =
+  let mode_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Isr_analyze.mode_of_string s)),
+        fun fmt m -> Format.pp_print_string fmt (Isr_analyze.mode_to_string m) )
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Isr_analyze.Fast) (some mode_conv) None
+    & info [ "analyze" ] ~docv:"MODE"
+        ~doc:
+          "Run the certified static analyzer before the engine: ternary-fixpoint \
+           constant propagation and stuck-at latch elimination, dangling-logic \
+           removal and cone-of-influence reduction ($(b,fast), the default when \
+           the flag is given), plus SAT sweeping ($(b,full)).  Trivial verdicts \
+           short-circuit the engine; counterexamples found on the simplified \
+           model are lifted back to the original inputs.  Certification \
+           intensity follows $(b,--check).")
+
 let compact_arg =
   Arg.(
     value & flag
@@ -316,7 +335,7 @@ let check_arg =
            lint every emitted interpolant).")
 
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig compact certify property witness_file json trace metrics events ledger check profile profile_json progress par no_reduce reduce_base =
+  let run verbose file name engine time bound conflicts witness coi fraig analyze compact certify property witness_file json trace metrics events ledger check profile profile_json progress par no_reduce reduce_base =
     setup_logs verbose;
     Isr_check.Level.set check;
     match load_model ~property file name with
@@ -346,6 +365,35 @@ let verify_term =
           end
           else model
         in
+        (* The event recorder covers the static analyzer and the engine
+           run; it is installed whenever either consumer (--events,
+           --ledger) wants the stream. *)
+        let recorder =
+          if events <> None || ledger <> None then Some (Isr_obs.Event.recorder ())
+          else None
+        in
+        Option.iter Isr_obs.Event.set_recorder recorder;
+        let analysis =
+          match analyze with
+          | None | Some Isr_analyze.Off -> None
+          | Some mode -> (
+            try
+              let areg = Isr_obs.Metrics.create () in
+              let r = Isr_analyze.run ~mode ~registry:areg model in
+              if not json then begin
+                Format.printf "%a@." Isr_analyze.pp_summary r;
+                if r.Isr_analyze.verdict = None then
+                  Format.printf "analyze: %a@." Model.pp_stats r.Isr_analyze.model
+              end;
+              Some (r, areg)
+            with Isr_check.Level.Violation { check; detail } ->
+              if recorder <> None then Isr_obs.Event.clear_recorder ();
+              Format.eprintf "sanitizer violation [%s]: %s@." check detail;
+              exit 5)
+        in
+        let model =
+          match analysis with Some (r, _) -> r.Isr_analyze.model | None -> model
+        in
         let limits =
           { Budget.time_limit = time;
             conflict_limit = conflicts;
@@ -357,7 +405,7 @@ let verify_term =
               };
           }
         in
-        let run_engine () =
+        let run_real_engine () =
           match (eng, par) with
           | _, None -> Engine.run eng ~limits model
           | Engine.Portfolio, Some jobs ->
@@ -376,14 +424,22 @@ let verify_term =
                   (Engine.name eng));
             Engine.run eng ~limits model
         in
-        (* The event recorder covers exactly the engine run; it is
-           installed whenever either consumer (--events, --ledger) wants
-           the stream. *)
-        let recorder =
-          if events <> None || ledger <> None then Some (Isr_obs.Event.recorder ())
-          else None
+        let run_engine () =
+          match analysis with
+          | Some (r, _) when r.Isr_analyze.verdict <> None ->
+            (* The analyzer decided alone: no engine run. *)
+            let stats = Verdict.mk_stats () in
+            let verdict =
+              match r.Isr_analyze.verdict with
+              | Some (Isr_analyze.Safe { invariant }) ->
+                Verdict.Proved { kfp = 0; jfp = 0; invariant = Some invariant }
+              | Some (Isr_analyze.Unsafe { trace }) ->
+                Verdict.Falsified { depth = Trace.depth trace; trace }
+              | None -> assert false
+            in
+            (verdict, stats)
+          | _ -> run_real_engine ()
         in
-        Option.iter Isr_obs.Event.set_recorder recorder;
         let (verdict, stats), profile_root =
           try
             Fun.protect
@@ -395,6 +451,11 @@ let verify_term =
             Format.eprintf "sanitizer violation [%s]: %s@." check detail;
             exit 5
         in
+        (* Fold analyze.* gauges into the run registry so --metrics and
+           the ledger see the reduction alongside the search effort. *)
+        (match analysis with
+        | Some (_, areg) -> Isr_obs.Metrics.merge ~into:(Verdict.registry stats) areg
+        | None -> ());
         write_metrics metrics stats;
         (match profile_root with
         | None -> ()
@@ -413,6 +474,23 @@ let verify_term =
           end);
         if Isr_check.Level.on () && not json then
           Format.printf "%a@." Isr_check.Level.pp_summary ();
+        (* Lift counterexamples of the analyzed model back to its input
+           space, and pick the model each artifact refers to: traces are
+           lifted all the way back, but an invariant the engine proved
+           lives on the analyzed manager (a trivial-verdict invariant is
+           already expressed on the pre-analysis model). *)
+        let verdict, model =
+          match analysis with
+          | None -> (verdict, model)
+          | Some (r, _) -> (
+            match verdict with
+            | Verdict.Falsified { depth; trace } when r.Isr_analyze.verdict = None ->
+              ( Verdict.Falsified { depth; trace = r.Isr_analyze.lift trace },
+                r.Isr_analyze.original )
+            | Verdict.Proved _ when r.Isr_analyze.verdict = None ->
+              (verdict, r.Isr_analyze.model)
+            | _ -> (verdict, r.Isr_analyze.original))
+        in
         (* Lift counterexamples of the reduced model back to the original
            input space so the replay check below runs on the real design. *)
         let verdict, model =
@@ -457,12 +535,21 @@ let verify_term =
         | None -> ()
         | Some lg ->
           let compact s = String.concat " " (String.split_on_char '\n' s) in
+          (* The ledger identifies the run by the instance the user asked
+             to verify, not by the analyzer's rewrite of it — otherwise
+             analyzed and plain runs of one design would never diff as
+             the same property cone. *)
+          let subject =
+            match analysis with
+            | Some (r, _) -> r.Isr_analyze.original
+            | None -> model
+          in
           let entry =
             {
               Isr_obs.Ledger.id = "";
               time = "";
-              instance = model.Model.name;
-              instance_hash = Isr_fraig.Fraig.property_hash model;
+              instance = subject.Model.name;
+              instance_hash = Isr_fraig.Fraig.property_hash subject;
               engine = Engine.name eng;
               config =
                 Isr_obs.Ledger.fingerprint
@@ -472,6 +559,10 @@ let verify_term =
                     ("conflicts", string_of_int conflicts);
                     ("par",
                      match par with None -> "seq" | Some 0 -> "auto" | Some j -> string_of_int j);
+                    ("analyze",
+                     match analyze with
+                     | None -> "off"
+                     | Some m -> Isr_analyze.mode_to_string m);
                   ];
               verdict =
                 (match verdict with
@@ -556,7 +647,7 @@ let verify_term =
   in
   Term.(
     const run $ verbose_arg $ file_arg $ name_arg $ engine_arg $ time_arg $ bound_arg
-    $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ compact_arg $ certify_arg $ property_arg
+    $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ analyze_arg $ compact_arg $ certify_arg $ property_arg
     $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ events_arg $ ledger_arg
     $ check_arg $ profile_arg
     $ profile_json_arg $ progress_arg $ par_arg $ no_reduce_arg $ reduce_base_arg)

@@ -146,9 +146,12 @@ let eval64 m env root =
   in
   lit_value root
 
-let fold_cone m root ~init ~f =
+(* The one structural cone walk of the library: every traversal below —
+   single-root folds, support computation, reachable-AND counts in the
+   linter, COI closures, fingerprinting — goes through this iterator, so
+   the union of many cones is visited with a single shared seen-table. *)
+let iter_cones m roots ~f =
   let seen = Hashtbl.create 64 in
-  let acc = ref init in
   let rec visit node =
     if not (Hashtbl.mem seen node) then begin
       Hashtbl.add seen node ();
@@ -156,19 +159,29 @@ let fold_cone m root ~init ~f =
         visit (node_of m.fanin0.(node));
         visit (node_of m.fanin1.(node))
       end;
-      acc := f !acc node
+      f node
     end
   in
-  visit (node_of root);
+  List.iter (fun root -> visit (node_of root)) roots
+
+let fold_cones m roots ~init ~f =
+  let acc = ref init in
+  iter_cones m roots ~f:(fun node -> acc := f !acc node);
   !acc
 
-let support m root =
-  fold_cone m root ~init:[] ~f:(fun acc node ->
+let fold_cone m root ~init ~f = fold_cones m [ root ] ~init ~f
+
+let supports m roots =
+  fold_cones m roots ~init:[] ~f:(fun acc node ->
       if m.fanin0.(node) = -1 then m.fanin1.(node) :: acc else acc)
   |> List.sort_uniq Int.compare
 
-let cone_size m root =
-  fold_cone m root ~init:0 ~f:(fun acc node -> if m.fanin0.(node) >= 0 then acc + 1 else acc)
+let support m root = supports m [ root ]
+
+let cone_sizes m roots =
+  fold_cones m roots ~init:0 ~f:(fun acc node -> if m.fanin0.(node) >= 0 then acc + 1 else acc)
+
+let cone_size m root = cone_sizes m [ root ]
 
 let substitute m sigma root =
   let memo = Hashtbl.create 64 in

@@ -71,8 +71,15 @@ val eval64 : man -> (int -> int64) -> lit -> int64
 val support : man -> lit -> int list
 (** Sorted input indices the literal structurally depends on. *)
 
+val supports : man -> lit list -> int list
+(** Sorted input indices of the union of the cones — one traversal with
+    one shared seen-table, not one walk per root. *)
+
 val cone_size : man -> lit -> int
 (** Number of AND nodes in the literal's cone. *)
+
+val cone_sizes : man -> lit list -> int
+(** Number of AND nodes in the union of the cones, each counted once. *)
 
 val substitute : man -> (int -> lit) -> lit -> lit
 (** [substitute m sigma l] replaces every input [i] by [sigma i],
@@ -80,6 +87,14 @@ val substitute : man -> (int -> lit) -> lit -> lit
 
 val fold_cone : man -> lit -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** Folds over the node indices of the cone in topological order. *)
+
+val iter_cones : man -> lit list -> f:(int -> unit) -> unit
+(** Visits every node in the union of the given cones exactly once,
+    fanins before fanouts.  The shared traversal primitive behind
+    {!fold_cone}, {!support} and every multi-root cone walk. *)
+
+val fold_cones : man -> lit list -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold form of {!iter_cones}. *)
 
 val copier : src:man -> dst:man -> map:(int -> lit) -> lit -> lit
 (** [copier ~src ~dst ~map] is a memoizing cross-manager copy function:

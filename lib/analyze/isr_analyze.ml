@@ -1,0 +1,5 @@
+(** Certified model-level static analysis: the pass pipeline with its
+    ternary-simulation core.  See {!Pipeline} for the architecture. *)
+
+module Ternary = Ternary
+include Pipeline

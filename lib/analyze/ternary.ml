@@ -1,0 +1,85 @@
+open Isr_aig
+open Isr_model
+
+(* Three-valued simulation domain.  [X] is "unknown / both": the
+   refinement order puts concrete values below X, and every operator is
+   monotone with respect to it, so whatever a ternary evaluation pins to
+   a constant is pinned for every concrete completion. *)
+
+type tv = F | T | X
+
+let of_bool b = if b then T else F
+let to_bool = function F -> Some false | T -> Some true | X -> None
+let to_string = function F -> "0" | T -> "1" | X -> "x"
+
+let join a b = if a = b then a else X
+let refines a b = b = X || a = b
+let tnot = function F -> T | T -> F | X -> X
+let tand a b = match (a, b) with F, _ | _, F -> F | T, T -> T | _ -> X
+
+let node_values man ~env roots =
+  let memo : (int, tv) Hashtbl.t = Hashtbl.create 256 in
+  let rec node_value node =
+    match Hashtbl.find_opt memo node with
+    | Some v -> v
+    | None ->
+      let v =
+        let l = node lsl 1 in
+        if Aig.is_const man l then F
+        else if Aig.is_input man l then env (Aig.input_index man l)
+        else begin
+          let f0, f1 = Aig.fanins man l in
+          tand (lit_value f0) (lit_value f1)
+        end
+      in
+      Hashtbl.add memo node v;
+      v
+  and lit_value l =
+    let v = node_value (Aig.node_of l) in
+    if Aig.is_complemented l then tnot v else v
+  in
+  List.iter (fun r -> ignore (lit_value r)) roots;
+  memo
+
+let lit_value memo l =
+  let v = Hashtbl.find memo (Aig.node_of l) in
+  if Aig.is_complemented l then tnot v else v
+
+let env_of (model : Model.t) ~state ~inputs i =
+  if i < model.Model.num_inputs then
+    if i < Array.length inputs then inputs.(i) else X
+  else state.(i - model.Model.num_inputs)
+
+let eval_lit (model : Model.t) ~state ~inputs l =
+  let memo = node_values model.Model.man ~env:(env_of model ~state ~inputs) [ l ] in
+  lit_value memo l
+
+let step (model : Model.t) ~state ~inputs =
+  let memo =
+    node_values model.Model.man
+      ~env:(env_of model ~state ~inputs)
+      (Array.to_list model.Model.next)
+  in
+  Array.map (lit_value memo) model.Model.next
+
+let bad_now model ~state ~inputs = eval_lit model ~state ~inputs model.Model.bad
+
+let lfp (model : Model.t) =
+  let nl = model.Model.num_latches in
+  let xinputs = Array.make model.Model.num_inputs X in
+  let state = Array.init nl (fun i -> of_bool model.Model.init.(i)) in
+  (* Kleene iteration joining each step image into the state: values only
+     ever move const -> X, so the loop runs at most [nl] + 1 times. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let ns = step model ~state ~inputs:xinputs in
+    for i = 0 to nl - 1 do
+      let v = join state.(i) ns.(i) in
+      if v <> state.(i) then begin
+        state.(i) <- v;
+        changed := true
+      end
+    done
+  done;
+  state

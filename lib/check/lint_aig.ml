@@ -4,19 +4,9 @@ open Isr_model
 (* --- in-memory models -------------------------------------------------- *)
 
 let unreachable_ands (model : Model.t) =
-  let man = model.Model.man in
-  let seen = Hashtbl.create 256 in
-  let visit l =
-    Aig.fold_cone man l ~init:() ~f:(fun () node -> Hashtbl.replace seen node ())
-  in
-  Array.iter visit model.Model.next;
-  visit model.Model.bad;
-  let reachable =
-    Hashtbl.fold
-      (fun node () acc -> if Aig.is_and man (node lsl 1) then acc + 1 else acc)
-      seen 0
-  in
-  Aig.num_ands man - reachable
+  (* Everything the manager holds minus the union of the model's cones
+     (one shared walk via [Aig.cone_sizes], through [Model.num_ands]). *)
+  Aig.num_ands model.Model.man - Model.num_ands model
 
 let lint_cone ?(check = "aig.support") man ~shared l =
   List.filter_map

@@ -25,33 +25,7 @@ let equivalent ?(conflict_budget = 10_000) man a b =
   | Solver.Sat -> Some false
   | Solver.Undef -> None
 
-(* One simulation signature refresh over the given patterns.  Patterns
-   assign one int64 word per input; node signatures follow. *)
-let signatures man roots ~pattern =
-  let memo = Hashtbl.create 256 in
-  let rec node_sig node =
-    match Hashtbl.find_opt memo node with
-    | Some v -> v
-    | None ->
-      let v =
-        let l = node lsl 1 in
-        if Aig.is_const man l then 0L
-        else if Aig.is_input man l then pattern (Aig.input_index man l)
-        else begin
-          let f0, f1 = Aig.fanins man l in
-          Int64.logand (lit_sig f0) (lit_sig f1)
-        end
-      in
-      Hashtbl.add memo node v;
-      v
-  and lit_sig l =
-    let v = node_sig (Aig.node_of l) in
-    if Aig.is_complemented l then Int64.lognot v else v
-  in
-  List.iter (fun r -> ignore (lit_sig r)) roots;
-  memo
-
-let sweep_model ?(rounds = 8) ?(conflict_budget = 10_000) (m : Model.t) =
+let sweep ?(rounds = 8) ?(conflict_budget = 10_000) (m : Model.t) =
   let man = m.Model.man in
   let roots = m.Model.bad :: Array.to_list m.Model.next in
   let ninputs = Aig.num_inputs man in
@@ -68,7 +42,7 @@ let sweep_model ?(rounds = 8) ?(conflict_budget = 10_000) (m : Model.t) =
     Hashtbl.reset combined;
     List.iter
       (fun pat ->
-        let sigs = signatures man roots ~pattern:(fun i -> pat.(i)) in
+        let sigs = Rand_sim.signatures man ~roots ~pattern:(fun i -> pat.(i)) in
         Hashtbl.iter
           (fun node v ->
             let prev = Option.value ~default:[] (Hashtbl.find_opt combined node) in
@@ -134,14 +108,16 @@ let sweep_model ?(rounds = 8) ?(conflict_budget = 10_000) (m : Model.t) =
   in
   let next = Array.map rebuild_lit m.Model.next in
   let bad = rebuild_lit m.Model.bad in
-  ignore !merges;
-  {
-    m with
-    Model.man = dst;
-    next;
-    bad;
-    name = m.Model.name ^ "_fraig";
-  }
+  ( {
+      m with
+      Model.man = dst;
+      next;
+      bad;
+      name = m.Model.name ^ "_fraig";
+    },
+    !merges )
+
+let sweep_model ?rounds ?conflict_budget m = fst (sweep ?rounds ?conflict_budget m)
 
 (* --- semantic instance fingerprint ---------------------------------------- *)
 
@@ -168,57 +144,29 @@ let fnv acc word =
   Int64.mul acc fnv_prime
 
 let property_hash ?(rounds = 8) (m : Model.t) =
-  let man = m.Model.man in
-  let latch_of_input i = i - m.Model.num_inputs in
   (* Cone of influence: latches reachable from [bad] through the
      next-state functions, to a fixpoint.  Everything outside it cannot
      affect the property and must not affect the hash. *)
-  let needed = Array.make m.Model.num_latches false in
-  let frontier = ref [] in
-  let note_input i =
-    if i >= m.Model.num_inputs then begin
-      let l = latch_of_input i in
-      if not needed.(l) then begin
-        needed.(l) <- true;
-        frontier := l :: !frontier
-      end
-    end
-  in
-  List.iter note_input (Aig.support man m.Model.bad);
-  let rec close () =
-    match !frontier with
-    | [] -> ()
-    | l :: rest ->
-      frontier := rest;
-      List.iter note_input (Aig.support man m.Model.next.(l));
-      close ()
-  in
-  close ();
+  let obs = Model.observable m [ m.Model.bad ] in
+  let needed = obs.Model.obs_latches in
   (* Sequential 64-pattern simulation from the initial state: latch
      words start broadcast to the initial values, primary inputs get
      fresh deterministic patterns every round. *)
-  let state = Array.make m.Model.num_latches 0L in
-  for l = 0 to m.Model.num_latches - 1 do
-    state.(l) <- (if m.Model.init.(l) then -1L else 0L)
-  done;
+  let state = Rand_sim.init64 m in
   let h = ref fnv_offset in
   (* Seed with the shape of the cone so e.g. an empty cone of a
      constant-true property still hashes distinctly per latch count. *)
   h := fnv !h (Int64.of_int m.Model.num_latches);
   h := fnv !h (Int64.of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 needed));
   for round = 0 to rounds - 1 do
-    let env i =
-      if i < m.Model.num_inputs then pattern_word ~round ~input:i
-      else state.(latch_of_input i)
+    let fr =
+      Rand_sim.frame64 m ~latch_mask:(fun l -> needed.(l)) ~state
+        ~input:(fun i -> pattern_word ~round ~input:i)
     in
-    h := fnv !h (Aig.eval64 man env m.Model.bad);
-    let state' = Array.make m.Model.num_latches 0L in
+    h := fnv !h fr.Rand_sim.bad;
     for l = 0 to m.Model.num_latches - 1 do
-      if needed.(l) then begin
-        state'.(l) <- Aig.eval64 man env m.Model.next.(l);
-        h := fnv !h state'.(l)
-      end
+      if needed.(l) then h := fnv !h fr.Rand_sim.next.(l)
     done;
-    Array.blit state' 0 state 0 m.Model.num_latches
+    Array.blit fr.Rand_sim.next 0 state 0 m.Model.num_latches
   done;
   Printf.sprintf "%016Lx" !h

@@ -16,12 +16,15 @@ val equivalent :
     of the inputs.  [None] when the budget (default 10k conflicts) runs
     out. *)
 
-val sweep_model : ?rounds:int -> ?conflict_budget:int -> Model.t -> Model.t
+val sweep : ?rounds:int -> ?conflict_budget:int -> Model.t -> Model.t * int
 (** Rebuilds the model with semantically equivalent internal nodes
     merged ([rounds] 64-pattern simulation rounds seed the classes,
     default 8).  The result is sequentially identical: same inputs, same
     latches (same order and initial values), equivalent next-state and
-    bad functions. *)
+    bad functions.  Also returns the number of SAT-confirmed merges. *)
+
+val sweep_model : ?rounds:int -> ?conflict_budget:int -> Model.t -> Model.t
+(** [sweep] without the merge count. *)
 
 val property_hash : ?rounds:int -> Model.t -> string
 (** Semantic instance fingerprint of the property cone, as a 16-digit

@@ -8,35 +8,13 @@ type reduction = {
 
 let reduce (m : Model.t) =
   let ni = m.Model.num_inputs and nl = m.Model.num_latches in
-  let latch_needed = Array.make nl false in
-  let input_needed = Array.make ni false in
-  let mark_support l =
-    let fresh = ref [] in
-    List.iter
-      (fun i ->
-        if i < ni then input_needed.(i) <- true
-        else begin
-          let li = i - ni in
-          if not latch_needed.(li) then begin
-            latch_needed.(li) <- true;
-            fresh := li :: !fresh
-          end
-        end)
-      (Aig.support m.Model.man l);
-    !fresh
-  in
   (* Closure: latches read by the property, then by kept next-states. *)
-  let rec close worklist =
-    match worklist with
-    | [] -> ()
-    | li :: rest -> close (mark_support m.Model.next.(li) @ rest)
-  in
-  close (mark_support m.Model.bad);
+  let obs = Model.observable m [ m.Model.bad ] in
   let kept_latches =
-    Array.of_list (List.filter (fun i -> latch_needed.(i)) (List.init nl Fun.id))
+    Array.of_list (List.filter (fun i -> obs.Model.obs_latches.(i)) (List.init nl Fun.id))
   in
   let kept_inputs =
-    Array.of_list (List.filter (fun i -> input_needed.(i)) (List.init ni Fun.id))
+    Array.of_list (List.filter (fun i -> obs.Model.obs_inputs.(i)) (List.init ni Fun.id))
   in
   (* Rebuild on the kept signals. *)
   let b = Builder.create (m.Model.name ^ "_coi") in

@@ -59,21 +59,36 @@ let validate t =
       :: List.init t.num_latches (fun i -> (Printf.sprintf "next(%d)" i, t.next.(i))))
   end
 
+type observables = { obs_latches : bool array; obs_inputs : bool array }
+
+let observable t roots =
+  let obs_latches = Array.make t.num_latches false in
+  let obs_inputs = Array.make t.num_inputs false in
+  let mark roots =
+    let fresh = ref [] in
+    List.iter
+      (fun i ->
+        if i < t.num_inputs then obs_inputs.(i) <- true
+        else begin
+          let li = i - t.num_inputs in
+          if li < t.num_latches && not obs_latches.(li) then begin
+            obs_latches.(li) <- true;
+            fresh := li :: !fresh
+          end
+        end)
+      (Aig.supports t.man roots);
+    !fresh
+  in
+  let rec close = function
+    | [] -> ()
+    | li :: rest -> close (mark [ t.next.(li) ] @ rest)
+  in
+  close (mark roots);
+  { obs_latches; obs_inputs }
+
 let num_ands t =
   (* AND nodes in the union of all relevant cones. *)
-  let seen = Hashtbl.create 64 in
-  let count = ref 0 in
-  let visit l =
-    ignore
-      (Aig.fold_cone t.man l ~init:() ~f:(fun () node ->
-           if not (Hashtbl.mem seen node) then begin
-             Hashtbl.add seen node ();
-             if Aig.is_and t.man (node lsl 1) then incr count
-           end))
-  in
-  visit t.bad;
-  Array.iter visit t.next;
-  !count
+  Aig.cone_sizes t.man (t.bad :: Array.to_list t.next)
 
 let pp_stats fmt t =
   Format.fprintf fmt "%s: %d PIs, %d latches, %d ANDs" t.name t.num_inputs t.num_latches

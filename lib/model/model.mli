@@ -36,5 +36,15 @@ val validate : t -> (unit, string) Result.t
 (** Checks structural sanity: array lengths agree, [next] and [bad] cones
     only reach declared inputs and latches. *)
 
+type observables = { obs_latches : bool array; obs_inputs : bool array }
+(** Which latches and primary inputs a set of roots can observe. *)
+
+val observable : t -> Aig.lit list -> observables
+(** [observable t roots] is the least set of latches containing the
+    latch support of [roots] and closed under the support of kept
+    next-state functions, together with every primary input read along
+    the way — the sequential cone of influence shared by {!Coi.reduce},
+    fingerprinting and the static analyzer. *)
+
 val num_ands : t -> int
 val pp_stats : Format.formatter -> t -> unit

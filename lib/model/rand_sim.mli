@@ -1,10 +1,36 @@
-(** Bit-parallel random simulation: a cheap falsification front-end.
+(** Bit-parallel random simulation: the shared 64-lane kernel plus a
+    cheap falsification front-end.
 
-    Runs 64 random executions at a time, packing one execution per bit of
-    an [int64] word and evaluating the whole design once per frame
-    through {!Isr_aig.Aig.eval64}.  Shallow, input-robust bugs fall out
-    almost for free before any SAT machinery starts; deep or
-    narrowly-triggered bugs are left to BMC. *)
+    Runs 64 executions at a time, packing one execution per bit of an
+    [int64] word and evaluating the whole design once per frame through
+    one shared per-node signature table.  The same kernel drives
+    {!falsify}, Fraig's sweeping signatures, semantic fingerprinting and
+    the static analyzer's depth-0 witness search. *)
+
+open Isr_aig
+
+val signatures :
+  Aig.man -> roots:Aig.lit list -> pattern:(int -> int64) -> (int, int64) Hashtbl.t
+(** [signatures man ~roots ~pattern] evaluates every node in the union
+    of the root cones under the packed input assignment [pattern] with a
+    single shared memo, and returns the node → word table. *)
+
+val lit_word : (int, int64) Hashtbl.t -> Aig.lit -> int64
+(** Literal value out of a {!signatures} table (complement applied).
+    @raise Not_found if the literal's node was not under any root. *)
+
+val init64 : Model.t -> int64 array
+(** Latch words broadcast from the initial values. *)
+
+type frame64 = { bad : int64; next : int64 array }
+
+val frame64 :
+  ?latch_mask:(int -> bool) -> Model.t -> state:int64 array -> input:(int -> int64) ->
+  frame64
+(** One sequential frame over 64 packed executions: evaluates the bad
+    cone and every next-state function (restricted to [latch_mask] when
+    given; masked-out latches get [0L]) under one shared signature
+    table. *)
 
 val falsify :
   ?rounds:int -> ?max_depth:int -> ?seed:int -> Model.t -> Trace.t option

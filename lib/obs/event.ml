@@ -19,6 +19,13 @@ type kind =
   | Dispatch of { worker : int; bound : int }
   | Cancel of { worker : int; cause : cause; by : int }
   | Verdict of { worker : int; verdict : string }
+  | Analyze of {
+      pass : string;
+      ands_before : int;
+      ands_after : int;
+      latches_before : int;
+      latches_after : int;
+    }
 
 type t = { ts : float; dom : int; seq : int; kind : kind }
 
@@ -131,7 +138,8 @@ let emit kind =
           | Spawn _ -> 4
           | Dispatch _ -> 5
           | Cancel _ -> 6
-          | Verdict _ -> 7);
+          | Verdict _ -> 7
+          | Analyze _ -> 8);
         push b (ns_of_ts ts);
         (match kind with
         | Restart { conflicts; decisions; learnt } ->
@@ -163,7 +171,13 @@ let emit kind =
           push b by
         | Verdict { worker; verdict } ->
           push b worker;
-          push b (str verdict));
+          push b (str verdict)
+        | Analyze { pass; ands_before; ands_after; latches_before; latches_after } ->
+          push b (str pass);
+          push b ands_before;
+          push b ands_after;
+          push b latches_before;
+          push b latches_after);
         r.nevents <- r.nevents + 1)
 
 let count r = Mutex.protect r.lock (fun () -> r.nevents)
@@ -200,6 +214,16 @@ let decode_domain r dom (b : buf) =
         ( Cancel { worker = b.a.(p); cause = cause_of_code b.a.(p + 1); by = b.a.(p + 2) },
           p + 3 )
       | 7 -> (Verdict { worker = b.a.(p); verdict = s b.a.(p + 1) }, p + 2)
+      | 8 ->
+        ( Analyze
+            {
+              pass = s b.a.(p);
+              ands_before = b.a.(p + 1);
+              ands_after = b.a.(p + 2);
+              latches_before = b.a.(p + 3);
+              latches_after = b.a.(p + 4);
+            },
+          p + 5 )
       | c -> invalid_arg (Printf.sprintf "Event.decode: bad code %d" c)
     in
     out := { ts; dom; seq = !seq; kind } :: !out;
@@ -265,7 +289,12 @@ let json_of_event e =
   | Verdict { worker; verdict } ->
     Buffer.add_string b
       (Printf.sprintf "\"verdict\",\"worker\":%d,\"verdict\":%s" worker
-         (Json.quote verdict)));
+         (Json.quote verdict))
+  | Analyze { pass; ands_before; ands_after; latches_before; latches_after } ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"analyze\",\"pass\":%s,\"ands_before\":%d,\"ands_after\":%d,\"latches_before\":%d,\"latches_after\":%d"
+         (Json.quote pass) ands_before ands_after latches_before latches_after));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -314,6 +343,16 @@ let event_of_json j =
         | None -> None)
       | "verdict" ->
         Some (Verdict { worker = num "worker"; verdict = Json.str_field "verdict" j })
+      | "analyze" ->
+        Some
+          (Analyze
+             {
+               pass = Json.str_field "pass" j;
+               ands_before = num "ands_before";
+               ands_after = num "ands_after";
+               latches_before = num "latches_before";
+               latches_after = num "latches_after";
+             })
       | _ -> None
     in
     match kind with
@@ -365,6 +404,8 @@ let chrome_name = function
   | Cancel { worker; cause; _ } ->
     Printf.sprintf "cancel w%d (%s)" worker (cause_name cause)
   | Verdict { worker; verdict } -> Printf.sprintf "w%d wins: %s" worker verdict
+  | Analyze { pass; ands_before; ands_after; _ } ->
+    Printf.sprintf "analyze.%s %d->%d" pass ands_before ands_after
 
 let to_chrome evs =
   let b = Buffer.create 4096 in

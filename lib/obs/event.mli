@@ -53,6 +53,14 @@ type kind =
           worker [by] for [cause] (self-edge for deadline expiry) *)
   | Verdict of { worker : int; verdict : string }
       (** a racing worker published the winning verdict *)
+  | Analyze of {
+      pass : string;
+      ands_before : int;
+      ands_after : int;
+      latches_before : int;
+      latches_after : int;
+    }
+      (** one static-analysis pass applied: model size before/after *)
 
 type t = {
   ts : float;  (** monotonic {!Clock} time *)

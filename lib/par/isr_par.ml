@@ -34,6 +34,32 @@ let verdict_tag = function
   | Verdict.Falsified { depth; _ } -> Printf.sprintf "falsified(d=%d)" depth
   | Verdict.Unknown _ -> "unknown"
 
+(* One up-front analyzer run shared by every domain: a trivial verdict
+   short-circuits the race entirely, otherwise the workers race the
+   simplified model and a winning counterexample is lifted back to the
+   original inputs.  The analyzer's registry is merged into the returned
+   stats either way. *)
+let with_analysis ?analyze model k =
+  match analyze with
+  | None | Some Isr_analyze.Off -> k model
+  | Some mode ->
+    let areg = Isr_obs.Metrics.create () in
+    let r = Isr_analyze.run ~mode ~registry:areg model in
+    let verdict, stats =
+      match r.Isr_analyze.verdict with
+      | Some (Isr_analyze.Safe { invariant }) ->
+        (Verdict.Proved { kfp = 0; jfp = 0; invariant = Some invariant }, Verdict.mk_stats ())
+      | Some (Isr_analyze.Unsafe { trace }) ->
+        (Verdict.Falsified { depth = Trace.depth trace; trace }, Verdict.mk_stats ())
+      | None -> (
+        match k r.Isr_analyze.model with
+        | Verdict.Falsified { depth; trace }, stats ->
+          (Verdict.Falsified { depth; trace = r.Isr_analyze.lift trace }, stats)
+        | out -> out)
+    in
+    Isr_obs.Metrics.merge ~into:(Verdict.registry stats) areg;
+    (verdict, stats)
+
 let portfolio_race ~jobs ~limits ~members model =
   let t0 = Isr_obs.Clock.now () in
   let cancel = Atomic.make false in
@@ -114,7 +140,8 @@ let portfolio_race ~jobs ~limits ~members model =
     ( Verdict.Unknown (unknown_of_outcomes (List.map fst outcomes) Verdict.Time_limit),
       total )
 
-let portfolio ?(jobs = 0) ?(limits = Budget.default_limits) model =
+let portfolio ?(jobs = 0) ?analyze ?(limits = Budget.default_limits) model =
+  with_analysis ?analyze model @@ fun model ->
   let jobs = if jobs <= 0 then default_jobs () else jobs in
   let members = List.map snd Portfolio.members in
   let jobs = min jobs (List.length members) in
@@ -139,7 +166,8 @@ let portfolio ?(jobs = 0) ?(limits = Budget.default_limits) model =
    true minimal depth, exactly as in sequential deepening.  Races on
    [best]/[current] are benign: at worst a doomed probe runs to
    completion, never a wrong verdict. *)
-let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?(limits = Budget.default_limits) model =
+let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?analyze ?(limits = Budget.default_limits) model =
+  with_analysis ?analyze model @@ fun model ->
   let jobs = if jobs <= 0 then default_jobs () else jobs in
   let jobs = max 1 (min jobs (limits.Budget.bound_limit + 1)) in
   let t0 = Isr_obs.Clock.now () in

@@ -17,7 +17,13 @@
     sequential schedule on proved/falsified; only the deciding member
     (and hence the depth bookkeeping of [Unknown] runs) may differ.
     Workers merge their per-run metric registries into the returned
-    {!Isr_core.Verdict.stats} at join. *)
+    {!Isr_core.Verdict.stats} at join.
+
+    Both entry points take [?analyze]: the certified static analyzer
+    ({!Isr_analyze.run}) executes {e once} up front on the calling
+    domain; a trivial verdict skips the race entirely, otherwise every
+    worker races the simplified model and a winning counterexample is
+    lifted back to the original inputs before returning. *)
 
 open Isr_model
 open Isr_core
@@ -26,7 +32,11 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count], floored at 1. *)
 
 val portfolio :
-  ?jobs:int -> ?limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
+  ?jobs:int ->
+  ?analyze:Isr_analyze.mode ->
+  ?limits:Budget.limits ->
+  Model.t ->
+  Verdict.t * Verdict.stats
 (** Races the portfolio over [jobs] domains ([<= 0] or absent:
     {!default_jobs}, and never more than there are members).  With fewer
     domains than members, members are partitioned round-robin and each
@@ -43,6 +53,7 @@ val portfolio :
 val bmc :
   ?check:Bmc.check ->
   ?jobs:int ->
+  ?analyze:Isr_analyze.mode ->
   ?limits:Budget.limits ->
   Model.t ->
   Verdict.t * Verdict.stats

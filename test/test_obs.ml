@@ -822,6 +822,14 @@ let all_kinds =
     Event.Cancel { worker = 2; cause = Event.Deadline; by = 2 };
     Event.Cancel { worker = 3; cause = Event.Min_depth; by = 1 };
     Event.Verdict { worker = 1; verdict = "proved" };
+    Event.Analyze
+      {
+        pass = "const";
+        ands_before = 412;
+        ands_after = 377;
+        latches_before = 30;
+        latches_after = 27;
+      };
   ]
 
 let test_event_roundtrip () =
