@@ -350,7 +350,14 @@ let snapshot_entries () =
   List.filter (fun e -> e.Registry.category = Registry.Mid) Registry.table1
 
 let snapshot_cmd =
-  let run time bound conflicts check trace metrics ledger repeat out_path progress =
+  let run time bound conflicts check trace metrics ledger repeat out_path progress flight =
+    if flight then begin
+      (* Same dump triggers as itpseq_mc --flight; the CI overhead guard
+         runs the suite with this on and gates the slowdown. *)
+      Isr_obs.Flight.arm ~dir:"." ();
+      Isr_obs.Flight.install_signals ()
+    end;
+    Fun.protect ~finally:Isr_obs.Flight.disarm @@ fun () ->
     with_obs ~check ~progress ~ledger
       ~config:(config_of ~time ~bound ~conflicts) ~trace ~metrics (fun ~record ->
         let limits = limits_of ~time ~bound ~conflicts in
@@ -404,13 +411,20 @@ let snapshot_cmd =
       & opt string "BENCH_new.json"
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
   in
+  let flight_arg =
+    Arg.(
+      value & flag
+      & info [ "flight" ]
+          ~doc:"Arm the flight recorder for the whole suite (the CI overhead \
+                guard measures this configuration against the plain one).")
+  in
   Cmd.v
     (Cmd.info "snapshot"
        ~doc:"Run the benchmark suite and persist a versioned result snapshot \
              (median-of-N wall times with spread) for later regression checks")
     Term.(
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ check_arg $ trace_arg
-      $ metrics_arg $ ledger_arg $ repeat_arg $ out_arg $ progress_arg)
+      $ metrics_arg $ ledger_arg $ repeat_arg $ out_arg $ progress_arg $ flight_arg)
 
 let regress_cmd =
   let run baseline current threshold min_delta =

@@ -6,12 +6,17 @@
      isr_obs diff r0003 r0007             # metric deltas, depths, profile
      isr_obs tail events.jsonl            # human-readable event stream
      isr_obs explain-race events.jsonl    # who won the race, and why
-     isr_obs export events.jsonl -o t.json  # Chrome trace of the stream *)
+     isr_obs export events.jsonl -o t.json  # Chrome trace of the stream
+     isr_obs clauses r0003                # clause-lifecycle report
+     isr_obs top --follow events.jsonl    # live multi-domain dashboard *)
 
 open Cmdliner
 module J = Isr_obs.Json
 module L = Isr_obs.Ledger
 module E = Isr_obs.Event
+module CR = Isr_obs.Clause_report
+module D = Isr_obs.Dash
+module F = Isr_obs.Flight
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("isr_obs: " ^ msg); exit 2) fmt
 
@@ -255,9 +260,11 @@ let pp_event (e : E.t) =
     | E.Restart { conflicts; decisions; learnt } ->
       Printf.sprintf "restart       conflicts=%d decisions=%d learnt=%d" conflicts decisions
         learnt
-    | E.Reduce { kept; dropped; lbd } ->
+    | E.Reduce { kept; dropped; lbd; dead_uses; _ } ->
       let glue = Array.fold_left ( + ) 0 (Array.sub lbd 0 (min 3 (Array.length lbd))) in
-      Printf.sprintf "db.reduce     kept=%d dropped=%d glue<=2=%d" kept dropped glue
+      let unused = if Array.length dead_uses > 0 then dead_uses.(0) else 0 in
+      Printf.sprintf "db.reduce     kept=%d dropped=%d glue<=2=%d never-used=%d" kept dropped
+        glue unused
     | E.Itp_cut { cut; support; nodes } ->
       Printf.sprintf "itp.cut %-5d support=%d nodes=%d" cut support nodes
     | E.Phase { phase; step; detail } ->
@@ -453,9 +460,165 @@ let export_cmd =
              domain; open in Perfetto)")
     Term.(const run $ path_arg $ out_arg)
 
+(* --- clauses -------------------------------------------------------------------- *)
+
+let clauses_cmd =
+  let run dir id =
+    let lg, entries = load_entries dir in
+    let e = find_entry entries id in
+    let metrics =
+      if e.L.metrics_json = "" then None
+      else
+        match J.parse e.L.metrics_json with
+        | exception J.Parse_error msg ->
+          Printf.eprintf "isr_obs: metrics of %s unreadable (%s)\n" id msg;
+          None
+        | j -> Some j
+    in
+    let events =
+      match e.L.events_path with
+      | None -> []
+      | Some p -> (
+        match E.read_jsonl (L.resolve lg p) with
+        | exception Failure msg ->
+          Printf.eprintf "isr_obs: event stream of %s unreadable (%s)\n" id msg;
+          []
+        | evs -> evs)
+    in
+    if metrics = None && events = [] then
+      die "run %s recorded neither metrics nor events" id;
+    let r = CR.of_run ~metrics ~events in
+    Printf.printf "run %s  (%s, %s, verdict %s)\n" e.L.id e.L.instance e.L.engine e.L.verdict;
+    Format.printf "%a@?" CR.pp r;
+    if r.CR.violations <> [] then 1 else 0
+  in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN") in
+  Cmd.v
+    (Cmd.info "clauses"
+       ~doc:"Clause-lifecycle report for a ledger run: survival, usefulness and \
+             proof-core histograms with their sum-pinning invariants checked \
+             (exits 1 when an invariant is violated)")
+    Term.(const run $ ledger_arg $ id_arg)
+
+(* --- top -------------------------------------------------------------------- *)
+
+(* GC gauge and flight metadata live in the dump's non-event lines
+   ({"snap":...} / {"flight":...}); scan them separately from the event
+   decode. *)
+let scan_flight_lines path =
+  let last_snap = ref None and meta = ref None in
+  (try
+     In_channel.with_open_text path (fun ic ->
+         try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match J.parse line with
+               | exception J.Parse_error _ -> ()
+               | j ->
+                 (match J.field "snap" j with Some s -> last_snap := Some s | None -> ());
+                 if !meta = None then
+                   match J.field "flight" j with Some m -> meta := Some m | None -> ()
+           done
+         with End_of_file -> ())
+   with Sys_error _ -> ());
+  (!last_snap, !meta)
+
+let gc_line snap =
+  let geti k = Option.value ~default:0 (J.opt_int_field k snap) in
+  Printf.sprintf "gc: heap %.1f MB, %d minor / %d major collections"
+    (float_of_int (geti "heap_words") *. float_of_int (Sys.word_size / 8) /. 1048576.0)
+    (geti "minor_collections") (geti "major_collections")
+
+let top_cmd =
+  let run dir run_id attach follow interval width path =
+    let resolve () =
+      match (path, run_id, attach) with
+      | Some p, None, false -> Some p
+      | None, Some id, false ->
+        let lg, entries = load_entries dir in
+        let e = find_entry entries id in
+        Option.map (L.resolve lg) e.L.events_path
+      | None, None, true ->
+        (* Attach to the ledger: the most recent run that recorded an
+           event stream (re-resolved every frame, so a freshly started
+           run is picked up mid-follow). *)
+        let lg, entries = load_entries dir in
+        List.fold_left
+          (fun acc e ->
+            match e.L.events_path with Some p -> Some (L.resolve lg p) | None -> acc)
+          None entries
+      | None, None, false -> die "give an EVENTS file, --run ID, or --attach"
+      | _ -> die "give exactly one of EVENTS, --run, --attach"
+    in
+    let frame () =
+      match resolve () with
+      | None -> print_endline "(no event stream recorded yet)"
+      | Some p -> (
+        match E.read_jsonl p with
+        | exception Failure msg -> Printf.printf "(waiting: %s)\n" msg
+        | events ->
+          let snap, meta = scan_flight_lines p in
+          let gc = Option.map gc_line snap in
+          print_string (D.render ?width ?gc (D.view events));
+          Option.iter
+            (fun m ->
+              Printf.printf "flight: dumped on %S, %d recorded, %d evicted (capacity %d x %d domains)\n"
+                (Option.value ~default:"?" (J.opt_str_field "reason" m))
+                (Option.value ~default:0 (J.opt_int_field "recorded" m))
+                (Option.value ~default:0 (J.opt_int_field "evicted" m))
+                (Option.value ~default:0 (J.opt_int_field "capacity" m))
+                (Option.value ~default:0 (J.opt_int_field "domains" m)))
+            meta)
+    in
+    if follow then
+      while true do
+        print_string "\027[2J\027[H";
+        frame ();
+        flush stdout;
+        Unix.sleepf interval
+      done
+    else frame ();
+    0
+  in
+  let path_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"EVENTS") in
+  let run_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run" ] ~docv:"RUN" ~doc:"Render the event stream of this ledger run.")
+  in
+  let attach_arg =
+    Arg.(
+      value & flag
+      & info [ "attach" ]
+          ~doc:"Attach to the ledger's most recent run that recorded an event stream.")
+  in
+  let follow_arg =
+    Arg.(value & flag & info [ "f"; "follow" ] ~doc:"Redraw continuously (clear screen each frame).")
+  in
+  let interval_arg =
+    Arg.(value & opt float 0.5 & info [ "interval" ] ~docv:"S" ~doc:"Redraw period for --follow.")
+  in
+  let width_arg =
+    Arg.(value & opt (some int) None & info [ "width" ] ~docv:"COLS" ~doc:"Frame width (default \\$COLUMNS).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live multi-domain dashboard over an event stream: per-worker engines, \
+             bounds, conflict rates, race state and GC gauges (from flight dumps)")
+    Term.(
+      const run $ ledger_arg $ run_arg $ attach_arg $ follow_arg $ interval_arg $ width_arg
+      $ path_arg)
+
 let () =
   let info =
     Cmd.info "isr_obs" ~version:"1.0.0"
       ~doc:"Run-ledger and search-event analytics for the itpseq model checker"
   in
-  exit (Cmd.eval' (Cmd.group info [ ls_cmd; show_cmd; diff_cmd; tail_cmd; explain_cmd; export_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            ls_cmd; show_cmd; diff_cmd; tail_cmd; explain_cmd; export_cmd; clauses_cmd; top_cmd;
+          ]))

@@ -319,6 +319,19 @@ let reduce_base_arg =
           "First live-learnt-clause threshold of the database reduction schedule \
            (grows geometrically afterwards).")
 
+let flight_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0) (some int) None
+    & info [ "flight" ] ~docv:"N"
+        ~doc:
+          "Arm the flight recorder: a constant-memory per-domain ring of the last \
+           $(docv) search events (default 256) plus periodic GC snapshots. On \
+           budget expiry, a sanitizer violation, an uncaught exception, SIGUSR1 \
+           or SIGTERM the merged rings are dumped as flight.jsonl (next to the \
+           ledger's event streams when --ledger is given, else the working \
+           directory). Inspect with $(b,isr_obs) top / tail.")
+
 let check_arg =
   let level_conv =
     Arg.conv
@@ -335,7 +348,7 @@ let check_arg =
            lint every emitted interpolant).")
 
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig analyze compact certify property witness_file json trace metrics events ledger check profile profile_json progress par no_reduce reduce_base =
+  let run verbose file name engine time bound conflicts witness coi fraig analyze compact certify property witness_file json trace metrics events ledger check profile profile_json progress par no_reduce reduce_base flight =
     setup_logs verbose;
     Isr_check.Level.set check;
     match load_model ~property file name with
@@ -373,6 +386,22 @@ let verify_term =
           else None
         in
         Option.iter Isr_obs.Event.set_recorder recorder;
+        (* The flight recorder covers the same region (and the signal
+           handlers stay live until process exit); its rings also flip
+           [Event.enabled] on, so --flight works without --events. *)
+        (match flight with
+        | None -> ()
+        | Some cap ->
+          let dir =
+            match ledger with
+            | Some d ->
+              (try if not (Sys.file_exists d) then Unix.mkdir d 0o755
+               with Unix.Unix_error _ -> ());
+              Filename.concat d "events"
+            | None -> "."
+          in
+          Isr_obs.Flight.arm ?capacity:(if cap > 0 then Some cap else None) ~dir ();
+          Isr_obs.Flight.install_signals ());
         let analysis =
           match analyze with
           | None | Some Isr_analyze.Off -> None
@@ -387,6 +416,7 @@ let verify_term =
               end;
               Some (r, areg)
             with Isr_check.Level.Violation { check; detail } ->
+              ignore (Isr_obs.Flight.dump ~reason:"violation" ());
               if recorder <> None then Isr_obs.Event.clear_recorder ();
               Format.eprintf "sanitizer violation [%s]: %s@." check detail;
               exit 5)
@@ -446,11 +476,15 @@ let verify_term =
               ~finally:(fun () -> if recorder <> None then Isr_obs.Event.clear_recorder ())
               (fun () ->
                 with_trace ~trace ~profile:(profile || profile_json <> None) (fun () ->
-                    with_progress progress run_engine))
+                    with_progress progress (fun () -> Isr_obs.Flight.guard run_engine)))
           with Isr_check.Level.Violation { check; detail } ->
+            ignore (Isr_obs.Flight.dump ~reason:"violation" ());
             Format.eprintf "sanitizer violation [%s]: %s@." check detail;
             exit 5
         in
+        (* The engine region is over; later SIGUSR1s find nothing to
+           dump, which is the honest answer once the rings stop filling. *)
+        Isr_obs.Flight.disarm ();
         (* Fold analyze.* gauges into the run registry so --metrics and
            the ledger see the reduction alongside the search effort. *)
         (match analysis with
@@ -650,7 +684,8 @@ let verify_term =
     $ conflicts_arg $ witness_arg $ coi_arg $ fraig_arg $ analyze_arg $ compact_arg $ certify_arg $ property_arg
     $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ events_arg $ ledger_arg
     $ check_arg $ profile_arg
-    $ profile_json_arg $ progress_arg $ par_arg $ no_reduce_arg $ reduce_base_arg)
+    $ profile_json_arg $ progress_arg $ par_arg $ no_reduce_arg $ reduce_base_arg
+    $ flight_arg)
 
 let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term
 

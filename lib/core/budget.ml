@@ -55,7 +55,13 @@ let cancelled b = match b.cancel with Some c -> Atomic.get c | None -> false
 
 let check_time b =
   if cancelled b then raise Cancelled;
-  if elapsed b > b.l.time_limit then raise Out_of_time
+  if elapsed b > b.l.time_limit then begin
+    (* The run will unwind through every engine layer from here; leave
+       the forensic trail first (Flight dumps are throttled, so the
+       repeated raises on the way out cost one file write). *)
+    ignore (Isr_obs.Flight.dump ~reason:"budget.time" ());
+    raise Out_of_time
+  end
 
 (* Solve in slices so the deadline is honoured mid-search: the solver is
    resumable after an exhausted conflict budget. *)
@@ -65,22 +71,43 @@ let slice = 20_000
    propagation and restart deltas to the run's metrics registry, feeds
    the learned-clause-length histogram, and brackets the whole call in a
    "sat.call" span (the per-slice "sat.solve" spans nest inside it). *)
+(* Fold a 16-bucket count array into a registry histogram (bucket index
+   = sample value).  Reductions and verdicts are rare; the inner loop is
+   nowhere near any hot path. *)
+let observe_counts h counts =
+  Array.iteri
+    (fun v n ->
+      for _ = 1 to n do
+        Isr_obs.Metrics.observe h (float_of_int v)
+      done)
+    counts
+
 let solve ?assumptions b (stats : Verdict.stats) solver =
   Isr_obs.Metrics.incr stats.Verdict.c_sat_calls;
   (* The reduction policy is a formulation-level knob carried by the
      limits; re-applying an unchanged policy keeps the solver's
      geometric schedule running. *)
   Solver.set_reduce solver b.l.reduce;
+  (* Clauses born in this call carry the logical call index as their
+     origin phase — stable across replays, unlike wall time. *)
+  Solver.set_origin solver (Isr_obs.Metrics.value stats.Verdict.c_sat_calls);
   Solver.on_learnt solver
-    (Some (fun len -> Isr_obs.Metrics.observe stats.Verdict.h_learnt_len (float_of_int len)));
+    (Some
+       (fun ~len ~lbd ->
+         Isr_obs.Metrics.observe stats.Verdict.h_learnt_len (float_of_int len);
+         Isr_obs.Metrics.observe stats.Verdict.h_clause_birth_lbd (float_of_int lbd)));
   (* Both the deadline and a race's cancel token must stop the search
      mid-slice, not after up to 20k more conflicts: the solver polls this
      every few hundred conflicts / decisions (and every [poll_props]
      propagations, for conflict-light searches) and bails with [Undef],
      which the slice loop turns into [Out_of_time] or [Cancelled] via
-     [check_time]. *)
+     [check_time].  The same cadence services deferred flight-recorder
+     dump requests (a signal handler that lost the ring lock). *)
   Solver.set_interrupt solver
-    (Some (fun () -> cancelled b || elapsed b > b.l.time_limit));
+    (Some
+       (fun () ->
+         Isr_obs.Flight.poll ();
+         cancelled b || elapsed b > b.l.time_limit));
   (* Restart-cadence heartbeats.  Deltas are charged to the registry only
      at slice boundaries, so read the live solver counters here: registry
      value before this call plus the in-call delta. *)
@@ -108,37 +135,60 @@ let solve ?assumptions b (stats : Verdict.stats) solver =
      the same cumulative-effort convention as the restart one. *)
   Solver.on_reduce solver
     (Some
-       (fun ~kept ~deleted ~lbd ->
+       (fun (ri : Solver.reduce_info) ->
          Isr_obs.Metrics.incr stats.Verdict.c_db_reduce;
-         Isr_obs.Metrics.set stats.Verdict.g_db_kept (float_of_int kept);
+         Isr_obs.Metrics.set stats.Verdict.g_db_kept (float_of_int ri.Solver.kept);
+         (* Victim lifecycle histograms: how useful were the clauses we
+            just threw away, and how much did their glue improve. *)
+         observe_counts stats.Verdict.h_clause_uses_death ri.Solver.dead_uses;
+         observe_counts stats.Verdict.h_clause_drift ri.Solver.dead_drift;
          if Isr_obs.Progress.enabled () then
-           Isr_obs.Progress.tick ~step:kept
+           Isr_obs.Progress.tick ~step:ri.Solver.kept
              ~conflicts:(c_base + Solver.num_conflicts solver - sc0)
              ~propagations:(p_base + Solver.num_propagations solver - sp0)
              ~learnt:(Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
              "sat.db.reduce";
          if Isr_obs.Event.enabled () then
-           Isr_obs.Event.emit (Isr_obs.Event.Reduce { kept; dropped = deleted; lbd })));
-  let charge_from c0 d0 p0 r0 =
+           Isr_obs.Event.emit
+             (Isr_obs.Event.Reduce
+                {
+                  kept = ri.Solver.kept;
+                  dropped = ri.Solver.deleted;
+                  lbd = ri.Solver.kept_lbd;
+                  dead_lbd = ri.Solver.dead_lbd;
+                  dead_uses = ri.Solver.dead_uses;
+                })));
+  let charge_from c0 d0 p0 r0 bo0 x0 =
     Isr_obs.Metrics.add stats.Verdict.c_conflicts (Solver.num_conflicts solver - c0);
     Isr_obs.Metrics.add stats.Verdict.c_decisions (Solver.num_decisions solver - d0);
     Isr_obs.Metrics.add stats.Verdict.c_propagations (Solver.num_propagations solver - p0);
-    Isr_obs.Metrics.add stats.Verdict.c_restarts (Solver.num_restarts solver - r0)
+    Isr_obs.Metrics.add stats.Verdict.c_restarts (Solver.num_restarts solver - r0);
+    Isr_obs.Metrics.add stats.Verdict.c_clause_born (Solver.num_learnt solver - bo0);
+    Isr_obs.Metrics.add stats.Verdict.c_clause_deleted (Solver.num_deleted solver - x0)
   in
   let rec go () =
     check_time b;
-    if b.conflicts_left <= 0 then raise Out_of_conflicts;
+    if b.conflicts_left <= 0 then begin
+      ignore (Isr_obs.Flight.dump ~reason:"budget.conflicts" ());
+      raise Out_of_conflicts
+    end;
     let before = Solver.num_conflicts solver in
     let d0 = Solver.num_decisions solver and p0 = Solver.num_propagations solver in
     let r0 = Solver.num_restarts solver in
+    let bo0 = Solver.num_learnt solver and x0 = Solver.num_deleted solver in
     let r = Solver.solve ?assumptions ~conflict_budget:(min slice b.conflicts_left) solver in
     let used = Solver.num_conflicts solver - before in
     b.conflicts_left <- b.conflicts_left - used;
-    charge_from before d0 p0 r0;
+    charge_from before d0 p0 r0 bo0 x0;
     match r with
     | Solver.Undef -> go ()
     | r ->
       check_time b;
+      (* Proof-core attribution by birth LBD, only when observability is
+         on (it costs a proof reconstruction) and only when a refutation
+         actually exists (Unsat under assumptions has none). *)
+      if r = Solver.Unsat && Isr_obs.Event.enabled () && Solver.refuted solver then
+        observe_counts stats.Verdict.h_clause_core_lbd (Solver.core_birth_lbd solver);
       r
   in
   let res = ref Solver.Undef in

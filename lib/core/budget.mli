@@ -47,7 +47,9 @@ val current_cancel : unit -> bool Atomic.t option
 (** The calling domain's current cancel token, if any. *)
 
 val check_time : t -> unit
-(** @raise Cancelled when the captured cancel token is set.
+(** A passed deadline also dumps the flight recorder (when armed)
+    before raising, so budget-expired runs leave their forensic trail.
+    @raise Cancelled when the captured cancel token is set.
     @raise Out_of_time when the deadline passed. *)
 
 val solve : ?assumptions:Lit.t list -> t -> Verdict.stats -> Solver.t -> Solver.result
@@ -58,9 +60,17 @@ val solve : ?assumptions:Lit.t list -> t -> Verdict.stats -> Solver.t -> Solver.
     inside a ["sat.call"] trace span; on the way out the ["proof.steps"]
     / ["proof.bytes"] gauges are refreshed from the solver's proof log.
     The limits' {!Isr_sat.Solver.reduce_policy} is installed at call
-    entry.  Whatever the outcome, the solver's [on_learnt] /
-    [on_restart] / [on_reduce] / interrupt hooks are cleared on return —
-    they capture this call's registry and must not leak into the next.
+    entry.  Clause-lifecycle analytics ride along: the call index is
+    stamped as the solver's clause origin, births/deletions charge the
+    ["clause.*"] counters and histograms, and an unconditional [Unsat]
+    folds the proof core's birth-LBD histogram — the latter only when
+    {!Isr_obs.Event.enabled} (it costs a proof reconstruction).  The
+    interrupt poll also services deferred flight-recorder dump
+    requests, and both budget-exhaustion raises dump the flight
+    recorder first when it is armed.  Whatever the outcome, the
+    solver's [on_learnt] / [on_restart] / [on_reduce] / interrupt hooks
+    are cleared on return — they capture this call's registry and must
+    not leak into the next.
     @raise Out_of_conflicts when the pool is exhausted
     @raise Out_of_time when the deadline passed before the call
     @raise Cancelled when the ambient cancel token was set. *)

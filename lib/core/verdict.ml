@@ -18,6 +18,12 @@ type stats = {
   h_learnt_len : M.histogram;
   c_db_reduce : M.counter;
   g_db_kept : M.gauge;
+  c_clause_born : M.counter;
+  c_clause_deleted : M.counter;
+  h_clause_birth_lbd : M.histogram;
+  h_clause_uses_death : M.histogram;
+  h_clause_drift : M.histogram;
+  h_clause_core_lbd : M.histogram;
   g_proof_steps : M.gauge;
   g_proof_bytes : M.gauge;
   c_itp_nodes : M.counter;
@@ -42,6 +48,12 @@ let mk_stats () =
     h_learnt_len = M.histogram m "sat.learnt_len";
     c_db_reduce = M.counter m "sat.db.reduce";
     g_db_kept = M.gauge m "sat.db.kept";
+    c_clause_born = M.counter m "clause.born";
+    c_clause_deleted = M.counter m "clause.deleted";
+    h_clause_birth_lbd = M.histogram m "clause.birth_lbd";
+    h_clause_uses_death = M.histogram m "clause.uses_at_death";
+    h_clause_drift = M.histogram m "clause.lbd_drift";
+    h_clause_core_lbd = M.histogram m "clause.core_birth_lbd";
     g_proof_steps = M.gauge m "proof.steps";
     g_proof_bytes = M.gauge m "proof.bytes";
     c_itp_nodes = M.counter m "itp.nodes";
@@ -61,6 +73,8 @@ let propagations s = M.value s.c_propagations
 let restarts s = M.value s.c_restarts
 let max_learnt_len s = int_of_float (M.hist_max s.h_learnt_len)
 let db_reduces s = M.value s.c_db_reduce
+let clauses_born s = M.value s.c_clause_born
+let clauses_deleted s = M.value s.c_clause_deleted
 let proof_steps s = int_of_float (M.gauge_value s.g_proof_steps)
 let itp_nodes s = M.value s.c_itp_nodes
 let last_bound s = int_of_float (M.gauge_value s.g_last_bound)

@@ -44,6 +44,12 @@ type stats = {
   h_learnt_len : Isr_obs.Metrics.histogram;
   c_db_reduce : Isr_obs.Metrics.counter;
   g_db_kept : Isr_obs.Metrics.gauge;
+  c_clause_born : Isr_obs.Metrics.counter;
+  c_clause_deleted : Isr_obs.Metrics.counter;
+  h_clause_birth_lbd : Isr_obs.Metrics.histogram;
+  h_clause_uses_death : Isr_obs.Metrics.histogram;
+  h_clause_drift : Isr_obs.Metrics.histogram;
+  h_clause_core_lbd : Isr_obs.Metrics.histogram;
   g_proof_steps : Isr_obs.Metrics.gauge;
   g_proof_bytes : Isr_obs.Metrics.gauge;
   c_itp_nodes : Isr_obs.Metrics.counter;
@@ -73,6 +79,14 @@ val max_learnt_len : stats -> int
 
 val db_reduces : stats -> int
 (** Learnt-database reductions across all SAT calls of the run. *)
+
+val clauses_born : stats -> int
+(** Clauses learned across the run — the ["clause.born"] counter.  The
+    lifecycle invariant [clauses_born = clauses_deleted + live] is
+    enforced by the clause-report tests. *)
+
+val clauses_deleted : stats -> int
+(** Learnt clauses deleted by database reductions across the run. *)
 
 val proof_steps : stats -> int
 (** Proof-log steps of the largest solver the run touched (gauges keep

@@ -1,0 +1,37 @@
+(* Shared Chrome trace-event writer; see the .mli for the wire rules. *)
+
+let escape = Json.escape_to
+
+let add_args b args =
+  if args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        escape b k;
+        Buffer.add_string b "\":\"";
+        escape b v;
+        Buffer.add_char b '"')
+      args;
+    Buffer.add_char b '}'
+  end
+
+let add_event b ~first ~ph ?name ~tid ~ts args =
+  if not first then Buffer.add_string b ",\n";
+  Buffer.add_string b "{\"ph\":\"";
+  Buffer.add_string b ph;
+  Buffer.add_string b "\",\"pid\":1,\"tid\":";
+  Buffer.add_string b (string_of_int (tid + 1));
+  Buffer.add_string b ",\"ts\":";
+  Buffer.add_string b (Printf.sprintf "%.1f" (ts *. 1e6));
+  (match name with
+  | Some n ->
+    Buffer.add_string b ",\"name\":\"";
+    escape b n;
+    Buffer.add_char b '"'
+  | None -> ());
+  add_args b args;
+  (* Instant events need a scope for Perfetto to render them. *)
+  if ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
+  Buffer.add_char b '}'

@@ -1,0 +1,26 @@
+(** The one Chrome trace-event JSON emitter.
+
+    Both observability streams render to the Chrome/Perfetto trace-event
+    format: {!Trace} sinks write span begin/end/instant records, and
+    {!Event.to_chrome} exports the merged search-event stream as instant
+    events.  This module is the single place that knows the wire
+    details — pid is always 1, the emitting domain id becomes thread id
+    [dom + 1] so parallel races render one lane per domain, timestamps
+    convert from seconds to microseconds with one decimal, and instant
+    events carry the ["s":"t"] scope Perfetto needs to draw them. *)
+
+val add_event :
+  Buffer.t ->
+  first:bool ->
+  ph:string ->
+  ?name:string ->
+  tid:int ->
+  ts:float ->
+  (string * string) list ->
+  unit
+(** Append one trace-event object to [b].  [ph] is the Chrome phase
+    ("B", "E" or "i"), [tid] the raw domain id (rendered as [tid + 1]),
+    [ts] the {!Clock} timestamp in seconds, and the final argument the
+    [args] key/value pairs (escaped; omitted when empty).  When [first]
+    is false a [",\n"] separator is emitted before the object, so a
+    caller streaming into a JSON array only tracks one flag. *)

@@ -6,13 +6,24 @@
    length-prefixed).  Strings are interned into one shared table, so a
    phase name costs one int per event no matter how often it fires. *)
 
-let schema_version = 1
+(* Schema 2 extends Reduce with the victims' LBD and use-count
+   histograms (clause-lifecycle analytics); readers accept schema-1
+   streams, where those arrays decode as empty. *)
+let schema_version = 2
+
+let min_schema_version = 1
 
 type cause = Race_won | Deadline | Min_depth
 
 type kind =
   | Restart of { conflicts : int; decisions : int; learnt : int }
-  | Reduce of { kept : int; dropped : int; lbd : int array }
+  | Reduce of {
+      kept : int;
+      dropped : int;
+      lbd : int array;
+      dead_lbd : int array;
+      dead_uses : int array;
+    }
   | Itp_cut of { cut : int; support : int; nodes : int }
   | Phase of { phase : string; step : int; detail : string }
   | Spawn of { worker : int; engines : string }
@@ -108,25 +119,42 @@ let ns_of_ts ts = int_of_float (ts *. 1e9)
 let ts_of_ns ns = float_of_int ns *. 1e-9
 
 let current : recorder option ref = ref None
+
+(* The flight recorder listens through a tap: a second consumer fed the
+   same (ts, dom, kind) stream without the packed-buffer cost model.
+   [on] is the union flag — [enabled] stays one read whether the
+   recorder, the tap, or both are live. *)
+let tap : (ts:float -> dom:int -> kind -> unit) option ref = ref None
 let on = ref false
+let refresh_on () = on := !current <> None || !tap <> None
+
+(* Emissions that found no consumer at all: a call site skipped its
+   [enabled] guard, or the consumers were torn down mid-run.  Visible
+   through {!dropped} (surfaced as the [obs.dropped] gauge) instead of
+   vanishing silently. *)
+let dropped_n = Atomic.make 0
+let dropped () = Atomic.get dropped_n
 
 let set_recorder r =
   current := Some r;
-  on := true
+  refresh_on ()
 
 let clear_recorder () =
   current := None;
-  on := false
+  refresh_on ()
+
+let set_tap f =
+  tap := Some f;
+  refresh_on ()
+
+let clear_tap () =
+  tap := None;
+  refresh_on ()
 
 let enabled () = !on
 
-let emit kind =
-  match !current with
-  | None -> ()
-  | Some r ->
-    let ts = Clock.now () in
-    let dom = (Domain.self () :> int) in
-    Mutex.protect r.lock (fun () ->
+let record r ~ts ~dom kind =
+  Mutex.protect r.lock (fun () ->
         let b = buf_of r dom in
         let str s = intern r s in
         push b
@@ -146,11 +174,15 @@ let emit kind =
           push b conflicts;
           push b decisions;
           push b learnt
-        | Reduce { kept; dropped; lbd } ->
+        | Reduce { kept; dropped; lbd; dead_lbd; dead_uses } ->
           push b kept;
           push b dropped;
           push b (Array.length lbd);
-          Array.iter (push b) lbd
+          Array.iter (push b) lbd;
+          push b (Array.length dead_lbd);
+          Array.iter (push b) dead_lbd;
+          push b (Array.length dead_uses);
+          Array.iter (push b) dead_uses
         | Itp_cut { cut; support; nodes } ->
           push b cut;
           push b support;
@@ -180,6 +212,15 @@ let emit kind =
           push b latches_after);
         r.nevents <- r.nevents + 1)
 
+let emit kind =
+  if not !on then Atomic.incr dropped_n
+  else begin
+    let ts = Clock.now () in
+    let dom = (Domain.self () :> int) in
+    (match !current with None -> () | Some r -> record r ~ts ~dom kind);
+    match !tap with None -> () | Some f -> f ~ts ~dom kind
+  end
+
 let count r = Mutex.protect r.lock (fun () -> r.nevents)
 
 (* --- decoding and deterministic merge ----------------------------------- *)
@@ -200,9 +241,18 @@ let decode_domain r dom (b : buf) =
           p + 3 )
       | 1 ->
         let n = b.a.(p + 2) in
+        let q = p + 3 + n in
+        let nd = b.a.(q) in
+        let nu = b.a.(q + 1 + nd) in
         ( Reduce
-            { kept = b.a.(p); dropped = b.a.(p + 1); lbd = Array.sub b.a (p + 3) n },
-          p + 3 + n )
+            {
+              kept = b.a.(p);
+              dropped = b.a.(p + 1);
+              lbd = Array.sub b.a (p + 3) n;
+              dead_lbd = Array.sub b.a (q + 1) nd;
+              dead_uses = Array.sub b.a (q + 2 + nd) nu;
+            },
+          q + 2 + nd + nu )
       | 2 ->
         (Itp_cut { cut = b.a.(p); support = b.a.(p + 1); nodes = b.a.(p + 2) }, p + 3)
       | 3 ->
@@ -258,15 +308,20 @@ let json_of_event e =
     Buffer.add_string b
       (Printf.sprintf "\"restart\",\"conflicts\":%d,\"decisions\":%d,\"learnt\":%d"
          conflicts decisions learnt)
-  | Reduce { kept; dropped; lbd } ->
-    Buffer.add_string b
-      (Printf.sprintf "\"reduce\",\"kept\":%d,\"dropped\":%d,\"lbd\":[" kept dropped);
-    Array.iteri
-      (fun i n ->
-        if i > 0 then Buffer.add_char b ',';
-        Buffer.add_string b (string_of_int n))
-      lbd;
-    Buffer.add_char b ']'
+  | Reduce { kept; dropped; lbd; dead_lbd; dead_uses } ->
+    let arr name a =
+      Buffer.add_string b (Printf.sprintf ",\"%s\":[" name);
+      Array.iteri
+        (fun i n ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int n))
+        a;
+      Buffer.add_char b ']'
+    in
+    Buffer.add_string b (Printf.sprintf "\"reduce\",\"kept\":%d,\"dropped\":%d" kept dropped);
+    arr "lbd" lbd;
+    if Array.length dead_lbd > 0 then arr "dead_lbd" dead_lbd;
+    if Array.length dead_uses > 0 then arr "dead_uses" dead_uses
   | Itp_cut { cut; support; nodes } ->
     Buffer.add_string b
       (Printf.sprintf "\"itp.cut\",\"cut\":%d,\"support\":%d,\"nodes\":%d" cut support
@@ -321,8 +376,10 @@ let event_of_json j =
           (Restart
              { conflicts = num "conflicts"; decisions = num "decisions"; learnt = num "learnt" })
       | "reduce" ->
-        let lbd =
-          match Json.field "lbd" j with
+        (* Missing arrays decode as empty, which is also how schema-1
+           lines (no dead_* fields) stay loadable. *)
+        let arr name =
+          match Json.field name j with
           | Some (Json.Arr xs) ->
             Array.of_list
               (List.filter_map
@@ -330,7 +387,15 @@ let event_of_json j =
                  xs)
           | _ -> [||]
         in
-        Some (Reduce { kept = num "kept"; dropped = num "dropped"; lbd })
+        Some
+          (Reduce
+             {
+               kept = num "kept";
+               dropped = num "dropped";
+               lbd = arr "lbd";
+               dead_lbd = arr "dead_lbd";
+               dead_uses = arr "dead_uses";
+             })
       | "itp.cut" ->
         Some (Itp_cut { cut = num "cut"; support = num "support"; nodes = num "nodes" })
       | "phase" ->
@@ -379,11 +444,11 @@ let read_jsonl path =
                match Json.field "stream" j with
                | Some (Json.Str "isr-events") ->
                  let v = int_of_float (Json.num_field "schema" j) in
-                 if v <> schema_version then
+                 if v < min_schema_version || v > schema_version then
                    failwith
                      (Printf.sprintf
-                        "Event.read_jsonl %s: unsupported schema %d (expected %d)" path v
-                        schema_version)
+                        "Event.read_jsonl %s: unsupported schema %d (expected %d..%d)" path
+                        v min_schema_version schema_version)
                | _ -> (
                  match event_of_json j with Some e -> out := e :: !out | None -> ()))
            end
@@ -412,13 +477,9 @@ let to_chrome evs =
   Buffer.add_string b "[\n";
   List.iteri
     (fun i e ->
-      if i > 0 then Buffer.add_string b ",\n";
-      Buffer.add_string b
-        (Printf.sprintf
-           "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"s\":\"t\",\"name\":%s,\"args\":{\"json\":%s}}"
-           (e.dom + 1) (e.ts *. 1e6)
-           (Json.quote (chrome_name e.kind))
-           (Json.quote (json_of_event e))))
+      Chrome.add_event b ~first:(i = 0) ~ph:"i" ~name:(chrome_name e.kind) ~tid:e.dom
+        ~ts:e.ts
+        [ ("json", json_of_event e) ])
     evs;
   Buffer.add_string b "\n]\n";
   Buffer.contents b

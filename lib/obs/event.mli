@@ -25,7 +25,9 @@
 
 val schema_version : int
 (** Version stamped into every JSONL export header; readers reject
-    streams with a version they do not understand. *)
+    streams with a version they do not understand.  Schema 2 added the
+    [dead_lbd]/[dead_uses] arrays to {!kind.Reduce}; schema-1 streams
+    still load (the arrays decode as empty). *)
 
 type cause =
   | Race_won   (** a racing worker published a definitive verdict *)
@@ -35,9 +37,18 @@ type cause =
 type kind =
   | Restart of { conflicts : int; decisions : int; learnt : int }
       (** solver restart, with the live in-call counters *)
-  | Reduce of { kept : int; dropped : int; lbd : int array }
+  | Reduce of {
+      kept : int;
+      dropped : int;
+      lbd : int array;
+      dead_lbd : int array;
+      dead_uses : int array;
+    }
       (** learnt-database reduction; [lbd.(i)] counts surviving clauses
-          of LBD [i] (last bucket: [>= length - 1]) *)
+          of LBD [i] (last bucket: [>= length - 1]).  [dead_lbd] and
+          [dead_uses] histogram the victims by LBD at death and by
+          conflict-analysis uses before deletion (same bucket
+          convention); both empty in schema-1 recordings. *)
   | Itp_cut of { cut : int; support : int; nodes : int }
       (** one extracted interpolant: cut index, support-variable count
           and AIG cone size *)
@@ -81,13 +92,30 @@ val set_recorder : recorder -> unit
 
 val clear_recorder : unit -> unit
 
+val set_tap : (ts:float -> dom:int -> kind -> unit) -> unit
+(** Install a second consumer fed every emission (after the recorder,
+    same timestamp and domain stamp).  The flight recorder's ring
+    buffers hang off this hook; installing a tap also turns {!enabled}
+    on, so guarded call sites start constructing payloads.  The tap is
+    called outside any lock — it must synchronise internally. *)
+
+val clear_tap : unit -> unit
+
 val enabled : unit -> bool
 (** One flag read; call sites guard payload construction with this so
-    the disabled path costs nothing. *)
+    the disabled path costs nothing.  True when a recorder or a tap (or
+    both) is installed. *)
 
 val emit : kind -> unit
-(** Record one event, stamped with the current clock and domain.  A
-    no-op when no recorder is installed. *)
+(** Record one event, stamped with the current clock and domain, into
+    the recorder and/or tap.  With neither installed the event is
+    counted as dropped and otherwise ignored. *)
+
+val dropped : unit -> int
+(** Emissions that found no consumer installed (a call site skipped its
+    {!enabled} guard, or consumers were torn down mid-run).  Surfaced by
+    {!Resource} as the [obs.dropped] gauge together with flight-ring
+    evictions. *)
 
 val events : recorder -> t list
 (** Decode and deterministically merge every domain's stream: sorted by

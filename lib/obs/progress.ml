@@ -27,6 +27,7 @@ type reporter = {
   interval : float;
   clock : unit -> float;
   write : string -> unit;
+  width : int; (* TTY columns; rewrites are clamped to width - 1 *)
   t0 : float;
   lock : Mutex.t; (* ticks arrive from every racing domain *)
   mutable last_emit : float; (* negative: nothing emitted yet *)
@@ -36,13 +37,26 @@ type reporter = {
   mutable dirty : bool; (* a TTY line is pending termination *)
 }
 
-let make ?(clock = Clock.now) ?(interval = 1.0) ~mode write =
+(* A rewritten line longer than the terminal wraps, and the next [\r]
+   then rewrites only the last visual row — every earlier row stays
+   behind as garbage.  Clamp to the terminal width instead (COLUMNS per
+   POSIX; 80 when absent or nonsense, as on most CI runners). *)
+let default_width () =
+  match Sys.getenv_opt "COLUMNS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 1 -> n | _ -> 80)
+  | None -> 80
+
+let make ?(clock = Clock.now) ?(interval = 1.0) ?width ~mode write =
   let t0 = clock () in
+  let width =
+    match width with Some w when w > 1 -> w | Some _ -> 80 | None -> default_width ()
+  in
   {
     mode;
     interval;
     clock;
     write;
+    width;
     t0;
     lock = Mutex.create ();
     last_emit = Float.neg_infinity;
@@ -101,6 +115,12 @@ let render r t now =
 let write_line r line =
   match r.mode with
   | Tty ->
+    (* Clamp to width - 1 (writing the last column would auto-wrap on
+       most terminals); the trailing erase-to-EOL wipes whatever a
+       longer previous line left behind. *)
+    let line =
+      if String.length line >= r.width then String.sub line 0 (r.width - 1) else line
+    in
     r.write ("\r" ^ line ^ "\027[K");
     r.dirty <- true
   | Plain | Jsonl -> r.write (line ^ "\n")
@@ -155,10 +175,10 @@ let tick ?step ?total ?detail ?conflicts ?propagations ?learnt phase =
 
 let auto_mode ?(fd = Unix.stderr) () = if Unix.isatty fd then Tty else Plain
 
-let with_stderr ?clock ?interval mode f =
+let with_stderr ?clock ?interval ?width mode f =
   let write s =
     output_string stderr s;
     flush stderr
   in
-  set_reporter (make ?clock ?interval ~mode write);
+  set_reporter (make ?clock ?interval ?width ~mode write);
   Fun.protect ~finally:clear_reporter f

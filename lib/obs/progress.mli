@@ -38,11 +38,23 @@ type mode = Tty | Plain | Jsonl
 
 type reporter
 
+val default_width : unit -> int
+(** The terminal width TTY rewrites are clamped to: [$COLUMNS], falling
+    back to 80 (absent or nonsense values, as on most CI runners).  Also
+    the default frame width of {!Dash.render}. *)
+
 val make :
-  ?clock:(unit -> float) -> ?interval:float -> mode:mode -> (string -> unit) -> reporter
+  ?clock:(unit -> float) ->
+  ?interval:float ->
+  ?width:int ->
+  mode:mode ->
+  (string -> unit) ->
+  reporter
 (** [make ~mode write] builds a reporter over a line consumer.  [clock]
     (default {!Clock.now}) drives the rate limit and elapsed column;
-    [interval] defaults to 1 s. *)
+    [interval] defaults to 1 s.  [width] bounds TTY rewrites (clamped to
+    [width - 1] so the line never auto-wraps and leaves stale rows
+    behind); it defaults to [$COLUMNS], falling back to 80. *)
 
 val emit : reporter -> tick -> bool
 (** Render if at least [interval] elapsed since the last rendered
@@ -84,6 +96,6 @@ val auto_mode : ?fd:Unix.file_descr -> unit -> mode
     the [--progress auto] policy of the CLIs. *)
 
 val with_stderr :
-  ?clock:(unit -> float) -> ?interval:float -> mode -> (unit -> 'a) -> 'a
+  ?clock:(unit -> float) -> ?interval:float -> ?width:int -> mode -> (unit -> 'a) -> 'a
 (** Installs a stderr-writing reporter for the extent of the callback
     ({!clear_reporter} runs even on exceptions). *)

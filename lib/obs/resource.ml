@@ -19,6 +19,7 @@ type handles = {
   c_minor : M.counter;     (* minor collections *)
   c_major : M.counter;     (* major collections *)
   g_rate : M.gauge;        (* minor allocation rate, words/s since attach *)
+  g_dropped : M.gauge;     (* unconsumed Event emissions + flight-ring evictions *)
   clock : unit -> float;
   t0 : float;
   base_minor_words : float;
@@ -50,6 +51,7 @@ let mk ?(clock = Clock.now) reg =
     c_minor = M.counter reg "gc.minor_collections";
     c_major = M.counter reg "gc.major_collections";
     g_rate = M.gauge reg "gc.minor_alloc_rate";
+    g_dropped = M.gauge reg "obs.dropped";
     clock;
     t0 = clock ();
     base_minor_words = mw;
@@ -74,7 +76,11 @@ let sample_into h =
   if dmaj > 0 then M.add h.c_major dmaj;
   h.last_major <- s.Gc.major_collections;
   let dt = h.clock () -. h.t0 in
-  if dt > 0.0 then M.set h.g_rate ((mw -. h.base_minor_words) /. dt)
+  if dt > 0.0 then M.set h.g_rate ((mw -. h.base_minor_words) /. dt);
+  (* Observability's own loss accounting: emissions nobody consumed plus
+     flight-ring wrap-around evictions, so silence is always visible.
+     These are process-wide totals; [set_max] keeps merges sane. *)
+  M.set_max h.g_dropped (float_of_int (Event.dropped () + Flight.evicted ()))
 
 let sample () =
   match Domain.DLS.get attached_stack with [] -> () | h :: _ -> sample_into h

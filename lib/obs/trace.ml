@@ -53,50 +53,14 @@ let tee a b =
 
 (* --- Chrome trace-event JSON --------------------------------------------- *)
 
-let escape = Json.escape_to
-
-let add_args b args =
-  if args <> [] then begin
-    Buffer.add_string b ",\"args\":{";
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char b ',';
-        Buffer.add_char b '"';
-        escape b k;
-        Buffer.add_string b "\":\"";
-        escape b v;
-        Buffer.add_char b '"')
-      args;
-    Buffer.add_char b '}'
-  end
-
+(* The emitting domain becomes the Chrome thread id (via {!Chrome}), so
+   the parallel portfolio renders as one lane per domain instead of one
+   garbled lane of interleaved begins/ends. *)
 let chrome_event b ~first e =
-  if not first then Buffer.add_string b ",\n";
-  (* The emitting domain becomes the Chrome thread id, so the parallel
-     portfolio renders as one lane per domain instead of one garbled
-     lane of interleaved begins/ends. *)
-  let obj ph ?name ~tid ts args =
-    Buffer.add_string b "{\"ph\":\"";
-    Buffer.add_string b ph;
-    Buffer.add_string b "\",\"pid\":1,\"tid\":";
-    Buffer.add_string b (string_of_int (tid + 1));
-    Buffer.add_string b ",\"ts\":";
-    Buffer.add_string b (Printf.sprintf "%.1f" (ts *. 1e6));
-    (match name with
-    | Some n ->
-      Buffer.add_string b ",\"name\":\"";
-      escape b n;
-      Buffer.add_char b '"'
-    | None -> ());
-    add_args b args;
-    (* Instant events need a scope for Perfetto to render them. *)
-    if ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
-    Buffer.add_char b '}'
-  in
   match e with
-  | Begin { name; ts; tid; args } -> obj "B" ~name ~tid ts args
-  | End { ts; tid; args } -> obj "E" ~tid ts args
-  | Instant { name; ts; tid; args } -> obj "i" ~name ~tid ts args
+  | Begin { name; ts; tid; args } -> Chrome.add_event b ~first ~ph:"B" ~name ~tid ~ts args
+  | End { ts; tid; args } -> Chrome.add_event b ~first ~ph:"E" ~tid ~ts args
+  | Instant { name; ts; tid; args } -> Chrome.add_event b ~first ~ph:"i" ~name ~tid ~ts args
 
 (* Closing the top-level array must be idempotent: [flush] is routinely
    reached twice (once by the tracing scope, once by a [Fun.protect]

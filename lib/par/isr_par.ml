@@ -205,6 +205,11 @@ let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?analyze ?(limits = Budget.default_limi
     let reason = ref None in
     (try
        let rec loop () =
+         (* A signal handler that lost the ring lock leaves its flight
+            dump pending; the bound-dispatch boundary is a safe, frequent
+            place to honour it (the Budget interrupt poll covers the
+            in-solve stretches). *)
+         Isr_obs.Flight.poll ();
          let k = Atomic.fetch_and_add next 1 in
          if k > limits.Budget.bound_limit then reason := Some (Verdict.Bound_limit limits.Budget.bound_limit)
          else if k >= Atomic.get best then ()

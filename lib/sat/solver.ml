@@ -13,8 +13,11 @@ type clause = {
   cid : int;                   (* proof-log step id (stable) *)
   lits : Lit.t array;
   learnt : bool;
-  mutable lbd : int;           (* glue: distinct decision levels at learn time *)
+  birth_lbd : int;             (* glue at learn time, frozen (0 for inputs) *)
+  origin : int;                (* engine phase (set_origin) current at learn time *)
+  mutable lbd : int;           (* glue: tightened on conflict-analysis reuse *)
   mutable act : float;         (* clause activity for the reduction sort *)
+  mutable uses : int;          (* conflict-analysis participations *)
 }
 
 type reduce_policy = {
@@ -25,6 +28,21 @@ type reduce_policy = {
 }
 
 let default_reduce = { enabled = true; base = 4000; growth = 1.3; keep_lbd = 2 }
+
+(* One completed database reduction, as seen by [on_reduce].  The
+   histograms share the 16-bucket convention of the cumulative clause
+   statistics: index = value, last bucket saturates. *)
+type reduce_info = {
+  kept : int;                (* live learnt clauses after the reduction *)
+  deleted : int;             (* victims of this reduction *)
+  kept_lbd : int array;      (* survivors by current LBD *)
+  dead_lbd : int array;      (* victims by LBD at death *)
+  dead_uses : int array;     (* victims by conflict-analysis uses before deletion *)
+  dead_drift : int array;    (* victims by birth LBD - death LBD (glue improvement) *)
+}
+
+let hist_buckets = 16
+let hist_bump h v = h.(min v (hist_buckets - 1)) <- h.(min v (hist_buckets - 1)) + 1
 
 type t = {
   mutable nvars : int;
@@ -57,9 +75,16 @@ type t = {
   mutable policy : reduce_policy;
   mutable reduce_limit : int;          (* next live-learnt threshold *)
   mutable max_learnt_len : int;
-  mutable learnt_cb : (int -> unit) option; (* observes each learned-clause length *)
+  mutable origin : int;                (* stamped into clauses born from now on *)
+  born_lbd : int array;                (* cumulative birth-LBD histogram (16 buckets) *)
+  dead_lbd : int array;                (* victims by LBD at death *)
+  dead_uses : int array;               (* victims by uses before deletion *)
+  dead_drift : int array;              (* victims by birth_lbd - lbd at death *)
+  mutable birth : Bytes.t;             (* cid -> birth LBD (clamped to 255); 0 = input *)
+  mutable learnt_cb : (len:int -> lbd:int -> unit) option;
+      (* observes each learned clause (length and glue) *)
   mutable restart_cb : (int -> unit) option; (* observes each restart (cumulative count) *)
-  mutable reduce_cb : (kept:int -> deleted:int -> lbd:int array -> unit) option;
+  mutable reduce_cb : (reduce_info -> unit) option;
       (* observes each database reduction *)
   mutable interrupt : (unit -> bool) option; (* polled during search; true aborts to Undef *)
   mutable seen : Bytes.t;              (* conflict-analysis scratch *)
@@ -68,7 +93,8 @@ type t = {
   pending : Vec.t;                     (* clause slots to re-examine at solve start *)
 }
 
-let dummy_clause = { cid = -1; lits = [||]; learnt = false; lbd = 0; act = 0.0 }
+let dummy_clause =
+  { cid = -1; lits = [||]; learnt = false; birth_lbd = 0; origin = 0; lbd = 0; act = 0.0; uses = 0 }
 
 let create () =
   {
@@ -102,6 +128,12 @@ let create () =
     policy = default_reduce;
     reduce_limit = default_reduce.base;
     max_learnt_len = 0;
+    origin = 0;
+    born_lbd = Array.make hist_buckets 0;
+    dead_lbd = Array.make hist_buckets 0;
+    dead_uses = Array.make hist_buckets 0;
+    dead_drift = Array.make hist_buckets 0;
+    birth = Bytes.make 64 '\000';
     learnt_cb = None;
     restart_cb = None;
     reduce_cb = None;
@@ -129,6 +161,14 @@ let on_learnt s cb = s.learnt_cb <- cb
 let on_restart s cb = s.restart_cb <- cb
 let on_reduce s cb = s.reduce_cb <- cb
 let set_interrupt s cb = s.interrupt <- cb
+let set_origin s o = s.origin <- o
+let origin s = s.origin
+let num_deleted s = s.learnt_count - s.live_learnt
+let birth_lbd_counts s = Array.copy s.born_lbd
+let dead_lbd_counts s = Array.copy s.dead_lbd
+let dead_uses_counts s = Array.copy s.dead_uses
+let dead_drift_counts s = Array.copy s.dead_drift
+let refuted s = (not s.ok) && s.empty_id >= 0
 
 let set_reduce s p =
   if p.base <= 0 then invalid_arg "Solver.set_reduce: base must be positive";
@@ -389,7 +429,17 @@ let analyze s confl =
   let continue = ref true in
   while !continue do
     let c = s.clauses.(!slot) in
-    if c.learnt then bump_clause s c;
+    if c.learnt then begin
+      bump_clause s c;
+      (* Clause-lifecycle accounting: participating in a conflict
+         analysis is the "useful" event, and — glucose-style — the
+         moment to tighten the stored glue (every literal of a reason
+         clause is assigned here, so [compute_lbd] sees real levels).
+         LBD only ever improves; the drift histogram relies on that. *)
+      c.uses <- c.uses + 1;
+      let g = compute_lbd s c.lits in
+      if g < c.lbd then c.lbd <- g
+    end;
     Array.iter
       (fun q ->
         (* Skip the pivot occurrence: reason clauses contain the literal
@@ -531,8 +581,20 @@ let record_learnt s lits ~lbd first chain =
   s.live_learnt <- s.live_learnt + 1;
   let len = Array.length lits in
   if len > s.max_learnt_len then s.max_learnt_len <- len;
-  (match s.learnt_cb with None -> () | Some f -> f len);
-  let slot = push_clause s { cid; lits; learnt = true; lbd; act = s.cla_inc } in
+  hist_bump s.born_lbd lbd;
+  (* Birth LBD per proof id, outliving the database clause: proof-core
+     attribution ([core_birth_lbd]) needs it after deletion. *)
+  if cid >= Bytes.length s.birth then begin
+    let b' = Bytes.make (max (2 * Bytes.length s.birth) (cid + 1)) '\000' in
+    Bytes.blit s.birth 0 b' 0 (Bytes.length s.birth);
+    s.birth <- b'
+  end;
+  Bytes.set s.birth cid (Char.chr (min lbd 255));
+  (match s.learnt_cb with None -> () | Some f -> f ~len ~lbd);
+  let slot =
+    push_clause s
+      { cid; lits; learnt = true; birth_lbd = lbd; origin = s.origin; lbd; act = s.cla_inc; uses = 0 }
+  in
   if Array.length lits >= 2 then begin
     (* lits.(0) is the asserting literal; the second watch must be the
        highest-level other literal so the invariant survives backjumps. *)
@@ -579,11 +641,25 @@ let reduce_db s =
   let ndelete = Array.length cand / 2 in
   if ndelete > 0 then begin
     let dead = Array.make s.nclauses false in
+    (* Per-reduction victim histograms, also folded into the cumulative
+       lifecycle statistics.  Cheap (three bumps per victim), so always
+       on — the registry invariants (dead sums = deleted count) must
+       hold whether or not anyone listens. *)
+    let dl = Array.make hist_buckets 0 in
+    let du = Array.make hist_buckets 0 in
+    let dd = Array.make hist_buckets 0 in
     for k = 0 to ndelete - 1 do
       let slot = cand.(k) in
+      let c = s.clauses.(slot) in
+      hist_bump dl c.lbd;
+      hist_bump du c.uses;
+      hist_bump dd (max 0 (c.birth_lbd - c.lbd));
       dead.(slot) <- true;
-      Proof_log.delete s.log s.clauses.(slot).cid
+      Proof_log.delete s.log c.cid
     done;
+    Array.iteri (fun i n -> s.dead_lbd.(i) <- s.dead_lbd.(i) + n) dl;
+    Array.iteri (fun i n -> s.dead_uses.(i) <- s.dead_uses.(i) + n) du;
+    Array.iteri (fun i n -> s.dead_drift.(i) <- s.dead_drift.(i) + n) dd;
     (* Compact the database and remap every stored slot. *)
     let map = Array.make s.nclauses (-1) in
     let j = ref 0 in
@@ -624,15 +700,23 @@ let reduce_db s =
     s.reduces <- s.reduces + 1;
     match s.reduce_cb with
     | Some f ->
-      (* LBD distribution of the surviving learnt clauses, capped at the
-         last bucket; only computed when someone is listening. *)
-      let lbd = Array.make 16 0 in
-      let top = Array.length lbd - 1 in
+      (* LBD distribution of the surviving learnt clauses; only computed
+         when someone is listening (the victim histograms were already
+         paid above). *)
+      let lbd = Array.make hist_buckets 0 in
       for i = 0 to s.nclauses - 1 do
         let c = s.clauses.(i) in
-        if c.learnt then lbd.(min c.lbd top) <- lbd.(min c.lbd top) + 1
+        if c.learnt then hist_bump lbd c.lbd
       done;
-      f ~kept:s.live_learnt ~deleted:ndelete ~lbd
+      f
+        {
+          kept = s.live_learnt;
+          deleted = ndelete;
+          kept_lbd = lbd;
+          dead_lbd = dl;
+          dead_uses = du;
+          dead_drift = dd;
+        }
     | None -> ()
   end;
   (* Grow the threshold even when nothing was deletable, so an
@@ -663,7 +747,19 @@ let add_clause s ?(tag = 0) lits =
         lits;
       let arr = Array.of_list lits in
       let cid = Proof_log.add_input s.log ~tag arr in
-      let slot = push_clause s { cid; lits = arr; learnt = false; lbd = 0; act = 0.0 } in
+      let slot =
+        push_clause s
+          {
+            cid;
+            lits = arr;
+            learnt = false;
+            birth_lbd = 0;
+            origin = s.origin;
+            lbd = 0;
+            act = 0.0;
+            uses = 0;
+          }
+      in
       match Array.length arr with
       | 0 ->
         s.ok <- false;
@@ -875,6 +971,24 @@ let proof ?(trim = true) s =
   if s.ok || s.empty_id < 0 then
     invalid_arg "Solver.proof: instance not proved unconditionally unsatisfiable";
   Proof_log.to_proof ~trim s.log ~empty:s.empty_id ~nvars:s.nvars
+
+(* Which learnt clauses earned their keep: histogram (by birth LBD) of
+   the learnt steps reachable from the empty clause.  Deleted clauses
+   count too — deletion removes a clause from the database, not from the
+   resolutions it already served — which is why birth LBDs are kept per
+   proof id, not per clause.  Costs a proof reconstruction; callers gate
+   it on observability being on. *)
+let core_birth_lbd s =
+  let p = proof ~trim:true s in
+  let used = Proof.used p in
+  let h = Array.make hist_buckets 0 in
+  Array.iteri
+    (fun id u ->
+      if u && id < Bytes.length s.birth then
+        let b = Char.code (Bytes.get s.birth id) in
+        if b > 0 then hist_bump h b)
+    used;
+  h
 
 (* Sanitizer probes at the solve boundary.  Fast checks the answer
    against the clause database (trail consistency; on Sat, every input

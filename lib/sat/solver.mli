@@ -110,6 +110,46 @@ val num_learnt : t -> int
 val num_live_learnt : t -> int
 (** Learnt clauses currently in the database (learned minus deleted). *)
 
+val num_deleted : t -> int
+(** Learnt clauses deleted by database reductions so far; by
+    construction [num_deleted s + num_live_learnt s = num_learnt s]. *)
+
+val set_origin : t -> int -> unit
+(** Tag clauses born from now on with this engine phase (a logical SAT
+    call index, a BMC bound…).  Purely observational: it feeds the
+    clause-lifecycle analytics and never affects search. *)
+
+val origin : t -> int
+
+val birth_lbd_counts : t -> int array
+(** Cumulative histogram of learnt clauses by LBD at learn time
+    (16 buckets, index = glue, last saturating).  Sums to
+    {!num_learnt}. *)
+
+val dead_lbd_counts : t -> int array
+(** Reduction victims by LBD at death; sums to {!num_deleted}. *)
+
+val dead_uses_counts : t -> int array
+(** Reduction victims by conflict-analysis uses before deletion; sums
+    to {!num_deleted}. *)
+
+val dead_drift_counts : t -> int array
+(** Reduction victims by glue improvement (birth LBD minus LBD at
+    death, never negative — stored LBD only tightens); sums to
+    {!num_deleted}. *)
+
+val refuted : t -> bool
+(** Whether an unconditional refutation (empty clause) has been derived
+    — exactly when {!proof} will not raise. *)
+
+val core_birth_lbd : t -> int array
+(** Histogram (by birth LBD, 16 buckets) of the learnt clauses that
+    participate in the trimmed refutation — including clauses deleted
+    after serving their resolutions.  Each bucket is bounded by the
+    corresponding {!birth_lbd_counts} bucket.  Costs a proof
+    reconstruction; gate it on observability being enabled.
+    @raise Invalid_argument when not {!refuted}. *)
+
 val num_reduces : t -> int
 (** Completed learnt-database reductions. *)
 
@@ -126,24 +166,36 @@ val proof_bytes : t -> int
 (** Current footprint of the proof log in bytes — the ["proof.bytes"]
     gauge. *)
 
-val on_learnt : t -> (int -> unit) option -> unit
-(** Installs (or clears) an observer called with the length of every
-    clause learned from a conflict — the hook behind the per-call
-    learned-clause-length histogram of {!Isr_obs.Metrics}. *)
+val on_learnt : t -> (len:int -> lbd:int -> unit) option -> unit
+(** Installs (or clears) an observer called with the length and glue
+    (LBD at learn time) of every clause learned from a conflict — the
+    hook behind the learned-clause-length and birth-LBD histograms of
+    {!Isr_obs.Metrics}. *)
 
 val on_restart : t -> (int -> unit) option -> unit
 (** Installs (or clears) an observer called with the cumulative restart
     count at every restart — the hook behind the ["sat.restart"]
     progress heartbeat. *)
 
-val on_reduce : t -> (kept:int -> deleted:int -> lbd:int array -> unit) option -> unit
+type reduce_info = {
+  kept : int;              (** live learnt clauses after the reduction *)
+  deleted : int;           (** victims of this reduction *)
+  kept_lbd : int array;    (** survivors by current LBD *)
+  dead_lbd : int array;    (** victims by LBD at death *)
+  dead_uses : int array;   (** victims by conflict-analysis uses before deletion *)
+  dead_drift : int array;  (** victims by birth LBD - death LBD (glue improvement) *)
+}
+(** One completed database reduction as seen by {!on_reduce}.  All
+    histograms use the 16-bucket convention: index = value, last bucket
+    saturating. *)
+
+val on_reduce : t -> (reduce_info -> unit) option -> unit
 (** Installs (or clears) an observer called after every learnt-database
-    reduction with the number of live learnt clauses kept, the number
-    deleted, and a snapshot of the surviving clauses' LBD distribution
-    ([lbd.(i)] counts survivors of glue [i], last bucket saturating) —
-    the hook behind the ["sat.db.reduce"] / ["sat.db.kept"] metrics and
-    the [db.reduce] search event.  The snapshot is only computed when an
-    observer is installed. *)
+    reduction — the hook behind the ["sat.db.reduce"] / ["sat.db.kept"]
+    metrics, the clause-lifecycle histograms and the [db.reduce] search
+    event.  The victim histograms are accounted unconditionally (they
+    also feed the cumulative [dead_*_counts]); only the survivor
+    snapshot is computed on demand. *)
 
 val set_interrupt : t -> (unit -> bool) option -> unit
 (** Installs (or clears) a cooperative-cancellation poll.  The search

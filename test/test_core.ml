@@ -277,10 +277,9 @@ let test_resource_limits () =
    observers installed after returning or raising, so a later direct
    [Solver.solve] on the same solver kept charging the stale registry of
    a finished call. *)
-let test_budget_callbacks_cleared () =
+(* Pigeonhole php(n): needs well over the tiny conflict budgets below. *)
+let php_solver n =
   let open Isr_sat in
-  (* Pigeonhole php(5): needs well over the 50-conflict budget below. *)
-  let n = 5 in
   let var p h = (p * n) + h in
   let s = Solver.create () in
   for _ = 1 to (n + 1) * n do
@@ -296,6 +295,11 @@ let test_budget_callbacks_cleared () =
       done
     done
   done;
+  s
+
+let test_budget_callbacks_cleared () =
+  let open Isr_sat in
+  let s = php_solver 5 in
   let stats = Verdict.mk_stats () in
   let tiny = { Budget.time_limit = 30.0; conflict_limit = 50; bound_limit = 60; reduce = Isr_sat.Solver.default_reduce } in
   let budget = Budget.start tiny in
@@ -310,6 +314,55 @@ let test_budget_callbacks_cleared () =
   Alcotest.(check int) "observer was cleared" observed
     (Isr_obs.Metrics.hist_count stats.Verdict.h_learnt_len)
 
+(* Budget exhaustion mid-solve must leave a loadable flight.jsonl: the
+   raise site inside [Budget.solve] dumps before unwinding. *)
+let test_budget_expiry_dumps_flight () =
+  let dir = Filename.temp_file "isr_flight" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Isr_obs.Flight.disarm ();
+      if Sys.file_exists dir then rm dir)
+    (fun () ->
+      Isr_obs.Flight.arm ~dir ();
+      (* Something in the ring before the search, so the dump provably
+         carries the pre-expiry tail. *)
+      Isr_obs.Event.emit
+        (Isr_obs.Event.Phase { phase = "test.pre"; step = -1; detail = "" });
+      let s = php_solver 5 in
+      let stats = Verdict.mk_stats () in
+      let tiny =
+        { Budget.time_limit = 30.0; conflict_limit = 50; bound_limit = 60;
+          reduce = Isr_sat.Solver.default_reduce }
+      in
+      (match Budget.solve (Budget.start tiny) stats s with
+      | exception Budget.Out_of_conflicts -> ()
+      | _ -> Alcotest.fail "expected conflict exhaustion");
+      let path = Filename.concat dir "flight.jsonl" in
+      Alcotest.(check bool) "budget expiry left a dump" true (Sys.file_exists path);
+      let meta, evs = Isr_obs.Flight.read path in
+      (match meta with
+      | Some m ->
+        Alcotest.(check string) "dump reason" "budget.conflicts"
+          m.Isr_obs.Flight.reason
+      | None -> Alcotest.fail "no flight metadata line");
+      Alcotest.(check bool) "events loadable and non-empty" true (evs <> []);
+      Alcotest.(check bool) "pre-expiry event survived" true
+        (List.exists
+           (fun (e : Isr_obs.Event.t) ->
+             match e.Isr_obs.Event.kind with
+             | Isr_obs.Event.Phase { phase; _ } -> phase = "test.pre"
+             | _ -> false)
+           evs))
+
 let () =
   Alcotest.run "isr_core"
     [
@@ -323,6 +376,8 @@ let () =
       ( "budget",
         [
           Alcotest.test_case "observers cleared" `Quick test_budget_callbacks_cleared;
+          Alcotest.test_case "budget expiry dumps flight" `Quick
+            test_budget_expiry_dumps_flight;
         ] );
       ( "cross-checks",
         [

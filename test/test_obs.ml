@@ -653,6 +653,29 @@ let test_progress_tty_finish () =
   Progress.finish r;
   Alcotest.(check int) "finish is idempotent" len (Buffer.length buf)
 
+(* A TTY rewrite longer than the terminal would wrap, and the next \r
+   would then leave the earlier visual rows behind as garbage — the line
+   must be clamped below the width and end with an erase-to-eol. *)
+let test_progress_width_clamp () =
+  let buf = Buffer.create 64 in
+  let r =
+    Progress.make
+      ~clock:(fun () -> 0.0)
+      ~width:20 ~mode:Progress.Tty (Buffer.add_string buf)
+  in
+  Progress.force r
+    (Progress.mk_tick ~step:123456 ~conflicts:99999999 ~propagations:123456789
+       ~detail:"a-very-long-detail-that-overflows-any-terminal" "bmc.bound");
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "rewrites in place" true (String.length s > 0 && s.[0] = '\r');
+  let erase = "\027[K" in
+  let el = String.length erase in
+  Alcotest.(check string) "erases the stale tail" erase
+    (String.sub s (String.length s - el) el);
+  Alcotest.(check bool) "visible text clamped below the width" true
+    (String.length s - 1 - el <= 19);
+  Alcotest.(check bool) "width sanity" true (Progress.default_width () > 1)
+
 let test_progress_global () =
   Alcotest.(check bool) "disabled by default" false (Progress.enabled ());
   Progress.tick "ignored" (* must be a silent no-op without a reporter *);
@@ -812,7 +835,14 @@ let with_recorder f =
 let all_kinds =
   [
     Event.Restart { conflicts = 120; decisions = 4500; learnt = 37 };
-    Event.Reduce { kept = 20; dropped = 15; lbd = [| 0; 3; 9; 8 |] };
+    Event.Reduce
+      {
+        kept = 20;
+        dropped = 15;
+        lbd = [| 0; 3; 9; 8 |];
+        dead_lbd = [| 0; 0; 1; 2; 12 |];
+        dead_uses = [| 9; 4; 2 |];
+      };
     Event.Itp_cut { cut = 4; support = 12; nodes = 311 };
     Event.Phase { phase = "itpseq.outer"; step = 3; detail = "k=5" };
     Event.Phase { phase = "cba"; step = -1; detail = "" };
@@ -927,6 +957,315 @@ let test_event_merge_deterministic () =
           | _ -> Alcotest.fail "unexpected kind");
           Hashtbl.replace tbl e.Event.dom e.Event.seq)
         evs)
+
+(* --- shared chrome emitter ---------------------------------------------------- *)
+
+(* The one wire-format authority behind both Trace's chrome sink and
+   Event.to_chrome: every quirk of the format (1-based tids, µs
+   timestamps, escaped args, the "s" scope on instants) must round-trip
+   through the JSON parser. *)
+let test_chrome_emitter_roundtrip () =
+  let b = Buffer.create 128 in
+  Chrome.add_event b ~first:true ~ph:"i" ~name:"cut \"q\"" ~tid:3 ~ts:1.5
+    [ ("detail", "a\nb") ];
+  Chrome.add_event b ~first:false ~ph:"B" ~name:"span" ~tid:0 ~ts:2.0 [];
+  match Json.parse ("[" ^ Buffer.contents b ^ "]") with
+  | Json.Arr [ i; bgn ] ->
+    Alcotest.(check (option string)) "name escaped and back" (Some "cut \"q\"")
+      (Json.opt_str_field "name" i);
+    Alcotest.(check (option string)) "instant is thread-scoped" (Some "t")
+      (Json.opt_str_field "s" i);
+    Alcotest.(check (option int)) "tid is 1-based" (Some 4) (Json.opt_int_field "tid" i);
+    (match Json.field "ts" i with
+    | Some (Json.Num us) -> Alcotest.(check (float 0.01)) "seconds to us" 1.5e6 us
+    | _ -> Alcotest.fail "no ts");
+    (match Json.field "args" i with
+    | Some a ->
+      Alcotest.(check (option string)) "args escaped and back" (Some "a\nb")
+        (Json.opt_str_field "detail" a)
+    | None -> Alcotest.fail "no args");
+    Alcotest.(check (option string)) "ph passes through" (Some "B")
+      (Json.opt_str_field "ph" bgn);
+    Alcotest.(check bool) "no scope on non-instant" true (Json.field "s" bgn = None)
+  | _ -> Alcotest.fail "emitter output is not a two-element JSON array"
+
+(* --- dropped accounting -------------------------------------------------------- *)
+
+let test_event_dropped () =
+  let before = Event.dropped () in
+  Event.emit (Event.Phase { phase = "nobody-listening"; step = -1; detail = "" });
+  Event.emit (Event.Dispatch { worker = 0; bound = 1 });
+  Alcotest.(check int) "consumerless emissions counted" (before + 2) (Event.dropped ());
+  with_recorder (fun _ ->
+      let b = Event.dropped () in
+      Event.emit (Event.Dispatch { worker = 0; bound = 2 });
+      Alcotest.(check int) "consumed emissions not counted" b (Event.dropped ()))
+
+(* A schema-1 stream (no victim histograms) still loads; the arrays
+   decode as empty. *)
+let test_event_schema1_compat () =
+  let path = Filename.temp_file "isr_events" ".jsonl" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "{\"stream\":\"isr-events\",\"schema\":1}\n";
+      output_string oc
+        "{\"ts\":0.500000,\"dom\":0,\"seq\":0,\"ev\":\"reduce\",\"kept\":5,\"dropped\":3,\"lbd\":[1,4]}\n");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Event.read_jsonl path with
+      | [ { Event.kind = Event.Reduce { kept; dropped; lbd; dead_lbd; dead_uses }; _ } ] ->
+        Alcotest.(check int) "kept" 5 kept;
+        Alcotest.(check int) "dropped" 3 dropped;
+        Alcotest.(check int) "lbd decoded" 2 (Array.length lbd);
+        Alcotest.(check int) "dead_lbd defaults empty" 0 (Array.length dead_lbd);
+        Alcotest.(check int) "dead_uses defaults empty" 0 (Array.length dead_uses)
+      | evs -> Alcotest.failf "expected one reduce event, got %d" (List.length evs))
+
+(* --- flight recorder ----------------------------------------------------------- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "isr_flight" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let with_flight ?capacity f =
+  with_tmp_dir (fun dir ->
+      Flight.arm ?capacity ~dir ();
+      Fun.protect ~finally:Flight.disarm (fun () -> f dir))
+
+let test_flight_wraparound () =
+  with_flight ~capacity:8 (fun _dir ->
+      Alcotest.(check bool) "armed" true (Flight.armed ());
+      Alcotest.(check bool) "tap turns emission on" true (Event.enabled ());
+      for i = 0 to 19 do
+        Event.emit (Event.Dispatch { worker = 0; bound = i })
+      done;
+      Alcotest.(check int) "all emissions recorded" 20 (Flight.recorded ());
+      Alcotest.(check int) "overflow evicted" 12 (Flight.evicted ());
+      let evs = Flight.events () in
+      Alcotest.(check int) "ring keeps the last capacity events" 8 (List.length evs);
+      (* Wrap-around must preserve emission order and keep exactly the
+         newest window. *)
+      List.iteri
+        (fun i e ->
+          Alcotest.(check int) "seq window" (12 + i) e.Event.seq;
+          match e.Event.kind with
+          | Event.Dispatch { bound; _ } -> Alcotest.(check int) "payload order" (12 + i) bound
+          | _ -> Alcotest.fail "unexpected kind")
+        evs);
+  Alcotest.(check bool) "disarmed" false (Flight.armed ())
+
+let test_flight_dump_read () =
+  with_flight ~capacity:8 (fun dir ->
+      for i = 0 to 11 do
+        Event.emit (Event.Dispatch { worker = 0; bound = i })
+      done;
+      let live = Flight.events () in
+      match Flight.dump ~reason:"test-dump" () with
+      | None -> Alcotest.fail "dump produced nothing"
+      | Some path ->
+        Alcotest.(check string) "dump lands in the armed dir"
+          (Filename.concat dir "flight.jsonl") path;
+        let meta, evs = Flight.read path in
+        (match meta with
+        | None -> Alcotest.fail "no flight metadata line"
+        | Some m ->
+          Alcotest.(check string) "reason" "test-dump" m.Flight.reason;
+          Alcotest.(check int) "capacity" 8 m.Flight.capacity;
+          Alcotest.(check int) "recorded" 12 m.Flight.recorded;
+          Alcotest.(check int) "evicted" 4 m.Flight.evicted;
+          Alcotest.(check int) "domains" 1 m.Flight.domains);
+        (* The acceptance contract: the dump's events are exactly the
+           live ring window at dump time. *)
+        Alcotest.(check int) "event count matches live ring" (List.length live)
+          (List.length evs);
+        List.iter2
+          (fun (a : Event.t) (b : Event.t) ->
+            Alcotest.(check bool) "kind" true (a.Event.kind = b.Event.kind);
+            Alcotest.(check int) "seq" a.Event.seq b.Event.seq)
+          live evs)
+
+let test_flight_sigusr1 () =
+  with_flight (fun dir ->
+      Flight.install_signals ();
+      for i = 0 to 9 do
+        Event.emit (Event.Dispatch { worker = 0; bound = i })
+      done;
+      Unix.kill (Unix.getpid ()) Sys.sigusr1;
+      (* The handler runs at a safe point; give the runtime some, then
+         service any deferred request exactly like an engine's interrupt
+         hook would. *)
+      for _ = 0 to 99 do
+        ignore (Sys.opaque_identity (Array.make 64 0))
+      done;
+      Flight.poll ();
+      let path = Filename.concat dir "flight.jsonl" in
+      Alcotest.(check bool) "signal left a dump" true (Sys.file_exists path);
+      let meta, evs = Flight.read path in
+      (match meta with
+      | Some m -> Alcotest.(check string) "reason" "sigusr1" m.Flight.reason
+      | None -> Alcotest.fail "no flight metadata");
+      Alcotest.(check int) "events survived" 10 (List.length evs))
+
+let test_flight_guard () =
+  with_flight (fun dir ->
+      Event.emit (Event.Phase { phase = "before-crash"; step = -1; detail = "" });
+      (match Flight.guard (fun () -> failwith "boom") with
+      | _ -> Alcotest.fail "guard swallowed the exception"
+      | exception Failure msg -> Alcotest.(check string) "exception re-raised" "boom" msg);
+      let meta, evs = Flight.read (Filename.concat dir "flight.jsonl") in
+      (match meta with
+      | Some m ->
+        Alcotest.(check string) "reason names the exception" "exception:Failure"
+          m.Flight.reason
+      | None -> Alcotest.fail "no flight metadata");
+      Alcotest.(check int) "the pre-crash tail survived" 1 (List.length evs))
+
+(* --- dashboard ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let ev ts dom seq kind = { Event.ts; dom; seq; kind }
+
+let test_dash_fixture () =
+  (* A canned two-worker race: w0 (dom 4) searches and is cancelled, w1
+     (dom 5) dispatches bound 3 and publishes the verdict. *)
+  let events =
+    [
+      ev 0.00 4 0 (Event.Spawn { worker = 0; engines = "itpseq" });
+      ev 0.01 5 0 (Event.Spawn { worker = 1; engines = "bmc" });
+      ev 0.02 5 1 (Event.Dispatch { worker = 1; bound = 3 });
+      ev 0.10 4 1 (Event.Restart { conflicts = 100; decisions = 50; learnt = 10 });
+      ev 0.60 4 2 (Event.Restart { conflicts = 600; decisions = 80; learnt = 30 });
+      ev 0.65 4 3
+        (Event.Reduce
+           { kept = 20; dropped = 10; lbd = [| 20 |]; dead_lbd = [||]; dead_uses = [||] });
+      ev 0.70 4 4 (Event.Phase { phase = "itpseq.outer"; step = 4; detail = "" });
+      ev 0.90 5 2 (Event.Verdict { worker = 1; verdict = "falsified(d=3)" });
+      ev 0.91 5 3 (Event.Cancel { worker = 0; cause = Event.Race_won; by = 1 });
+    ]
+  in
+  let v = Dash.view events in
+  Alcotest.(check int) "two lanes" 2 (List.length v.Dash.lanes);
+  let l0 = List.nth v.Dash.lanes 0 and l1 = List.nth v.Dash.lanes 1 in
+  Alcotest.(check int) "lanes sorted by worker" 0 l0.Dash.worker;
+  Alcotest.(check string) "engines attributed" "itpseq" l0.Dash.engines;
+  Alcotest.(check int) "dom-only events follow the spawn binding" 600 l0.Dash.conflicts;
+  Alcotest.(check int) "restarts counted" 2 l0.Dash.restarts;
+  Alcotest.(check int) "reduce survivors" 20 l0.Dash.kept;
+  Alcotest.(check int) "phase step advances the bound" 4 l0.Dash.bound;
+  Alcotest.(check bool) "conflict rate from restart deltas" true
+    (Float.abs (l0.Dash.rate -. 1000.0) < 1.0);
+  (match l0.Dash.cancelled with
+  | Some (Event.Race_won, 1) -> ()
+  | _ -> Alcotest.fail "cancellation edge lost");
+  Alcotest.(check int) "dispatch bound" 3 l1.Dash.bound;
+  (match v.Dash.winner with
+  | Some (1, "falsified(d=3)") -> ()
+  | _ -> Alcotest.fail "winner not reconstructed");
+  (* Rendering: race state visible at full width, every line clamped at
+     a narrow one. *)
+  let lines = String.split_on_char '\n' (Dash.render ~width:120 v) in
+  Alcotest.(check bool) "winner line present" true
+    (List.exists (fun l -> contains l "w1" && contains l "falsified(d=3)") lines);
+  Alcotest.(check bool) "cancellation cause shown" true
+    (List.exists (fun l -> contains l "winner-verdict") lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "clamped to width" true (String.length line <= 60))
+    (String.split_on_char '\n' (Dash.render ~width:60 v))
+
+(* Streams without a race lifecycle (sequential runs) fall back to one
+   lane per domain. *)
+let test_dash_sequential () =
+  let events =
+    [
+      ev 0.1 0 0 (Event.Restart { conflicts = 10; decisions = 5; learnt = 2 });
+      ev 0.2 0 1 (Event.Phase { phase = "itpseq.outer"; step = 2; detail = "" });
+    ]
+  in
+  let v = Dash.view events in
+  Alcotest.(check int) "one lane" 1 (List.length v.Dash.lanes);
+  let l = List.hd v.Dash.lanes in
+  Alcotest.(check string) "domain lane label" "d0" (Dash.lane_label l.Dash.worker);
+  Alcotest.(check int) "conflicts folded" 10 l.Dash.conflicts
+
+(* --- clause report -------------------------------------------------------------- *)
+
+let clause_metrics =
+  "{\"clause.born\":100,\"clause.deleted\":40,\"sat.db.reduce\":2,\"clause.birth_lbd\":{\"count\":100,\"sum\":300,\"max\":9,\"buckets\":[{\"le\":2,\"n\":50},{\"le\":4,\"n\":90},{\"le\":8,\"n\":99},{\"le\":16,\"n\":100}]},\"clause.uses_at_death\":{\"count\":40,\"sum\":20,\"max\":4,\"buckets\":[]},\"clause.lbd_drift\":{\"count\":40,\"sum\":10,\"max\":3,\"buckets\":[]},\"clause.core_birth_lbd\":{\"count\":30,\"sum\":60,\"max\":5,\"buckets\":[{\"le\":2,\"n\":20},{\"le\":4,\"n\":28},{\"le\":8,\"n\":30},{\"le\":16,\"n\":30}]}}"
+
+let reduce_ev ts seq ~kept ~dropped ~dead_lbd ~dead_uses =
+  ev ts 0 seq (Event.Reduce { kept; dropped; lbd = [| kept |]; dead_lbd; dead_uses })
+
+let test_clause_report () =
+  let events =
+    [
+      reduce_ev 0.5 0 ~kept:60 ~dropped:25 ~dead_lbd:[| 0; 5; 20 |]
+        ~dead_uses:[| 20; 5 |];
+      reduce_ev 0.9 1 ~kept:60 ~dropped:15 ~dead_lbd:[| 0; 3; 12 |]
+        ~dead_uses:[| 10; 5 |];
+    ]
+  in
+  let r = Clause_report.of_run ~metrics:(Some (Json.parse clause_metrics)) ~events in
+  Alcotest.(check int) "born" 100 r.Clause_report.born;
+  Alcotest.(check int) "deleted" 40 r.Clause_report.deleted;
+  Alcotest.(check int) "kept pins born - deleted" 60 r.Clause_report.kept;
+  Alcotest.(check int) "reductions" 2 r.Clause_report.reduces;
+  (match r.Clause_report.birth_lbd with
+  | Some h ->
+    Alcotest.(check int) "birth hist count" 100 h.Clause_report.count;
+    Alcotest.(check (float 1e-9)) "birth hist mean" 3.0 h.Clause_report.mean
+  | None -> Alcotest.fail "birth_lbd hist missing");
+  Alcotest.(check int) "event victims sum to deleted" 40
+    (Array.fold_left ( + ) 0 r.Clause_report.ev_dead_lbd);
+  Alcotest.(check int) "timeline in stream order" 2
+    (List.length r.Clause_report.ev_timeline);
+  Alcotest.(check (list string)) "a consistent run has no violations" []
+    r.Clause_report.violations;
+  (* pp must render without raising; spot-check the headline. *)
+  let txt = Format.asprintf "%a" Clause_report.pp r in
+  Alcotest.(check bool) "headline rendered" true
+    (contains txt "born 100, deleted 40, kept 60");
+  (* Degraded inputs: no metrics at all still yields the event side. *)
+  let r' = Clause_report.of_run ~metrics:None ~events in
+  Alcotest.(check int) "no metrics: event histograms survive" 40
+    (Array.fold_left ( + ) 0 r'.Clause_report.ev_dead_uses)
+
+let test_clause_report_violations () =
+  (* uses_at_death disagrees with the deleted counter, and one event's
+     victim histogram does not sum to its dropped count. *)
+  let metrics =
+    "{\"clause.born\":10,\"clause.deleted\":4,\"clause.uses_at_death\":{\"count\":3,\"sum\":1,\"max\":1,\"buckets\":[]}}"
+  in
+  let events =
+    [ reduce_ev 0.5 0 ~kept:6 ~dropped:4 ~dead_lbd:[| 1; 1 |] ~dead_uses:[| 4 |] ]
+  in
+  let r = Clause_report.of_run ~metrics:(Some (Json.parse metrics)) ~events in
+  Alcotest.(check int) "both violations detected" 2
+    (List.length r.Clause_report.violations);
+  let txt = Format.asprintf "%a" Clause_report.pp r in
+  Alcotest.(check bool) "violations rendered loudly" true
+    (contains txt "INVARIANT VIOLATIONS");
+  (* deleted > born is the third family. *)
+  let r' =
+    Clause_report.of_run
+      ~metrics:(Some (Json.parse "{\"clause.born\":3,\"clause.deleted\":7}"))
+      ~events:[]
+  in
+  Alcotest.(check bool) "deleted beyond born flagged" true
+    (r'.Clause_report.violations <> [])
 
 (* --- ledger -------------------------------------------------------------------- *)
 
@@ -1052,6 +1391,28 @@ let () =
           Alcotest.test_case "chrome export" `Quick test_event_chrome;
           Alcotest.test_case "deterministic multi-domain merge" `Quick
             test_event_merge_deterministic;
+          Alcotest.test_case "shared chrome emitter round trip" `Quick
+            test_chrome_emitter_roundtrip;
+          Alcotest.test_case "dropped accounting" `Quick test_event_dropped;
+          Alcotest.test_case "schema-1 compatibility" `Quick test_event_schema1_compat;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring wrap-around ordering" `Quick test_flight_wraparound;
+          Alcotest.test_case "dump and read back" `Quick test_flight_dump_read;
+          Alcotest.test_case "SIGUSR1 dumps" `Quick test_flight_sigusr1;
+          Alcotest.test_case "guard dumps on exception" `Quick test_flight_guard;
+        ] );
+      ( "dash",
+        [
+          Alcotest.test_case "multi-domain race fixture" `Quick test_dash_fixture;
+          Alcotest.test_case "sequential fallback lanes" `Quick test_dash_sequential;
+        ] );
+      ( "clauses",
+        [
+          Alcotest.test_case "report from metrics and events" `Quick test_clause_report;
+          Alcotest.test_case "sum-pinning violations detected" `Quick
+            test_clause_report_violations;
         ] );
       ( "ledger",
         [
@@ -1071,6 +1432,7 @@ let () =
           Alcotest.test_case "rate limit with fake clock" `Quick test_progress_rate_limit;
           Alcotest.test_case "jsonl parse-back" `Quick test_progress_jsonl;
           Alcotest.test_case "tty line termination" `Quick test_progress_tty_finish;
+          Alcotest.test_case "tty width clamp" `Quick test_progress_width_clamp;
           Alcotest.test_case "global reporter" `Quick test_progress_global;
         ] );
       ( "resource",

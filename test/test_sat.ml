@@ -196,14 +196,20 @@ let test_reduce_fires () =
   let deleted_total = ref 0 in
   let lbd_snapshots = ref 0 in
   let lbd_mismatches = ref 0 in
+  let dead_mismatches = ref 0 in
   Solver.on_reduce s
     (Some
-       (fun ~kept ~deleted ~lbd ->
-         deleted_total := !deleted_total + deleted;
+       (fun (ri : Solver.reduce_info) ->
+         deleted_total := !deleted_total + ri.Solver.deleted;
          incr lbd_snapshots;
          (* The survivor snapshot must account for every kept learnt
-            clause. *)
-         if Array.fold_left ( + ) 0 lbd <> kept then incr lbd_mismatches));
+            clause, and the victim histograms for every deleted one. *)
+         if Array.fold_left ( + ) 0 ri.Solver.kept_lbd <> ri.Solver.kept then
+           incr lbd_mismatches;
+         let sum = Array.fold_left ( + ) 0 in
+         if sum ri.Solver.dead_lbd <> ri.Solver.deleted then incr dead_mismatches;
+         if sum ri.Solver.dead_uses <> ri.Solver.deleted then incr dead_mismatches;
+         if sum ri.Solver.dead_drift <> ri.Solver.deleted then incr dead_mismatches));
   for _ = 1 to nv do
     ignore (Solver.new_var s)
   done;
@@ -213,6 +219,7 @@ let test_reduce_fires () =
   Alcotest.(check bool) "observer saw deletions" true (!deleted_total > 0);
   Alcotest.(check bool) "lbd snapshots delivered" true (!lbd_snapshots > 0);
   Alcotest.(check int) "every lbd snapshot sums to kept" 0 !lbd_mismatches;
+  Alcotest.(check int) "every dead histogram sums to deleted" 0 !dead_mismatches;
   let p = Solver.proof s in
   Alcotest.(check int) "every deletion logged" !deleted_total
     (Array.length p.Proof.deletions);
@@ -221,6 +228,40 @@ let test_reduce_fires () =
   match Proof_check.check p with
   | Ok () -> ()
   | Error e -> Alcotest.failf "proof after reduction: %a" Proof_check.pp_error e
+
+(* Clause-lifecycle sum pinning: the cumulative histograms must account
+   for every clause ever born or deleted, and the proof core must be a
+   per-bucket subset of everything born. *)
+let test_clause_lifecycle_invariants () =
+  let nv, cls = pigeonhole 6 in
+  let s = Solver.create () in
+  Solver.set_reduce s { Solver.enabled = true; base = 30; growth = 1.1; keep_lbd = 2 };
+  for _ = 1 to nv do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (fun c -> Solver.add_clause s c) cls;
+  Alcotest.(check bool) "php 6 unsat" true (Solver.solve s = Solver.Unsat);
+  let sum = Array.fold_left ( + ) 0 in
+  let born = Solver.num_learnt s and deleted = Solver.num_deleted s in
+  Alcotest.(check bool) "clauses were born and deleted" true (born > 0 && deleted > 0);
+  Alcotest.(check int) "kept + deleted = born" born
+    (Solver.num_live_learnt s + deleted);
+  Alcotest.(check int) "birth histogram sums to born" born
+    (sum (Solver.birth_lbd_counts s));
+  Alcotest.(check int) "death-LBD histogram sums to deleted" deleted
+    (sum (Solver.dead_lbd_counts s));
+  Alcotest.(check int) "uses histogram sums to deleted" deleted
+    (sum (Solver.dead_uses_counts s));
+  Alcotest.(check int) "drift histogram sums to deleted" deleted
+    (sum (Solver.dead_drift_counts s));
+  Alcotest.(check bool) "refutation exists" true (Solver.refuted s);
+  let core = Solver.core_birth_lbd s and birth = Solver.birth_lbd_counts s in
+  Alcotest.(check bool) "proof core is nonempty" true (sum core > 0);
+  Alcotest.(check bool) "core within born" true (sum core <= born);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) "core bucket within birth bucket" true (c <= birth.(i)))
+    core
 
 let test_set_reduce_validates () =
   let s = Solver.create () in
@@ -456,6 +497,8 @@ let () =
           Alcotest.test_case "contradictory assumptions" `Quick test_contradictory_assumptions;
           Alcotest.test_case "interrupt" `Quick test_interrupt;
           Alcotest.test_case "database reduction" `Quick test_reduce_fires;
+          Alcotest.test_case "clause lifecycle invariants" `Quick
+            test_clause_lifecycle_invariants;
           Alcotest.test_case "reduce policy validation" `Quick test_set_reduce_validates;
         ] );
       ("lit", [ Alcotest.test_case "roundtrips" `Quick test_lit_roundtrip ]);
