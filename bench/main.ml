@@ -588,6 +588,128 @@ let par_cmd =
       const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ jobs_arg $ names_arg
       $ repeat_arg $ out_arg $ check_arg $ trace_arg $ metrics_arg $ progress_arg)
 
+(* --- share (isolated race vs clause-sharing race) ----------------------------------- *)
+
+let share_cmd =
+  let run time bound conflicts jobs lbd len names repeat out_path check trace metrics
+      progress =
+    with_obs ~check ~progress ~trace ~metrics (fun ~record:_ ->
+        let limits = limits_of ~time ~bound ~conflicts in
+        let filter = { Isr_par.Share.max_lbd = lbd; max_len = len } in
+        let names = if names = [] then par_default_benches else names in
+        let entries =
+          List.map
+            (fun n ->
+              match Registry.find n with
+              | Some e -> e
+              | None ->
+                prerr_endline
+                  (Printf.sprintf "isr-bench: no benchmark named %S" n);
+                exit 2)
+            names
+        in
+        let median times =
+          let a = List.sort compare times in
+          List.nth a (List.length a / 2)
+        in
+        let disagreements = ref 0 in
+        Format.fprintf out "%-12s %-10s %-10s %9s %9s %8s %7s %7s@." "bench" "seq"
+          "share" "seq[s]" "share[s]" "speedup" "import" "export";
+        let runs =
+          List.concat_map
+            (fun (entry : Registry.entry) ->
+              let model = Registry.build_validated entry in
+              let seq = List.init repeat (fun _ -> Portfolio.verify ~limits model) in
+              let shr =
+                List.init repeat (fun _ ->
+                    Isr_par.portfolio ~jobs ~share:filter ~limits model)
+              in
+              let describe = function
+                | Verdict.Proved _ -> "pass"
+                | Verdict.Falsified _ -> "fail"
+                | Verdict.Unknown _ -> "unknown"
+              in
+              let sv = fst (List.hd seq) and pv = fst (List.hd shr) in
+              (* Imports are re-derived against the importer's own clause
+                 database, so sharing must never flip a verdict; gate on
+                 any divergence from the sequential schedule. *)
+              if
+                Verdict.is_proved sv <> Verdict.is_proved pv
+                || Verdict.is_falsified sv <> Verdict.is_falsified pv
+              then incr disagreements;
+              let t_of rs = median (List.map (fun (_, s) -> Verdict.time s) rs) in
+              let ts = t_of seq and tp = t_of shr in
+              let stats = snd (List.hd shr) in
+              Format.fprintf out "%-12s %-10s %-10s %9.3f %9.3f %7.2fx %7d %7d@."
+                entry.Registry.name (describe sv) (describe pv) ts tp
+                (if tp > 0.0 then ts /. tp else Float.nan)
+                (Verdict.shared_imported stats)
+                (Verdict.shared_exported stats);
+              [
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"portfolio-seq" seq;
+                Isr_exp.Bench_store.mk_run ~bench:entry.Registry.name
+                  ~engine:"portfolio-share" shr;
+              ])
+            entries
+        in
+        let store =
+          Isr_exp.Bench_store.make ~suite:"share" ~repeat ~time_limit:time runs
+        in
+        Isr_exp.Bench_store.save out_path store;
+        Format.fprintf out "wrote %s: %d runs (%d instances, repeat %d)@." out_path
+          (List.length runs) (List.length entries) repeat;
+        if !disagreements > 0 then begin
+          Format.fprintf out "%d verdict disagreement(s) between modes@." !disagreements;
+          Format.pp_print_flush out ();
+          exit 3
+        end)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Domains to race ($(b,0) = the machine's recommended count).")
+  in
+  let lbd_arg =
+    Arg.(
+      value & opt int Isr_par.Share.default_filter.Isr_par.Share.max_lbd
+      & info [ "lbd" ] ~docv:"N" ~doc:"Export clauses with glue <= $(docv).")
+  in
+  let len_arg =
+    Arg.(
+      value & opt int Isr_par.Share.default_filter.Isr_par.Share.max_len
+      & info [ "len" ] ~docv:"N" ~doc:"... or length <= $(docv).")
+  in
+  let names_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "name" ] ~docv:"BENCH"
+          ~doc:"Benchmark to include (repeatable); default: the par suite's set, \
+                so the snapshot diffs against BENCH_par.json.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"N" ~doc:"Samples per (instance, mode) cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_share.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "share"
+       ~doc:"Race the clause-sharing portfolio against the sequential schedule on \
+             the par suite's instances, check every verdict agrees (sharing must \
+             never flip one), report import/export traffic, and persist both \
+             sides as a snapshot comparable with BENCH_par.json")
+    Term.(
+      const run $ time_arg 10.0 $ bound_arg $ conflicts_arg $ jobs_arg $ lbd_arg
+      $ len_arg $ names_arg $ repeat_arg $ out_arg $ check_arg $ trace_arg
+      $ metrics_arg $ progress_arg)
+
 (* --- preprocess (static analysis off vs on) ----------------------------------------- *)
 
 let preprocess_cmd =
@@ -915,7 +1037,7 @@ let () =
       [
         table1_cmd; fig6_cmd; fig7_cmd; ablation_checks_cmd; ablation_alpha_cmd;
         ablation_systems_cmd; abstraction_cmd; extended_cmd; kernels_cmd;
-        snapshot_cmd; regress_cmd; par_cmd; preprocess_cmd; reduce_cmd;
+        snapshot_cmd; regress_cmd; par_cmd; share_cmd; preprocess_cmd; reduce_cmd;
       ]
   in
   exit (Cmd.eval group)

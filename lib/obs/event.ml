@@ -8,12 +8,16 @@
 
 (* Schema 2 extends Reduce with the victims' LBD and use-count
    histograms (clause-lifecycle analytics); readers accept schema-1
-   streams, where those arrays decode as empty. *)
-let schema_version = 2
+   streams, where those arrays decode as empty.  Schema 3 adds the
+   [Share] clause-traffic event and the [Exhausted] cancellation cause.
+   [write_jsonl] stamps the lowest schema that covers the stream, so a
+   recording without schema-3 features stays loadable by schema-2
+   readers (which skip unknown events/causes anyway). *)
+let schema_version = 3
 
 let min_schema_version = 1
 
-type cause = Race_won | Deadline | Min_depth
+type cause = Race_won | Deadline | Min_depth | Exhausted
 
 type kind =
   | Restart of { conflicts : int; decisions : int; learnt : int }
@@ -37,6 +41,7 @@ type kind =
       latches_before : int;
       latches_after : int;
     }
+  | Share of { worker : int; exported : int; imported : int; dropped : int }
 
 type t = { ts : float; dom : int; seq : int; kind : kind }
 
@@ -44,15 +49,17 @@ let cause_name = function
   | Race_won -> "winner"
   | Deadline -> "deadline"
   | Min_depth -> "min-depth"
+  | Exhausted -> "exhausted"
 
 let cause_of_name = function
   | "winner" -> Some Race_won
   | "deadline" -> Some Deadline
   | "min-depth" -> Some Min_depth
+  | "exhausted" -> Some Exhausted
   | _ -> None
 
-let cause_code = function Race_won -> 0 | Deadline -> 1 | Min_depth -> 2
-let cause_of_code = function 0 -> Race_won | 1 -> Deadline | _ -> Min_depth
+let cause_code = function Race_won -> 0 | Deadline -> 1 | Min_depth -> 2 | Exhausted -> 3
+let cause_of_code = function 0 -> Race_won | 1 -> Deadline | 3 -> Exhausted | _ -> Min_depth
 
 (* --- recording --------------------------------------------------------- *)
 
@@ -167,7 +174,8 @@ let record r ~ts ~dom kind =
           | Dispatch _ -> 5
           | Cancel _ -> 6
           | Verdict _ -> 7
-          | Analyze _ -> 8);
+          | Analyze _ -> 8
+          | Share _ -> 9);
         push b (ns_of_ts ts);
         (match kind with
         | Restart { conflicts; decisions; learnt } ->
@@ -209,7 +217,12 @@ let record r ~ts ~dom kind =
           push b ands_before;
           push b ands_after;
           push b latches_before;
-          push b latches_after);
+          push b latches_after
+        | Share { worker; exported; imported; dropped } ->
+          push b worker;
+          push b exported;
+          push b imported;
+          push b dropped);
         r.nevents <- r.nevents + 1)
 
 let emit kind =
@@ -274,6 +287,15 @@ let decode_domain r dom (b : buf) =
               latches_after = b.a.(p + 4);
             },
           p + 5 )
+      | 9 ->
+        ( Share
+            {
+              worker = b.a.(p);
+              exported = b.a.(p + 1);
+              imported = b.a.(p + 2);
+              dropped = b.a.(p + 3);
+            },
+          p + 4 )
       | c -> invalid_arg (Printf.sprintf "Event.decode: bad code %d" c)
     in
     out := { ts; dom; seq = !seq; kind } :: !out;
@@ -349,18 +371,37 @@ let json_of_event e =
     Buffer.add_string b
       (Printf.sprintf
          "\"analyze\",\"pass\":%s,\"ands_before\":%d,\"ands_after\":%d,\"latches_before\":%d,\"latches_after\":%d"
-         (Json.quote pass) ands_before ands_after latches_before latches_after));
+         (Json.quote pass) ands_before ands_after latches_before latches_after)
+  | Share { worker; exported; imported; dropped } ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"share\",\"worker\":%d,\"exported\":%d,\"imported\":%d,\"dropped\":%d" worker
+         exported imported dropped));
   Buffer.add_char b '}';
   Buffer.contents b
 
+(* The lowest header version that covers the stream: schema-2 readers
+   must keep loading recordings that use no schema-3 feature. *)
+let schema_needed evs =
+  if
+    List.exists
+      (fun e ->
+        match e.kind with
+        | Share _ | Cancel { cause = Exhausted; _ } -> true
+        | _ -> false)
+      evs
+  then schema_version
+  else 2
+
 let write_jsonl r oc =
+  let evs = events r in
   output_string oc
-    (Printf.sprintf "{\"stream\":\"isr-events\",\"schema\":%d}\n" schema_version);
+    (Printf.sprintf "{\"stream\":\"isr-events\",\"schema\":%d}\n" (schema_needed evs));
   List.iter
     (fun e ->
       output_string oc (json_of_event e);
       output_char oc '\n')
-    (events r)
+    evs
 
 let event_of_json j =
   match Json.field "ev" j with
@@ -418,6 +459,15 @@ let event_of_json j =
                latches_before = num "latches_before";
                latches_after = num "latches_after";
              })
+      | "share" ->
+        Some
+          (Share
+             {
+               worker = num "worker";
+               exported = num "exported";
+               imported = num "imported";
+               dropped = num "dropped";
+             })
       | _ -> None
     in
     match kind with
@@ -471,6 +521,8 @@ let chrome_name = function
   | Verdict { worker; verdict } -> Printf.sprintf "w%d wins: %s" worker verdict
   | Analyze { pass; ands_before; ands_after; _ } ->
     Printf.sprintf "analyze.%s %d->%d" pass ands_before ands_after
+  | Share { worker; exported; imported; _ } ->
+    Printf.sprintf "share w%d %d>/%d<" worker exported imported
 
 let to_chrome evs =
   let b = Buffer.create 4096 in

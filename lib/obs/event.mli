@@ -24,15 +24,20 @@
     in the same order. *)
 
 val schema_version : int
-(** Version stamped into every JSONL export header; readers reject
-    streams with a version they do not understand.  Schema 2 added the
+(** Highest schema this reader understands; {!write_jsonl} stamps the
+    {e lowest} version that covers the stream, so older readers keep
+    loading recordings that use no newer feature.  Schema 2 added the
     [dead_lbd]/[dead_uses] arrays to {!kind.Reduce}; schema-1 streams
-    still load (the arrays decode as empty). *)
+    still load (the arrays decode as empty).  Schema 3 added
+    {!kind.Share} and the [Exhausted] cause — schema-2 readers skip
+    those lines (unknown events and causes decode as [None]). *)
 
 type cause =
   | Race_won   (** a racing worker published a definitive verdict *)
   | Deadline   (** the wall-clock or conflict budget expired *)
   | Min_depth  (** a shallower counterexample made the bound doomed *)
+  | Exhausted  (** the worker ran out of work (its whole member slate
+                   answered bound-limited) before any budget expired *)
 
 type kind =
   | Restart of { conflicts : int; decisions : int; learnt : int }
@@ -72,6 +77,11 @@ type kind =
       latches_after : int;
     }
       (** one static-analysis pass applied: model size before/after *)
+  | Share of { worker : int; exported : int; imported : int; dropped : int }
+      (** clause-sharing traffic: cumulative counts for [worker] at an
+          import round — clauses exported to its ring, peers' clauses
+          imported (re-derived locally), and candidates dropped (not a
+          local consequence, or already satisfied) *)
 
 type t = {
   ts : float;  (** monotonic {!Clock} time *)
@@ -129,8 +139,8 @@ val json_of_event : t -> string
 (** One JSON object, single line. *)
 
 val write_jsonl : recorder -> out_channel -> unit
-(** Header line (schema version) followed by one line per merged
-    event. *)
+(** Header line (the lowest schema version covering the stream's
+    features) followed by one line per merged event. *)
 
 val event_of_json : Json.t -> t option
 (** Inverse of {!json_of_event}; [None] for header or foreign lines. *)

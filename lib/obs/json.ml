@@ -84,16 +84,45 @@ let parse (s : string) : t =
         | Some 'b' -> Buffer.add_char b '\b'
         | Some 'f' -> Buffer.add_char b '\012'
         | Some 'u' ->
-          if !pos + 4 >= n then fail "truncated \\u escape";
-          let code =
-            match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
-            | Some c -> c
-            | None -> fail "bad \\u escape"
+          (* [!pos] is on the 'u'; the four hex digits follow it. *)
+          let hex4 at =
+            if at + 4 > n then fail "truncated \\u escape";
+            let digit c =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+              | _ -> fail "bad \\u escape"
+            in
+            (digit s.[at] lsl 12)
+            lor (digit s.[at + 1] lsl 8)
+            lor (digit s.[at + 2] lsl 4)
+            lor digit s.[at + 3]
           in
+          let code = hex4 (!pos + 1) in
           pos := !pos + 4;
-          (* Basic-multilingual-plane only; enough for our own files. *)
-          if code < 0x80 then Buffer.add_char b (Char.chr code)
-          else Buffer.add_char b '?'
+          if code >= 0xD800 && code <= 0xDBFF then
+            (* High surrogate: combine with an immediately following low
+               surrogate into one scalar; a lone one becomes U+FFFD
+               rather than invalid UTF-8. *)
+            if
+              !pos + 2 < n
+              && s.[!pos + 1] = '\\'
+              && s.[!pos + 2] = 'u'
+              &&
+              let lo = hex4 (!pos + 3) in
+              lo >= 0xDC00 && lo <= 0xDFFF
+            then begin
+              let lo = hex4 (!pos + 3) in
+              pos := !pos + 6;
+              Buffer.add_utf_8_uchar b
+                (Uchar.of_int (0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)))
+            end
+            else Buffer.add_utf_8_uchar b Uchar.rep
+          else if code >= 0xDC00 && code <= 0xDFFF then
+            (* Lone low surrogate. *)
+            Buffer.add_utf_8_uchar b Uchar.rep
+          else Buffer.add_utf_8_uchar b (Uchar.of_int code)
         | _ -> fail "bad escape");
         advance ();
         go ()

@@ -3,6 +3,116 @@ open Isr_model
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Learnt-clause exchange between racing domains.  Each worker owns a
+   bounded export ring (mutex-striped: one lock per exporter, never a
+   global one); its budgeted SAT calls push eligible learnt clauses in
+   as they are born, and every peer drains the ring at its own conflict
+   slice boundaries through {!Isr_sat.Solver.import_clause} — which
+   re-derives each candidate against the importer's own clause database
+   and logs a real resolution chain, so certification never depends on a
+   foreign domain's proof log.  A full ring overwrites its oldest
+   entries: exporters never block, slow importers lose stale clauses. *)
+module Share = struct
+  type filter = { max_lbd : int; max_len : int }
+
+  (* Glue <= 4 or length <= 8: the classic HordeSat-flavoured "cheap and
+     likely reusable" slice of the learnt stream. *)
+  let default_filter = { max_lbd = 4; max_len = 8 }
+
+  let eligible f ~lits ~lbd = lbd <= f.max_lbd || Array.length lits <= f.max_len
+
+  type entry = { e_lits : Isr_sat.Lit.t array; e_lbd : int }
+
+  (* [head] counts entries ever written; slot = seq mod capacity. *)
+  type ring = { lock : Mutex.t; buf : entry array; mutable head : int }
+
+  let capacity = 256
+
+  type t = {
+    filter : filter;
+    rings : ring array;        (* exporter -> its ring *)
+    cursors : int array array; (* cursors.(importer).(exporter) = next seq *)
+    exported : int array;      (* cumulative per-worker traffic counts; *)
+    imported : int array;      (* each cell is only ever written by its *)
+    dropped : int array;       (* own worker's domain *)
+  }
+
+  let create ~jobs filter =
+    let dummy = { e_lits = [||]; e_lbd = 0 } in
+    {
+      filter;
+      rings =
+        Array.init jobs (fun _ ->
+            { lock = Mutex.create (); buf = Array.make capacity dummy; head = 0 });
+      cursors = Array.make_matrix jobs jobs 0;
+      exported = Array.make jobs 0;
+      imported = Array.make jobs 0;
+      dropped = Array.make jobs 0;
+    }
+
+  (* The budget layer's ambient share context for [worker]: install with
+     [Budget.with_share] inside the worker's domain. *)
+  let attach h ~worker =
+    let nw = Array.length h.rings in
+    let export ~lits ~lbd =
+      eligible h.filter ~lits ~lbd
+      && begin
+           let r = h.rings.(worker) in
+           Mutex.protect r.lock (fun () ->
+               r.buf.(r.head mod capacity) <- { e_lits = lits; e_lbd = lbd };
+               r.head <- r.head + 1);
+           h.exported.(worker) <- h.exported.(worker) + 1;
+           true
+         end
+    in
+    let import solver =
+      let imported = ref 0 and satisfied = ref 0 and dropped = ref 0 in
+      for peer = 0 to nw - 1 do
+        if peer <> worker then begin
+          let r = h.rings.(peer) in
+          (* Snapshot under the lock, re-derive outside it: importing
+             runs unit propagation and must not stall the exporter. *)
+          let batch =
+            Mutex.protect r.lock (fun () ->
+                let first = max h.cursors.(worker).(peer) (r.head - capacity) in
+                let n = r.head - first in
+                h.cursors.(worker).(peer) <- r.head;
+                Array.init n (fun i -> r.buf.((first + i) mod capacity)))
+          in
+          Array.iter
+            (fun e ->
+              match
+                Isr_sat.Solver.import_clause solver ~lbd:e.e_lbd
+                  (Array.to_list e.e_lits)
+              with
+              | `Imported -> incr imported
+              | `Satisfied -> incr satisfied
+              | `Dropped -> incr dropped)
+            batch
+        end
+      done;
+      h.imported.(worker) <- h.imported.(worker) + !imported;
+      h.dropped.(worker) <- h.dropped.(worker) + !satisfied + !dropped;
+      if !imported + !satisfied + !dropped > 0 && Isr_obs.Event.enabled () then
+        Isr_obs.Event.emit
+          (Isr_obs.Event.Share
+             {
+               worker;
+               exported = h.exported.(worker);
+               imported = h.imported.(worker);
+               dropped = h.dropped.(worker);
+             });
+      (!imported, !satisfied, !dropped)
+    in
+    { Budget.export; import }
+end
+
+(* Run [body] under [worker]'s share context when a hub is present. *)
+let with_share_ctx hub ~worker body =
+  match hub with
+  | None -> body ()
+  | Some h -> Budget.with_share (Share.attach h ~worker) body
+
 (* Round-robin partition of the portfolio across [jobs] domains, keeping
    the sequential order (cheap members first) inside each group so a
    2-way race still tries random simulation before PDR. *)
@@ -60,12 +170,13 @@ let with_analysis ?analyze model k =
     Isr_obs.Metrics.merge ~into:(Verdict.registry stats) areg;
     (verdict, stats)
 
-let portfolio_race ~jobs ~limits ~members model =
+let portfolio_race ~jobs ~limits ~share ~members model =
   let t0 = Isr_obs.Clock.now () in
   let cancel = Atomic.make false in
   let winner : (Portfolio.member * Verdict.t) option Atomic.t = Atomic.make None in
   let groups = partition jobs members in
   let ngroups = List.length groups in
+  let hub = Option.map (fun f -> Share.create ~jobs:ngroups f) share in
   (* Each racer gets the whole wall-clock budget: the race trades cores
      for latency, it does not split the deadline. *)
   let run_one member =
@@ -81,6 +192,7 @@ let portfolio_race ~jobs ~limits ~members model =
      deadline self-edge. *)
   let worker w group () =
     Budget.with_cancel cancel @@ fun () ->
+    with_share_ctx hub ~worker:w @@ fun () ->
     if Isr_obs.Event.enabled () then
       Isr_obs.Event.emit
         (Isr_obs.Event.Spawn
@@ -113,9 +225,28 @@ let portfolio_race ~jobs ~limits ~members model =
               Some (verdict, stats))
         group
     in
-    if Isr_obs.Event.enabled () && (not !i_won) && not (Atomic.get cancel) then
+    if Isr_obs.Event.enabled () && (not !i_won) && not (Atomic.get cancel) then begin
+      (* Why did this lane stop?  A slate that ran to completion with
+         every member merely bound-limited was exhausted, not starved of
+         budget — report it as such so explain-race/top don't blame a
+         deadline that never fired. *)
+      let exhausted =
+        outs <> []
+        && List.for_all
+             (fun (v, _) ->
+               match v with
+               | Verdict.Unknown (Verdict.Bound_limit _) -> true
+               | _ -> false)
+             outs
+      in
       Isr_obs.Event.emit
-        (Isr_obs.Event.Cancel { worker = w; cause = Isr_obs.Event.Deadline; by = w });
+        (Isr_obs.Event.Cancel
+           {
+             worker = w;
+             cause = (if exhausted then Isr_obs.Event.Exhausted else Isr_obs.Event.Deadline);
+             by = w;
+           })
+    end;
     outs
   in
   let total = Verdict.mk_stats () in
@@ -140,7 +271,7 @@ let portfolio_race ~jobs ~limits ~members model =
     ( Verdict.Unknown (unknown_of_outcomes (List.map fst outcomes) Verdict.Time_limit),
       total )
 
-let portfolio ?(jobs = 0) ?analyze ?(limits = Budget.default_limits) model =
+let portfolio ?(jobs = 0) ?analyze ?share ?(limits = Budget.default_limits) model =
   with_analysis ?analyze model @@ fun model ->
   let jobs = if jobs <= 0 then default_jobs () else jobs in
   let members = List.map snd Portfolio.members in
@@ -148,9 +279,10 @@ let portfolio ?(jobs = 0) ?analyze ?(limits = Budget.default_limits) model =
   if jobs = 1 then
     (* One domain racing nobody would give every member the whole
        deadline in turn — strictly worse than the sequential slice
-       schedule, so fall back to it. *)
+       schedule, so fall back to it (there is nobody to share with
+       either). *)
     Portfolio.verify ~limits model
-  else portfolio_race ~jobs ~limits ~members model
+  else portfolio_race ~jobs ~limits ~share ~members model
 
 (* Bound-parallel BMC probes.
 
@@ -166,10 +298,19 @@ let portfolio ?(jobs = 0) ?analyze ?(limits = Budget.default_limits) model =
    true minimal depth, exactly as in sequential deepening.  Races on
    [best]/[current] are benign: at worst a doomed probe runs to
    completion, never a wrong verdict. *)
-let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?analyze ?(limits = Budget.default_limits) model =
+let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?analyze ?share ?(limits = Budget.default_limits)
+    model =
   with_analysis ?analyze model @@ fun model ->
   let jobs = if jobs <= 0 then default_jobs () else jobs in
-  let jobs = max 1 (min jobs (limits.Budget.bound_limit + 1)) in
+  (* There are [bound_limit + 1] bounds to probe (0 included), so more
+     workers than that would idle — but [bound_limit] is [max_int] for
+     unlimited-bound runs and the [+ 1] must not wrap to [min_int]. *)
+  let bound_cap =
+    if limits.Budget.bound_limit >= max_int - 1 then max_int
+    else limits.Budget.bound_limit + 1
+  in
+  let jobs = max 1 (min jobs bound_cap) in
+  let hub = Option.map (fun f -> Share.create ~jobs f) share in
   let t0 = Isr_obs.Clock.now () in
   let next = Atomic.make 0 in
   let best = Atomic.make max_int in
@@ -197,6 +338,7 @@ let bmc ?(check = Bmc.Exact) ?(jobs = 0) ?analyze ?(limits = Budget.default_limi
   in
   let worker i () =
     Budget.with_cancel tokens.(i) @@ fun () ->
+    with_share_ctx hub ~worker:i @@ fun () ->
     if Isr_obs.Event.enabled () then
       Isr_obs.Event.emit (Isr_obs.Event.Spawn { worker = i; engines = "bmc" });
     let budget = Budget.start limits in

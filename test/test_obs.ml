@@ -807,6 +807,35 @@ let test_json_parse_render () =
   Alcotest.(check string) "float_ kills inf" "0" (Json.float_ Float.infinity);
   Alcotest.(check string) "float_ integral" "42" (Json.float_ 42.0)
 
+(* \uXXXX decoding beyond the BMP: surrogate pairs combine, lone
+   surrogates degrade to U+FFFD instead of corrupting the buffer, and
+   whatever the parser produced survives a quote/parse round trip. *)
+let test_json_surrogates () =
+  (match Json.parse "\"\\uD83D\\uDE00\"" with
+  | Json.Str s -> Alcotest.(check string) "surrogate pair combines" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.parse "\"a\\uD83Db\"" with
+  | Json.Str s ->
+    Alcotest.(check string) "lone high surrogate replaced" "a\xef\xbf\xbdb" s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.parse "\"\\uDC00\"" with
+  | Json.Str s -> Alcotest.(check string) "lone low surrogate replaced" "\xef\xbf\xbd" s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.parse "\"\\uD83D\\u0041\"" with
+  | Json.Str s ->
+    Alcotest.(check string) "unpaired high then BMP escape" "\xef\xbf\xbdA" s
+  | _ -> Alcotest.fail "expected a string");
+  (* Malformed hex must fail loudly, not silently truncate. *)
+  (match Json.parse "\"\\uD8G0\"" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad hex accepted");
+  (* The escaper passes non-ASCII bytes through raw, so decoded
+     astral-plane text survives a full quote/parse cycle. *)
+  let s = "mix \xf0\x9f\x98\x80 and \xe2\x82\xac" in
+  match Json.parse (Json.quote s) with
+  | Json.Str s' -> Alcotest.(check string) "UTF-8 quote round trip" s s'
+  | _ -> Alcotest.fail "expected a string"
+
 (* --- quantile pinning -------------------------------------------------------- *)
 
 let test_quantile_pinned () =
@@ -851,6 +880,8 @@ let all_kinds =
     Event.Cancel { worker = 0; cause = Event.Race_won; by = 1 };
     Event.Cancel { worker = 2; cause = Event.Deadline; by = 2 };
     Event.Cancel { worker = 3; cause = Event.Min_depth; by = 1 };
+    Event.Cancel { worker = 4; cause = Event.Exhausted; by = 4 };
+    Event.Share { worker = 1; exported = 120; imported = 34; dropped = 7 };
     Event.Verdict { worker = 1; verdict = "proved" };
     Event.Analyze
       {
@@ -1020,6 +1051,53 @@ let test_event_schema1_compat () =
         Alcotest.(check int) "dead_lbd defaults empty" 0 (Array.length dead_lbd);
         Alcotest.(check int) "dead_uses defaults empty" 0 (Array.length dead_uses)
       | evs -> Alcotest.failf "expected one reduce event, got %d" (List.length evs))
+
+(* [write_jsonl] stamps the lowest schema that covers the stream: a
+   recording using no schema-3 feature (Share events, Exhausted cause)
+   must stay loadable by schema-2 readers, which reject higher headers. *)
+let test_event_minimal_schema () =
+  let header_of emits =
+    with_recorder (fun r ->
+        List.iter Event.emit emits;
+        let path = Filename.temp_file "isr_events" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Out_channel.with_open_text path (fun oc -> Event.write_jsonl r oc);
+            In_channel.with_open_text path (fun ic ->
+                match Json.parse (input_line ic) with
+                | j -> int_of_float (Json.num_field "schema" j))))
+  in
+  Alcotest.(check int) "share-free stream stamps 2" 2
+    (header_of
+       [
+         Event.Restart { conflicts = 1; decisions = 2; learnt = 3 };
+         Event.Cancel { worker = 0; cause = Event.Deadline; by = 0 };
+       ]);
+  Alcotest.(check int) "share traffic needs 3" 3
+    (header_of [ Event.Share { worker = 0; exported = 1; imported = 0; dropped = 0 } ]);
+  Alcotest.(check int) "exhausted cause needs 3" 3
+    (header_of [ Event.Cancel { worker = 0; cause = Event.Exhausted; by = 0 } ])
+
+(* The decode side of the same contract: a reader faced with event kinds
+   or cancel causes it does not know skips those lines and keeps the
+   rest — so yesterday's binaries survive tomorrow's streams. *)
+let test_event_unknown_skipped () =
+  let path = Filename.temp_file "isr_events" ".jsonl" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "{\"stream\":\"isr-events\",\"schema\":2}\n";
+      output_string oc
+        "{\"ts\":0.1,\"dom\":0,\"seq\":0,\"ev\":\"teleport\",\"worker\":9}\n";
+      output_string oc
+        "{\"ts\":0.2,\"dom\":0,\"seq\":1,\"ev\":\"cancel\",\"worker\":1,\"cause\":\"gamma-ray\",\"by\":1}\n";
+      output_string oc
+        "{\"ts\":0.3,\"dom\":0,\"seq\":2,\"ev\":\"dispatch\",\"worker\":1,\"bound\":4}\n");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Event.read_jsonl path with
+      | [ { Event.kind = Event.Dispatch { worker = 1; bound = 4 }; _ } ] -> ()
+      | evs -> Alcotest.failf "expected the dispatch alone, got %d events" (List.length evs))
 
 (* --- flight recorder ----------------------------------------------------------- *)
 
@@ -1383,6 +1461,7 @@ let () =
           Alcotest.test_case "chrome flush idempotent" `Quick test_chrome_flush_idempotent;
           Alcotest.test_case "shared escaper covers C0" `Quick test_json_escape_c0;
           Alcotest.test_case "parse/render round trip" `Quick test_json_parse_render;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogates;
         ] );
       ( "event",
         [
@@ -1395,6 +1474,9 @@ let () =
             test_chrome_emitter_roundtrip;
           Alcotest.test_case "dropped accounting" `Quick test_event_dropped;
           Alcotest.test_case "schema-1 compatibility" `Quick test_event_schema1_compat;
+          Alcotest.test_case "minimal schema stamping" `Quick test_event_minimal_schema;
+          Alcotest.test_case "unknown kinds and causes skipped" `Quick
+            test_event_unknown_skipped;
         ] );
       ( "flight",
         [

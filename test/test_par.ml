@@ -58,6 +58,94 @@ let test_bmc_par_depth () =
         Alcotest.failf "%s: seq %a vs par %a" name Verdict.pp vs Verdict.pp vp)
     [ "vending7bug"; "traffic5bug"; "prodcons6bug" ]
 
+(* --- clause sharing ----------------------------------------------------------- *)
+
+(* Sharing must be invisible in the answers: same verdicts as the
+   sequential schedule, same ground truth, same minimal counterexample
+   depth — only the share.* traffic counters may differ from a run
+   without it. *)
+let test_share_race_agrees () =
+  List.iter
+    (fun name ->
+      let e = entry name in
+      let model = Registry.build_validated e in
+      let seq, _ = Portfolio.verify ~limits model in
+      let par, stats =
+        Isr_par.portfolio ~jobs:4 ~share:Isr_par.Share.default_filter ~limits model
+      in
+      Alcotest.(check bool)
+        (name ^ ": proved agree") (Verdict.is_proved seq) (Verdict.is_proved par);
+      Alcotest.(check bool)
+        (name ^ ": falsified agree")
+        (Verdict.is_falsified seq) (Verdict.is_falsified par);
+      (match (e.Registry.expected, par) with
+      | Registry.Safe, Verdict.Proved _ -> ()
+      | Registry.Unsafe d, Verdict.Falsified { depth; trace } ->
+        Alcotest.(check int) (name ^ ": minimal depth") d depth;
+        Alcotest.(check bool) (name ^ ": trace replays") true
+          (Sim.check_trace model trace)
+      | _, v -> Alcotest.failf "%s: shared-race verdict %a" name Verdict.pp v);
+      Alcotest.(check bool) (name ^ ": stats merged") true (Verdict.sat_calls stats > 0))
+    race_names
+
+(* Depth minimality must be deterministic under sharing: every replay
+   reports the sequential depth, regardless of which probe's imports
+   accelerated whom. *)
+let test_share_bmc_depth () =
+  List.iter
+    (fun name ->
+      let e = entry name in
+      let model = Registry.build_validated e in
+      let ds =
+        match Bmc.run ~check:Bmc.Exact ~limits model with
+        | Verdict.Falsified { depth; _ }, _ -> depth
+        | v, _ -> Alcotest.failf "%s: sequential bmc %a" name Verdict.pp v
+      in
+      for _ = 1 to 2 do
+        match
+          Isr_par.bmc ~jobs:4 ~share:Isr_par.Share.default_filter ~limits model
+        with
+        | Verdict.Falsified { depth = dp; trace }, _ ->
+          Alcotest.(check int) (name ^ ": same depth") ds dp;
+          Alcotest.(check bool) (name ^ ": trace replays") true
+            (Sim.check_trace model trace)
+        | v, _ -> Alcotest.failf "%s: shared bmc %a" name Verdict.pp v
+      done)
+    [ "vending7bug"; "traffic5bug" ]
+
+(* Agreement may not hinge on a friendly filter: any (max_lbd, max_len)
+   pair — including 0/0, which shares nothing — must leave both engines'
+   answers at the ground truth. *)
+let prop_share_filter_agrees =
+  let gen =
+    let open QCheck2.Gen in
+    let* max_lbd = int_range 0 6 in
+    let* max_len = int_range 0 10 in
+    let* name = oneofl [ "traffic6"; "vending7bug"; "fifo2bug" ] in
+    pure (max_lbd, max_len, name)
+  in
+  let print (lbd, len, name) = Printf.sprintf "lbd:%d,len:%d on %s" lbd len name in
+  QCheck2.Test.make ~count:6 ~name:"random filters preserve ground truth" ~print gen
+    (fun (max_lbd, max_len, name) ->
+      let e = entry name in
+      let model = Registry.build_validated e in
+      let share = { Isr_par.Share.max_lbd; max_len } in
+      let ok_portfolio =
+        match (e.Registry.expected, fst (Isr_par.portfolio ~jobs:3 ~share ~limits model)) with
+        | Registry.Safe, Verdict.Proved _ -> true
+        | Registry.Unsafe d, Verdict.Falsified { depth; _ } -> d = depth
+        | _ -> false
+      in
+      let ok_bmc =
+        match e.Registry.expected with
+        | Registry.Safe -> true (* bmc alone cannot prove; skip the slow full sweep *)
+        | Registry.Unsafe d -> (
+          match fst (Isr_par.bmc ~jobs:3 ~share ~limits model) with
+          | Verdict.Falsified { depth; _ } -> d = depth
+          | _ -> false)
+      in
+      ok_portfolio && ok_bmc)
+
 (* A pre-set token aborts before any search is attempted. *)
 let test_cancel_preset () =
   let token = Atomic.make true in
@@ -227,18 +315,91 @@ let test_bmc_event_story () =
         (List.mem b dispatched))
     (List.init (depth + 1) Fun.id)
 
+(* Regression: an unlimited bound cap means unlimited, not a wrapped
+   [max_int + 1] worker clamp.  Before the fix, [min jobs (bound_limit+1)]
+   overflowed to [min_int] and the "4-domain" run silently raced one
+   worker — count the Spawn events to pin it. *)
+let test_bmc_jobs_unlimited_bound () =
+  let model = Registry.build_validated (entry "vending7bug") in
+  let (verdict, _), evs =
+    record_race (fun () ->
+        Isr_par.bmc ~jobs:4 ~limits:{ limits with Budget.bound_limit = max_int } model)
+  in
+  let expected =
+    match (entry "vending7bug").Registry.expected with
+    | Registry.Unsafe d -> d
+    | Registry.Safe -> Alcotest.fail "vending7bug is unsafe"
+  in
+  (match verdict with
+  | Verdict.Falsified { depth; _ } -> Alcotest.(check int) "depth" expected depth
+  | v -> Alcotest.failf "expected a counterexample, got %a" Verdict.pp v);
+  let spawns =
+    List.length
+      (List.filter_map
+         (function `Spawn (w, _) -> Some w | _ -> None)
+         (lifecycle evs))
+  in
+  Alcotest.(check int) "all four workers spawned" 4 spawns
+
+(* A lane whose every member merely ran out of bound cap is exhausted,
+   not deadline-starved — the distinct cause must appear on its
+   self-edge.  With two lanes, the members partition round-robin into
+   (randsim, kind, itp) and (bmc, pdr, itpseqcba): randsim answers
+   [Time_limit] when it finds nothing, so only the second lane can be
+   exhausted — and with the bound cap at 0 on a safe design, it must
+   be. *)
+let test_exhausted_cause () =
+  let model = Registry.build_validated (entry "amba2g3") in
+  (* With the bound cap at 0 the (bmc, pdr, itpseqcba) lane burns through
+     its slate in milliseconds, every member bound-limited, long before
+     the other lane's random simulation finishes — so its self-edge must
+     say "exhausted", never "deadline". *)
+  let tight = { limits with Budget.bound_limit = 0 } in
+  let (_, _), evs =
+    record_race (fun () -> Isr_par.portfolio ~jobs:2 ~limits:tight model)
+  in
+  let life = lifecycle evs in
+  let publishers =
+    List.filter_map (function `Verdict (w, _) -> Some w | _ -> None) life
+  in
+  List.iter
+    (function
+      | `Cancel (w, Event.Exhausted, by) ->
+        Alcotest.(check int) "exhaustion is a self-edge" w by;
+        Alcotest.(check bool) "an exhausted lane published nothing" false
+          (List.mem w publishers)
+      | _ -> ())
+    life;
+  Alcotest.(check bool) "the all-bound-limited lane reports exhaustion" true
+    (List.exists
+       (function `Cancel (_, Event.Exhausted, _) -> true | _ -> false)
+       life)
+
 let () =
   Alcotest.run "isr_par"
     [
       ( "portfolio",
         [ Alcotest.test_case "race agrees with sequential" `Slow test_race_agrees ] );
       ( "bmc",
-        [ Alcotest.test_case "bound-parallel depth" `Slow test_bmc_par_depth ] );
+        [
+          Alcotest.test_case "bound-parallel depth" `Slow test_bmc_par_depth;
+          Alcotest.test_case "unlimited bound spawns all workers" `Slow
+            test_bmc_jobs_unlimited_bound;
+        ] );
+      ( "share",
+        List.map QCheck_alcotest.to_alcotest [ prop_share_filter_agrees ]
+        @ [
+            Alcotest.test_case "shared race agrees with sequential" `Slow
+              test_share_race_agrees;
+            Alcotest.test_case "shared bmc depth deterministic" `Slow
+              test_share_bmc_depth;
+          ] );
       ( "events",
         [
           Alcotest.test_case "portfolio race story replays" `Slow test_race_event_story;
           Alcotest.test_case "bound-parallel cancellation edges" `Slow
             test_bmc_event_story;
+          Alcotest.test_case "exhausted slate cause" `Slow test_exhausted_cause;
         ] );
       ( "cancellation",
         [
