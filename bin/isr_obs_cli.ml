@@ -287,6 +287,8 @@ let pp_event (e : E.t) =
     | E.Share { worker; exported; imported; dropped } ->
       Printf.sprintf "share         w%d exported=%d imported=%d dropped=%d" worker
         exported imported dropped
+    | E.Step { lane; engine; n; pos; status } ->
+      Printf.sprintf "step          l%d %s n=%d pos=%d %s" lane engine n pos status
   in
   Printf.printf "[%10.4f] d%-3d %s\n" e.E.ts e.E.dom payload
 
@@ -523,6 +525,121 @@ let share_cmd =
              tallies from the stream's Share events")
     Term.(const run $ ledger_arg $ run_arg $ path_arg)
 
+(* --- steps -------------------------------------------------------------------- *)
+
+(* Reconstruct the step-kernel interleaving from schema-4 Step events:
+   which lanes ran, in what order, and where each one ended up.  With
+   --schedule the exact lane-id sequence is printed — feed it back to a
+   scheduler replay to re-drive the same interleaving. *)
+let steps_cmd =
+  let run dir run_id schedule path =
+    let path =
+      match (path, run_id) with
+      | Some p, None -> p
+      | None, Some id ->
+        let lg, entries = load_entries dir in
+        let e = find_entry entries id in
+        (match e.L.events_path with
+        | Some p -> L.resolve lg p
+        | None -> die "run %s has no event stream recorded" id)
+      | Some _, Some _ -> die "give either EVENTS or --run, not both"
+      | None, None -> die "give an EVENTS file or --run ID"
+    in
+    match E.read_jsonl path with
+    | exception Failure msg -> die "%s" msg
+    | events ->
+      let steps =
+        List.filter_map
+          (fun (e : E.t) ->
+            match e.E.kind with
+            | E.Step { lane; engine; n; pos; status } ->
+              Some (e.E.ts, lane, engine, n, pos, status)
+            | _ -> None)
+          events
+      in
+      if steps = [] then die "no Step events in %s (schema < 4, or kernel events off)" path;
+      (* Per-lane last-write-wins summary, in lane-id order. *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (_, lane, engine, n, pos, status) ->
+          Hashtbl.replace tbl lane (engine, n, pos, status))
+        steps;
+      let lanes =
+        List.sort compare (Hashtbl.fold (fun lane v acc -> (lane, v) :: acc) tbl [])
+      in
+      Printf.printf "%d step events across %d lanes\n" (List.length steps)
+        (List.length lanes);
+      Printf.printf "%-5s %-22s %8s %8s %s\n" "lane" "engine" "steps" "pos" "final";
+      List.iter
+        (fun (lane, (engine, n, pos, status)) ->
+          Printf.printf "l%-4d %-22s %8d %8d %s\n" lane engine n pos status)
+        lanes;
+      if schedule then begin
+        print_string "schedule:";
+        List.iter (fun (_, lane, _, _, _, _) -> Printf.printf " %d" lane) steps;
+        print_newline ()
+      end;
+      (* A lane left "running" means the stream stops mid-flight — an
+         interrupted (checkpointed?) or still-live run, worth signalling. *)
+      if List.exists (fun (_, (_, _, _, st)) -> st = "running") lanes then 1 else 0
+  in
+  let path_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"EVENTS") in
+  let run_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run" ] ~docv:"RUN" ~doc:"Take the event stream of this ledger run.")
+  in
+  let schedule_arg =
+    Arg.(
+      value & flag
+      & info [ "schedule" ]
+          ~doc:"Also print the raw lane-id step sequence (replayable interleaving).")
+  in
+  Cmd.v
+    (Cmd.info "steps"
+       ~doc:"Reconstruct a step-kernel interleaving from the stream's Step events: \
+             per-lane engine, step count, last position and final status (exits 1 \
+             when a lane is still mid-flight)")
+    Term.(const run $ ledger_arg $ run_arg $ schedule_arg $ path_arg)
+
+(* --- ckpt -------------------------------------------------------------------- *)
+
+(* The checkpoint envelope is a JSON meta line followed by an opaque
+   binary payload; only the meta line is read here, so isr_obs needs no
+   isr_core dependency to inspect a checkpoint. *)
+let ckpt_cmd =
+  let run path =
+    let meta =
+      try In_channel.with_open_bin path input_line
+      with Sys_error msg | Failure msg -> die "%s" msg
+    in
+    match J.parse meta with
+    | exception J.Parse_error msg -> die "%s: not a checkpoint (bad meta line: %s)" path msg
+    | j ->
+      (match J.opt_str_field "stream" j with
+      | Some "isr-checkpoint" -> ()
+      | _ -> die "%s: not an isr checkpoint" path);
+      let str k = Option.value ~default:"?" (J.opt_str_field k j) in
+      let int k = Option.value ~default:0 (J.opt_int_field k j) in
+      let elapsed =
+        match J.field "elapsed" j with Some (J.Num f) -> f | _ -> 0.0
+      in
+      Printf.printf "checkpoint %s (version %d)\n" path (int "version");
+      Printf.printf "  engine:  %s\n" (str "engine");
+      Printf.printf "  model:   %s  [%s]\n" (str "model") (str "sig");
+      Printf.printf "  taken:   after %d kernel steps, at bound %d, %.3fs elapsed\n"
+        (int "steps") (int "bound") elapsed;
+      Printf.printf "  payload: %d bytes\n" (int "bytes");
+      0
+  in
+  let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"CKPT") in
+  Cmd.v
+    (Cmd.info "ckpt"
+       ~doc:"Inspect a checkpoint file written by itpseq_mc verify --checkpoint: \
+             engine, model signature, step count and bound at the snapshot point")
+    Term.(const run $ path_arg)
+
 (* --- export -------------------------------------------------------------------- *)
 
 let export_cmd =
@@ -708,6 +825,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            ls_cmd; show_cmd; diff_cmd; tail_cmd; explain_cmd; share_cmd; export_cmd;
-            clauses_cmd; top_cmd;
+            ls_cmd; show_cmd; diff_cmd; tail_cmd; explain_cmd; share_cmd; steps_cmd;
+            ckpt_cmd; export_cmd; clauses_cmd; top_cmd;
           ]))

@@ -56,7 +56,13 @@ let engine_arg =
   Arg.(
     value
     & opt string "itpseq"
-    & info [ "engine" ] ~doc:"Engine: bmc[-exact|-bound], itp, itpseq[-exact], sitpseq[-exact], itpseqcba[-assume], itpseqpba, kind, portfolio.")
+    & info [ "engine" ]
+        ~doc:
+          "Engine: bmc[-exact|-bound], itp, itpseq[-exact], \
+           sitpseq[ALPHA][-exact], itpseqcba[ALPHA][-assume|-exact], \
+           itpseqpba[ALPHA][-assume|-exact], kind, pdr, portfolio.  The \
+           parameterized families accept an inline alpha, e.g. \
+           sitpseq0.25-exact.")
 
 let time_arg = Arg.(value & opt float 60.0 & info [ "time" ] ~doc:"Time limit [s].")
 let bound_arg = Arg.(value & opt int 200 & info [ "bound" ] ~doc:"Bound limit.")
@@ -371,6 +377,30 @@ let flight_arg =
            ledger's event streams when --ledger is given, else the working \
            directory). Inspect with $(b,isr_obs) top / tail.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a resumable engine checkpoint to $(docv) when the run is \
+           interrupted (SIGTERM) or exhausts its budget without a verdict.  \
+           Sequential single-engine runs only (not portfolio, not --par).  \
+           Resume with $(b,--resume); inspect with $(b,isr_obs ckpt).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume a run from a checkpoint written by $(b,--checkpoint).  The \
+           engine spelling is taken from the checkpoint (overriding \
+           $(b,--engine)); the model must be structurally identical to the \
+           one the checkpoint was taken on.  The interrupted bound is redone \
+           from its entry, so the final verdict, convergence depths and \
+           certificate match an uninterrupted run.")
+
 let check_arg =
   let level_conv =
     Arg.conv
@@ -387,7 +417,7 @@ let check_arg =
            lint every emitted interpolant).")
 
 let verify_term =
-  let run verbose file name engine time bound conflicts witness coi fraig analyze compact certify property witness_file json trace metrics events ledger check profile profile_json progress par share no_reduce reduce_base flight =
+  let run verbose file name engine time bound conflicts witness coi fraig analyze compact certify property witness_file json trace metrics events ledger check profile profile_json progress par share no_reduce reduce_base flight checkpoint resume =
     setup_logs verbose;
     Isr_check.Level.set check;
     let share =
@@ -410,6 +440,46 @@ let verify_term =
         prerr_endline e;
         2
       | Ok eng -> (
+        (* Resume: the checkpoint decides the engine; --engine is only a
+           cross-check. *)
+        let resume_ck =
+          match resume with
+          | None -> None
+          | Some path -> (
+            match Checkpoint.read path with
+            | ck -> Some ck
+            | exception Failure msg ->
+              prerr_endline ("itpseq_mc: " ^ msg);
+              exit 2)
+        in
+        let eng =
+          match resume_ck with
+          | None -> eng
+          | Some ck -> (
+            match Engine.of_name ck.Checkpoint.engine with
+            | Ok e ->
+              if Engine.name e <> Engine.name eng then
+                Logs.info (fun m ->
+                    m "resuming engine %s from the checkpoint" ck.Checkpoint.engine);
+              e
+            | Error msg ->
+              prerr_endline ("itpseq_mc: " ^ msg);
+              exit 2)
+        in
+        let stepwise = checkpoint <> None || resume_ck <> None in
+        if stepwise then begin
+          (match eng with
+          | Engine.Portfolio ->
+            prerr_endline
+              "itpseq_mc: --checkpoint/--resume apply to single engines, not the \
+               portfolio";
+            exit 2
+          | _ -> ());
+          if par <> None then begin
+            prerr_endline "itpseq_mc: --checkpoint/--resume do not combine with --par";
+            exit 2
+          end
+        end;
         if not json then Format.printf "model: %a@." Model.pp_stats original;
         let reduction = if coi then Some (Coi.reduce original) else None in
         let model =
@@ -435,6 +505,21 @@ let verify_term =
           else None
         in
         Option.iter Isr_obs.Event.set_recorder recorder;
+        (* A SIGTERM checkpoint exit (exit 143 inside Step.drive) must
+           not lose the stream recorded so far — the interrupted half is
+           exactly what isr_obs steps inspects before a resume.  The
+           normal post-run export disarms this. *)
+        let events_flushed = ref false in
+        (match (recorder, events) with
+        | Some r, Some f ->
+          at_exit (fun () ->
+              if not !events_flushed then
+                match open_out f with
+                | oc ->
+                  Isr_obs.Event.write_jsonl r oc;
+                  close_out oc
+                | exception Sys_error _ -> ())
+        | _ -> ());
         (* The flight recorder covers the same region (and the signal
            handlers stay live until process exit); its rings also flip
            [Event.enabled] on, so --flight works without --events. *)
@@ -451,6 +536,20 @@ let verify_term =
           in
           Isr_obs.Flight.arm ?capacity:(if cap > 0 then Some cap else None) ~dir ();
           Isr_obs.Flight.install_signals ());
+        (* With --checkpoint, SIGTERM must reach a safe-point instead of
+           killing the process outright (which is what the flight
+           recorder's own handler, installed just above, would do): the
+           handler requests a checkpoint and trips the cancel token, an
+           in-flight SAT call unwinds with [Budget.Cancelled], and
+           [Step.drive] writes the checkpoint, dumps the flight ring and
+           exits 143. *)
+        let ckpt_cancel = Atomic.make false in
+        if checkpoint <> None then
+          Sys.set_signal Sys.sigterm
+            (Sys.Signal_handle
+               (fun _ ->
+                 Step.request_checkpoint ();
+                 Atomic.set ckpt_cancel true));
         let analysis =
           match analyze with
           | None | Some Isr_analyze.Off -> None
@@ -490,6 +589,26 @@ let verify_term =
             Logs.warn (fun m -> m "--share needs --par to have peers; ignored")
           | _ -> ());
           match (eng, par) with
+          | _, None when stepwise ->
+            (* The explicit kernel path: start (or restore) the instance
+               and drive it with the checkpoint plumbing armed.  The
+               cancel token must be ambient before [Step.start] so the
+               engine's budget captures it. *)
+            Budget.with_cancel ckpt_cancel (fun () ->
+                Isr_obs.Trace.span "engine"
+                  ~args:[ ("engine", Engine.name eng); ("model", model.Model.name) ]
+                  (fun () ->
+                    match Engine.stepper eng with
+                    | None -> assert false (* portfolio rejected above *)
+                    | Some p -> (
+                      match resume_ck with
+                      | Some ck -> (
+                        match Step.restore ~limits p model ck with
+                        | inst -> Step.drive ?checkpoint inst
+                        | exception Invalid_argument msg ->
+                          prerr_endline ("itpseq_mc: " ^ msg);
+                          exit 2)
+                      | None -> Step.drive ?checkpoint (Step.start ~limits p model))))
           | _, None -> Engine.run eng ~limits model
           | Engine.Portfolio, Some jobs ->
             (* Same "engine" root span as the sequential path, so traces
@@ -606,6 +725,7 @@ let verify_term =
             match (events, ledger_t) with
             | Some f, _ ->
               write_events f r;
+              events_flushed := true;
               Some f
             | None, Some lg ->
               (* No explicit file: park the stream inside the ledger's
@@ -680,6 +800,10 @@ let verify_term =
         if not json then
           Format.printf "%s: %a@.stats: %a@." (Engine.name eng) Verdict.pp verdict
             Verdict.pp_stats stats;
+        (match (verdict, checkpoint) with
+        | Verdict.Unknown _, Some path when not json ->
+          Format.printf "checkpoint: written to %s@." path
+        | _ -> ());
         if json then begin
           let certified =
             match verdict with
@@ -744,7 +868,7 @@ let verify_term =
     $ witness_file_arg $ json_arg $ trace_arg $ metrics_arg $ events_arg $ ledger_arg
     $ check_arg $ profile_arg
     $ profile_json_arg $ progress_arg $ par_arg $ share_arg $ no_reduce_arg
-    $ reduce_base_arg $ flight_arg)
+    $ reduce_base_arg $ flight_arg $ checkpoint_arg $ resume_arg)
 
 let verify_cmd = Cmd.v (Cmd.info "verify" ~doc:"Verify a model with one engine") verify_term
 

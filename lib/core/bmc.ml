@@ -43,75 +43,123 @@ let check_depth budget stats ?frozen model ~check ~k =
       | Solver.Unsat -> `Unsat u
       | Solver.Undef -> assert false)
 
-(* Incremental deepening in one solver: the frame-k target is guarded by
-   a fresh activation literal assumed during the solve and retired with a
-   unit clause once the depth is exhausted; with assume-k the property is
-   then asserted permanently at frame k (sound, since exact-k was just
-   refuted).  Learned clauses carry over across depths. *)
-let run_incremental ~check ~limits budget stats model =
-  let finish v =
-    Verdict.set_time stats (Budget.elapsed budget);
-    (v, stats)
-  in
-  let u = Unroll.create model in
-  Unroll.assert_init u ~tag:1;
+(* --- step-wise state machine: one depth per step ------------------------ *)
+
+type st = {
+  model : Model.t;
+  limits : Budget.limits;
+  budget : Budget.t;
+  stats : Verdict.stats;
+  check : check;
+  incremental : bool;
+  mutable k : int;
+  (* Incremental deepening in one solver: the frame-k target is guarded
+     by a fresh activation literal assumed during the solve and retired
+     with a unit clause once the depth is exhausted; with assume-k the
+     property is then asserted permanently at frame k (sound, since
+     exact-k was just refuted).  Learned clauses carry over across
+     depths.  Built lazily so a restored state rebuilds frames 0..k-1
+     on its first step, never in [restore]. *)
+  mutable inc : Unroll.t option;
+}
+
+type snap = { s_k : int }
+
+let finish st v =
+  Verdict.set_time st.stats (Budget.elapsed st.budget);
+  (v, st.stats)
+
+let mk ~limits ~check ~incremental ~k model =
+  {
+    model;
+    limits;
+    budget = Budget.start limits;
+    stats = Verdict.mk_stats ();
+    check;
+    incremental = incremental && check <> Bound;
+    k;
+    inc = None;
+  }
+
+(* The incremental unrolling with every depth < k already refuted: the
+   exact shape deepening leaves behind, so a restored run continues the
+   same solver dialogue. *)
+let inc_unroll st =
+  match st.inc with
+  | Some u -> u
+  | None ->
+    let u = Unroll.create st.model in
+    Unroll.assert_init u ~tag:1;
+    for f = 0 to st.k - 1 do
+      if st.check = Assume then
+        Unroll.assert_circuit u ~frame:f ~tag:(f + 1) (Model.prop st.model);
+      Unroll.add_transition u ~tag:(f + 1)
+    done;
+    st.inc <- Some u;
+    u
+
+let falsified st u ~k =
+  let tr = Unroll.trace u in
+  let depth = match Sim.first_bad st.model tr with Some d -> d | None -> k in
+  Step.Done (finish st (Verdict.Falsified { depth; trace = tr }))
+
+let step_incremental st k =
+  let u = inc_unroll st in
   let solver = Unroll.solver u in
-  let rec loop k =
-    if k > limits.Budget.bound_limit then
-      finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
-    else begin
-      Verdict.note_bound stats k;
-      Verdict.beat stats ~step:k ~detail:(check_name check) "bmc.bound";
-      let act, result =
-        Isr_obs.Trace.span "bmc.bound"
-          ~args:[ ("k", string_of_int k); ("check", check_name check); ("incremental", "1") ]
-          (fun () ->
-            let act = Isr_sat.Lit.pos (Solver.new_var solver) in
-            let bad_k = Unroll.encode u ~frame:k ~tag:(k + 1) model.Model.bad in
-            Solver.add_clause solver ~tag:(k + 1) [ Isr_sat.Lit.neg act; bad_k ];
-            (act, Budget.solve ~assumptions:[ act ] budget stats solver))
-      in
-      match result with
-      | Solver.Sat ->
-        let tr = Unroll.trace u in
-        let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
-        finish (Verdict.Falsified { depth; trace = tr })
-      | Solver.Undef -> assert false
-      | Solver.Unsat ->
-        Solver.add_clause solver [ Isr_sat.Lit.neg act ];
-        if check = Assume then
-          Unroll.assert_circuit u ~frame:k ~tag:(k + 1) (Model.prop model);
-        Unroll.add_transition u ~tag:(k + 1);
-        loop (k + 1)
-    end
+  Verdict.note_bound st.stats k;
+  Verdict.beat st.stats ~step:k ~detail:(check_name st.check) "bmc.bound";
+  let act, result =
+    Isr_obs.Trace.span "bmc.bound"
+      ~args:[ ("k", string_of_int k); ("check", check_name st.check); ("incremental", "1") ]
+      (fun () ->
+        let act = Isr_sat.Lit.pos (Solver.new_var solver) in
+        let bad_k = Unroll.encode u ~frame:k ~tag:(k + 1) st.model.Model.bad in
+        Solver.add_clause solver ~tag:(k + 1) [ Isr_sat.Lit.neg act; bad_k ];
+        (act, Budget.solve ~assumptions:[ act ] st.budget st.stats solver))
   in
-  loop 0
+  match result with
+  | Solver.Sat -> falsified st u ~k
+  | Solver.Undef -> assert false
+  | Solver.Unsat ->
+    Solver.add_clause solver [ Isr_sat.Lit.neg act ];
+    if st.check = Assume then
+      Unroll.assert_circuit u ~frame:k ~tag:(k + 1) (Model.prop st.model);
+    Unroll.add_transition u ~tag:(k + 1);
+    st.k <- k + 1;
+    Step.Running
+
+let step st =
+  let status =
+    Step.budget_guard ~finish:(finish st) @@ fun () ->
+    let k = st.k in
+    if k > st.limits.Budget.bound_limit then
+      Step.Done
+        (finish st (Verdict.Unknown (Verdict.Bound_limit st.limits.Budget.bound_limit)))
+    else if st.incremental then step_incremental st k
+    else
+      match check_depth st.budget st.stats st.model ~check:st.check ~k with
+      | `Sat u -> falsified st u ~k
+      | `Unsat _ ->
+        st.k <- k + 1;
+        Step.Running
+  in
+  (st, status)
+
+let stepper ?(check = Assume) ?(incremental = false) () =
+  Step.Packed
+    {
+      Step.name = Printf.sprintf "bmc-%s" (check_name check);
+      init = (fun ~limits model -> mk ~limits ~check ~incremental ~k:0 model);
+      step;
+      stats = (fun st -> st.stats);
+      bound = (fun st -> st.k);
+      snapshot = (fun st -> Marshal.to_string { s_k = st.k } []);
+      restore =
+        (fun ~limits model payload ->
+          let s : snap = Marshal.from_string payload 0 in
+          mk ~limits ~check ~incremental ~k:s.s_k model);
+    }
 
 let run ?(check = Assume) ?(incremental = false) ?(limits = Budget.default_limits) model
     =
-  let budget = Budget.start limits in
-  let stats = Verdict.mk_stats () in
-  let finish v =
-    Verdict.set_time stats (Budget.elapsed budget);
-    (v, stats)
-  in
-  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
-  try
-    if incremental && check <> Bound then run_incremental ~check ~limits budget stats model
-    else begin
-      let rec loop k =
-        if k > limits.Budget.bound_limit then
-          finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
-        else
-          match check_depth budget stats model ~check ~k with
-          | `Sat u ->
-            let tr = Unroll.trace u in
-            let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
-            finish (Verdict.Falsified { depth; trace = tr })
-          | `Unsat _ -> loop (k + 1)
-      in
-      loop 0
-    end
-  with
-  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
-  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)
+  Step.drive (Step.start ~limits (stepper ~check ~incremental ()) model)

@@ -37,6 +37,11 @@ val check_depth :
 (** Builds and solves one depth; the unrolling gives access to the trace
     (on [`Sat]) or the proof (on [`Unsat]). *)
 
+val stepper : ?check:check -> ?incremental:bool -> unit -> Step.packed
+(** The step-wise form: one step is one depth.  Snapshots carry the next
+    depth to attempt; an incremental restore rebuilds its solver with
+    frames [0..k-1] already refuted on the first step. *)
+
 val run :
   ?check:check ->
   ?incremental:bool ->

@@ -15,6 +15,13 @@ let create model =
 
 let frozen t i = t.frozen.(i)
 
+let freeze_state t = Array.copy t.frozen
+
+let restore_state t saved =
+  if Array.length saved <> Array.length t.frozen then
+    invalid_arg "Cba.restore_state: latch count mismatch";
+  Array.blit saved 0 t.frozen 0 (Array.length saved)
+
 let num_frozen t = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.frozen
 
 let extend t trace = Sim.first_bad t.model trace

@@ -23,6 +23,13 @@ val frozen : t -> int -> bool
 
 val num_frozen : t -> int
 
+val freeze_state : t -> bool array
+(** A copy of the frozen mask — for checkpoints. *)
+
+val restore_state : t -> bool array -> unit
+(** Overwrites the frozen mask with a previously saved copy.
+    @raise Invalid_argument on latch-count mismatch. *)
+
 val extend : t -> Trace.t -> int option
 (** Depth of the concrete violation under the trace's inputs, if any —
     the paper's EXTEND. *)

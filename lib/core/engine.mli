@@ -15,15 +15,32 @@ type t =
   | Portfolio                      (** sequential portfolio of the above *)
 
 val name : t -> string
+(** The canonical spelling: ["bmc-assume"], ["itp"], ["itpseq-assume"],
+    ["sitpseq0.5-assume"], ["itpseqcba0.5-exact"], ["itpseqpba0-exact"],
+    ["kind"], ["pdr"], ["portfolio"], …  Every spelling [name] prints is
+    accepted back by {!of_name}. *)
+
 val of_name : string -> (t, string) Result.t
-(** Recognizes ["bmc"], ["itp"], ["itpseq"], ["itpseq-exact"],
-    ["sitpseq"], ["itpseqcba"], ["itpseqpba"], ["kind"], ["pdr"], ["portfolio"]
-    and variants; see the CLI help. *)
+(** Inverse of {!name}, plus convenience shorthands: bare ["bmc"],
+    ["itpseq"], ["sitpseq"], ["itpseqcba"], ["itpseqpba"] pick the
+    default check (and α where applicable), and the parameterized
+    families accept any alpha in the [name] format — e.g.
+    ["sitpseq0.25-exact"], ["itpseqcba0.75"].
+    [of_name (name e) = Ok e] for every engine [e]. *)
 
 val all : t list
 (** The four paper engines, in Table I column order. *)
 
+val stepper : t -> Step.packed option
+(** The engine's step-wise kernel form; [None] only for {!Portfolio},
+    which is a schedule of kernels rather than a kernel itself (its lanes
+    are exposed through {!Portfolio.lanes}). *)
+
 val run : t -> ?limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
+(** A thin driver over the kernel: [Step.start] then [Step.drive] under
+    the ["engine"] root span (the portfolio drives its lanes through
+    {!Sched} instead).  Verdicts are unchanged from the historical
+    direct-recursion engines. *)
 
 val verify_both : ?limits:Budget.limits -> Model.t -> (t * Verdict.t) list
 (** Runs every paper engine; used by cross-checking tests. *)

@@ -26,78 +26,143 @@ let build_bound_instance model ~start ~k =
   Unroll.add_clause u ~tag:2 bads;
   u
 
-let verify ?system ?(limits = Budget.default_limits) model =
-  let budget = Budget.start limits in
-  let stats = Verdict.mk_stats () in
-  let man = model.Model.man in
-  let finish v =
-    Verdict.set_time stats (Budget.elapsed budget);
-    (v, stats)
+(* --- step-wise state machine -------------------------------------------
+   One step is the depth-0 check, the exact first iteration of a bound,
+   or one inner traversal iteration (fixpoint test + one instance).
+   Snapshots record the current bound only: the inner chain is re-driven
+   from the bound's start on resume, which is deterministic. *)
+
+type phase =
+  | Check0                                        (* init ∧ bad *)
+  | Outer                                         (* exact first iteration at [k] *)
+  | Inner of { j : int; r : Aig.lit; cur : Aig.lit }  (* r = R_{j-1}, cur = I_j *)
+
+type st = {
+  model : Model.t;
+  limits : Budget.limits;
+  budget : Budget.t;
+  stats : Verdict.stats;
+  system : Itp.system option;
+  mutable k : int;
+  mutable phase : phase;
+}
+
+type snap = { s_k : int }  (* 0 = before the depth-0 check *)
+
+let finish st v =
+  Verdict.set_time st.stats (Budget.elapsed st.budget);
+  (v, st.stats)
+
+let mk ~limits ~system ~k model =
+  {
+    model;
+    limits;
+    budget = Budget.start limits;
+    stats = Verdict.mk_stats ();
+    system;
+    k;
+    phase = (if k = 0 then Check0 else Outer);
+  }
+
+let falsified st u ~k =
+  let tr = Unroll.trace u in
+  let depth = match Sim.first_bad st.model tr with Some d -> d | None -> k in
+  Step.Done (finish st (Verdict.Falsified { depth; trace = tr }))
+
+let itp_of st u ~k =
+  let man = st.model.Model.man in
+  let proof = Solver.proof (Unroll.solver u) in
+  let i =
+    Itp.interpolant ?system:st.system proof ~cut:1 ~man
+      ~var_map:(Unroll.boundary_map u ~frame:1)
   in
-  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
-  try
-    (* Depth 0: does a bad state intersect the initial states? *)
-    match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
-    | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
-    | `Unsat _ ->
-      let s0 = Model.init_lit model in
-      let rec outer k =
-        if k > limits.Budget.bound_limit then
-          finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
-        else begin
-          Verdict.note_bound stats k;
-          Verdict.beat stats ~step:k "itp.outer";
-          (* Exact first iteration: A rooted at the real initial states,
-             so a satisfiable answer is a genuine counterexample. *)
-          let first =
-            Isr_obs.Trace.span "itp.outer" ~args:[ ("k", string_of_int k) ] (fun () ->
-                let u = build_bound_instance model ~start:`Init ~k in
-                (u, Budget.solve budget stats (Unroll.solver u)))
-          in
-          match first with
-          | u, Solver.Sat ->
-            let tr = Unroll.trace u in
-            let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
-            finish (Verdict.Falsified { depth; trace = tr })
-          | _, Solver.Undef -> assert false
-          | u, Solver.Unsat ->
-            let itp_of u =
-              let proof = Solver.proof (Unroll.solver u) in
-              let i =
-                Itp.interpolant ?system proof ~cut:1 ~man
-                  ~var_map:(Unroll.boundary_map u ~frame:1)
-              in
-              Verdict.add_itp_nodes stats (Aig.cone_size man i);
-              if Isr_check.Level.paranoid () then
-                Isr_check.Lint_itp.enforce ~what:(Printf.sprintf "itp at k=%d" k) model i;
-              i
-            in
-            let rec inner j r cur =
-              (* cur = I_j; r = R_{j-1}. *)
-              let step =
-                Isr_obs.Trace.span "itp.inner"
-                  ~args:[ ("k", string_of_int k); ("j", string_of_int j) ]
-                  (fun () ->
-                    if Incl.implies budget stats model cur r then `Fixpoint
-                    else begin
-                      let u = build_bound_instance model ~start:(`Circuit cur) ~k in
-                      match Budget.solve budget stats (Unroll.solver u) with
-                      | Solver.Sat -> `Deepen
-                      | Solver.Unsat -> `Next (itp_of u)
-                      | Solver.Undef -> assert false
-                    end)
-              in
-              match step with
-              | `Fixpoint ->
-                Log.debug (fun m -> m "fixpoint at k=%d j=%d" k j);
-                finish (Verdict.Proved { kfp = k; jfp = j; invariant = Some r })
-              | `Deepen -> outer (k + 1) (* possibly spurious: deepen *)
-              | `Next cur' -> inner (j + 1) (Aig.or_ man r cur) cur'
-            in
-            inner 1 s0 (itp_of u)
-        end
+  Verdict.add_itp_nodes st.stats (Aig.cone_size man i);
+  if Isr_check.Level.paranoid () then
+    Isr_check.Lint_itp.enforce ~what:(Printf.sprintf "itp at k=%d" k) st.model i;
+  i
+
+let step st =
+  let status =
+    Step.budget_guard ~finish:(finish st) @@ fun () ->
+    match st.phase with
+    | Check0 -> (
+      (* Depth 0: does a bad state intersect the initial states? *)
+      match Bmc.check_depth st.budget st.stats st.model ~check:Bmc.Exact ~k:0 with
+      | `Sat u -> Step.Done (finish st (Verdict.Falsified { depth = 0; trace = Unroll.trace u }))
+      | `Unsat _ ->
+        st.k <- 1;
+        st.phase <- Outer;
+        Step.Running)
+    | Outer ->
+      let k = st.k in
+      if k > st.limits.Budget.bound_limit then
+        Step.Done
+          (finish st (Verdict.Unknown (Verdict.Bound_limit st.limits.Budget.bound_limit)))
+      else begin
+        Verdict.note_bound st.stats k;
+        Verdict.beat st.stats ~step:k "itp.outer";
+        (* Exact first iteration: A rooted at the real initial states,
+           so a satisfiable answer is a genuine counterexample. *)
+        let first =
+          Isr_obs.Trace.span "itp.outer" ~args:[ ("k", string_of_int k) ] (fun () ->
+              let u = build_bound_instance st.model ~start:`Init ~k in
+              (u, Budget.solve st.budget st.stats (Unroll.solver u)))
+        in
+        match first with
+        | u, Solver.Sat -> falsified st u ~k
+        | _, Solver.Undef -> assert false
+        | u, Solver.Unsat ->
+          st.phase <- Inner { j = 1; r = Model.init_lit st.model; cur = itp_of st u ~k };
+          Step.Running
+      end
+    | Inner { j; r; cur } -> (
+      let k = st.k in
+      let man = st.model.Model.man in
+      (* cur = I_j; r = R_{j-1}. *)
+      let res =
+        Isr_obs.Trace.span "itp.inner"
+          ~args:[ ("k", string_of_int k); ("j", string_of_int j) ]
+          (fun () ->
+            if Incl.implies st.budget st.stats st.model cur r then `Fixpoint
+            else begin
+              let u = build_bound_instance st.model ~start:(`Circuit cur) ~k in
+              match Budget.solve st.budget st.stats (Unroll.solver u) with
+              | Solver.Sat -> `Deepen
+              | Solver.Unsat -> `Next (itp_of st u ~k)
+              | Solver.Undef -> assert false
+            end)
       in
-      outer 1
-  with
-  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
-  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)
+      match res with
+      | `Fixpoint ->
+        Log.debug (fun m -> m "fixpoint at k=%d j=%d" k j);
+        Step.Done (finish st (Verdict.Proved { kfp = k; jfp = j; invariant = Some r }))
+      | `Deepen ->
+        (* possibly spurious: deepen *)
+        st.k <- k + 1;
+        st.phase <- Outer;
+        Step.Running
+      | `Next cur' ->
+        st.phase <- Inner { j = j + 1; r = Aig.or_ man r cur; cur = cur' };
+        Step.Running)
+  in
+  (st, status)
+
+let stepper ?system () =
+  Step.Packed
+    {
+      Step.name = "itp";
+      init = (fun ~limits model -> mk ~limits ~system ~k:0 model);
+      step;
+      stats = (fun st -> st.stats);
+      bound = (fun st -> st.k);
+      snapshot =
+        (fun st ->
+          Marshal.to_string { s_k = (match st.phase with Check0 -> 0 | _ -> st.k) } []);
+      restore =
+        (fun ~limits model payload ->
+          let s : snap = Marshal.from_string payload 0 in
+          mk ~limits ~system ~k:s.s_k model);
+    }
+
+let verify ?system ?limits model =
+  Step.drive (Step.start ?limits (stepper ?system ()) model)

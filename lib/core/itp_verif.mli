@@ -11,6 +11,12 @@
 
 open Isr_model
 
+val stepper : ?system:Isr_itp.Itp.system -> unit -> Step.packed
+(** The step-wise form: one step is the depth-0 check, the exact first
+    iteration of a bound, or one inner-traversal iteration.  Snapshots
+    carry just the bound: the inner interpolant chain is re-driven from
+    the bound's start on resume, which is deterministic. *)
+
 val verify :
   ?system:Isr_itp.Itp.system ->
   ?limits:Budget.limits ->

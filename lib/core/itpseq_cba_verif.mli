@@ -13,6 +13,15 @@
 
 open Isr_model
 
+val stepper : ?alpha:float -> ?check:Bmc.check -> unit -> Step.packed
+(** The step-wise form: one step is the depth-0 check, one abstract
+    attempt at the current bound (family, concrete extension, or
+    refinement), or one inclusion test.  Snapshots carry the bound, the
+    entry columns (as portable cones), and the frozen mask as of the
+    bound's entry; refinement is deterministic and monotone, so a resume
+    replays the bound's refinements.
+    @raise Invalid_argument on [check = Bound]. *)
+
 val verify :
   ?alpha:float ->
   ?check:Bmc.check ->

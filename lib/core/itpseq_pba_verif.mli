@@ -15,6 +15,14 @@
 
 open Isr_model
 
+val stepper : ?alpha:float -> ?check:Bmc.check -> unit -> Step.packed
+(** The step-wise form: one step is the depth-0 check, the concrete solve
+    at the current bound (harvesting the unsat core), the abstract family
+    extraction, or one inclusion test.  Snapshots carry the bound, the
+    entry columns (as portable cones), and the relevant-latch set as of
+    the bound's entry.
+    @raise Invalid_argument on [check = Bound]. *)
+
 val verify :
   ?alpha:float ->
   ?check:Bmc.check ->

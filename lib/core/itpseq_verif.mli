@@ -12,6 +12,18 @@
 
 open Isr_model
 
+val stepper :
+  ?mode:Seq_family.mode ->
+  ?check:Bmc.check ->
+  ?system:Isr_itp.Itp.system ->
+  unit ->
+  Step.packed
+(** The step-wise form: one step is the depth-0 check, one bound's family
+    computation, or one inclusion test of the sweep.  Snapshots carry the
+    bound and the column circuits as of the bound's entry (as portable
+    cones), so a resume re-drives the bound deterministically.
+    @raise Invalid_argument on [check = Bound]. *)
+
 val verify :
   ?mode:Seq_family.mode ->
   ?check:Bmc.check ->

@@ -43,34 +43,67 @@ let step_holds budget stats ~unique model ~k =
   | Solver.Sat -> false
   | Solver.Undef -> assert false
 
-let verify ?(unique = true) ?(limits = Budget.default_limits) model =
-  let budget = Budget.start limits in
-  let stats = Verdict.mk_stats () in
-  let finish v =
-    Verdict.set_time stats (Budget.elapsed budget);
-    (v, stats)
+(* --- step-wise state machine: one k (base + inductive check) per step --- *)
+
+type st = {
+  model : Model.t;
+  limits : Budget.limits;
+  budget : Budget.t;
+  stats : Verdict.stats;
+  unique : bool;
+  mutable k : int;
+}
+
+type snap = { s_k : int }
+
+let finish st v =
+  Verdict.set_time st.stats (Budget.elapsed st.budget);
+  (v, st.stats)
+
+let mk ~limits ~unique ~k model =
+  { model; limits; budget = Budget.start limits; stats = Verdict.mk_stats (); unique; k }
+
+let step st =
+  let status =
+    Step.budget_guard ~finish:(finish st) @@ fun () ->
+    let k = st.k in
+    if k > st.limits.Budget.bound_limit then
+      Step.Done
+        (finish st (Verdict.Unknown (Verdict.Bound_limit st.limits.Budget.bound_limit)))
+    else begin
+      Verdict.beat st.stats ~step:k "kind.step";
+      (* Base case: no counterexample of length exactly k (shorter ones
+         were excluded at previous iterations). *)
+      match Bmc.check_depth st.budget st.stats st.model ~check:Bmc.Exact ~k with
+      | `Sat u ->
+        let tr = Unroll.trace u in
+        let depth = match Sim.first_bad st.model tr with Some d -> d | None -> k in
+        Step.Done (finish st (Verdict.Falsified { depth; trace = tr }))
+      | `Unsat _ ->
+        if step_holds st.budget st.stats ~unique:st.unique st.model ~k then
+          Step.Done (finish st (Verdict.Proved { kfp = k; jfp = 0; invariant = None }))
+        else begin
+          st.k <- k + 1;
+          Step.Running
+        end
+    end
   in
-  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
-  try
-    let rec loop k =
-      if k > limits.Budget.bound_limit then
-        finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
-      else begin
-        Verdict.beat stats ~step:k "kind.step";
-        (* Base case: no counterexample of length exactly k (shorter ones
-           were excluded at previous iterations). *)
-        match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k with
-        | `Sat u ->
-          let tr = Unroll.trace u in
-          let depth = match Sim.first_bad model tr with Some d -> d | None -> k in
-          finish (Verdict.Falsified { depth; trace = tr })
-        | `Unsat _ ->
-          if step_holds budget stats ~unique model ~k then
-            finish (Verdict.Proved { kfp = k; jfp = 0; invariant = None })
-          else loop (k + 1)
-      end
-    in
-    loop 0
-  with
-  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
-  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)
+  (st, status)
+
+let stepper ?(unique = true) () =
+  Step.Packed
+    {
+      Step.name = "kind";
+      init = (fun ~limits model -> mk ~limits ~unique ~k:0 model);
+      step;
+      stats = (fun st -> st.stats);
+      bound = (fun st -> st.k);
+      snapshot = (fun st -> Marshal.to_string { s_k = st.k } []);
+      restore =
+        (fun ~limits model payload ->
+          let s : snap = Marshal.from_string payload 0 in
+          mk ~limits ~unique ~k:s.s_k model);
+    }
+
+let verify ?(unique = true) ?limits model =
+  Step.drive (Step.start ?limits (stepper ~unique ()) model)

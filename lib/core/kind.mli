@@ -10,6 +10,10 @@
 
 open Isr_model
 
+val stepper : ?unique:bool -> unit -> Step.packed
+(** The step-wise form: one step is one depth [k] (exact base check plus
+    inductive step query).  Snapshots carry just the depth. *)
+
 val verify :
   ?unique:bool ->
   ?limits:Budget.limits ->

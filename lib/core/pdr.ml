@@ -237,53 +237,127 @@ let invariant_circuit ctx i =
   done;
   !acc
 
-let verify ?(limits = Budget.default_limits) model =
-  let budget = Budget.start limits in
-  let stats = Verdict.mk_stats () in
-  let ctx = { model; budget; stats; deltas = Array.make 8 Cubeset.empty; depth = 0 } in
-  let finish v =
-    Verdict.set_time stats (Budget.elapsed budget);
-    (v, stats)
+(* --- step-wise state machine -------------------------------------------
+   One step is the depth-0 check, the full obligation drain of a round,
+   or the round's forward propagation.  Snapshots capture the frames as
+   they stood at the round's entry (the deltas are immutable cube sets,
+   so an array copy suffices); a resume re-drives the round's blocking
+   and propagation, which are deterministic. *)
+
+type phase =
+  | Check0
+  | Block                                    (* drain bad states out of F_k *)
+  | Propagate                                (* push clauses forward, test fixpoint *)
+
+type st = {
+  ctx : ctx;
+  limits : Budget.limits;
+  mutable k : int;
+  mutable entry_deltas : Cubeset.t array;    (* [ctx.deltas] at the round's entry *)
+  mutable phase : phase;
+}
+
+type snap = { s_k : int; s_deltas : cube list array }
+
+let finish st v =
+  Verdict.set_time st.ctx.stats (Budget.elapsed st.ctx.budget);
+  (v, st.ctx.stats)
+
+let mk ~limits ~k ~deltas model =
+  let ctx =
+    { model; budget = Budget.start limits; stats = Verdict.mk_stats (); deltas; depth = k }
   in
-  Isr_obs.Resource.with_attached (Verdict.registry stats) @@ fun () ->
-  try
-    (* Depth 0: init ∧ bad. *)
-    match Bmc.check_depth budget stats model ~check:Bmc.Exact ~k:0 with
-    | `Sat u -> finish (Verdict.Falsified { depth = 0; trace = Unroll.trace u })
-    | `Unsat _ -> (
-      let rec rounds k =
-        if k > limits.Budget.bound_limit then
-          finish (Verdict.Unknown (Verdict.Bound_limit limits.Budget.bound_limit))
-        else begin
-          ctx.depth <- k;
-          grow_deltas ctx (k + 1);
-          Verdict.note_bound stats k;
-          Verdict.beat stats ~step:k "pdr.frame";
-          (* Drain all bad states out of F_k. *)
-          let rec drain () =
-            match bad_query ctx k with
-            | None -> ()
-            | Some (cube, bad_inputs) ->
-              block_obligations ctx
-                [ { cube; frame = k; inputs_to_next = bad_inputs; next = None } ];
-              drain ()
-          in
-          Isr_obs.Trace.span "pdr.block" ~args:[ ("k", string_of_int k) ] drain;
-          match
-            Isr_obs.Trace.span "pdr.propagate" ~args:[ ("k", string_of_int k) ]
-              (fun () -> propagate_clauses ctx k)
-          with
-          | Some i ->
-            Log.debug (fun m -> m "fixpoint: frame %d drained at round %d" i k);
-            finish
-              (Verdict.Proved
-                 { kfp = k; jfp = i; invariant = Some (invariant_circuit ctx i) })
-          | None -> rounds (k + 1)
-        end
-      in
-      try rounds 1 with Cex trace ->
-        let depth = Trace.depth trace in
-        finish (Verdict.Falsified { depth; trace }))
-  with
-  | Budget.Out_of_time -> finish (Verdict.Unknown Verdict.Time_limit)
-  | Budget.Out_of_conflicts -> finish (Verdict.Unknown Verdict.Conflict_limit)
+  {
+    ctx;
+    limits;
+    k;
+    entry_deltas = Array.copy deltas;
+    phase = (if k = 0 then Check0 else Block);
+  }
+
+let step st =
+  let status =
+    Step.budget_guard ~finish:(finish st) @@ fun () ->
+    let ctx = st.ctx in
+    match st.phase with
+    | Check0 -> (
+      (* Depth 0: init ∧ bad. *)
+      match Bmc.check_depth ctx.budget ctx.stats ctx.model ~check:Bmc.Exact ~k:0 with
+      | `Sat u ->
+        Step.Done (finish st (Verdict.Falsified { depth = 0; trace = Unroll.trace u }))
+      | `Unsat _ ->
+        st.k <- 1;
+        st.phase <- Block;
+        Step.Running)
+    | Block -> (
+      let k = st.k in
+      if k > st.limits.Budget.bound_limit then
+        Step.Done
+          (finish st (Verdict.Unknown (Verdict.Bound_limit st.limits.Budget.bound_limit)))
+      else begin
+        ctx.depth <- k;
+        grow_deltas ctx (k + 1);
+        Verdict.note_bound ctx.stats k;
+        Verdict.beat ctx.stats ~step:k "pdr.frame";
+        (* Drain all bad states out of F_k. *)
+        let rec drain () =
+          match bad_query ctx k with
+          | None -> ()
+          | Some (cube, bad_inputs) ->
+            block_obligations ctx
+              [ { cube; frame = k; inputs_to_next = bad_inputs; next = None } ];
+            drain ()
+        in
+        match Isr_obs.Trace.span "pdr.block" ~args:[ ("k", string_of_int k) ] drain with
+        | () ->
+          st.phase <- Propagate;
+          Step.Running
+        | exception Cex trace ->
+          let depth = Trace.depth trace in
+          Step.Done (finish st (Verdict.Falsified { depth; trace }))
+      end)
+    | Propagate -> (
+      let k = st.k in
+      match
+        Isr_obs.Trace.span "pdr.propagate" ~args:[ ("k", string_of_int k) ] (fun () ->
+            propagate_clauses ctx k)
+      with
+      | Some i ->
+        Log.debug (fun m -> m "fixpoint: frame %d drained at round %d" i k);
+        Step.Done
+          (finish st
+             (Verdict.Proved
+                { kfp = k; jfp = i; invariant = Some (invariant_circuit ctx i) }))
+      | None ->
+        st.k <- k + 1;
+        st.entry_deltas <- Array.copy ctx.deltas;
+        st.phase <- Block;
+        Step.Running)
+  in
+  (st, status)
+
+let stepper () =
+  Step.Packed
+    {
+      Step.name = "pdr";
+      init =
+        (fun ~limits model -> mk ~limits ~k:0 ~deltas:(Array.make 8 Cubeset.empty) model);
+      step;
+      stats = (fun st -> st.ctx.stats);
+      bound = (fun st -> st.k);
+      snapshot =
+        (fun st ->
+          let s_k = match st.phase with Check0 -> 0 | _ -> st.k in
+          Marshal.to_string
+            { s_k; s_deltas = Array.map Cubeset.elements st.entry_deltas }
+            []);
+      restore =
+        (fun ~limits model payload ->
+          let s : snap = Marshal.from_string payload 0 in
+          let n = max 8 (Array.length s.s_deltas) in
+          let deltas = Array.make n Cubeset.empty in
+          Array.iteri (fun i cubes -> deltas.(i) <- Cubeset.of_list cubes) s.s_deltas;
+          mk ~limits ~k:s.s_k ~deltas model);
+    }
+
+let verify ?limits model = Step.drive (Step.start ?limits (stepper ()) model)

@@ -1,29 +1,39 @@
-(** A sequential engine portfolio, in the spirit of the paper's remark
-    that ITPSEQ is "an additional engine within a potential portfolio of
-    available MC techniques" (Section IV).
+(** An engine portfolio, in the spirit of the paper's remark that ITPSEQ
+    is "an additional engine within a potential portfolio of available MC
+    techniques" (Section IV).
 
-    Members run one after another, each under a share of the total time
-    budget: BMC first (cheap falsification), then k-induction (cheap
-    proofs of inductive properties), then standard interpolation, then
-    ITPSEQCBA.  The first definitive verdict wins; resource shares of
-    members that finish early roll over to the rest. *)
+    Members no longer run one after another under wall-clock time slices:
+    every member becomes a {!Sched.lane} over its {!Step} form and a fair
+    weighted round-robin interleaves their steps on one domain.  The
+    first definitive verdict wins; a member that exhausts its own
+    resources (bound limit, randsim miss) retires its lane and its turns
+    flow to the rest — the interleaved analogue of the old share
+    roll-over. *)
 
 open Isr_model
 
 type member = [ `Randsim | `Bmc | `Kind | `Pdr | `Itp | `Itpseq_cba ]
 
 val members : (float * member) list
-(** The portfolio in sequential running order, each with its share of
-    the total time budget (the tail member inherits the remainder).
-    [Isr_par] races exactly this list, ignoring the shares. *)
+(** The portfolio in lane order, each with its relative weight share
+    (converted to steps-per-turn by {!verify}).  [Isr_par] races exactly
+    this list. *)
 
 val member_name : member -> string
 
-val run_member : member -> limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
-(** Runs one member under its own limits: the building block shared by
-    the sequential schedule below and the parallel racer. *)
+val weight : float -> int
+(** Share-to-weight conversion: scheduler steps per turn. *)
+
+val stepper_of : member -> Step.packed
+(** The step-wise engine of one member: the building block shared by the
+    sequential interleaver below and the parallel racer. *)
+
+val lanes : ?limits:Budget.limits -> Model.t -> Sched.lane list
+(** All members as started scheduler lanes (lane ids follow [members]
+    order).  Budgets start ticking here — call inside the domain that
+    will step them. *)
 
 val verify : ?limits:Budget.limits -> Model.t -> Verdict.t * Verdict.stats
-(** The sequential schedule: members in order, first definitive verdict
-    wins, unused time rolls over.  The enclosing ["portfolio"] span
-    records the deciding member as its ["winner"] argument. *)
+(** The fair interleaved schedule: weighted round-robin over all member
+    lanes, first definitive verdict wins.  The enclosing ["portfolio"]
+    span records the deciding member as its ["winner"] argument. *)

@@ -1,0 +1,93 @@
+type lane = { id : int; name : string; weight : int; inst : Step.inst }
+
+type stop =
+  | Winner of { lane : lane; verdict : Verdict.t }
+  | Exhausted of { reasons : Verdict.reason list }
+
+let worst_reason reasons fallback =
+  if List.mem Verdict.Time_limit reasons then Verdict.Time_limit
+  else if List.mem Verdict.Conflict_limit reasons then Verdict.Conflict_limit
+  else
+    match
+      List.find_opt (function Verdict.Bound_limit _ -> true | _ -> false) reasons
+    with
+    | Some r -> r
+    | None -> fallback
+
+let run ?(schedule = []) ?refill ?on_turn ~into lanes =
+  let all = ref lanes in
+  let live = ref lanes in
+  let reasons = ref [] in
+  let winner = ref None in
+  let turn l = match on_turn with None -> () | Some f -> f l in
+  (* GC/RSS increments fold into whichever lane is being stepped, the
+     per-member analogue of the old schedule's per-slice attachment. *)
+  let attached lane f =
+    Isr_obs.Resource.with_attached (Verdict.registry (Step.stats lane.inst)) f
+  in
+  let retire lane reason =
+    reasons := reason :: !reasons;
+    live := List.filter (fun l -> l.id <> lane.id) !live;
+    match refill with
+    | None -> ()
+    | Some f -> (
+      match f () with
+      | Some l ->
+        all := !all @ [ l ];
+        live := !live @ [ l ]
+      | None -> ())
+  in
+  (* One executed step; [`Won] stops the rotation immediately. *)
+  let one lane =
+    match Step.step lane.inst with
+    | Step.Running -> `Continue
+    | Step.Done (Verdict.Unknown r, _) ->
+      retire lane r;
+      `Retired
+    | Step.Done (v, _) ->
+      winner := Some (Winner { lane; verdict = v });
+      `Won
+  in
+  let sched = ref schedule in
+  let finished () = !winner <> None || !live = [] in
+  (* Stats reach [into] even when a cancellation unwinds mid-turn: a
+     racing domain still accounts the work its cancelled lanes did. *)
+  Fun.protect ~finally:(fun () ->
+      List.iter (fun l -> Verdict.merge_into ~into (Step.stats l.inst)) !all)
+  @@ fun () ->
+  (* Replay prefix: the recorded lane-id sequence, one step per entry. *)
+  while (not (finished ())) && !sched <> [] do
+    match !sched with
+    | [] -> ()
+    | id :: rest ->
+      sched := rest;
+      (match List.find_opt (fun l -> l.id = id) !live with
+      | None -> () (* stale tail entry — the lane already retired *)
+      | Some lane ->
+        turn lane;
+        ignore (attached lane (fun () -> one lane)))
+  done;
+  (* Weighted round-robin: head lane gets up to [weight] steps, then
+     rotates to the tail. *)
+  while not (finished ()) do
+    match !live with
+    | [] -> ()
+    | lane :: _ ->
+      turn lane;
+      let outcome =
+        attached lane (fun () ->
+            let rec burst n = if n <= 0 then `Live else
+                match one lane with `Continue -> burst (n - 1) | (`Retired | `Won) as o -> o
+            in
+            burst (max 1 lane.weight))
+      in
+      (match outcome with
+      | `Live -> (
+        match !live with
+        | l :: tl when l.id = lane.id -> live := tl @ [ l ]
+        | _ -> () (* a refill reshuffled the list; keep as-is *))
+      | `Retired | `Won -> ())
+  done;
+  match !winner with
+  | Some w -> w
+  | None -> Exhausted { reasons = List.rev !reasons }

@@ -1,0 +1,52 @@
+(** Fair interleaving of step-wise engines on one domain.
+
+    Replaces the portfolio's historical wall-clock slice loop: instead
+    of giving each member a fixed fraction of the deadline and running
+    it to completion, every member becomes a {e lane} over a
+    {!Step.inst} and the scheduler deals steps in weighted round-robin —
+    a lane with weight [w] gets up to [w] consecutive steps per turn,
+    then the next lane runs.  No lane can starve (every live lane is
+    visited once per rotation), heavyweight members just get more steps
+    per visit.
+
+    The first definitive verdict wins and stops the rotation; a lane
+    that answers [Unknown] retires (its reason kept for aggregation) and
+    its turns naturally roll over to the survivors — the step-wise
+    analogue of the old "unused time rolls over" contract.  A [refill]
+    callback implements work hand-off: each retirement asks for a fresh
+    lane (the parallel runner hands out unclaimed portfolio members
+    here, so an exhausted worker steals work instead of idling).
+
+    Passing [schedule] re-drives a recorded interleaving: the lane ids
+    of a run's [Event.Step] records, replayed in order, reproduce the
+    exact step schedule (and therefore the verdict) deterministically. *)
+
+type lane = {
+  id : int;         (** stable lane id — stamped into [Event.Step] records *)
+  name : string;    (** display name ("bmc", "itpseqcba", ...) *)
+  weight : int;     (** steps per turn, [>= 1] *)
+  inst : Step.inst;
+}
+
+type stop =
+  | Winner of { lane : lane; verdict : Verdict.t }
+      (** definitive verdict; rotation stopped *)
+  | Exhausted of { reasons : Verdict.reason list }
+      (** every lane retired [Unknown]; one reason per retiree *)
+
+val worst_reason : Verdict.reason list -> Verdict.reason -> Verdict.reason
+(** Most "retriable" reason, same preference as the parallel runner:
+    deadline > conflict pool > bound cap, falling back when empty. *)
+
+val run :
+  ?schedule:int list ->
+  ?refill:(unit -> lane option) ->
+  ?on_turn:(lane -> unit) ->
+  into:Verdict.stats ->
+  lane list ->
+  stop
+(** Interleave until a winner or exhaustion.  Every lane's stats
+    (winner, retirees and still-running lanes alike) are merged into
+    [into] before returning.  [on_turn] fires when a lane's turn starts
+    (progress heartbeats).  {!Budget.Cancelled} from any lane
+    propagates — the parallel runner owns cancellation. *)

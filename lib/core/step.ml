@@ -1,0 +1,154 @@
+open Isr_model
+
+type status = Running | Done of (Verdict.t * Verdict.stats)
+
+type 'st engine = {
+  name : string;
+  init : limits:Budget.limits -> Model.t -> 'st;
+  step : 'st -> 'st * status;
+  stats : 'st -> Verdict.stats;
+  bound : 'st -> int;
+  snapshot : 'st -> string;
+  restore : limits:Budget.limits -> Model.t -> string -> 'st;
+}
+
+type packed = Packed : 'st engine -> packed
+
+(* The uniform resource-exhaustion tail every engine's [step] wants:
+   budget raises become a final Unknown, while [Budget.Cancelled] keeps
+   propagating to the parallel runner. *)
+let budget_guard ~finish f =
+  try f () with
+  | Budget.Out_of_time -> Done (finish (Verdict.Unknown Verdict.Time_limit))
+  | Budget.Out_of_conflicts -> Done (finish (Verdict.Unknown Verdict.Conflict_limit))
+
+type inst =
+  | Inst : {
+      eng : 'st engine;
+      model : Model.t;
+      mutable st : 'st;
+      mutable steps : int;
+      mutable last : status;
+      lane : int;
+      started : float;
+    }
+      -> inst
+
+let start ?(lane = 0) ?(limits = Budget.default_limits) (Packed eng) model =
+  Inst
+    {
+      eng;
+      model;
+      st = eng.init ~limits model;
+      steps = 0;
+      last = Running;
+      lane;
+      started = Isr_obs.Clock.now ();
+    }
+
+let name (Inst i) = i.eng.name
+let lane (Inst i) = i.lane
+let steps_done (Inst i) = i.steps
+let bound (Inst i) = i.eng.bound i.st
+let stats (Inst i) = i.eng.stats i.st
+let status (Inst i) = i.last
+
+let status_tag = function
+  | Running -> "running"
+  | Done (Verdict.Proved _, _) -> "proved"
+  | Done (Verdict.Falsified _, _) -> "falsified"
+  | Done (Verdict.Unknown _, _) -> "unknown"
+
+let step (Inst i) =
+  match i.last with
+  | Done _ as d -> d
+  | Running ->
+    let st', status = i.eng.step i.st in
+    i.st <- st';
+    i.steps <- i.steps + 1;
+    i.last <- status;
+    if Isr_obs.Event.enabled () then
+      Isr_obs.Event.emit
+        (Isr_obs.Event.Step
+           {
+             lane = i.lane;
+             engine = i.eng.name;
+             n = i.steps;
+             pos = i.eng.bound i.st;
+             status = status_tag status;
+           });
+    status
+
+(* --- checkpoint / resume ------------------------------------------------ *)
+
+let snapshot (Inst i) =
+  Checkpoint.make ~engine:i.eng.name ~model:i.model ~steps:i.steps
+    ~bound:(i.eng.bound i.st)
+    ~elapsed:(Isr_obs.Clock.now () -. i.started)
+    ~payload:(i.eng.snapshot i.st)
+
+let restore ?(lane = 0) ?(limits = Budget.default_limits) (Packed eng) model
+    (ck : Checkpoint.t) =
+  if not (String.equal ck.Checkpoint.engine eng.name) then
+    invalid_arg
+      (Printf.sprintf "Step.restore: checkpoint is for engine %S, not %S"
+         ck.Checkpoint.engine eng.name);
+  (match Checkpoint.check_model ck model with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Step.restore: " ^ msg));
+  Inst
+    {
+      eng;
+      model;
+      st = eng.restore ~limits model ck.Checkpoint.payload;
+      steps = ck.Checkpoint.steps;
+      last = Running;
+      lane;
+      started = Isr_obs.Clock.now ();
+    }
+
+(* --- driving ------------------------------------------------------------ *)
+
+let ckpt_flag = Atomic.make false
+let request_checkpoint () = Atomic.set ckpt_flag true
+let checkpoint_requested () = Atomic.get ckpt_flag
+
+(* The SIGTERM safe-point: engine states are consistent at any moment
+   (snapshot fields only change between solver calls), so the unwind can
+   snapshot directly, dump the flight ring next to it, and leave with
+   the conventional SIGTERM status. *)
+(* An unwritable checkpoint path is a usage error (exit 2, one line),
+   not a crash — matching every other IO surface of the CLI. *)
+let write_or_die path ck =
+  try Checkpoint.write path ck
+  with Sys_error msg ->
+    Printf.eprintf "isr: checkpoint write failed: %s\n%!" msg;
+    exit 2
+
+let interrupt_exit inst path =
+  write_or_die path (snapshot inst);
+  ignore (Isr_obs.Flight.dump ~reason:"sigterm" ());
+  Printf.eprintf "isr: checkpoint written to %s (sigterm)\n%!" path;
+  exit 143
+
+let drive ?checkpoint inst =
+  Isr_obs.Resource.with_attached (Verdict.registry (stats inst)) @@ fun () ->
+  let rec loop () =
+    (match checkpoint with
+    | Some path when Atomic.get ckpt_flag -> interrupt_exit inst path
+    | _ -> ());
+    match step inst with
+    | Running -> loop ()
+    | Done (v, s) ->
+      (match (v, checkpoint) with
+      | Verdict.Unknown _, Some path -> write_or_die path (snapshot inst)
+      | _ -> ());
+      (v, s)
+  in
+  match loop () with
+  | r -> r
+  | exception Budget.Cancelled when checkpoint <> None && Atomic.get ckpt_flag ->
+    (* The cancel token doubled as the prompt-interrupt channel for an
+       in-flight SAT call; a genuine race cancellation (no checkpoint
+       request) still propagates. *)
+    interrupt_exit inst (Option.get checkpoint)

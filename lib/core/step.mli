@@ -1,0 +1,102 @@
+(** The step-wise engine kernel.
+
+    Every engine exposes its verification loop in the given-clause
+    shape: an explicit state ['st], an [init] that builds it without
+    solving anything, and a [step] that performs one bounded unit of
+    work — one BMC depth, one interpolation-sequence bound or column
+    inclusion test, one k-induction depth, one PDR obligation round or
+    frame propagation — and reports [Running] or a final verdict.
+    Engines are packaged existentially, so heterogeneous engines compose
+    under one scheduler ({!Sched}) and one driver ({!drive}).
+
+    Step granularity is the preemption and checkpoint granularity: a
+    state is snapshotable at {e every} moment because the fields a
+    {!engine.snapshot} reads are only replaced wholesale at bound
+    boundaries (snapshots capture the entry of the current bound, and a
+    resumed run re-does that bound from scratch — deterministic, so the
+    interrupted-then-resumed run reproduces the uninterrupted verdict,
+    convergence depths and certificate). *)
+
+open Isr_model
+
+type status = Running | Done of (Verdict.t * Verdict.stats)
+
+type 'st engine = {
+  name : string;
+      (** the {!Engine.name} spelling — recorded in checkpoints and
+          [Event.Step] records *)
+  init : limits:Budget.limits -> Model.t -> 'st;
+      (** allocate the state (starts the budget); must not solve *)
+  step : 'st -> 'st * status;
+      (** one unit of work.  Catches {!Budget.Out_of_time} /
+          {!Budget.Out_of_conflicts} and answers [Done (Unknown _)];
+          must {e never} catch {!Budget.Cancelled}. *)
+  stats : 'st -> Verdict.stats;
+  bound : 'st -> int;  (** current bound/round, for events and meta *)
+  snapshot : 'st -> string;
+      (** marshalled pure-data payload describing the entry of the
+          current bound; valid whatever the in-step progress *)
+  restore : limits:Budget.limits -> Model.t -> string -> 'st;
+      (** rebuild a state from a payload on a fresh model (possibly in a
+          fresh process); inverse of [snapshot] up to re-doing the
+          current bound *)
+}
+
+type packed = Packed : 'st engine -> packed
+
+val budget_guard :
+  finish:(Verdict.t -> Verdict.t * Verdict.stats) -> (unit -> status) -> status
+(** Wraps one step body: {!Budget.Out_of_time} / {!Budget.Out_of_conflicts}
+    become [Done (finish (Unknown _))]; {!Budget.Cancelled} propagates. *)
+
+(** {1 Instances} *)
+
+type inst
+(** A started engine: packed state plus step counter and lane stamp. *)
+
+val start : ?lane:int -> ?limits:Budget.limits -> packed -> Model.t -> inst
+(** Budgets start ticking here — in a parallel race, call inside the
+    worker domain so the budget captures the domain's cancel token. *)
+
+val name : inst -> string
+val lane : inst -> int
+val steps_done : inst -> int
+val bound : inst -> int
+val stats : inst -> Verdict.stats
+val status : inst -> status
+
+val step : inst -> status
+(** Execute one step (no-op once [Done]).  When events are enabled,
+    every executed step emits a schema-4 [Event.Step] record — the
+    stream from which [isr_obs steps] reconstructs and {!Sched.run}
+    re-drives an interleaving. *)
+
+(** {1 Checkpoint / resume} *)
+
+val snapshot : inst -> Checkpoint.t
+
+val restore :
+  ?lane:int -> ?limits:Budget.limits -> packed -> Model.t -> Checkpoint.t -> inst
+(** @raise Invalid_argument when the checkpoint's engine spelling or
+    model signature do not match. *)
+
+val request_checkpoint : unit -> unit
+(** Signal-handler-safe: raise a flag that makes the next {!drive} step
+    boundary (or its [Budget.Cancelled] unwind) write the checkpoint
+    and exit 143.  Pair it with setting the ambient cancel token so an
+    in-flight SAT call aborts promptly. *)
+
+val checkpoint_requested : unit -> bool
+
+(** {1 Driving} *)
+
+val drive : ?checkpoint:string -> inst -> Verdict.t * Verdict.stats
+(** Run to completion: the thin wrapper the engines' historical
+    [run]/[verify] entry points are built on.  Attaches the instance's
+    metrics registry for the duration (GC/RSS accounting, as before).
+
+    With [checkpoint]: a [Done (Unknown _)] verdict (budget or bound
+    exhaustion) writes the checkpoint before returning, and a
+    {!request_checkpoint} flag — SIGTERM — is honoured at the next step
+    boundary or budget-poll unwind: checkpoint written, flight recorder
+    dumped (when armed), process exits 143. *)

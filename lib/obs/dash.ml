@@ -145,6 +145,10 @@ let view events =
         a.a_exported <- exported;
         a.a_imported <- imported;
         touch a
+      | Event.Step { lane = l; pos; _ } ->
+        let a = lane l in
+        a.a_bound <- pos;
+        touch a
       | Event.Analyze _ -> ())
     events;
   let lanes =

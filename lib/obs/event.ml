@@ -10,10 +10,11 @@
    histograms (clause-lifecycle analytics); readers accept schema-1
    streams, where those arrays decode as empty.  Schema 3 adds the
    [Share] clause-traffic event and the [Exhausted] cancellation cause.
-   [write_jsonl] stamps the lowest schema that covers the stream, so a
-   recording without schema-3 features stays loadable by schema-2
-   readers (which skip unknown events/causes anyway). *)
-let schema_version = 3
+   Schema 4 adds the [Step] engine-kernel record.  [write_jsonl] stamps
+   the lowest schema that covers the stream, so a recording without
+   newer features stays loadable by older readers (which skip unknown
+   events/causes anyway). *)
+let schema_version = 4
 
 let min_schema_version = 1
 
@@ -42,6 +43,7 @@ type kind =
       latches_after : int;
     }
   | Share of { worker : int; exported : int; imported : int; dropped : int }
+  | Step of { lane : int; engine : string; n : int; pos : int; status : string }
 
 type t = { ts : float; dom : int; seq : int; kind : kind }
 
@@ -175,7 +177,8 @@ let record r ~ts ~dom kind =
           | Cancel _ -> 6
           | Verdict _ -> 7
           | Analyze _ -> 8
-          | Share _ -> 9);
+          | Share _ -> 9
+          | Step _ -> 10);
         push b (ns_of_ts ts);
         (match kind with
         | Restart { conflicts; decisions; learnt } ->
@@ -222,7 +225,13 @@ let record r ~ts ~dom kind =
           push b worker;
           push b exported;
           push b imported;
-          push b dropped);
+          push b dropped
+        | Step { lane; engine; n; pos; status } ->
+          push b lane;
+          push b (str engine);
+          push b n;
+          push b pos;
+          push b (str status));
         r.nevents <- r.nevents + 1)
 
 let emit kind =
@@ -296,6 +305,16 @@ let decode_domain r dom (b : buf) =
               dropped = b.a.(p + 3);
             },
           p + 4 )
+      | 10 ->
+        ( Step
+            {
+              lane = b.a.(p);
+              engine = s b.a.(p + 1);
+              n = b.a.(p + 2);
+              pos = b.a.(p + 3);
+              status = s b.a.(p + 4);
+            },
+          p + 5 )
       | c -> invalid_arg (Printf.sprintf "Event.decode: bad code %d" c)
     in
     out := { ts; dom; seq = !seq; kind } :: !out;
@@ -376,21 +395,23 @@ let json_of_event e =
     Buffer.add_string b
       (Printf.sprintf
          "\"share\",\"worker\":%d,\"exported\":%d,\"imported\":%d,\"dropped\":%d" worker
-         exported imported dropped));
+         exported imported dropped)
+  | Step { lane; engine; n; pos; status } ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"step\",\"lane\":%d,\"engine\":%s,\"n\":%d,\"pos\":%d,\"status\":%s" lane
+         (Json.quote engine) n pos (Json.quote status)));
   Buffer.add_char b '}';
   Buffer.contents b
 
-(* The lowest header version that covers the stream: schema-2 readers
-   must keep loading recordings that use no schema-3 feature. *)
+(* The lowest header version that covers the stream: older readers must
+   keep loading recordings that use none of the newer features. *)
 let schema_needed evs =
-  if
-    List.exists
-      (fun e ->
-        match e.kind with
-        | Share _ | Cancel { cause = Exhausted; _ } -> true
-        | _ -> false)
-      evs
-  then schema_version
+  let has p = List.exists (fun e -> p e.kind) evs in
+  if has (function Step _ -> true | _ -> false) then schema_version
+  else if
+    has (function Share _ | Cancel { cause = Exhausted; _ } -> true | _ -> false)
+  then 3
   else 2
 
 let write_jsonl r oc =
@@ -468,6 +489,16 @@ let event_of_json j =
                imported = num "imported";
                dropped = num "dropped";
              })
+      | "step" ->
+        Some
+          (Step
+             {
+               lane = num "lane";
+               engine = ostr "engine";
+               n = num "n";
+               pos = num "pos";
+               status = ostr "status";
+             })
       | _ -> None
     in
     match kind with
@@ -523,6 +554,7 @@ let chrome_name = function
     Printf.sprintf "analyze.%s %d->%d" pass ands_before ands_after
   | Share { worker; exported; imported; _ } ->
     Printf.sprintf "share w%d %d>/%d<" worker exported imported
+  | Step { lane; engine; pos; _ } -> Printf.sprintf "step L%d %s @%d" lane engine pos
 
 let to_chrome evs =
   let b = Buffer.create 4096 in

@@ -29,8 +29,9 @@ val schema_version : int
     loading recordings that use no newer feature.  Schema 2 added the
     [dead_lbd]/[dead_uses] arrays to {!kind.Reduce}; schema-1 streams
     still load (the arrays decode as empty).  Schema 3 added
-    {!kind.Share} and the [Exhausted] cause — schema-2 readers skip
-    those lines (unknown events and causes decode as [None]). *)
+    {!kind.Share} and the [Exhausted] cause; schema 4 added the
+    engine-kernel {!kind.Step} record — older readers skip those lines
+    (unknown events and causes decode as [None]). *)
 
 type cause =
   | Race_won   (** a racing worker published a definitive verdict *)
@@ -82,6 +83,13 @@ type kind =
           import round — clauses exported to its ring, peers' clauses
           imported (re-derived locally), and candidates dropped (not a
           local consequence, or already satisfied) *)
+  | Step of { lane : int; engine : string; n : int; pos : int; status : string }
+      (** one engine-kernel step boundary: scheduler lane id, engine
+          spelling, cumulative step count [n] for that instance, the
+          engine's bound/round [pos] after the step, and the resulting
+          status (["running"], ["proved"], ["falsified"], ["unknown"]).
+          The per-domain sequence of lane ids reconstructs the exact
+          interleaving, which the scheduler can re-drive verbatim. *)
 
 type t = {
   ts : float;  (** monotonic {!Clock} time *)

@@ -121,24 +121,6 @@ let partition jobs members =
   List.iteri (fun i m -> groups.(i mod jobs) <- m :: groups.(i mod jobs)) members;
   Array.to_list (Array.map List.rev groups) |> List.filter (fun g -> g <> [])
 
-let unknown_of_outcomes outcomes fallback =
-  (* Prefer the most "retriable" reason, mirroring how the sequential
-     schedule reports: a deadline beats a conflict pool beats a bound
-     cap. *)
-  let worst =
-    List.fold_left
-      (fun acc v ->
-        match (acc, v) with
-        | Some Verdict.Time_limit, _ -> acc
-        | _, Verdict.Unknown Verdict.Time_limit -> Some Verdict.Time_limit
-        | Some (Verdict.Conflict_limit as r), _ -> Some r
-        | _, Verdict.Unknown (Verdict.Conflict_limit as r) -> Some r
-        | _, Verdict.Unknown (Verdict.Bound_limit _ as r) -> Some r
-        | acc, _ -> acc)
-      None outcomes
-  in
-  match worst with Some r -> r | None -> fallback
-
 let verdict_tag = function
   | Verdict.Proved _ -> "proved"
   | Verdict.Falsified { depth; _ } -> Printf.sprintf "falsified(d=%d)" depth
@@ -173,81 +155,97 @@ let with_analysis ?analyze model k =
 let portfolio_race ~jobs ~limits ~share ~members model =
   let t0 = Isr_obs.Clock.now () in
   let cancel = Atomic.make false in
-  let winner : (Portfolio.member * Verdict.t) option Atomic.t = Atomic.make None in
-  let groups = partition jobs members in
+  let winner : (string * Verdict.t) option Atomic.t = Atomic.make None in
+  (* Members are identified by their global index: lane ids in the event
+     stream, and the claim flags below, both use it.  A member belongs to
+     whichever domain CAS-claims it — each domain seeds its scheduler
+     with the head of its round-robin group and leaves the tail in the
+     common pool, so a domain whose lanes retire early picks up pending
+     members from anywhere (work hand-off between lanes). *)
+  let indexed = List.mapi (fun i (w, m) -> (i, w, m)) members in
+  let claimed = Array.init (List.length indexed) (fun _ -> Atomic.make false) in
+  let groups = partition jobs indexed in
   let ngroups = List.length groups in
   let hub = Option.map (fun f -> Share.create ~jobs:ngroups f) share in
   (* Each racer gets the whole wall-clock budget: the race trades cores
      for latency, it does not split the deadline. *)
-  let run_one member =
-    Isr_obs.Trace.span "portfolio.member"
-      ~args:[ ("engine", Portfolio.member_name member); ("mode", "parallel") ]
-      (fun () -> Portfolio.run_member member ~limits model)
+  let claim (i, w, m) =
+    if Atomic.compare_and_set claimed.(i) false true then
+      Some
+        {
+          Sched.id = i;
+          name = Portfolio.member_name m;
+          weight = Portfolio.weight w;
+          inst = Step.start ~lane:i ~limits (Portfolio.stepper_of m) model;
+        }
+    else None
   in
   (* Lifecycle events carry the logical worker index [w], not the domain
      id: domain ids vary across replays, worker indices do not, so the
      merged stream's race story is reproducible.  The winning worker
      emits its own verdict plus one causal cancellation edge per loser;
-     a worker that exhausts its whole slate without a verdict records a
-     deadline self-edge. *)
+     a worker whose whole slate retires without a verdict records a
+     deadline (or exhaustion) self-edge. *)
   let worker w group () =
     Budget.with_cancel cancel @@ fun () ->
     with_share_ctx hub ~worker:w @@ fun () ->
     if Isr_obs.Event.enabled () then
       Isr_obs.Event.emit
         (Isr_obs.Event.Spawn
-           { worker = w; engines = String.concat "+" (List.map Portfolio.member_name group) });
-    let i_won = ref false in
-    let outs =
-      List.filter_map
-        (fun member ->
-          if Atomic.get cancel then None
-          else
-            match run_one member with
-            | exception Budget.Cancelled -> None
-            | verdict, stats ->
-              (match verdict with
-              | Verdict.Proved _ | Verdict.Falsified _ ->
-                if Atomic.compare_and_set winner None (Some (member, verdict)) then begin
-                  Atomic.set cancel true;
-                  i_won := true;
-                  if Isr_obs.Event.enabled () then begin
-                    Isr_obs.Event.emit
-                      (Isr_obs.Event.Verdict { worker = w; verdict = verdict_tag verdict });
-                    for j = 0 to ngroups - 1 do
-                      if j <> w then
-                        Isr_obs.Event.emit
-                          (Isr_obs.Event.Cancel { worker = j; cause = Isr_obs.Event.Race_won; by = w })
-                    done
-                  end
-                end
-              | Verdict.Unknown _ -> ());
-              Some (verdict, stats))
-        group
-    in
-    if Isr_obs.Event.enabled () && (not !i_won) && not (Atomic.get cancel) then begin
-      (* Why did this lane stop?  A slate that ran to completion with
-         every member merely bound-limited was exhausted, not starved of
-         budget — report it as such so explain-race/top don't blame a
-         deadline that never fired. *)
-      let exhausted =
-        outs <> []
-        && List.for_all
-             (fun (v, _) ->
-               match v with
-               | Verdict.Unknown (Verdict.Bound_limit _) -> true
-               | _ -> false)
-             outs
-      in
-      Isr_obs.Event.emit
-        (Isr_obs.Event.Cancel
            {
              worker = w;
-             cause = (if exhausted then Isr_obs.Event.Exhausted else Isr_obs.Event.Deadline);
-             by = w;
-           })
-    end;
-    outs
+             engines =
+               String.concat "+" (List.map (fun (_, _, m) -> Portfolio.member_name m) group);
+           });
+    let rec scan = function
+      | [] -> None
+      | x :: tl -> ( match claim x with Some l -> Some l | None -> scan tl)
+    in
+    let rec take n xs =
+      if n = 0 then []
+      else match scan xs with None -> [] | Some l -> l :: take (n - 1) xs
+    in
+    (* Seed with the head half of the group; the rest stays stealable. *)
+    let lanes = take (max 1 ((List.length group + 1) / 2)) group in
+    let refill () = match scan group with Some l -> Some l | None -> scan indexed in
+    let stats = Verdict.mk_stats () in
+    match Sched.run ~refill ~into:stats lanes with
+    | exception Budget.Cancelled -> ([], stats)
+    | Sched.Winner { lane; verdict } ->
+      if Atomic.compare_and_set winner None (Some (lane.Sched.name, verdict)) then begin
+        Atomic.set cancel true;
+        if Isr_obs.Event.enabled () then begin
+          Isr_obs.Event.emit
+            (Isr_obs.Event.Verdict { worker = w; verdict = verdict_tag verdict });
+          for j = 0 to ngroups - 1 do
+            if j <> w then
+              Isr_obs.Event.emit
+                (Isr_obs.Event.Cancel { worker = j; cause = Isr_obs.Event.Race_won; by = w })
+          done
+        end
+      end;
+      ([], stats)
+    | Sched.Exhausted { reasons } ->
+      if Isr_obs.Event.enabled () && not (Atomic.get cancel) then begin
+        (* Why did this lane stop?  A slate that ran to completion with
+           every member merely bound-limited was exhausted, not starved
+           of budget — report it as such so explain-race/top don't blame
+           a deadline that never fired. *)
+        let exhausted =
+          reasons <> []
+          && List.for_all
+               (function Verdict.Bound_limit _ -> true | _ -> false)
+               reasons
+        in
+        Isr_obs.Event.emit
+          (Isr_obs.Event.Cancel
+             {
+               worker = w;
+               cause = (if exhausted then Isr_obs.Event.Exhausted else Isr_obs.Event.Deadline);
+               by = w;
+             })
+      end;
+      (reasons, stats)
   in
   let total = Verdict.mk_stats () in
   Isr_obs.Trace.span "portfolio"
@@ -255,34 +253,29 @@ let portfolio_race ~jobs ~limits ~share ~members model =
     ~end_args:(fun () ->
       [
         ("winner",
-         match Atomic.get winner with
-         | Some (m, _) -> Portfolio.member_name m
-         | None -> "none");
+         match Atomic.get winner with Some (name, _) -> name | None -> "none");
       ])
   @@ fun () ->
   Isr_obs.Resource.with_attached (Verdict.registry total) @@ fun () ->
   let domains = List.mapi (fun w g -> Domain.spawn (worker w g)) groups in
-  let outcomes = List.concat_map Domain.join domains in
-  List.iter (fun (_, stats) -> Verdict.merge_into ~into:total stats) outcomes;
+  let results = List.map Domain.join domains in
+  List.iter (fun (_, stats) -> Verdict.merge_into ~into:total stats) results;
   Verdict.set_time total (Isr_obs.Clock.now () -. t0);
   match Atomic.get winner with
   | Some (_, verdict) -> (verdict, total)
   | None ->
-    ( Verdict.Unknown (unknown_of_outcomes (List.map fst outcomes) Verdict.Time_limit),
-      total )
+    let reasons = List.concat_map fst results in
+    (Verdict.Unknown (Sched.worst_reason reasons Verdict.Time_limit), total)
 
 let portfolio ?(jobs = 0) ?analyze ?share ?(limits = Budget.default_limits) model =
   with_analysis ?analyze model @@ fun model ->
   let jobs = if jobs <= 0 then default_jobs () else jobs in
-  let members = List.map snd Portfolio.members in
-  let jobs = min jobs (List.length members) in
+  let jobs = min jobs (List.length Portfolio.members) in
   if jobs = 1 then
-    (* One domain racing nobody would give every member the whole
-       deadline in turn — strictly worse than the sequential slice
-       schedule, so fall back to it (there is nobody to share with
-       either). *)
+    (* One domain needs no race: the same lanes run under the sequential
+       interleaver (there is nobody to share with either). *)
     Portfolio.verify ~limits model
-  else portfolio_race ~jobs ~limits ~share ~members model
+  else portfolio_race ~jobs ~limits ~share ~members:Portfolio.members model
 
 (* Bound-parallel BMC probes.
 
